@@ -1,0 +1,86 @@
+"""E13 — Corollary 46 in practice: the order choice is a polynomial knob.
+
+The same query on the same data costs |D|^1 or |D|^2 preprocessing
+depending only on the requested order (star query: center-first vs
+center-last). The advisor predicts this from the query alone; we verify
+the prediction against measured times and show the advisor's ranking.
+"""
+
+from harness import fit_exponent, report, timed
+
+from repro.core.advisor import order_cost_spread, rank_orders
+from repro.core.preprocessing import Preprocessing
+from repro.data.database import Database
+from repro.query.catalog import (
+    star_bad_order,
+    star_good_order,
+    star_query,
+)
+
+SCALES = [40, 57, 80, 113]
+UNIVERSE = 12
+
+
+def star_data(scale: int) -> Database:
+    full = {(j, v) for j in range(scale) for v in range(UNIVERSE)}
+    return Database({"R1": full, "R2": full})
+
+
+def test_e13_order_choice(benchmark):
+    query = star_query(2)
+    low, high = order_cost_spread(query)
+    assert (low, high) == (1, 2)
+
+    sizes = []
+    good_times = []
+    bad_times = []
+    for scale in SCALES:
+        database = star_data(scale)
+        sizes.append(len(database))
+        _, good_seconds = timed(
+            Preprocessing, query, star_good_order(2), database
+        )
+        _, bad_seconds = timed(
+            Preprocessing, query, star_bad_order(2), database
+        )
+        good_times.append(good_seconds)
+        bad_times.append(bad_seconds)
+
+    good_exponent = fit_exponent(sizes, good_times)
+    bad_exponent = fit_exponent(sizes, bad_times)
+
+    rows = [
+        [
+            report_line.describe(),
+        ]
+        for report_line in rank_orders(query, limit=3)
+    ]
+    rows.append([f"advisor spread: ι in [{low}, {high}]"])
+    rows.append(
+        [
+            f"measured exponents: center-first {good_exponent:.2f} "
+            f"(ι=1), center-last {bad_exponent:.2f} (ι=2)"
+        ]
+    )
+    rows.append(
+        [
+            f"largest-run slowdown for the wrong order: "
+            f"{bad_times[-1] / max(good_times[-1], 1e-9):.0f}x"
+        ]
+    )
+    report(
+        "e13_order_choice",
+        "E13: same query, same data — the order decides the exponent",
+        ["finding"],
+        rows,
+    )
+    assert good_exponent < bad_exponent - 0.5
+    assert bad_times[-1] > 3 * good_times[-1]
+
+    database = star_data(SCALES[0])
+    benchmark.pedantic(
+        Preprocessing,
+        args=(query, star_good_order(2), database),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""E1 — Figure 1 / Examples 5, 8, 16, 18: structural values.
+
+Regenerates the paper's worked example quantities: the decomposition
+edges of Figure 1, the incompatibility numbers ι(Example 5) = 3 and
+ι(Example 18) = 3/2, star-order values, and the star embedding sizes of
+Examples 16/18. Benchmarks the decomposition construction itself.
+"""
+
+from fractions import Fraction
+
+from harness import report
+
+from repro.core.decomposition import (
+    DisruptionFreeDecomposition,
+    incompatibility_number,
+)
+from repro.lowerbounds.star_queries import StarEmbedding
+from repro.query.catalog import (
+    example5_order,
+    example5_query,
+    example18_query,
+    star_bad_order,
+    star_good_order,
+    star_query,
+)
+
+
+def test_e1_examples_table(benchmark):
+    rows = []
+    cases = [
+        ("Example 5 (Fig. 1)", example5_query(), example5_order(), 3),
+        (
+            "Example 18",
+            example18_query(),
+            example5_order(),
+            Fraction(3, 2),
+        ),
+        ("star k=2, bad order", star_query(2), star_bad_order(2), 2),
+        ("star k=2, good order", star_query(2), star_good_order(2), 1),
+        ("star k=3, bad order", star_query(3), star_bad_order(3), 3),
+    ]
+    for name, query, order, expected in cases:
+        measured = incompatibility_number(query, order)
+        rows.append([name, expected, measured, measured == expected])
+
+    emb5 = StarEmbedding(example5_query(), example5_order())
+    emb18 = StarEmbedding(example18_query(), example5_order())
+    rows.append(
+        ["Example 16 star size k", 3, emb5.star_size, emb5.star_size == 3]
+    )
+    rows.append(
+        ["Example 18 blow-up λ", 2, emb18.blowup, emb18.blowup == 2]
+    )
+
+    report(
+        "e1_examples",
+        "E1: paper example values (claimed vs measured)",
+        ["case", "paper", "measured", "match"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+
+    benchmark(
+        DisruptionFreeDecomposition, example18_query(), example5_order()
+    )

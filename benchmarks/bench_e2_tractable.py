@@ -1,0 +1,78 @@
+"""E2 — Theorem 1 regime: linear preprocessing, logarithmic access.
+
+On an acyclic, trio-free pair (the 3-path with its natural order) the
+preprocessing time must scale (near-)linearly in |D| and the access time
+must stay flat/logarithmic across a geometric sweep.
+"""
+
+import random
+
+from harness import fit_exponent, median_seconds, report, timed
+
+from repro.core.access import DirectAccess
+from repro.data.generators import functional_path_database
+from repro.query.catalog import path_query
+from repro.query.variable_order import VariableOrder
+
+LENGTH = 3
+SIZES = [2000, 4000, 8000, 16000]
+
+
+def build(rows: int) -> DirectAccess:
+    query = path_query(LENGTH)
+    database = functional_path_database(LENGTH, rows, seed=7)
+    order = VariableOrder(query.variables)
+    return DirectAccess(query, order, database)
+
+
+def test_e2_linear_preprocessing_log_access(benchmark):
+    rng = random.Random(1)
+    prep_rows = []
+    prep_times = []
+    access_times = []
+    for rows in SIZES:
+        access, seconds = timed(build, rows)
+        prep_times.append(seconds)
+        indices = [rng.randrange(len(access)) for _ in range(50)]
+
+        def run_accesses():
+            for index in indices:
+                access.tuple_at(index)
+
+        per_access = median_seconds(run_accesses) / len(indices)
+        access_times.append(per_access)
+        prep_rows.append(
+            [
+                rows * LENGTH,
+                f"{seconds * 1e3:.1f} ms",
+                f"{per_access * 1e6:.1f} us",
+            ]
+        )
+
+    exponent = fit_exponent(
+        [s * LENGTH for s in SIZES], prep_times
+    )
+    access_growth = access_times[-1] / max(access_times[0], 1e-9)
+    prep_rows.append(
+        ["fitted prep exponent (paper: 1.0)", f"{exponent:.2f}", ""]
+    )
+    prep_rows.append(
+        [
+            "access growth over 8x data (paper: ~log)",
+            f"{access_growth:.2f}x",
+            "",
+        ]
+    )
+    report(
+        "e2_tractable",
+        "E2: Theorem 1 — 3-path, natural order (ι = 1)",
+        ["|D|", "preprocessing", "per-access"],
+        prep_rows,
+    )
+    # Generous envelope: linear up to log factors, and far from quadratic.
+    assert exponent < 1.6
+    # Access stays within a small factor while data grows 8x.
+    assert access_growth < 6
+
+    access = build(SIZES[0])
+    benchmark(access.tuple_at, len(access) // 2)

@@ -1,0 +1,78 @@
+"""E7 — the 2-Set-Disjointness trade-off (Theorem 24 / Corollary 25).
+
+The lower bound says: with near-linear preprocessing, queries cannot all
+be fast; constant-time queries need essentially quadratic preprocessing.
+We measure the three implemented back-ends on KPP-shaped instances
+(n sets of size ~n^{1-γ}) and print the preprocessing/query trade-off the
+conjecture declares unavoidable.
+"""
+
+import random
+
+from harness import median_seconds, report, timed
+
+from repro.lowerbounds.setdisjointness import (
+    MergeDisjointness,
+    PrecomputedDisjointness,
+    SetSystem,
+    StarDisjointness,
+)
+
+SETS = 80
+GAMMA = 0.5
+
+
+def build_instance(seed: int = 0) -> SetSystem:
+    set_size = max(2, int(SETS ** (1 - GAMMA)))
+    universe = max(4, int(SETS ** (2 - 2 * GAMMA)))
+    return SetSystem.random(
+        2, SETS, set_size, universe, seed=seed
+    )
+
+
+def test_e7_tradeoff(benchmark):
+    instance = build_instance()
+    rng = random.Random(5)
+    queries = [
+        (rng.randrange(SETS), rng.randrange(SETS)) for _ in range(200)
+    ]
+
+    rows = []
+    backends = [
+        ("merge (linear prep)", MergeDisjointness),
+        ("precompute-all (n^2 prep)", PrecomputedDisjointness),
+        ("star direct access (paper)", StarDisjointness),
+    ]
+    results = {}
+    for name, backend in backends:
+        oracle, prep_seconds = timed(backend, instance)
+
+        def run_queries():
+            return [oracle.disjoint(q) for q in queries]
+
+        per_query = median_seconds(run_queries, repeats=3) / len(
+            queries
+        )
+        results[name] = run_queries()
+        rows.append(
+            [
+                name,
+                f"{prep_seconds * 1e3:.1f} ms",
+                f"{per_query * 1e6:.1f} us",
+            ]
+        )
+
+    report(
+        "e7_setdisjointness",
+        f"E7: 2-Set-Disjointness back-ends (‖I‖={instance.size}, "
+        f"{SETS} sets of ~{int(SETS ** (1 - GAMMA))})",
+        ["backend", "preprocessing", "per-query"],
+        rows,
+    )
+    # All back-ends must agree.
+    reference = results[backends[0][0]]
+    for name, _ in backends[1:]:
+        assert results[name] == reference
+
+    oracle = MergeDisjointness(instance)
+    benchmark(oracle.disjoint, queries[0])

@@ -1,0 +1,6 @@
+"""Pytest path setup for the benchmarks package."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

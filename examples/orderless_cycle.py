@@ -1,0 +1,46 @@
+"""Orderless direct access on the 4-cycle (Lemma 48).
+
+Lexicographic direct access on the 4-cycle needs quadratic preprocessing
+(its fractional hypertree width is 2); if *any* consistent ordering is
+acceptable, the heavy/light split reaches |D|^{3/2}. This script builds a
+skewed instance, runs both engines, and contrasts the bag budgets.
+
+Run with:  python examples/orderless_cycle.py
+"""
+
+import time
+
+from repro import Database, VariableOrder
+from repro.core import OrderlessFourCycleAccess, Preprocessing
+from repro.core.htw import fractional_hypertree_width
+from repro.query.catalog import four_cycle_query
+
+SCALE, SMALL = 120, 4
+tall = {(a, b) for a in range(SCALE) for b in range(SMALL)}
+wide = {(b, a) for b in range(SMALL) for a in range(SCALE)}
+database = Database({"R1": tall, "R2": wide, "R3": tall, "R4": wide})
+
+query = four_cycle_query()
+width, best_order = fractional_hypertree_width(query)
+print(f"4-cycle fractional hypertree width: {width} "
+      f"(so every lexicographic order pays |D|^{width})")
+print(f"|D| = {len(database)}\n")
+
+start = time.perf_counter()
+lex = Preprocessing(
+    query, VariableOrder(["x1", "x2", "x3", "x4"]), database
+)
+lex_time = time.perf_counter() - start
+lex_bag = max(len(p.table) for p in lex.bags)
+print(f"lexicographic engine: {lex_time * 1e3:.0f} ms, "
+      f"largest bag {lex_bag} tuples")
+
+start = time.perf_counter()
+orderless = OrderlessFourCycleAccess(database)
+orderless_time = time.perf_counter() - start
+print(f"orderless engine:     {orderless_time * 1e3:.0f} ms, "
+      f"largest bag {orderless.bag_budget} tuples")
+
+print(f"\n{len(orderless)} answers; a few via the simulated bijection:")
+for index in range(0, len(orderless), max(1, len(orderless) // 5)):
+    print(f"  answer[{index}] = {orderless.tuple_at(index)}")

@@ -1,0 +1,38 @@
+"""Quickstart: lexicographic direct access on a join query.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Database, DirectAccess, VariableOrder, parse_query
+
+# A 2-path join: follows edges R then S.
+query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+
+database = Database(
+    {
+        "R": {(1, 2), (3, 2), (3, 5)},
+        "S": {(2, 7), (2, 9), (5, 1)},
+    }
+)
+
+# The user picks the lexicographic order — here: sort by z first.
+order = VariableOrder(["z", "x", "y"])
+access = DirectAccess(query, order, database)
+
+print(f"query:   {query}")
+print(f"order:   {list(order)}")
+print(f"answers: {len(access)} (never materialized)")
+print(f"ι (incompatibility number): "
+      f"{access.preprocessing.incompatibility_number}")
+print()
+
+for index in range(len(access)):
+    print(f"  answer[{index}] = {access.tuple_at(index)}")
+
+# Out-of-bounds indices raise, like the paper's out-of-bounds error:
+from repro import OutOfBoundsError
+
+try:
+    access.tuple_at(len(access))
+except OutOfBoundsError as error:
+    print(f"\naccess past the end -> {error}")

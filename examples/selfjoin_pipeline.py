@@ -1,0 +1,43 @@
+"""Theorem 33, live: serving a self-join-free query through an engine
+that only understands the self-join version.
+
+``Q(x, y) :- R(x), R(y)`` uses one relation twice. Its self-join-free
+version ``Q^sf(x, y) :- R_x(x), R_y(y)`` looks harder for reductions —
+but Section 6 proves (constructively!) that any direct-access algorithm
+for ``Q`` serves ``Q^sf`` too: color the constants, re-count through
+clone databases and a Vandermonde solve, divide by automorphisms, and
+binary-search the counts back into accesses.
+
+Run with:  python examples/selfjoin_pipeline.py
+"""
+
+from repro import Database, VariableOrder, parse_query
+from repro.core.selfjoins import SelfJoinFreeAccess
+from repro.query.transforms import automorphisms, self_join_free_version
+
+query = parse_query("Q(x, y) :- R(x), R(y)")
+print(f"query with self-joins:   {query}")
+print(f"self-join-free version:  {self_join_free_version(query)}")
+print(f"automorphisms of A_Q:    {len(automorphisms(query))} "
+      "(the swap x<->y and the identity)")
+
+# A database for the self-join-free version: different relations per atom.
+database = Database(
+    {
+        "R__x": {(1,), (3,), (5,)},
+        "R__y": {(2,), (3,)},
+    }
+)
+order = VariableOrder(["x", "y"])
+
+access = SelfJoinFreeAccess(query, order, database)
+print(f"\n{len(access)} answers of Q^sf, via the Section 6 pipeline:")
+for index in range(len(access)):
+    print(f"  answers[{index}] = {access.tuple_at(index)}")
+
+# The pipeline under the hood: show one counting step's ingredients.
+counter = access._inner._counter  # the Lemma 36 counter
+print("\npipeline internals (Lemma 36):")
+print(f"  clone databases built: {len(counter._counters)} "
+      "(one per (T ⊆ var(Q), j ∈ [v+1]))")
+print(f"  |aut(A_Q, c)| by prefix length: {counter._aut_count}")

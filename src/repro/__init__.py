@@ -1,0 +1,66 @@
+"""repro — lexicographic direct access on join queries.
+
+A faithful, executable reproduction of *Tight Fine-Grained Bounds for
+Direct Access on Join Queries* (Bringmann, Carmeli & Mengel, PODS 2022).
+
+Quickstart:
+    >>> from repro import parse_query, VariableOrder, Database, DirectAccess
+    >>> q = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+    >>> db = Database({"R": {(1, 2), (3, 2)}, "S": {(2, 7), (2, 9)}})
+    >>> access = DirectAccess(q, VariableOrder(["x", "y", "z"]), db)
+    >>> len(access), access.tuple_at(0)
+    (4, (1, 2, 7))
+"""
+
+from repro.core import (
+    AnswerTester,
+    DirectAccess,
+    TightBounds,
+    cheapest_order,
+    classify,
+    rank_orders,
+    DisruptionFreeDecomposition,
+    OrderlessFourCycleAccess,
+    Preprocessing,
+    SelfJoinFreeAccess,
+    fractional_hypertree_width,
+    incompatibility_number,
+    partial_order_access,
+)
+from repro.data import Database, Relation
+from repro.errors import OutOfBoundsError, ReproError
+from repro.query import (
+    Atom,
+    ConjunctiveQuery,
+    JoinQuery,
+    VariableOrder,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerTester",
+    "Atom",
+    "TightBounds",
+    "cheapest_order",
+    "classify",
+    "rank_orders",
+    "ConjunctiveQuery",
+    "Database",
+    "DirectAccess",
+    "DisruptionFreeDecomposition",
+    "JoinQuery",
+    "OrderlessFourCycleAccess",
+    "OutOfBoundsError",
+    "Preprocessing",
+    "Relation",
+    "ReproError",
+    "SelfJoinFreeAccess",
+    "VariableOrder",
+    "__version__",
+    "fractional_hypertree_width",
+    "incompatibility_number",
+    "parse_query",
+    "partial_order_access",
+]

@@ -1,0 +1,76 @@
+"""The paper's primary contribution: decomposition-based direct access."""
+
+from repro.core.access import DirectAccess
+from repro.core.classify import TightBounds, classify
+from repro.core.counting import (
+    CountingFromDirectAccess,
+    DirectAccessFromCounting,
+    PrefixConstraint,
+)
+from repro.core.advisor import (
+    OrderReport,
+    cheapest_order,
+    cheapest_order_with_prefix,
+    order_cost_spread,
+    rank_orders,
+)
+from repro.core.enumeration import (
+    DelayInstrumentedEnumerator,
+    materializing_enumerator,
+    ranked_enumerator,
+)
+from repro.core.random_order import (
+    FeistelPermutation,
+    random_order_enumeration,
+    random_prefix,
+)
+from repro.core.testing import AnswerTester
+from repro.core.decomposition import (
+    Bag,
+    DisruptionFreeDecomposition,
+    incompatibility_number,
+)
+from repro.core.htw import (
+    fractional_hypertree_width,
+    fractional_width,
+    is_hypertree_decomposition,
+)
+from repro.core.orderless import OrderlessFourCycleAccess
+from repro.core.preprocessing import Preprocessing
+from repro.core.projections import (
+    partial_order_access,
+    partial_order_incompatibility,
+)
+from repro.core.selfjoins import SelfJoinFreeAccess
+
+__all__ = [
+    "AnswerTester",
+    "FeistelPermutation",
+    "TightBounds",
+    "classify",
+    "OrderReport",
+    "random_order_enumeration",
+    "random_prefix",
+    "cheapest_order",
+    "cheapest_order_with_prefix",
+    "order_cost_spread",
+    "rank_orders",
+    "Bag",
+    "DelayInstrumentedEnumerator",
+    "materializing_enumerator",
+    "ranked_enumerator",
+    "CountingFromDirectAccess",
+    "DirectAccess",
+    "DirectAccessFromCounting",
+    "DisruptionFreeDecomposition",
+    "OrderlessFourCycleAccess",
+    "PrefixConstraint",
+    "Preprocessing",
+    "SelfJoinFreeAccess",
+    "fractional_hypertree_width",
+    "fractional_width",
+    "incompatibility_number",
+    "is_hypertree_decomposition",
+    "partial_order_access",
+    "partial_order_incompatibility",
+]

@@ -1,0 +1,224 @@
+"""Lexicographic direct access (Theorems 1, 10 and 44-upper; Theorem 50).
+
+:class:`DirectAccess` simulates the sorted array of ``Q(D)`` for the
+lexicographic order induced by a variable order ``L``:
+
+* preprocessing: materialize the disruption-free decomposition's bag
+  relations (time ``O(|D|^ι)``, Theorem 10), then build a counting forest
+  — per bag, tuples grouped by interface value, sorted by the bag
+  variable's value, with subtree-weight prefix sums;
+* access: walk ``L``, binary-searching one group per variable and
+  maintaining the exact count of answers below the current prefix —
+  ``O(ℓ log |D|)`` per call.
+
+Projected variables (conjunctive queries, Theorem 50) are supported when
+they form a suffix of the order: their bags contribute existence
+indicators instead of counts, so each free-variable answer is counted
+once no matter how many extensions it has.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterator
+
+from repro.core.preprocessing import Preprocessing
+from repro.data.database import Database
+from repro.errors import OrderError, OutOfBoundsError
+from repro.query.query import JoinQuery
+from repro.query.variable_order import VariableOrder
+
+
+class _BagIndex:
+    """Per-bag search structure.
+
+    ``groups[s]`` (``s`` = interface value tuple) is a triple of parallel
+    lists: candidate values of the bag variable in sorted order, the
+    subtree weight of each candidate, and cumulative weights with a
+    leading 0 (so ``cumulative[j]`` is the weight strictly before
+    candidate ``j``). ``totals[s]`` is the group's total weight ``W_i(s)``.
+    Zero-weight candidates are dropped.
+    """
+
+    __slots__ = ("groups", "totals")
+
+    def __init__(self) -> None:
+        self.groups: dict[tuple, tuple[list, list[int], list[int]]] = {}
+        self.totals: dict[tuple, int] = {}
+
+    def build(self, weighted_rows: dict[tuple, int]) -> None:
+        by_interface: dict[tuple, list[tuple]] = {}
+        for row, weight in weighted_rows.items():
+            if weight <= 0:
+                continue
+            by_interface.setdefault(row[:-1], []).append(
+                (row[-1], weight)
+            )
+        for interface, pairs in by_interface.items():
+            pairs.sort()
+            values = [value for value, _ in pairs]
+            weights = [weight for _, weight in pairs]
+            cumulative = [0]
+            for weight in weights:
+                cumulative.append(cumulative[-1] + weight)
+            self.groups[interface] = (values, weights, cumulative)
+            self.totals[interface] = cumulative[-1]
+
+    def total(self, interface: tuple) -> int:
+        return self.totals.get(interface, 0)
+
+
+class DirectAccess:
+    """Array-like access to ``Q(D)`` sorted by the order ``L``.
+
+    Supports ``len``, integer indexing (including negative indices),
+    iteration (ordered enumeration), and slicing-free random access. For
+    conjunctive queries with projections, pass the free-variable prefix of
+    a completion order; see :mod:`repro.core.projections` for the
+    Theorem 50 wrapper that picks an optimal completion automatically.
+
+    Args:
+        query: a join query (all variables free).
+        order: a permutation of *all* query variables. Variables listed in
+            ``projected`` must form a suffix.
+        database: the input database.
+        projected: variables to project away (suffix of ``order``).
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        order: VariableOrder,
+        database: Database,
+        projected: frozenset[str] | set[str] = frozenset(),
+    ):
+        self.query = query
+        self.order = order
+        self.database = database
+        self.projected = frozenset(projected)
+        variables = list(order)
+        free_count = len(variables) - len(self.projected)
+        if set(variables[free_count:]) != self.projected:
+            raise OrderError(
+                "projected variables must form a suffix of the order"
+            )
+        self._free_prefix = variables[:free_count]
+
+        self.preprocessing = Preprocessing(query, order, database)
+        decomposition = self.preprocessing.decomposition
+        self._bags = self.preprocessing.bags
+        self._interface_vars: list[list[str]] = []
+        position = {v: i for i, v in enumerate(order)}
+        for item in self._bags:
+            self._interface_vars.append(
+                sorted(item.bag.interface, key=position.__getitem__)
+            )
+        self._children = decomposition.children()
+        self._indexes, self._total = self._build_counts()
+
+    # -- preprocessing ----------------------------------------------------
+
+    def _build_counts(self) -> tuple[list[_BagIndex], int]:
+        count = len(self._bags)
+        indexes: list[_BagIndex | None] = [None] * count
+        for i in range(count - 1, -1, -1):
+            item = self._bags[i]
+            table = item.table
+            schema_pos = {v: p for p, v in enumerate(table.schema)}
+            child_slots = []
+            for child in self._children.get(i, ()):  # children: index > i
+                child_vars = self._interface_vars[child]
+                child_slots.append(
+                    (
+                        indexes[child],
+                        [schema_pos[v] for v in child_vars],
+                    )
+                )
+            projected_bag = item.bag.variable in self.projected
+            weighted: dict[tuple, int] = {}
+            for row in table.rows:
+                weight = 1
+                for child_index, positions in child_slots:
+                    weight *= child_index.total(
+                        tuple(row[p] for p in positions)
+                    )
+                    if weight == 0:
+                        break
+                if projected_bag and weight > 0:
+                    # Existence suffices below a projected variable: the
+                    # bag variable and everything beneath it is projected,
+                    # so collapse multiplicity to one per row ...
+                    weight = 1
+                weighted[row] = weight
+            index = _BagIndex()
+            index.build(weighted)
+            if projected_bag:
+                # ... and to one per *interface* value: the caller must
+                # not distinguish different values of the projected
+                # variable either.
+                for interface in index.totals:
+                    index.totals[interface] = 1
+            indexes[i] = index
+
+        total = 1
+        for root in self._children.get(None, ()):
+            indexes_root = indexes[root]
+            total *= indexes_root.total(())
+        return [index for index in indexes if index is not None], total
+
+    # -- the array interface ----------------------------------------------
+
+    def __len__(self) -> int:
+        """The number of answers (of the free variables, if projecting)."""
+        return self._total
+
+    def __bool__(self) -> bool:
+        return self._total > 0
+
+    def answer_at(self, index: int) -> dict[str, object]:
+        """The ``index``-th answer (0-based) as a variable -> value map.
+
+        Raises :class:`~repro.errors.OutOfBoundsError` outside
+        ``[0, len)`` — the paper's out-of-bounds error.
+        """
+        if index < 0 or index >= self._total:
+            raise OutOfBoundsError(
+                f"index {index} out of range [0, {self._total})"
+            )
+        remaining = index
+        live = self._total
+        assignment: dict[str, object] = {}
+        for i, variable in enumerate(self._free_prefix):
+            bag_index = self._indexes[i]
+            interface = tuple(
+                assignment[v] for v in self._interface_vars[i]
+            )
+            group_total = bag_index.total(interface)
+            others = live // group_total
+            values, weights, cumulative = bag_index.groups[interface]
+            block = remaining // others
+            j = bisect_right(cumulative, block) - 1
+            assignment[variable] = values[j]
+            remaining -= others * cumulative[j]
+            live = others * weights[j]
+        return assignment
+
+    def __getitem__(self, index: int) -> dict[str, object]:
+        if index < 0:
+            index += self._total
+        return self.answer_at(index)
+
+    def tuple_at(self, index: int) -> tuple:
+        """The ``index``-th answer as a tuple over the free order prefix."""
+        answer = self.answer_at(index)
+        return tuple(answer[v] for v in self._free_prefix)
+
+    @property
+    def free_variables(self) -> tuple[str, ...]:
+        """The variables of returned answers, in order position."""
+        return tuple(self._free_prefix)
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        """Ordered enumeration by consecutive accesses ([10]'s reduction)."""
+        for index in range(self._total):
+            yield self.answer_at(index)

@@ -1,0 +1,130 @@
+"""The order advisor: choosing a lexicographic order wisely.
+
+Theorem 44 makes the preprocessing exponent an exact function of the
+query and the order, so the cost of every ordering can be known *before
+touching the data*. This module ranks orders by incompatibility number,
+answers "what is the cheapest order extending my required prefix?"
+(Definition 49's minimization, exposed as a planning tool) and surfaces
+which variables are responsible for the hardness (the witness bag and
+its disruptive structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import permutations
+
+from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.hypergraph.disruptive_trios import find_disruptive_trio
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.query import JoinQuery
+from repro.query.variable_order import VariableOrder
+
+
+@dataclass(frozen=True)
+class OrderReport:
+    """One ranked ordering and why it costs what it costs.
+
+    Attributes:
+        order: the variable order.
+        iota: its incompatibility number (the preprocessing exponent).
+        witness_edge: the bag realizing ι.
+        disruptive_trio: a trio witnessing incompatibility with the
+            original hypergraph, or None.
+    """
+
+    order: VariableOrder
+    iota: Fraction
+    witness_edge: frozenset[str]
+    disruptive_trio: tuple[str, str, str] | None
+
+    def describe(self) -> str:
+        trio = (
+            f"disruptive trio {self.disruptive_trio}"
+            if self.disruptive_trio
+            else "no disruptive trio"
+        )
+        return (
+            f"{list(self.order)}: ι = {self.iota} "
+            f"(witness bag {sorted(self.witness_edge)}; {trio})"
+        )
+
+
+def rank_orders(
+    query: JoinQuery, limit: int | None = None
+) -> list[OrderReport]:
+    """All variable orders of ``query``, cheapest first.
+
+    Ties are broken lexicographically on the order itself, so the
+    ranking is deterministic. ``limit`` truncates the output (the number
+    of orders is factorial in the query size).
+    """
+    hypergraph = Hypergraph.of_query(query)
+    reports = []
+    for perm in permutations(query.variables):
+        order = VariableOrder(perm)
+        decomposition = DisruptionFreeDecomposition(query, order)
+        witness = decomposition.witness_bag()
+        reports.append(
+            OrderReport(
+                order=order,
+                iota=decomposition.incompatibility_number,
+                witness_edge=witness.edge,
+                disruptive_trio=find_disruptive_trio(
+                    hypergraph, order
+                ),
+            )
+        )
+    reports.sort(key=lambda r: (r.iota, r.order.variables))
+    if limit is not None:
+        reports = reports[:limit]
+    return reports
+
+
+def cheapest_order(query: JoinQuery) -> OrderReport:
+    """The globally cheapest order — ι equals fhtw (Proposition 45)."""
+    return rank_orders(query, limit=1)[0]
+
+
+def cheapest_order_with_prefix(
+    query: JoinQuery, prefix: VariableOrder
+) -> OrderReport:
+    """The cheapest order starting with ``prefix``.
+
+    The planning face of Definition 49 (without projections): the user
+    needs the answers sorted primarily by ``prefix`` and does not care
+    how ties are broken; the advisor picks the completion minimizing the
+    preprocessing exponent.
+    """
+    prefix.validate_for(query, partial=True)
+    listed = set(prefix)
+    rest = [v for v in query.variables if v not in listed]
+    hypergraph = Hypergraph.of_query(query)
+    best: OrderReport | None = None
+    for completion in permutations(rest):
+        order = VariableOrder(list(prefix) + list(completion))
+        decomposition = DisruptionFreeDecomposition(query, order)
+        report = OrderReport(
+            order=order,
+            iota=decomposition.incompatibility_number,
+            witness_edge=decomposition.witness_bag().edge,
+            disruptive_trio=find_disruptive_trio(hypergraph, order),
+        )
+        if best is None or (report.iota, report.order.variables) < (
+            best.iota,
+            best.order.variables,
+        ):
+            best = report
+    assert best is not None
+    return best
+
+
+def order_cost_spread(query: JoinQuery) -> tuple[Fraction, Fraction]:
+    """(min, max) incompatibility number over all orders.
+
+    Quantifies how much the choice of order matters for the query: the
+    max/min gap is the polynomial price of asking for the wrong order.
+    """
+    reports = rank_orders(query)
+    return reports[0].iota, reports[-1].iota

@@ -1,0 +1,109 @@
+"""Section 7 as an API: the tight complexity verdict for a query/order.
+
+Theorem 44 pins the complexity of lexicographic direct access down to
+the incompatibility number; this module packages the full verdict —
+the achievable upper bound, the matching conditional lower bound and its
+assumption, the tractability classification of [18]'s dichotomy, and the
+structural witnesses — into one inspectable object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.hypergraph.disruptive_trios import find_disruptive_trio
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.query import JoinQuery
+from repro.query.variable_order import VariableOrder
+
+
+@dataclass(frozen=True)
+class TightBounds:
+    """The complete Theorem 44 verdict for one query/order pair.
+
+    Attributes:
+        iota: the incompatibility number (exact rational).
+        upper_bound: human-readable preprocessing/access upper bound.
+        lower_bound: the matching conditional lower bound statement.
+        assumption: the conjecture the lower bound rests on.
+        tractable: True iff linear preprocessing + polylog access is
+            possible ([18]'s dichotomy: acyclic and trio-free ⇔ ι = 1).
+        acyclic: whether the query hypergraph is acyclic.
+        disruptive_trio: a witness trio, or None.
+        witness_bag: the decomposition bag realizing ι.
+        selfjoins_relevant: always False — Theorem 33 proves self-joins
+            do not affect direct-access complexity; recorded explicitly
+            because the answer is surprising.
+    """
+
+    iota: Fraction
+    upper_bound: str
+    lower_bound: str
+    assumption: str
+    tractable: bool
+    acyclic: bool
+    disruptive_trio: tuple[str, str, str] | None
+    witness_bag: frozenset[str]
+    selfjoins_relevant: bool = False
+
+    def summary(self) -> str:
+        lines = [
+            f"incompatibility number ι = {self.iota}",
+            f"upper bound:  {self.upper_bound}",
+            f"lower bound:  {self.lower_bound}",
+            f"assumption:   {self.assumption}",
+            f"tractable (linear prep): {self.tractable}",
+        ]
+        if self.disruptive_trio:
+            lines.append(
+                f"disruptive trio: {self.disruptive_trio}"
+            )
+        return "\n".join(lines)
+
+
+def classify(query: JoinQuery, order: VariableOrder) -> TightBounds:
+    """The tight direct-access bounds for ``(query, order)``.
+
+    Self-joins are allowed: by Theorem 33 the verdict depends only on
+    the underlying hypergraph.
+    """
+    order.validate_for(query)
+    hypergraph = Hypergraph.of_query(query)
+    decomposition = DisruptionFreeDecomposition(query, order)
+    iota = decomposition.incompatibility_number
+    acyclic = is_acyclic(hypergraph)
+    trio = find_disruptive_trio(hypergraph, order)
+    tractable = iota == 1
+
+    if iota == 1:
+        lower = "Ω(|D|) preprocessing (unconditional, Theorem 44)"
+        assumption = "none (information-theoretic)"
+    elif iota == 2 and acyclic:
+        lower = (
+            "no O(|D|^{2-ε}) preprocessing with polylog access "
+            "(Corollary 25)"
+        )
+        assumption = "3SUM / APSP / Zero-3-Clique Conjecture"
+    else:
+        lower = (
+            f"no O(|D|^{{{iota}-ε}}) preprocessing with polylog "
+            "access (Theorem 44)"
+        )
+        assumption = "Zero-Clique Conjecture (all k)"
+
+    return TightBounds(
+        iota=iota,
+        upper_bound=(
+            f"O(|D|^{iota}) preprocessing, O(log |D|) access "
+            "(Theorem 10)"
+        ),
+        lower_bound=lower,
+        assumption=assumption,
+        tractable=tractable,
+        acyclic=acyclic,
+        disruptive_trio=trio,
+        witness_bag=decomposition.witness_bag().edge,
+    )

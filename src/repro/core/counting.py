@@ -1,0 +1,153 @@
+"""Counting under prefix constraints ⇔ direct access (Proposition 35).
+
+A *prefix constraint* on an order ``L = (v1..vℓ)`` fixes ``v1..v_{r-1}``
+to constants and restricts ``v_r`` to an interval of the (ordered)
+domain. Proposition 35 converts, in both directions and with only a
+logarithmic overhead, between
+
+* lexicographic direct access for ``(Q, L)``, and
+* counting the answers satisfying a prefix constraint.
+
+Both directions are implemented generically so the self-join elimination
+pipeline of Section 6 can compose them exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.errors import OutOfBoundsError, ReproError
+
+
+@dataclass(frozen=True)
+class PrefixConstraint:
+    """A constraint on a prefix ``v1..v_r`` of the variable order.
+
+    ``exact`` gives the values of ``v1..v_{r-1}``; ``low``/``high`` bound
+    ``v_r`` inclusively. The paper treats exact values as length-1
+    intervals; this split representation is equivalent.
+    """
+
+    exact: tuple
+    low: object
+    high: object
+
+    @property
+    def length(self) -> int:
+        """``r``: the number of constrained variables."""
+        return len(self.exact) + 1
+
+
+class SupportsDirectAccess(Protocol):
+    """Anything array-like over lexicographically sorted answers."""
+
+    def __len__(self) -> int: ...
+
+    def tuple_at(self, index: int) -> tuple: ...
+
+
+class SupportsPrefixCounting(Protocol):
+    """A counting oracle for prefix constraints."""
+
+    def count(self, constraint: PrefixConstraint) -> int: ...
+
+
+class CountingFromDirectAccess:
+    """Prefix-constraint counting on top of direct access (Prop. 35, ⇒).
+
+    Answers satisfying a prefix constraint are contiguous in the sorted
+    answer array; two binary searches locate the boundary indices.
+    """
+
+    def __init__(self, access: SupportsDirectAccess):
+        self._access = access
+
+    def first_index_above(self, bound: tuple, strict: bool = False) -> int:
+        """Smallest index whose answer prefix is >= (or >) ``bound``."""
+        width = len(bound)
+        lo, hi = 0, len(self._access)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            prefix = self._access.tuple_at(mid)[:width]
+            above = prefix > bound if strict else prefix >= bound
+            if above:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def count(self, constraint: PrefixConstraint) -> int:
+        lower = constraint.exact + (constraint.low,)
+        upper = constraint.exact + (constraint.high,)
+        if constraint.low > constraint.high:  # empty interval
+            return 0
+        start = self.first_index_above(lower, strict=False)
+        stop = self.first_index_above(upper, strict=True)
+        return stop - start
+
+
+class DirectAccessFromCounting:
+    """Direct access on top of prefix counting (Prop. 35, ⇐).
+
+    Fixes the variables of the order one by one; each is found by binary
+    search over the sorted domain, comparing cumulative interval counts
+    with the remaining index.
+
+    Args:
+        counter: the prefix-constraint counting oracle.
+        order_length: number of variables of the order.
+        domain: the database domain, sorted ascending.
+    """
+
+    def __init__(
+        self,
+        counter: SupportsPrefixCounting,
+        order_length: int,
+        domain: Sequence,
+    ):
+        self._counter = counter
+        self._order_length = order_length
+        self._domain = sorted(domain)
+        if not self._domain:
+            self._total = 0
+        elif order_length == 0:
+            raise ReproError("direct access needs at least one variable")
+        else:
+            self._total = counter.count(
+                PrefixConstraint(
+                    (), self._domain[0], self._domain[-1]
+                )
+            )
+
+    def __len__(self) -> int:
+        return self._total
+
+    def tuple_at(self, index: int) -> tuple:
+        if index < 0 or index >= self._total:
+            raise OutOfBoundsError(
+                f"index {index} out of range [0, {self._total})"
+            )
+        remaining = index
+        exact: tuple = ()
+        domain = self._domain
+        smallest = domain[0]
+        for _ in range(self._order_length):
+            lo, hi = 0, len(domain) - 1
+            # Smallest position p with count(value <= domain[p]) > remaining.
+            while lo < hi:
+                mid = (lo + hi) // 2
+                below = self._counter.count(
+                    PrefixConstraint(exact, smallest, domain[mid])
+                )
+                if below > remaining:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            value = domain[lo]
+            if lo > 0:
+                remaining -= self._counter.count(
+                    PrefixConstraint(exact, smallest, domain[lo - 1])
+                )
+            exact = exact + (value,)
+        return exact

@@ -1,0 +1,174 @@
+"""Disruption-free decompositions and the incompatibility number (§3).
+
+Given a join query ``Q`` and an ordering ``L = (v1..vℓ)`` of its
+variables, Definition 4 builds edges ``e_i = {v_i} ∪ {earlier neighbors
+of v_i}`` scanning ``i = ℓ..1`` over an iteratively grown hypergraph. The
+result ``H_0`` is an acyclic super-hypergraph of ``Q`` with no disruptive
+trio for ``L`` (Proposition 6). The *incompatibility number* (Definition
+9) is ``ι = max_i ρ*(H[e_i])`` — the exponent of the preprocessing time
+of Theorem 10.
+
+The new edges form a forest: the parent of bag ``i`` is the bag of the
+latest variable in ``e_i \\ {v_i}`` (this containment follows from Lemma
+7 and is asserted in the test suite). The forest drives the counting
+structure of :mod:`repro.core.access`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.covers import fractional_edge_cover
+from repro.query.query import JoinQuery
+from repro.query.variable_order import VariableOrder
+
+
+@dataclass(frozen=True)
+class Bag:
+    """One bag of the disruption-free decomposition.
+
+    Attributes:
+        index: position ``i`` of the bag's variable in the order (0-based).
+        variable: ``v_i``, the latest variable of the bag.
+        edge: ``e_i``, the bag's variable set.
+        interface: ``e_i \\ {v_i}`` — all strictly earlier than ``v_i``.
+        parent: index of the parent bag (the bag of the latest interface
+            variable), or None for roots.
+        cover_number: ``ρ*(H[e_i])`` of the *original* query hypergraph
+            induced on the bag.
+        cover: an optimal fractional edge cover of ``H[e_i]``, as a map
+            from trace edges (``scope ∩ e_i``) to weights.
+    """
+
+    index: int
+    variable: str
+    edge: frozenset[str]
+    interface: frozenset[str]
+    parent: int | None
+    cover_number: Fraction
+    cover: tuple[tuple[frozenset[str], Fraction], ...]
+
+
+class DisruptionFreeDecomposition:
+    """The disruption-free decomposition of a query for an order."""
+
+    def __init__(self, query: JoinQuery, order: VariableOrder):
+        order.validate_for(query)
+        self.query = query
+        self.order = order
+        self.hypergraph = Hypergraph.of_query(query)
+        self._position = {v: i for i, v in enumerate(order)}
+        self.bags = self._build_bags()
+        self.incompatibility_number: Fraction = max(
+            bag.cover_number for bag in self.bags
+        )
+
+    def _build_bags(self) -> tuple[Bag, ...]:
+        variables = list(self.order)
+        # Definition 4: scan i = ℓ..1 over an iteratively grown hypergraph.
+        grown = self.hypergraph
+        edges: dict[int, frozenset[str]] = {}
+        for i in range(len(variables) - 1, -1, -1):
+            v = variables[i]
+            earlier = {
+                u
+                for u in grown.neighbors(v)
+                if self._position[u] < i
+            }
+            edge = frozenset(earlier | {v})
+            edges[i] = edge
+            grown = grown.with_extra_edges([edge])
+        self.decomposition_hypergraph = grown
+
+        bags = []
+        for i, v in enumerate(variables):
+            edge = edges[i]
+            interface = edge - {v}
+            if interface:
+                parent = max(self._position[u] for u in interface)
+            else:
+                parent = None
+            value, weights = fractional_edge_cover(
+                self.hypergraph.induced(edge)
+            )
+            cover = tuple(
+                sorted(
+                    weights.items(), key=lambda kv: tuple(sorted(kv[0]))
+                )
+            )
+            bags.append(
+                Bag(
+                    index=i,
+                    variable=v,
+                    edge=edge,
+                    interface=interface,
+                    parent=parent,
+                    cover_number=value,
+                    cover=cover,
+                )
+            )
+        return tuple(bags)
+
+    # -- closed form of Lemma 7, used for cross-checking -----------------
+
+    def closed_form_edges(self) -> dict[int, frozenset[str]]:
+        """The edges via Lemma 7: ``e_i = {v_i} ∪ (N_Q(S_i) ∩ prefix)``.
+
+        ``S_i`` is the connected component of ``v_i`` in the subhypergraph
+        induced by the suffix ``{v_i, ..., vℓ}``.
+        """
+        variables = list(self.order)
+        out: dict[int, frozenset[str]] = {}
+        for i, v in enumerate(variables):
+            suffix = set(variables[i:])
+            component = self.hypergraph.induced(suffix).connected_component(
+                v
+            )
+            neighborhood = self.hypergraph.neighbors_of_set(component)
+            out[i] = frozenset(
+                {v}
+                | {
+                    u
+                    for u in neighborhood
+                    if self._position[u] < i
+                }
+            )
+        return out
+
+    def bag_of_atom(self, scope: frozenset[str]) -> int:
+        """The bag enforcing an atom exactly: the bag of its latest variable.
+
+        Every atom scope is contained in the bag of its maximum variable
+        (Proposition 11's argument); asserted in tests.
+        """
+        latest = max(scope, key=self._position.__getitem__)
+        return self._position[latest]
+
+    def children(self) -> dict[int | None, list[int]]:
+        """Forest adjacency: parent index (or None) -> child bag indices."""
+        adjacency: dict[int | None, list[int]] = {}
+        for bag in self.bags:
+            adjacency.setdefault(bag.parent, []).append(bag.index)
+        return adjacency
+
+    def witness_bag(self) -> Bag:
+        """A bag achieving the incompatibility number."""
+        return max(self.bags, key=lambda bag: bag.cover_number)
+
+    def __repr__(self) -> str:
+        edges = [
+            (bag.variable, tuple(sorted(bag.edge))) for bag in self.bags
+        ]
+        return (
+            f"DisruptionFreeDecomposition(ι="
+            f"{self.incompatibility_number}, bags={edges})"
+        )
+
+
+def incompatibility_number(
+    query: JoinQuery, order: VariableOrder
+) -> Fraction:
+    """The incompatibility number of ``query`` and ``order`` (Def. 9)."""
+    return DisruptionFreeDecomposition(query, order).incompatibility_number

@@ -1,0 +1,82 @@
+"""Hypertree decompositions and fractional hypertree width (§3.3, §8.1).
+
+The paper uses a simplified notion: a hypertree decomposition of ``H`` is
+an *acyclic* hypergraph on the same vertices such that every edge of
+``H`` is contained in some bag. Its fractional width is the maximum
+``ρ*(H[b])`` over bags ``b``. The fractional hypertree width ``fhtw(H)``
+is the minimum fractional width over all decompositions — and, by
+Proposition 45, equals the minimum incompatibility number over all
+variable orders, which is how we compute it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations
+
+from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.hypergraph.disruptive_trios import has_disruptive_trio
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.covers import fractional_edge_cover_number
+from repro.query.query import JoinQuery
+from repro.query.variable_order import VariableOrder
+
+
+def is_hypertree_decomposition(
+    hypergraph: Hypergraph, bags: Hypergraph
+) -> bool:
+    """Check the (simplified) decomposition conditions of Section 3.3."""
+    if bags.vertices != hypergraph.vertices:
+        return False
+    if not is_acyclic(bags):
+        return False
+    return all(
+        any(edge <= bag for bag in bags.edges)
+        for edge in hypergraph.edges
+    )
+
+
+def fractional_width(
+    hypergraph: Hypergraph, bags: Hypergraph
+) -> Fraction:
+    """``max_b ρ*(H[b])`` of a decomposition's bags."""
+    return max(
+        fractional_edge_cover_number(hypergraph.induced(bag))
+        for bag in bags.edges
+    )
+
+
+def fractional_hypertree_width(
+    query: JoinQuery,
+) -> tuple[Fraction, VariableOrder]:
+    """``fhtw(Q)`` and an order realizing it (Proposition 45).
+
+    Minimizes the incompatibility number over all variable orders, which
+    Proposition 45 shows equals the fractional hypertree width. Brute
+    force over permutations — exponential in the (constant) query size.
+    """
+    best: Fraction | None = None
+    best_order: VariableOrder | None = None
+    for perm in permutations(query.variables):
+        order = VariableOrder(perm)
+        value = DisruptionFreeDecomposition(
+            query, order
+        ).incompatibility_number
+        if best is None or value < best:
+            best = value
+            best_order = order
+    assert best is not None and best_order is not None
+    return best, best_order
+
+
+def decomposition_is_trio_free(
+    bags: Hypergraph, order: VariableOrder
+) -> bool:
+    """Whether a decomposition has no disruptive trio w.r.t. ``order``.
+
+    Used to state (and test) the optimality of the disruption-free
+    decomposition: among trio-free decompositions it has minimal
+    fractional width (Proposition 14).
+    """
+    return not has_disruptive_trio(bags, order)

@@ -1,0 +1,89 @@
+"""Projections and partial lexicographic orders (Definition 49, Theorem 50).
+
+A partial lexicographic order lists only some of the free variables; the
+produced order on answers must refine the preorder it induces. The
+incompatibility number of a conjunctive query and partial order is the
+minimum, over all completions that start with the partial order and end
+with the projected variables, of the completion's incompatibility number.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations
+
+from repro.core.access import DirectAccess
+from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.data.database import Database
+from repro.query.query import ConjunctiveQuery, JoinQuery
+from repro.query.variable_order import VariableOrder
+
+
+def completions(
+    query: ConjunctiveQuery | JoinQuery, partial: VariableOrder
+):
+    """Yield the orders of ``L+_Q``: start with ``partial``, end projected.
+
+    The middle (unlisted free variables) and the projected suffix range
+    over all permutations.
+    """
+    partial.validate_for(query, partial=True)
+    free = query.free_variables
+    listed = set(partial)
+    middle = [v for v in free if v not in listed]
+    if isinstance(query, ConjunctiveQuery):
+        projected = list(query.projected_variables)
+    else:
+        projected = []
+    for mid in permutations(middle):
+        for tail in permutations(projected):
+            yield VariableOrder(list(partial) + list(mid) + list(tail))
+
+
+def partial_order_incompatibility(
+    query: ConjunctiveQuery | JoinQuery, partial: VariableOrder
+) -> tuple[Fraction, VariableOrder]:
+    """Definition 49: min incompatibility number over completions."""
+    best: Fraction | None = None
+    best_order: VariableOrder | None = None
+    base = (
+        query.as_join_query()
+        if isinstance(query, ConjunctiveQuery)
+        else query
+    )
+    for order in completions(query, partial):
+        value = DisruptionFreeDecomposition(
+            base, order
+        ).incompatibility_number
+        if best is None or value < best:
+            best = value
+            best_order = order
+    assert best is not None and best_order is not None
+    return best, best_order
+
+
+def partial_order_access(
+    query: ConjunctiveQuery | JoinQuery,
+    partial: VariableOrder,
+    database: Database,
+) -> DirectAccess:
+    """Theorem 50: direct access compatible with a partial order.
+
+    Picks an optimal completion, preprocesses the disruption-free
+    decomposition for it (``O(|D|^ι)``), and eliminates the projected
+    variables — they sit at the end of the completion, i.e. at the start
+    of the elimination order, so their bags reduce to existence filters.
+    Access time stays logarithmic.
+    """
+    _, completion = partial_order_incompatibility(query, partial)
+    base = (
+        query.as_join_query()
+        if isinstance(query, ConjunctiveQuery)
+        else query
+    )
+    projected = (
+        frozenset(query.projected_variables)
+        if isinstance(query, ConjunctiveQuery)
+        else frozenset()
+    )
+    return DirectAccess(base, completion, database, projected=projected)

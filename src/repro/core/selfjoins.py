@@ -1,0 +1,320 @@
+"""Self-join elimination for direct access (Section 6, Theorem 33).
+
+The non-trivial direction: a direct-access algorithm for a join query
+``Q`` *with* self-joins yields one for its self-join-free version
+``Q^sf`` with the same preprocessing and near-same access time. The
+pipeline composes, exactly as in the paper:
+
+1. Lemma 34 — reduce ``Q^sf`` to the *colored* version ``Q^c`` by a
+   lex-preserving exact reduction (tag every constant with its variable).
+2. Proposition 35 — direct access for ``Q`` gives counting under prefix
+   constraints for ``Q``.
+3. Lemma 36 — counting for ``Q`` gives counting for ``Q^c``: build the
+   tagged database ``D``, clone databases ``D_{T,j}``, solve a Vandermonde
+   system per variable subset ``T``, combine by inclusion–exclusion, and
+   divide by the number of automorphisms fixing the constrained prefix.
+4. Proposition 35 again — counting for ``Q^c`` gives direct access for
+   ``Q^c``, hence (via the Lemma 34 bijection) for ``Q^sf``.
+
+Domain elements are encoded so Python's tuple order realizes the orders
+the paper imposes: colored constants are ``(position_of_variable, value)``
+and clone constants are ``(clone_index, position_of_variable, value)``.
+
+The easy direction (``Q`` via ``Q^sf``) is :func:`duplicate_relations`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+
+from repro.core.access import DirectAccess
+from repro.core.counting import (
+    CountingFromDirectAccess,
+    DirectAccessFromCounting,
+    PrefixConstraint,
+)
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.query.query import JoinQuery
+from repro.query.transforms import (
+    automorphisms,
+    query_structure,
+    self_join_free_name,
+    self_join_free_version,
+)
+from repro.query.variable_order import VariableOrder
+
+
+def duplicate_relations(
+    query: JoinQuery, database_for_selfjoin_free: Database
+) -> Database:
+    """The trivial direction of Theorem 33.
+
+    Turn a database for ``Q^sf`` into one for ``Q`` is not possible in
+    general (one symbol, many atoms); the trivial direction goes the other
+    way: evaluate ``Q^sf`` on ``D^sf`` by evaluating ``Q`` after *copying*
+    each of ``Q``'s relations once per atom. Here we implement the copy
+    step used when a self-join-free engine must serve a query with
+    self-joins: ``R_atom := R`` for every atom.
+    """
+    relations = {}
+    for atom in query.atoms:
+        relations[self_join_free_name(atom)] = (
+            database_for_selfjoin_free[atom.relation]
+        )
+    return Database(relations)
+
+
+class _Lemma36Counter:
+    """Counting under prefix constraints for ``Q^c`` via counting for ``Q``.
+
+    Preprocessing builds, for every ``T ⊆ var(Q)`` and clone count
+    ``j ∈ [v+1]``, the clone database ``D_{T,j}`` and a counting oracle
+    for ``Q`` on it (realized by the paper's own direct-access engine plus
+    Proposition 35). Queries translate the constraint, collect the
+    ``|hom(A_Q, D_{T,j}, c**)|`` values, solve the Vandermonde system (6)
+    for ``|N_T|``, apply inclusion–exclusion (5), and divide by
+    ``|aut(A_Q, c)|``.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        order: VariableOrder,
+        colored_database: Database,
+    ):
+        self.query = query
+        self.order = order
+        self.variables = list(order)
+        self._position = {v: i for i, v in enumerate(order)}
+        v = len(self.variables)
+
+        tagged = self._build_tagged_database(colored_database)
+        self._counters: dict[tuple[frozenset[str], int], CountingFromDirectAccess] = {}
+        all_vars = frozenset(self.variables)
+        for size in range(v + 1):
+            for subset in combinations(sorted(all_vars), size):
+                T = frozenset(subset)
+                for j in range(1, v + 2):
+                    clone_db = self._clone_database(tagged, T, j)
+                    access = DirectAccess(query, order, clone_db)
+                    self._counters[(T, j)] = CountingFromDirectAccess(
+                        access
+                    )
+        # |aut(A_Q, c)| depends only on the prefix length r.
+        self._aut_count = [
+            len(automorphisms(query, tuple(self.variables[:r])))
+            for r in range(v + 1)
+        ]
+
+    # -- database constructions ---------------------------------------
+
+    def _build_tagged_database(self, colored: Database) -> Database:
+        """The database ``D`` of Section 6.3 (tag values by variables)."""
+        from repro.query.transforms import color_symbol
+
+        structure = query_structure(self.query)
+        color: dict[str, set] = {}
+        for variable in self.variables:
+            color[variable] = {
+                row[0] for row in colored[color_symbol(variable)].tuples
+            }
+        out: dict[str, Relation] = {}
+        for symbol, variable_tuples in structure.items():
+            rows: set[tuple] = set()
+            base = colored[symbol]
+            for variables in variable_tuples:
+                for raw in base.tuples:
+                    if all(
+                        value in color[var]
+                        for var, value in zip(variables, raw)
+                    ):
+                        rows.add(
+                            tuple(
+                                (self._position[var], value)
+                                for var, value in zip(variables, raw)
+                            )
+                        )
+            out[symbol] = Relation(rows, arity=base.arity)
+        return Database(out)
+
+    def _clone_database(
+        self, tagged: Database, T: frozenset[str], j: int
+    ) -> Database:
+        """The clone database ``D_{T,j}``: j copies of every T-tagged value."""
+        cloned_positions = {self._position[v] for v in T}
+
+        def blowup(value: tuple) -> list[tuple]:
+            position, payload = value
+            if position in cloned_positions:
+                return [(k, position, payload) for k in range(1, j + 1)]
+            return [(1, position, payload)]
+
+        relations = {}
+        for symbol, relation in tagged.relations.items():
+            rows: set[tuple] = set()
+            for row in relation.tuples:
+                options = [blowup(value) for value in row]
+                stack = [()]
+                for column in options:
+                    stack = [
+                        prefix + (choice,)
+                        for prefix in stack
+                        for choice in column
+                    ]
+                rows.update(stack)
+            relations[symbol] = Relation(rows, arity=relation.arity)
+        return Database(relations)
+
+    # -- counting -------------------------------------------------------
+
+    def count(self, constraint: PrefixConstraint) -> int:
+        """``|hom(A_{Q^c}, D^c, c)|`` for a constraint over ``dom(D^c)``."""
+        r = constraint.length
+        v = len(self.variables)
+        prefix = self.variables[:r]
+        C = frozenset(prefix)
+
+        def translate(T: frozenset[str], j: int) -> int:
+            exact = tuple(
+                (1, self._position[var], value)
+                for var, value in zip(prefix, constraint.exact)
+            )
+            low = (1, self._position[prefix[-1]], constraint.low)
+            high = (1, self._position[prefix[-1]], constraint.high)
+            translated = PrefixConstraint(exact, low, high)
+            return self._counters[(T, j)].count(translated)
+
+        hom_aut = Fraction(0)
+        others = [u for u in self.variables if u not in C]
+        for size in range(len(others) + 1):
+            for extra in combinations(others, size):
+                T = C | frozenset(extra)
+                counts = [
+                    translate(T, j) for j in range(1, v - r + 2)
+                ]
+                n_T = _solve_vandermonde_top(counts, r, v)
+                hom_aut += (-1) ** (v - len(T)) * n_T
+        aut = self._aut_count[r]
+        result = hom_aut / aut
+        if result.denominator != 1:
+            raise QueryError(
+                "self-join counting produced a non-integer count — "
+                "inconsistent inputs"
+            )
+        return int(result)
+
+
+def _solve_vandermonde_top(counts: list[int], r: int, v: int) -> Fraction:
+    """Solve equations (6) and return ``|N_{T,v}| = |N_T|``.
+
+    ``counts[j-1] = Σ_{i=r..v} j^{i-r} · |N_{T,i}|`` for ``j ∈ [v-r+1]``.
+    The coefficient matrix is Vandermonde, hence invertible; Gaussian
+    elimination over exact rationals.
+    """
+    size = v - r + 1
+    matrix = [
+        [Fraction(j) ** power for power in range(size)] + [Fraction(c)]
+        for j, c in zip(range(1, size + 1), counts)
+    ]
+    for col in range(size):
+        pivot = next(
+            row for row in range(col, size) if matrix[row][col] != 0
+        )
+        matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
+        pivot_value = matrix[col][col]
+        matrix[col] = [x / pivot_value for x in matrix[col]]
+        for row in range(size):
+            if row != col and matrix[row][col] != 0:
+                factor = matrix[row][col]
+                matrix[row] = [
+                    x - factor * y
+                    for x, y in zip(matrix[row], matrix[col])
+                ]
+    return matrix[size - 1][size]
+
+
+class SelfJoinFreeAccess:
+    """Direct access for ``Q^sf`` powered by an engine for ``Q`` (Thm 33).
+
+    Args:
+        query: the join query ``Q``, typically with self-joins.
+        order: the variable order ``L`` (shared by ``Q`` and ``Q^sf``).
+        selfjoin_free_database: a database for
+            :func:`~repro.query.transforms.self_join_free_version` of ``Q``.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        order: VariableOrder,
+        selfjoin_free_database: Database,
+    ):
+        self.query = query
+        self.selfjoin_free_query = self_join_free_version(query)
+        self.order = order
+        order.validate_for(query)
+        selfjoin_free_database.validate_for(self.selfjoin_free_query)
+        self._position = {v: i for i, v in enumerate(order)}
+
+        colored_db = self._lemma34_database(selfjoin_free_database)
+        counter = _Lemma36Counter(query, order, colored_db)
+        domain = sorted(
+            {
+                (self._position[variable], value)
+                for variable in order
+                for value in selfjoin_free_database.domain()
+            }
+        )
+        self._inner = DirectAccessFromCounting(
+            counter, len(list(order)), domain
+        )
+
+    def _lemma34_database(self, db_sf: Database) -> Database:
+        """Build ``D^c`` for ``Q^c`` from ``D^sf`` (Lemma 34, hard direction).
+
+        Colored constants are ``(position_of_variable, value)`` so that
+        tuple comparison realizes the per-variable value order.
+        """
+        from repro.query.transforms import color_symbol
+
+        domain_sf = db_sf.domain()
+        relations: dict[str, set[tuple] | Relation] = {}
+        for variable in self.order:
+            relations[color_symbol(variable)] = Relation(
+                {
+                    ((self._position[variable], value),)
+                    for value in domain_sf
+                },
+                arity=1,
+            )
+        grouped: dict[str, set[tuple]] = {}
+        for atom in self.query.atoms:
+            source = db_sf[self_join_free_name(atom)]
+            rows = grouped.setdefault(atom.relation, set())
+            for raw in source.tuples:
+                rows.add(
+                    tuple(
+                        (self._position[var], value)
+                        for var, value in zip(atom.variables, raw)
+                    )
+                )
+        for symbol, rows in grouped.items():
+            relations[symbol] = Relation(
+                rows, arity=self.query.arity_of(symbol)
+            )
+        return Database(relations)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def tuple_at(self, index: int) -> tuple:
+        """The ``index``-th answer of ``Q^sf(D^sf)`` in the ``L``-lex order."""
+        tagged = self._inner.tuple_at(index)
+        return tuple(value for _position, value in tagged)
+
+    def answer_at(self, index: int) -> dict[str, object]:
+        values = self.tuple_at(index)
+        return dict(zip(self.order, values))

@@ -1,0 +1,79 @@
+"""Order-sensitive tasks on top of direct access (the §1 motivation).
+
+Direct access turns ``Q(D)`` into a virtual sorted array, which makes
+order statistics, boxplots, uniform sampling without repetition, and
+paginated/ranked retrieval logarithmic-per-item after preprocessing.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core.counting import SupportsDirectAccess
+from repro.errors import OutOfBoundsError
+
+
+def answer_count(access: SupportsDirectAccess) -> int:
+    """The number of answers (array length)."""
+    return len(access)
+
+
+def quantile(
+    access: SupportsDirectAccess, fraction: Fraction | float
+) -> tuple:
+    """The answer at rank ``⌊fraction * (n-1)⌋`` (nearest-rank, 0-based)."""
+    n = len(access)
+    if n == 0:
+        raise OutOfBoundsError("no answers: quantiles undefined")
+    if not 0 <= fraction <= 1:
+        raise ValueError("quantile fraction must be within [0, 1]")
+    rank = int(Fraction(fraction) * (n - 1))
+    return access.tuple_at(rank)
+
+
+def median(access: SupportsDirectAccess) -> tuple:
+    """The middle answer of the sorted answer array."""
+    return quantile(access, Fraction(1, 2))
+
+
+def boxplot(access: SupportsDirectAccess) -> dict[str, tuple]:
+    """Five-number summary: min, lower quartile, median, upper quartile, max."""
+    return {
+        "min": quantile(access, 0),
+        "q1": quantile(access, Fraction(1, 4)),
+        "median": quantile(access, Fraction(1, 2)),
+        "q3": quantile(access, Fraction(3, 4)),
+        "max": quantile(access, 1),
+    }
+
+
+def sample_without_repetition(
+    access: SupportsDirectAccess, k: int, seed: int | None = None
+) -> list[tuple]:
+    """``k`` uniform answers without repetition ([19]'s application).
+
+    Draws ``k`` distinct indices uniformly and resolves each with one
+    access call.
+    """
+    n = len(access)
+    if k > n:
+        raise OutOfBoundsError(f"cannot sample {k} of {n} answers")
+    rng = random.Random(seed)
+    return [access.tuple_at(i) for i in rng.sample(range(n), k)]
+
+
+def page(
+    access: SupportsDirectAccess, page_number: int, page_size: int
+) -> list[tuple]:
+    """Ranked pagination: answers ``[page*size, (page+1)*size)``."""
+    n = len(access)
+    start = page_number * page_size
+    stop = min(start + page_size, n)
+    return [access.tuple_at(i) for i in range(max(start, 0), stop)]
+
+
+def enumerate_in_order(access: SupportsDirectAccess):
+    """Full ordered enumeration by consecutive accesses ([10])."""
+    for index in range(len(access)):
+        yield access.tuple_at(index)

@@ -1,0 +1,82 @@
+"""The *testing* task (§2.2): is a given tuple a query answer?
+
+After preprocessing, the user specifies a tuple of constants and learns
+whether it belongs to ``Q(D)``. Direct access solves testing with a
+binary search over the sorted answer array (the same observation as
+Proposition 19): answers sharing a prefix are contiguous.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.counting import CountingFromDirectAccess
+from repro.errors import OrderError
+
+
+class AnswerTester:
+    """Membership testing over a direct-access structure.
+
+    Args:
+        access: any object with ``__len__``/``tuple_at`` whose answers
+            are sorted tuples over ``variables``.
+        variables: the variable order of the access structure's tuples
+            (defaults to ``access.free_variables``).
+    """
+
+    def __init__(self, access, variables: Sequence[str] | None = None):
+        self._access = access
+        self._counter = CountingFromDirectAccess(access)
+        if variables is None:
+            variables = access.free_variables
+        self._variables = tuple(variables)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self._variables
+
+    def contains(self, answer: tuple) -> bool:
+        """Whether ``answer`` (a tuple over the order) is in ``Q(D)``.
+
+        One binary search: ``O(log |Q(D)|)`` accesses.
+        """
+        if len(answer) != len(self._variables):
+            raise OrderError(
+                f"expected a tuple over {self._variables}"
+            )
+        answer = tuple(answer)
+        index = self._counter.first_index_above(answer)
+        if index >= len(self._access):
+            return False
+        return self._access.tuple_at(index) == answer
+
+    def contains_mapping(self, answer: dict[str, object]) -> bool:
+        """Membership for an answer given as a variable -> value map."""
+        return self.contains(
+            tuple(answer[v] for v in self._variables)
+        )
+
+    def rank(self, answer: tuple) -> int:
+        """The index of ``answer`` in the sorted answer array.
+
+        The inverse of direct access. Raises KeyError when the tuple is
+        not an answer.
+        """
+        answer = tuple(answer)
+        index = self._counter.first_index_above(answer)
+        if (
+            index < len(self._access)
+            and self._access.tuple_at(index) == answer
+        ):
+            return index
+        raise KeyError(f"{answer} is not an answer")
+
+    def count_with_prefix(self, prefix: tuple) -> int:
+        """How many answers start with ``prefix`` (contiguity argument)."""
+        if not prefix:
+            return len(self._access)
+        start = self._counter.first_index_above(tuple(prefix))
+        stop = self._counter.first_index_above(
+            tuple(prefix), strict=True
+        )
+        return stop - start

@@ -1,0 +1,6 @@
+"""Data substrate: relations, databases, synthetic generators."""
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+__all__ = ["Database", "Relation"]

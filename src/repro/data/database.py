@@ -1,0 +1,82 @@
+"""Databases: assignments of relations to the relation symbols of a query."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.data.relation import Relation
+from repro.errors import DatabaseError
+from repro.query.query import JoinQuery
+
+
+class Database:
+    """A mapping from relation symbols to :class:`Relation` instances.
+
+    ``len(db)`` is the paper's ``|D|``: the total number of tuples across
+    all relations.
+    """
+
+    def __init__(self, relations: Mapping[str, Relation | Iterable[tuple]]):
+        self._relations: dict[str, Relation] = {}
+        for name, rel in relations.items():
+            if not isinstance(rel, Relation):
+                rel = Relation(rel)
+            self._relations[name] = rel
+
+    @property
+    def relations(self) -> dict[str, Relation]:
+        return dict(self._relations)
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise DatabaseError(f"no relation named {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        """``|D|``: total tuple count."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Database):
+            return self._relations == other._relations
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}: {len(rel)}" for name, rel in sorted(
+                self._relations.items()
+            )
+        )
+        return f"Database({{{parts}}}, |D|={len(self)})"
+
+    def domain(self) -> set:
+        """dom(D): all constants appearing anywhere in the database."""
+        out: set = set()
+        for rel in self._relations.values():
+            out |= rel.active_domain()
+        return out
+
+    def extended(
+        self, extra: Mapping[str, Relation | Iterable[tuple]]
+    ) -> "Database":
+        """A new database with additional (or replaced) relations."""
+        merged: dict[str, Relation | Iterable[tuple]] = dict(
+            self._relations
+        )
+        merged.update(extra)
+        return Database(merged)
+
+    def validate_for(self, query: JoinQuery) -> None:
+        """Check every query symbol is present with the right arity."""
+        for symbol in query.relation_symbols:
+            relation = self[symbol]
+            expected = query.arity_of(symbol)
+            if relation.arity != expected:
+                raise DatabaseError(
+                    f"{symbol} has arity {relation.arity}, query needs "
+                    f"{expected}"
+                )

@@ -1,0 +1,177 @@
+"""Synthetic workload generators.
+
+The paper assumes adversarial / worst-case databases exist; these
+generators construct them explicitly, along with the uniform and skewed
+inputs the benchmarks sweep over. All generators take a ``seed`` and are
+deterministic given it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.query import JoinQuery
+
+
+def random_database(
+    query: JoinQuery,
+    tuples_per_relation: int,
+    domain_size: int,
+    seed: int = 0,
+) -> Database:
+    """Uniform random tuples from ``range(domain_size)`` per relation."""
+    rng = random.Random(seed)
+    relations: dict[str, Relation] = {}
+    for symbol in query.relation_symbols:
+        arity = query.arity_of(symbol)
+        rows = {
+            tuple(rng.randrange(domain_size) for _ in range(arity))
+            for _ in range(tuples_per_relation)
+        }
+        relations[symbol] = Relation(rows, arity=arity)
+    return Database(relations)
+
+
+def functional_path_database(
+    length: int, rows: int, seed: int = 0
+) -> Database:
+    """Data for :func:`~repro.query.catalog.path_query` with ~linear output.
+
+    Each binary relation ``R_i`` maps node j to a random successor, so the
+    join output has exactly ``rows`` answers regardless of ``length``.
+    """
+    rng = random.Random(seed)
+    relations = {}
+    for i in range(length):
+        relations[f"R{i + 1}"] = Relation(
+            {(j, rng.randrange(rows)) for j in range(rows)}, arity=2
+        )
+    return Database(relations)
+
+
+def bipartite_path_database(rows: int, fanout: int, seed: int = 0) -> Database:
+    """Data for the 2-path ``R1(x1,x2), R2(x2,x3)`` with quadratic blow-up.
+
+    ``fanout`` middle values each connect to ``rows`` left and ``rows``
+    right values, so ``|D| = 2*rows*fanout`` while the output has
+    ``rows^2 * fanout`` answers — the motivating case for direct access
+    over materialization.
+    """
+    left = {(x, m) for x in range(rows) for m in range(fanout)}
+    right = {(m, y) for m in range(fanout) for y in range(rows)}
+    return Database({"R1": Relation(left), "R2": Relation(right)})
+
+
+def star_database(
+    leaves: int,
+    sets: int,
+    set_size: int,
+    universe: int,
+    seed: int = 0,
+) -> Database:
+    """Set-disjointness-shaped data for ``Q*_k`` (cf. Lemma 22).
+
+    Relation ``R_i`` holds pairs ``(j, v)`` meaning ``v ∈ S_{i,j}`` for
+    ``sets`` random subsets of a ``universe``-sized universe.
+    """
+    rng = random.Random(seed)
+    relations = {}
+    for i in range(leaves):
+        rows = set()
+        for j in range(sets):
+            members = rng.sample(range(universe), min(set_size, universe))
+            rows.update((j, v) for v in members)
+        relations[f"R{i + 1}"] = Relation(rows, arity=2)
+    return Database(relations)
+
+
+def agm_worstcase_triangle_database(side: int) -> Database:
+    """A worst-case instance for the triangle query ``LW_3``.
+
+    All three relations are the complete bipartite graph on
+    ``[side] x [side]``; each has ``side^2`` tuples and the output has
+    ``side^3 = |R|^{3/2}`` answers, matching the AGM bound for ρ* = 3/2.
+    """
+    full = {(a, b) for a in range(side) for b in range(side)}
+    return Database(
+        {"R1": Relation(full), "R2": Relation(full), "R3": Relation(full)}
+    )
+
+
+def loomis_whitney_database(
+    k: int, tuples_per_relation: int, domain_size: int, seed: int = 0
+) -> Database:
+    """Random data for ``LW_k`` (arity k-1 relations)."""
+    rng = random.Random(seed)
+    relations = {}
+    for i in range(k):
+        rows = {
+            tuple(rng.randrange(domain_size) for _ in range(k - 1))
+            for _ in range(tuples_per_relation)
+        }
+        relations[f"R{i + 1}"] = Relation(rows, arity=k - 1)
+    return Database(relations)
+
+
+def four_cycle_database(
+    rows: int, heavy_fraction: float = 0.1, seed: int = 0
+) -> Database:
+    """Skewed data for the 4-cycle with both heavy and light degrees.
+
+    A ``heavy_fraction`` of left endpoints are high-degree hubs; the rest
+    have degree 1. Exercises the heavy/light split of Lemma 48.
+    """
+    rng = random.Random(seed)
+    heavy_count = max(1, int(rows * heavy_fraction))
+    hub_degree = max(2, int(rows ** 0.5))
+    relations = {}
+    for i in range(4):
+        edges = set()
+        for hub in range(heavy_count):
+            for _ in range(hub_degree):
+                edges.add((hub, rng.randrange(rows)))
+        for light in range(heavy_count, rows):
+            edges.add((light, rng.randrange(rows)))
+        relations[f"R{i + 1}"] = Relation(edges, arity=2)
+    return Database(relations)
+
+
+def zipf_database(
+    query: JoinQuery,
+    tuples_per_relation: int,
+    domain_size: int,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> Database:
+    """Random tuples with Zipf-distributed values (rank-skewed domains)."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(domain_size)]
+    population = list(range(domain_size))
+    relations = {}
+    for symbol in query.relation_symbols:
+        arity = query.arity_of(symbol)
+        rows = set()
+        for _ in range(tuples_per_relation):
+            rows.add(
+                tuple(
+                    rng.choices(population, weights=weights)[0]
+                    for _ in range(arity)
+                )
+            )
+        relations[symbol] = Relation(rows, arity=arity)
+    return Database(relations)
+
+
+def sizes_sweep(
+    start: int, factor: float, points: int
+) -> Sequence[int]:
+    """A geometric size sweep for scaling experiments."""
+    sizes = []
+    current = float(start)
+    for _ in range(points):
+        sizes.append(int(round(current)))
+        current *= factor
+    return sizes

@@ -1,0 +1,76 @@
+"""Loading and saving relations as comma-separated text files.
+
+The on-disk format is one tuple per line, values separated by commas;
+blank lines and ``#`` comments are skipped. Values parse as integers when
+possible and as strings otherwise — consistent within a column for the
+domain order to be meaningful.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import DatabaseError
+
+
+def _parse_cell(cell: str):
+    cell = cell.strip()
+    try:
+        return int(cell)
+    except ValueError:
+        return cell
+
+
+def load_relation(path: str | Path, arity: int | None = None) -> Relation:
+    """Read a relation from a CSV-style file.
+
+    Raises :class:`~repro.errors.DatabaseError` on ragged rows or (when
+    no ``arity`` is given) an empty file.
+    """
+    rows = set()
+    for line_number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        row = tuple(_parse_cell(cell) for cell in line.split(","))
+        if arity is not None and len(row) != arity:
+            raise DatabaseError(
+                f"{path}:{line_number}: expected {arity} values, "
+                f"got {len(row)}"
+            )
+        rows.add(row)
+    if not rows and arity is None:
+        raise DatabaseError(f"{path} holds no tuples and no arity given")
+    return Relation(rows, arity=arity)
+
+
+def save_relation(relation: Relation, path: str | Path) -> None:
+    """Write a relation in the same format, sorted for reproducibility."""
+    lines = [
+        ",".join(str(value) for value in row)
+        for row in relation.sorted_tuples()
+    ]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_database(specs: dict[str, str | Path]) -> Database:
+    """Load several relations: ``{symbol: path}`` -> Database."""
+    return Database(
+        {name: load_relation(path) for name, path in specs.items()}
+    )
+
+
+def save_database(database: Database, directory: str | Path) -> dict[str, Path]:
+    """Write every relation to ``directory/<symbol>.csv``; return paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: dict[str, Path] = {}
+    for name, relation in database.relations.items():
+        path = directory / f"{name}.csv"
+        save_relation(relation, path)
+        out[name] = path
+    return out

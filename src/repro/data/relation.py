@@ -1,0 +1,97 @@
+"""In-memory relations.
+
+A relation is a finite set of constant tuples of a fixed arity. Constants
+can be any hashable, mutually comparable Python values (ints in the
+generators; tuples of such values arise in the paper's reductions, which
+pack several roles into one variable). The database's linear order on
+constants is the natural Python ordering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import DatabaseError
+
+
+class Relation:
+    """An immutable set of same-arity tuples with sorted iteration."""
+
+    __slots__ = ("_tuples", "_arity", "_sorted")
+
+    def __init__(self, tuples: Iterable[tuple], arity: int | None = None):
+        tuple_set = {tuple(t) for t in tuples}
+        if arity is None:
+            if not tuple_set:
+                raise DatabaseError(
+                    "empty relation needs an explicit arity"
+                )
+            arity = len(next(iter(tuple_set)))
+        for t in tuple_set:
+            if len(t) != arity:
+                raise DatabaseError(
+                    f"tuple {t} does not have arity {arity}"
+                )
+        self._tuples = frozenset(tuple_set)
+        self._arity = arity
+        self._sorted: list[tuple] | None = None
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def tuples(self) -> frozenset[tuple]:
+        return self._tuples
+
+    def sorted_tuples(self) -> list[tuple]:
+        """Tuples in lexicographic order (cached)."""
+        if self._sorted is None:
+            self._sorted = sorted(self._tuples)
+        return self._sorted
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self):
+        return iter(self.sorted_tuples())
+
+    def __contains__(self, item) -> bool:
+        return tuple(item) in self._tuples
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Relation):
+            return (
+                self._arity == other._arity
+                and self._tuples == other._tuples
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._tuples))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(map(str, self.sorted_tuples()[:4]))
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"Relation[{self._arity}]({{{preview}{suffix}}}, n={len(self)})"
+
+    def active_domain(self) -> set:
+        """All constants appearing in some tuple."""
+        return {value for t in self._tuples for value in t}
+
+    def project(self, columns: Iterable[int]) -> "Relation":
+        """Project onto the given column indices (in the given order)."""
+        cols = list(columns)
+        for c in cols:
+            if not 0 <= c < self._arity:
+                raise DatabaseError(f"column {c} out of range")
+        return Relation(
+            {tuple(t[c] for c in cols) for t in self._tuples},
+            arity=len(cols),
+        )
+
+    def filtered(self, predicate) -> "Relation":
+        """Keep tuples for which ``predicate(tuple)`` is true."""
+        return Relation(
+            {t for t in self._tuples if predicate(t)}, arity=self._arity
+        )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class QueryError(ReproError):
+    """Malformed query: arity mismatch, unknown variable, bad syntax."""
+
+
+class DatabaseError(ReproError):
+    """Malformed database: arity mismatch, unknown relation symbol."""
+
+
+class OrderError(ReproError):
+    """A variable ordering does not match the query it is used with."""
+
+
+class OutOfBoundsError(ReproError, IndexError):
+    """A direct-access index is outside ``[0, number of answers)``.
+
+    Also an :class:`IndexError` so that direct-access objects behave like
+    sequences (``for`` loops over them terminate correctly).
+    """
+
+
+class InfeasibleError(ReproError):
+    """A linear program has no feasible solution."""
+
+
+class UnboundedError(ReproError):
+    """A linear program is unbounded."""

@@ -1,0 +1,27 @@
+"""Hypergraph substrate: structure, GYO acyclicity, disruptive trios."""
+
+from repro.hypergraph.disruptive_trios import (
+    find_disruptive_trio,
+    has_disruptive_trio,
+    is_reverse_elimination_order,
+    is_tractable_pair,
+)
+from repro.hypergraph.gyo import (
+    gyo_reduce,
+    is_acyclic,
+    is_elimination_order,
+    join_tree,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "Hypergraph",
+    "find_disruptive_trio",
+    "gyo_reduce",
+    "has_disruptive_trio",
+    "is_acyclic",
+    "is_elimination_order",
+    "is_reverse_elimination_order",
+    "is_tractable_pair",
+    "join_tree",
+]

@@ -1,0 +1,69 @@
+"""Disruptive trios (Section 2.3).
+
+Given a hypergraph and a permutation of its vertices, a *disruptive trio*
+is a triple ``(v1, v2, v3)`` where ``v3`` comes after ``v1`` and ``v2`` in
+the permutation, ``v1`` and ``v2`` are not neighbors, but ``v3`` neighbors
+both. A permutation is the reverse of a GYO elimination order iff the
+hypergraph is acyclic and the permutation has no disruptive trio
+(Brault-Baron; quoted as the trio characterization in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph.gyo import is_acyclic, is_elimination_order
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.variable_order import VariableOrder
+
+
+def find_disruptive_trio(
+    hypergraph: Hypergraph, order: VariableOrder
+) -> tuple[str, str, str] | None:
+    """Return some disruptive trio ``(v1, v2, v3)``, or None if there is none.
+
+    ``order`` must be a permutation of the hypergraph's vertices.
+    """
+    variables = list(order)
+    if set(variables) != set(hypergraph.vertices):
+        raise ValueError("order must cover exactly the vertices")
+    neighbor_of = {v: hypergraph.neighbors(v) for v in variables}
+    for k, late in enumerate(variables):
+        early_neighbors = [
+            v for v in variables[:k] if v in neighbor_of[late]
+        ]
+        for i, first in enumerate(early_neighbors):
+            for second in early_neighbors[i + 1:]:
+                if second not in neighbor_of[first]:
+                    return (first, second, late)
+    return None
+
+
+def has_disruptive_trio(
+    hypergraph: Hypergraph, order: VariableOrder
+) -> bool:
+    """True when the order has a disruptive trio with the hypergraph."""
+    return find_disruptive_trio(hypergraph, order) is not None
+
+
+def is_reverse_elimination_order(
+    hypergraph: Hypergraph, order: VariableOrder
+) -> bool:
+    """True when ``reversed(order)`` is a GYO elimination order.
+
+    Equivalent (and asserted so in tests) to "acyclic and no disruptive
+    trio" by the Brault-Baron characterization.
+    """
+    return is_elimination_order(hypergraph, list(reversed(list(order))))
+
+
+def is_tractable_pair(
+    hypergraph: Hypergraph, order: VariableOrder
+) -> bool:
+    """The dichotomy predicate of Carmeli et al. [18].
+
+    A join query and full lexicographic order admit direct access with
+    linear preprocessing and logarithmic access iff the query is acyclic
+    and the order has no disruptive trio.
+    """
+    return is_acyclic(hypergraph) and not has_disruptive_trio(
+        hypergraph, order
+    )

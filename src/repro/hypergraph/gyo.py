@@ -1,0 +1,122 @@
+"""GYO elimination: acyclicity, elimination orders, join trees (Section 2.3).
+
+A hypergraph is *acyclic* when repeatedly (a) deleting edges contained in
+other edges and (b) deleting vertices contained in a single edge empties
+it. An order in which the vertices get deleted is an *elimination order*.
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def gyo_reduce(hypergraph: Hypergraph) -> tuple[list[str], Hypergraph]:
+    """Run the GYO algorithm.
+
+    Returns ``(eliminated, residual)`` where ``eliminated`` is an
+    elimination order of the removed vertices and ``residual`` is the
+    hypergraph left when no rule applies. ``hypergraph`` is acyclic exactly
+    when the residual has no vertices.
+    """
+    vertices = set(hypergraph.vertices)
+    edges = {e for e in hypergraph.edges if e}
+    eliminated: list[str] = []
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: drop edges strictly contained in another edge.
+        redundant = {e for e in edges if any(e < f for f in edges)}
+        if redundant:
+            edges -= redundant
+            changed = True
+        # Rule 2: drop vertices occurring in a single edge.
+        for vertex in sorted(vertices):
+            containing = [e for e in edges if vertex in e]
+            if len(containing) <= 1:
+                eliminated.append(vertex)
+                vertices.discard(vertex)
+                if containing:
+                    old = containing[0]
+                    edges.discard(old)
+                    new = old - {vertex}
+                    if new:
+                        edges.add(new)
+                changed = True
+    return eliminated, Hypergraph(vertices, edges)
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """True when GYO elimination empties the hypergraph."""
+    _, residual = gyo_reduce(hypergraph)
+    return not residual.vertices
+
+
+def is_elimination_order(hypergraph: Hypergraph, order: list[str]) -> bool:
+    """Check whether ``order`` is a valid GYO elimination order.
+
+    Follows the definition: at each step, after exhaustively removing
+    covered edges, the next vertex of ``order`` must lie in at most one
+    remaining edge.
+    """
+    if set(order) != set(hypergraph.vertices):
+        return False
+    edges = {e for e in hypergraph.edges if e}
+
+    def drop_covered() -> None:
+        nonlocal edges
+        edges = {e for e in edges if not any(e < f for f in edges)}
+
+    for vertex in order:
+        drop_covered()
+        containing = [e for e in edges if vertex in e]
+        if len(containing) > 1:
+            return False
+        if containing:
+            old = containing[0]
+            edges.discard(old)
+            new = old - {vertex}
+            if new:
+                edges.add(new)
+    drop_covered()
+    return not edges
+
+
+def join_tree(hypergraph: Hypergraph) -> dict[frozenset[str], frozenset[str] | None]:
+    """Build a join tree of an acyclic hypergraph.
+
+    Returns a parent map over the *maximal* edges: ``parent[e]`` is the
+    edge ``e`` hangs from, or None for roots (one root per connected
+    component). The running-intersection property holds: for every vertex,
+    the edges containing it form a subtree.
+
+    Raises ValueError when the hypergraph is cyclic.
+    """
+    maximal = [
+        e
+        for e in hypergraph.edges
+        if e and not any(e < f for f in hypergraph.edges)
+    ]
+    if not is_acyclic(hypergraph):
+        raise ValueError("join trees exist only for acyclic hypergraphs")
+    # Classic algorithm: repeatedly find an "ear" — an edge e whose
+    # intersection with the union of the others is contained in a single
+    # other edge w (its witness); hang e below w.
+    parent: dict[frozenset[str], frozenset[str] | None] = {}
+    remaining = list(maximal)
+    while remaining:
+        if len(remaining) == 1:
+            parent[remaining[0]] = None
+            break
+        for i, edge in enumerate(remaining):
+            others = remaining[:i] + remaining[i + 1:]
+            separator = edge & frozenset().union(*others)
+            witness = next(
+                (other for other in others if separator <= other), None
+            )
+            if witness is not None:
+                parent[edge] = witness
+                remaining = others
+                break
+        else:
+            raise ValueError("ear decomposition failed on acyclic input")
+    return parent

@@ -1,0 +1,157 @@
+"""Hypergraphs (Section 2.3).
+
+A hypergraph is a finite set of vertices plus a set of edges (vertex
+subsets). Join queries are used interchangeably with their underlying
+hypergraph: vertices are variables, edges are atom scopes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.query.query import JoinQuery
+
+
+class Hypergraph:
+    """An immutable hypergraph ``H = (V, E)``.
+
+    Vertices are arbitrary hashable labels (variables in practice). Edges
+    are stored as a *set* of frozensets: parallel edges collapse, matching
+    the paper's definition of ``E`` as a set of subsets of ``V``.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[str],
+        edges: Iterable[Iterable[str]],
+    ):
+        self._vertices = frozenset(vertices)
+        self._edges = frozenset(frozenset(e) for e in edges)
+        for edge in self._edges:
+            if not edge <= self._vertices:
+                raise ValueError(
+                    f"edge {set(edge)} mentions unknown vertices"
+                )
+
+    @classmethod
+    def of_query(cls, query: JoinQuery) -> "Hypergraph":
+        """The hypergraph underlying a join query."""
+        return cls(query.variables, query.scopes())
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        return self._vertices
+
+    @property
+    def edges(self) -> frozenset[frozenset[str]]:
+        return self._edges
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Hypergraph):
+            return (
+                self._vertices == other._vertices
+                and self._edges == other._edges
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._vertices, self._edges))
+
+    def __repr__(self) -> str:
+        edges = sorted(tuple(sorted(e)) for e in self._edges)
+        return f"Hypergraph({sorted(self._vertices)}, {edges})"
+
+    # -- neighborhoods -------------------------------------------------
+
+    def neighbors(self, vertex: str) -> frozenset[str]:
+        """``N_H(v)``: vertices sharing an edge with ``vertex`` (excl. it)."""
+        out: set[str] = set()
+        for edge in self._edges:
+            if vertex in edge:
+                out |= edge
+        out.discard(vertex)
+        return frozenset(out)
+
+    def neighbors_of_set(self, vertices: Iterable[str]) -> frozenset[str]:
+        """``N_H(S)``: union of neighborhoods of ``S``, minus ``S``."""
+        vertex_set = set(vertices)
+        out: set[str] = set()
+        for vertex in vertex_set:
+            out |= self.neighbors(vertex)
+        return frozenset(out - vertex_set)
+
+    # -- substructures -------------------------------------------------
+
+    def induced(self, vertices: Iterable[str]) -> "Hypergraph":
+        """``H[S]``: restrict every edge to ``S`` (empty traces dropped)."""
+        vertex_set = frozenset(vertices)
+        traced = {e & vertex_set for e in self._edges}
+        traced.discard(frozenset())
+        return Hypergraph(vertex_set, traced)
+
+    def with_extra_edges(
+        self, extra: Iterable[Iterable[str]]
+    ) -> "Hypergraph":
+        """A super-hypergraph on the same vertices with added edges."""
+        return Hypergraph(
+            self._vertices,
+            set(self._edges) | {frozenset(e) for e in extra},
+        )
+
+    # -- connectivity --------------------------------------------------
+
+    def connected_component(self, vertex: str) -> frozenset[str]:
+        """Vertex set of the connected component containing ``vertex``."""
+        if vertex not in self._vertices:
+            raise ValueError(f"{vertex} is not a vertex")
+        seen = {vertex}
+        frontier = [vertex]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return frozenset(seen)
+
+    def connected_components(self) -> list[frozenset[str]]:
+        """All connected components (isolated vertices included)."""
+        remaining = set(self._vertices)
+        components = []
+        while remaining:
+            component = self.connected_component(next(iter(remaining)))
+            components.append(component)
+            remaining -= component
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1
+
+    # -- cliques / conformality -----------------------------------------
+
+    def is_clique(self, vertices: Iterable[str]) -> bool:
+        """True when the given vertices are pairwise neighbors."""
+        vertex_list = list(vertices)
+        for i, u in enumerate(vertex_list):
+            for v in vertex_list[i + 1:]:
+                if v not in self.neighbors(u):
+                    return False
+        return True
+
+    def is_conformal(self) -> bool:
+        """True when every clique is contained in an edge.
+
+        Acyclic hypergraphs are conformal (used in Lemma 13). Checked by
+        brute force over maximal candidate sets — adequate for query-sized
+        hypergraphs.
+        """
+        from itertools import combinations
+
+        vertex_list = sorted(self._vertices)
+        for size in range(2, len(vertex_list) + 1):
+            for subset in combinations(vertex_list, size):
+                if self.is_clique(subset) and not any(
+                    set(subset) <= edge for edge in self._edges
+                ):
+                    return False
+        return True

@@ -1,0 +1,28 @@
+"""Join algorithms: relational operators, Generic Join, Yannakakis."""
+
+from repro.joins.generic_join import (
+    evaluate,
+    generic_join,
+    generic_join_iter,
+    tables_of_query,
+)
+from repro.joins.operators import Table, cross_product
+from repro.joins.trie import Trie
+from repro.joins.yannakakis import (
+    acyclic_join,
+    count_acyclic_join,
+    full_reduce,
+)
+
+__all__ = [
+    "Table",
+    "Trie",
+    "acyclic_join",
+    "count_acyclic_join",
+    "cross_product",
+    "evaluate",
+    "full_reduce",
+    "generic_join",
+    "generic_join_iter",
+    "tables_of_query",
+]

@@ -1,0 +1,121 @@
+"""Generic Join — a worst-case optimal join algorithm (Theorem 2).
+
+Computes the natural join of a set of tables in time
+``Õ(|D|^{ρ*} + output)`` where ``ρ*`` is the fractional edge cover number
+of the schema hypergraph [Ngo, Porat, Ré, Rudra; Veldhuizen; Ngo, Ré,
+Rudra]. Variables are processed in a fixed global order; at each variable
+the candidate values are the intersection of the matching trie levels,
+computed by probing from the smallest level.
+
+Because candidates are visited in sorted order, :func:`generic_join_iter`
+yields answers in the lexicographic order of the variable order — which
+also makes it the brute-force oracle for direct access tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.data.database import Database
+from repro.joins.operators import Table
+from repro.joins.trie import Trie
+from repro.query.query import JoinQuery
+
+
+def generic_join_iter(
+    tables: Sequence[Table], variable_order: Sequence[str]
+) -> Iterator[tuple]:
+    """Yield join answers as tuples over ``variable_order`` (lex order)."""
+    variable_order = list(variable_order)
+    order_position = {v: i for i, v in enumerate(variable_order)}
+    covered = {v for table in tables for v in table.schema}
+    if set(variable_order) != covered:
+        raise ValueError(
+            "variable order must cover exactly the joined variables"
+        )
+
+    tries: list[Trie] = []
+    for table in tables:
+        columns = sorted(table.schema, key=order_position.__getitem__)
+        tries.append(Trie(table, columns))
+
+    # For each variable, the tries whose next level branches on it, and at
+    # which depth.
+    at_variable: list[list[tuple[Trie, int]]] = [
+        [] for _ in variable_order
+    ]
+    for trie in tries:
+        for depth, variable in enumerate(trie.column_order):
+            at_variable[order_position[variable]].append((trie, depth))
+
+    # node_stack[t] holds the current node of trie t per bound level.
+    current: list[dict] = [trie.root for trie in tries]
+    trie_index = {id(trie): i for i, trie in enumerate(tries)}
+    answer: list = [None] * len(variable_order)
+
+    def recurse(level: int) -> Iterator[tuple]:
+        if level == len(variable_order):
+            yield tuple(answer)
+            return
+        participants = at_variable[level]
+        if not participants:
+            raise ValueError(
+                f"variable {variable_order[level]} occurs in no table"
+            )
+        nodes = [current[trie_index[id(trie)]] for trie, _ in participants]
+        smallest = min(nodes, key=len)
+        for value in sorted(smallest):
+            if all(value in node for node in nodes):
+                answer[level] = value
+                saved = []
+                for (trie, _depth), node in zip(participants, nodes):
+                    i = trie_index[id(trie)]
+                    saved.append((i, current[i]))
+                    child = node[value]
+                    current[i] = child if child is not True else {}
+                yield from recurse(level + 1)
+                for i, node in saved:
+                    current[i] = node
+        answer[level] = None
+
+    return recurse(0)
+
+
+def generic_join(
+    tables: Sequence[Table], variable_order: Sequence[str]
+) -> Table:
+    """Materialize the natural join of ``tables`` as a Table."""
+    return Table(
+        tuple(variable_order),
+        generic_join_iter(tables, variable_order),
+    )
+
+
+def tables_of_query(query: JoinQuery, database: Database) -> list[Table]:
+    """One Table per atom of ``query`` interpreted over ``database``."""
+    database.validate_for(query)
+    return [
+        Table.from_atom(atom, database[atom.relation])
+        for atom in query.atoms
+    ]
+
+
+def evaluate(
+    query: JoinQuery,
+    database: Database,
+    variable_order: Sequence[str] | None = None,
+) -> Table:
+    """Compute ``Q(D)`` with Generic Join.
+
+    The result schema follows ``variable_order`` when given, else the
+    query's first-occurrence variable order. For a
+    :class:`~repro.query.query.ConjunctiveQuery` the projection is applied
+    after the join (the baseline semantics; efficient projection handling
+    lives in :mod:`repro.core.projections`).
+    """
+    order = list(variable_order or query.variables)
+    result = generic_join(tables_of_query(query, database), order)
+    free = query.free_variables
+    if set(free) != set(order):
+        result = result.project(free)
+    return result

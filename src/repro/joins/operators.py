@@ -1,0 +1,163 @@
+"""Named-schema relational algebra.
+
+A :class:`Table` pairs a schema (distinct variable names) with a set of
+rows; it is the working representation inside the join algorithms, while
+:class:`~repro.data.relation.Relation` is the stored representation.
+Atoms with repeated variables turn into tables over the *set* of
+variables, keeping only rows where the repeated columns agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.data.relation import Relation
+from repro.errors import DatabaseError
+from repro.query.atoms import Atom
+
+
+class Table:
+    """An immutable relation with named columns."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Iterable[str], rows: Iterable[tuple]):
+        self.schema: tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise DatabaseError(f"schema {self.schema} repeats a column")
+        self.rows: frozenset[tuple] = frozenset(
+            tuple(r) for r in rows
+        )
+        for row in self.rows:
+            if len(row) != len(self.schema):
+                raise DatabaseError(
+                    f"row {row} does not fit schema {self.schema}"
+                )
+
+    @classmethod
+    def from_atom(cls, atom: Atom, relation: Relation) -> "Table":
+        """Interpret ``relation`` through ``atom``.
+
+        Repeated variables are collapsed: only rows assigning equal values
+        to equal variables survive, and each variable keeps one column.
+        """
+        if relation.arity != atom.arity:
+            raise DatabaseError(
+                f"{atom} expects arity {atom.arity}, relation has "
+                f"{relation.arity}"
+            )
+        schema: list[str] = []
+        for var in atom.variables:
+            if var not in schema:
+                schema.append(var)
+        rows = set()
+        for raw in relation.tuples:
+            binding = atom.binding(raw)
+            if binding is not None:
+                rows.add(tuple(binding[v] for v in schema))
+        return cls(schema, rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({list(self.schema)}, n={len(self.rows)})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Table):
+            return self.schema == other.schema and self.rows == other.rows
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.rows))
+
+    def _positions(self, variables: Iterable[str]) -> list[int]:
+        index = {v: i for i, v in enumerate(self.schema)}
+        try:
+            return [index[v] for v in variables]
+        except KeyError as exc:
+            raise DatabaseError(
+                f"{exc.args[0]} is not a column of {self!r}"
+            ) from None
+
+    def project(self, variables: Iterable[str]) -> "Table":
+        """Project onto ``variables`` (which must be in the schema)."""
+        variables = tuple(variables)
+        positions = self._positions(variables)
+        return Table(
+            variables,
+            {tuple(row[p] for p in positions) for row in self.rows},
+        )
+
+    def select(self, assignment: dict[str, object]) -> "Table":
+        """Keep rows consistent with a partial assignment."""
+        bound = [
+            (i, assignment[v])
+            for i, v in enumerate(self.schema)
+            if v in assignment
+        ]
+        return Table(
+            self.schema,
+            {
+                row
+                for row in self.rows
+                if all(row[i] == value for i, value in bound)
+            },
+        )
+
+    def semijoin(self, other: "Table") -> "Table":
+        """``self ⋉ other``: keep rows matching ``other`` on shared columns."""
+        shared = [v for v in self.schema if v in other.schema]
+        if not shared:
+            return self if other.rows else Table(self.schema, ())
+        mine = self._positions(shared)
+        theirs = other._positions(shared)
+        keys = {tuple(row[p] for p in theirs) for row in other.rows}
+        return Table(
+            self.schema,
+            {
+                row
+                for row in self.rows
+                if tuple(row[p] for p in mine) in keys
+            },
+        )
+
+    def natural_join(self, other: "Table") -> "Table":
+        """Hash join on shared columns."""
+        shared = [v for v in self.schema if v in other.schema]
+        extra = [v for v in other.schema if v not in self.schema]
+        out_schema = self.schema + tuple(extra)
+        theirs_shared = other._positions(shared)
+        theirs_extra = other._positions(extra)
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[p] for p in theirs_shared)
+            buckets.setdefault(key, []).append(
+                tuple(row[p] for p in theirs_extra)
+            )
+        mine_shared = self._positions(shared)
+        rows = set()
+        for row in self.rows:
+            key = tuple(row[p] for p in mine_shared)
+            for suffix in buckets.get(key, ()):
+                rows.add(row + suffix)
+        return Table(out_schema, rows)
+
+    def rows_as_dicts(self) -> Iterable[dict[str, object]]:
+        """Yield rows as variable -> constant mappings."""
+        for row in self.rows:
+            yield dict(zip(self.schema, row))
+
+    def to_relation(self) -> Relation:
+        """Forget column names, producing a stored Relation."""
+        return Relation(self.rows, arity=len(self.schema))
+
+
+def cross_product(tables: Iterable[Table]) -> Table:
+    """Cartesian product of tables with pairwise disjoint schemas."""
+    result: Table | None = None
+    for table in tables:
+        result = table if result is None else result.natural_join(table)
+    if result is None:
+        raise DatabaseError("cross product of zero tables")
+    return result

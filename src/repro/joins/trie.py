@@ -1,0 +1,34 @@
+"""Sorted tries over table rows, the index structure behind Generic Join."""
+
+from __future__ import annotations
+
+from repro.joins.operators import Table
+
+
+class Trie:
+    """A nested-dictionary trie over a table, in a fixed column order.
+
+    Level ``i`` of the trie branches on the ``i``-th variable of
+    ``column_order``; leaves (at full depth) map to ``True``. Iterating a
+    level in sorted key order yields values in the domain order.
+    """
+
+    __slots__ = ("column_order", "root")
+
+    def __init__(self, table: Table, column_order: list[str]):
+        if set(column_order) != set(table.schema):
+            raise ValueError(
+                f"column order {column_order} must be a permutation of "
+                f"schema {table.schema}"
+            )
+        self.column_order = list(column_order)
+        positions = [table.schema.index(v) for v in column_order]
+        self.root: dict = {}
+        for row in table.rows:
+            node = self.root
+            for position in positions[:-1]:
+                node = node.setdefault(row[position], {})
+            node[row[positions[-1]]] = True
+
+    def depth(self) -> int:
+        return len(self.column_order)

@@ -1,0 +1,142 @@
+"""Yannakakis-style processing of acyclic joins.
+
+Provides the classic full reducer (two semijoin sweeps over a join tree)
+and bottom-up answer counting. These are the [18]-era building blocks the
+paper's direct-access engine rests on; the engine itself (with its
+per-variable counting forest) lives in :mod:`repro.core.access`.
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph.gyo import join_tree
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.joins.operators import Table
+
+
+def _tree_of_tables(tables: list[Table]) -> list[tuple[int, int | None]]:
+    """Arrange tables into a join forest via their schema hypergraph.
+
+    Returns ``(index, parent_index)`` pairs in a bottom-up-safe order
+    (children before parents). Tables whose schema is covered by another
+    table's schema hang below a covering table.
+    """
+    vertices = {v for t in tables for v in t.schema}
+    schemas = [frozenset(t.schema) for t in tables]
+    hypergraph = Hypergraph(vertices, schemas)
+    parent_map = join_tree(hypergraph)  # on maximal distinct schemas
+
+    # Representative table per maximal schema.
+    representative: dict[frozenset, int] = {}
+    for i, schema in enumerate(schemas):
+        if schema in parent_map and schema not in representative:
+            representative[schema] = i
+
+    edges: list[tuple[int, int | None]] = []
+    assigned: set[int] = set()
+    for schema, parent_schema in parent_map.items():
+        rep = representative[schema]
+        if parent_schema is None:
+            edges.append((rep, None))
+        else:
+            edges.append((rep, representative[parent_schema]))
+        assigned.add(rep)
+    # Non-representative tables (duplicates / covered schemas) hang below
+    # a covering representative.
+    for i, schema in enumerate(schemas):
+        if i in assigned:
+            continue
+        host = next(
+            rep
+            for covering, rep in representative.items()
+            if schema <= covering
+        )
+        edges.append((i, host))
+
+    # Order children before parents (roots last).
+    children: dict[int | None, list[int]] = {}
+    for child, parent in edges:
+        children.setdefault(parent, []).append(child)
+    ordered: list[tuple[int, int | None]] = []
+    parent_of = dict(edges)
+
+    def visit(node: int) -> None:
+        for child in children.get(node, ()):
+            visit(child)
+        ordered.append((node, parent_of[node]))
+
+    for root in children.get(None, ()):
+        visit(root)
+    return ordered
+
+
+def full_reduce(tables: list[Table]) -> list[Table]:
+    """Make an acyclic set of tables globally consistent.
+
+    Two semijoin sweeps (bottom-up, then top-down) over a join forest.
+    After reduction, every remaining row participates in some join answer.
+    Raises ValueError when the schema hypergraph is cyclic.
+    """
+    order = _tree_of_tables(tables)
+    reduced = list(tables)
+    for child, parent in order:  # bottom-up
+        if parent is not None:
+            reduced[parent] = reduced[parent].semijoin(reduced[child])
+    for child, parent in reversed(order):  # top-down
+        if parent is not None:
+            reduced[child] = reduced[child].semijoin(reduced[parent])
+    return reduced
+
+
+def acyclic_join(tables: list[Table]) -> Table:
+    """Evaluate an acyclic join: full reduction, then joins up the forest.
+
+    Output-sensitive: after reduction every intermediate result is no
+    larger than the final output times the query size.
+    """
+    reduced = full_reduce(tables)
+    order = _tree_of_tables(tables)
+    merged = list(reduced)
+    result: Table | None = None
+    for child, parent in order:
+        if parent is not None:
+            merged[parent] = merged[parent].natural_join(merged[child])
+        else:
+            part = merged[child]
+            result = part if result is None else result.natural_join(part)
+    assert result is not None
+    return result
+
+
+def count_acyclic_join(tables: list[Table]) -> int:
+    """Count join answers of an acyclic join without materializing them.
+
+    Bottom-up aggregation of per-row multiplicities over the join forest.
+    """
+    order = _tree_of_tables(tables)
+    weights: list[dict[tuple, int]] = [
+        {row: 1 for row in table.rows} for table in tables
+    ]
+    total = 1
+    for child, parent in order:
+        child_table = tables[child]
+        if parent is None:
+            total *= sum(weights[child].values())
+            continue
+        parent_table = tables[parent]
+        shared = [v for v in parent_table.schema if v in child_table.schema]
+        child_positions = [child_table.schema.index(v) for v in shared]
+        parent_positions = [
+            parent_table.schema.index(v) for v in shared
+        ]
+        grouped: dict[tuple, int] = {}
+        for row, weight in weights[child].items():
+            key = tuple(row[p] for p in child_positions)
+            grouped[key] = grouped.get(key, 0) + weight
+        new_weights = {}
+        for row, weight in weights[parent].items():
+            key = tuple(row[p] for p in parent_positions)
+            factor = grouped.get(key, 0)
+            if factor:
+                new_weights[row] = weight * factor
+        weights[parent] = new_weights
+    return total

@@ -1,0 +1,55 @@
+"""Executable lower-bound machinery: Sections 4, 5 and 9."""
+
+from repro.lowerbounds.cyclic_joins import (
+    CyclicJoinEmbedding,
+    find_chordless_cycle,
+    find_non_conformal_clique,
+)
+from repro.lowerbounds.loomis_whitney import (
+    MaterializingEnumerator,
+    lw_database_from_set_intersection,
+    triangle_database_from_set_intersection,
+)
+from repro.lowerbounds.setdisjointness import (
+    MergeDisjointness,
+    SetIntersectionEnumeration,
+    PrecomputedDisjointness,
+    SetIntersectionViaUnique,
+    SetSystem,
+    StarDisjointness,
+    StarSetIntersection,
+    UniqueSetIntersectionViaDisjointness,
+    star_database,
+)
+from repro.lowerbounds.star_queries import StarEmbedding
+from repro.lowerbounds.zeroclique import (
+    MultipartiteInstance,
+    complete_multipartite_from_graph,
+    ZeroCliqueViaEnumeration,
+    ZeroCliqueViaSetIntersection,
+    brute_force_zero_clique,
+)
+
+__all__ = [
+    "CyclicJoinEmbedding",
+    "MaterializingEnumerator",
+    "MergeDisjointness",
+    "MultipartiteInstance",
+    "PrecomputedDisjointness",
+    "SetIntersectionEnumeration",
+    "SetIntersectionViaUnique",
+    "SetSystem",
+    "StarDisjointness",
+    "StarEmbedding",
+    "StarSetIntersection",
+    "UniqueSetIntersectionViaDisjointness",
+    "ZeroCliqueViaEnumeration",
+    "ZeroCliqueViaSetIntersection",
+    "brute_force_zero_clique",
+    "find_chordless_cycle",
+    "find_non_conformal_clique",
+    "complete_multipartite_from_graph",
+    "lw_database_from_set_intersection",
+    "star_database",
+    "triangle_database_from_set_intersection",
+]

@@ -1,0 +1,274 @@
+"""Lemma 54 / Theorem 55: every cyclic join embeds a Loomis-Whitney join.
+
+A hypergraph is cyclic iff it contains a *chordless cycle* (length ≥ 4,
+or a triangle of pairwise neighbors) or a *non-conformal clique* (a set
+of pairwise neighbors contained in no edge); a minimal non-conformal
+clique of size ``k`` yields an exact reduction from ``LW_k``, and a
+chordless cycle yields one from ``LW_3`` (the triangle), by threading the
+third variable along the cycle. Composing with Theorem 53 transfers the
+enumeration lower bound to every self-join-free cyclic join
+(Theorem 55).
+
+The embedding here is executable: :class:`CyclicJoinEmbedding` finds the
+obstruction, translates any ``LW_k`` database into a database for the
+host query in linear time, and maps answers back bijectively.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.catalog import loomis_whitney_query
+from repro.query.query import JoinQuery
+
+BOTTOM = "__bottom__"
+
+
+def find_non_conformal_clique(
+    hypergraph: Hypergraph,
+) -> tuple[str, ...] | None:
+    """A minimal non-conformal clique, or None.
+
+    Minimal means every proper subset of size k-1 lies in an edge, which
+    holds automatically for a *smallest* non-conformal clique: its
+    (k-1)-subsets are smaller cliques, and smaller cliques are conformal
+    by minimality.
+    """
+    vertices = sorted(hypergraph.vertices)
+    for size in range(3, len(vertices) + 1):
+        for subset in combinations(vertices, size):
+            if not hypergraph.is_clique(subset):
+                continue
+            if any(set(subset) <= edge for edge in hypergraph.edges):
+                continue
+            return subset
+    return None
+
+
+def find_chordless_cycle(
+    hypergraph: Hypergraph,
+) -> tuple[str, ...] | None:
+    """A chordless cycle of length >= 4, or None.
+
+    Brute force over vertex sequences — fine for query-sized
+    hypergraphs. Consecutive vertices (cyclically) must be neighbors;
+    non-consecutive ones must not be.
+    """
+    vertices = sorted(hypergraph.vertices)
+    neighbors = {v: hypergraph.neighbors(v) for v in vertices}
+    for length in range(4, len(vertices) + 1):
+        for subset in combinations(vertices, length):
+            anchor, *rest = subset
+            for middle in permutations(rest):
+                cycle = (anchor, *middle)
+                if _is_chordless_cycle(cycle, neighbors):
+                    return cycle
+    return None
+
+
+def _is_chordless_cycle(cycle: tuple[str, ...], neighbors) -> bool:
+    length = len(cycle)
+    for i in range(length):
+        for j in range(i + 1, length):
+            adjacent = (j - i == 1) or (i == 0 and j == length - 1)
+            connected = cycle[j] in neighbors[cycle[i]]
+            if adjacent != connected:
+                return False
+    return True
+
+
+class CyclicJoinEmbedding:
+    """The Lemma 54 exact reduction ``LW_k ≤ Q`` for a cyclic join ``Q``.
+
+    Attributes:
+        k: the Loomis-Whitney arity embedded (clique size, or 3 for a
+            chordless cycle).
+        kind: ``"clique"`` or ``"cycle"``.
+    """
+
+    def __init__(self, query: JoinQuery):
+        if query.has_self_joins:
+            raise QueryError(
+                "Lemma 54 concerns self-join-free queries"
+            )
+        self.query = query
+        self.hypergraph = Hypergraph.of_query(query)
+        if is_acyclic(self.hypergraph):
+            raise QueryError(f"{query.name} is acyclic")
+        clique = find_non_conformal_clique(self.hypergraph)
+        if clique is not None:
+            self.kind = "clique"
+            self.clique = clique
+            self.k = len(clique)
+            self.cycle: tuple[str, ...] | None = None
+        else:
+            cycle = find_chordless_cycle(self.hypergraph)
+            if cycle is None:
+                raise AssertionError(
+                    "cyclic hypergraphs must contain a chordless "
+                    "cycle or a non-conformal clique"
+                )
+            self.kind = "cycle"
+            self.cycle = cycle
+            self.clique = None
+            self.k = 3
+        self.lw_query = loomis_whitney_query(self.k)
+
+    # -- database translation ------------------------------------------
+
+    def transform_database(self, lw_db: Database) -> Database:
+        """A database for the host query encoding an ``LW_k`` database."""
+        if self.kind == "clique":
+            return self._transform_clique(lw_db)
+        return self._transform_cycle(lw_db)
+
+    def _lw_tables(self, lw_db: Database) -> list[set[tuple]]:
+        """Atom relations of LW_k; index i omits variable x_{i+1}."""
+        return [
+            set(lw_db[f"R{i + 1}"].tuples) for i in range(self.k)
+        ]
+
+    def _transform_clique(self, lw_db: Database) -> Database:
+        clique = list(self.clique)
+        position = {v: i for i, v in enumerate(clique)}
+        lw_tables = self._lw_tables(lw_db)
+        # lw_variables[i]: the LW variables of atom i, in scope order.
+        lw_vars = [
+            [int(v[1:]) - 1 for v in atom.variables]
+            for atom in self.lw_query.atoms
+        ]
+
+        relations: dict[str, Relation] = {}
+        for atom in self.query.atoms:
+            trace = [v for v in atom.variables if v in position]
+            trace_set = {position[v] for v in trace}
+            # the clique is non-conformal: every atom misses some s_i
+            missing = next(
+                i for i in range(self.k) if i not in trace_set
+            )
+            rows = set()
+            for lw_row in lw_tables[missing]:
+                value_of = dict(zip(lw_vars[missing], lw_row))
+                rows.add(
+                    tuple(
+                        value_of[position[v]]
+                        if v in position
+                        else BOTTOM
+                        for v in atom.variables
+                    )
+                )
+            relations[atom.relation] = Relation(
+                rows, arity=atom.arity
+            )
+        return Database(relations)
+
+    def _transform_cycle(self, lw_db: Database) -> Database:
+        """Thread the triangle around a chordless cycle.
+
+        Cycle c_1..c_m: c_1 carries x_1, c_2 carries x_2, and
+        c_3..c_m all carry x_3; the triangle atoms sit on the edges
+        (c_1,c_2) -> R3(x1,x2), (c_2,c_3) -> R1(x2,x3),
+        (c_m,c_1) -> R2(x1,x3) reversed, and the remaining cycle edges
+        propagate x_3 by equality.
+        """
+        cycle = list(self.cycle)
+        m = len(cycle)
+        lw_tables = self._lw_tables(lw_db)
+
+        # Triangle atoms: R1(x2,x3), R2(x1,x3), R3(x1,x2).
+        def pairs_for(index: int) -> set[tuple]:
+            return lw_tables[index]
+
+        values_x3 = {row[1] for row in pairs_for(0)} | {
+            row[1] for row in pairs_for(1)
+        }
+        edge_content: dict[tuple[str, str], set[tuple]] = {}
+        edge_content[(cycle[0], cycle[1])] = {
+            (a, b) for a, b in pairs_for(2)  # R3(x1, x2)
+        }
+        edge_content[(cycle[1], cycle[2])] = {
+            (a, b) for a, b in pairs_for(0)  # R1(x2, x3)
+        }
+        for i in range(2, m - 1):  # propagate x3
+            edge_content[(cycle[i], cycle[i + 1])] = {
+                (v, v) for v in values_x3
+            }
+        edge_content[(cycle[m - 1], cycle[0])] = {
+            (b, a) for a, b in pairs_for(1)  # R2(x1, x3) reversed
+        }
+
+        cycle_set = set(cycle)
+        relations: dict[str, Relation] = {}
+        for atom in self.query.atoms:
+            touched = [v for v in atom.scope if v in cycle_set]
+            rows = set()
+            if len(touched) <= 1:
+                content = (
+                    sorted(self._domain_of(touched[0], edge_content))
+                    if touched
+                    else [None]
+                )
+                for value in content:
+                    rows.add(
+                        tuple(
+                            value if v in cycle_set else BOTTOM
+                            for v in atom.variables
+                        )
+                    )
+            else:
+                # chordless: exactly two touched, cyclically adjacent
+                first, second = touched
+                key = self._edge_key(first, second, cycle)
+                for pair in edge_content[key]:
+                    value_of = {
+                        key[0]: pair[0],
+                        key[1]: pair[1],
+                    }
+                    rows.add(
+                        tuple(
+                            value_of[v]
+                            if v in value_of
+                            else BOTTOM
+                            for v in atom.variables
+                        )
+                    )
+            relations[atom.relation] = Relation(
+                rows, arity=atom.arity
+            )
+        return Database(relations)
+
+    def _edge_key(
+        self, first: str, second: str, cycle: list[str]
+    ) -> tuple[str, str]:
+        m = len(cycle)
+        for i in range(m):
+            a, b = cycle[i], cycle[(i + 1) % m]
+            if {a, b} == {first, second}:
+                return (a, b)
+        raise AssertionError(
+            f"{first}, {second} are not a cycle edge"
+        )
+
+    def _domain_of(self, variable: str, edge_content) -> set:
+        out = set()
+        for (a, b), pairs in edge_content.items():
+            for pair in pairs:
+                if a == variable:
+                    out.add(pair[0])
+                if b == variable:
+                    out.add(pair[1])
+        return out
+
+    # -- answer translation ----------------------------------------------
+
+    def lw_answer(self, answer: dict[str, object]) -> tuple:
+        """Map a host-query answer back to an ``LW_k`` answer tuple."""
+        if self.kind == "clique":
+            return tuple(answer[v] for v in self.clique)
+        cycle = list(self.cycle)
+        return (answer[cycle[0]], answer[cycle[1]], answer[cycle[2]])

@@ -1,0 +1,379 @@
+"""k-Set-Disjointness and k-Set-Intersection (Definitions 20, 26, 29).
+
+These are the problems the paper's lower bounds route through. All of
+them are *data structure* problems — preprocess an instance, then answer
+queries — so we implement them as classes with an explicit preprocessing
+phase, which is what the benchmarks measure.
+
+Implemented back-ends:
+
+* :class:`MergeDisjointness` — (near-)linear preprocessing, per-query
+  cost proportional to the smallest queried set (the classic baseline).
+* :class:`PrecomputedDisjointness` — preprocess *all* index tuples
+  (``Θ(n^k)``-ish preprocessing, the regime the lower bound says is
+  necessary for fast queries), constant-time queries.
+* :class:`StarDisjointness` / :class:`StarSetIntersection` — the paper's
+  own connection (Lemma 22 + Proposition 19): encode the instance as a
+  database for the star query ``Q*_k`` and answer queries through
+  lexicographic direct access with a *bad* order.
+* :class:`UniqueSetIntersectionViaDisjointness` — the bit-splitting
+  reduction of Lemma 31.
+* :class:`SetIntersectionViaUnique` — the subsampling reduction of
+  Lemma 30.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.access import DirectAccess
+from repro.core.counting import (
+    CountingFromDirectAccess,
+    PrefixConstraint,
+)
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.catalog import star_bad_order, star_query
+
+
+@dataclass(frozen=True)
+class SetSystem:
+    """An instance ``I``: families ``A_1..A_k`` of subsets of a universe.
+
+    ``families[i][j]`` is the set ``S_{i+1, j+1}`` of the paper (0-based
+    here). ``size`` is ``‖I‖ = Σ |S|``.
+    """
+
+    families: tuple[tuple[frozenset[int], ...], ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.families)
+
+    @property
+    def size(self) -> int:
+        return sum(
+            len(s) for family in self.families for s in family
+        )
+
+    @property
+    def set_count(self) -> int:
+        """``n = Σ_i |A_i|``."""
+        return sum(len(family) for family in self.families)
+
+    def universe(self) -> frozenset[int]:
+        out: set[int] = set()
+        for family in self.families:
+            for subset in family:
+                out |= subset
+        return frozenset(out)
+
+    @classmethod
+    def random(
+        cls,
+        k: int,
+        sets_per_family: int,
+        set_size: int,
+        universe_size: int,
+        seed: int = 0,
+    ) -> "SetSystem":
+        rng = random.Random(seed)
+        families = []
+        for _ in range(k):
+            family = []
+            for _ in range(sets_per_family):
+                family.append(
+                    frozenset(
+                        rng.sample(
+                            range(universe_size),
+                            min(set_size, universe_size),
+                        )
+                    )
+                )
+            families.append(tuple(family))
+        return cls(tuple(families))
+
+
+class MergeDisjointness:
+    """Linear preprocessing; query cost ~ the smallest queried set."""
+
+    def __init__(self, instance: SetSystem):
+        self.instance = instance
+
+    def disjoint(self, indices: tuple[int, ...]) -> bool:
+        sets = [
+            self.instance.families[i][j]
+            for i, j in enumerate(indices)
+        ]
+        sets.sort(key=len)
+        smallest, rest = sets[0], sets[1:]
+        return not any(
+            all(element in other for other in rest)
+            for element in smallest
+        )
+
+
+class PrecomputedDisjointness:
+    """Precompute every query — the ``n^k`` preprocessing regime."""
+
+    def __init__(self, instance: SetSystem):
+        self.instance = instance
+        merge = MergeDisjointness(instance)
+        shape = [range(len(f)) for f in instance.families]
+        self._answers = {
+            indices: merge.disjoint(indices)
+            for indices in product(*shape)
+        }
+
+    def disjoint(self, indices: tuple[int, ...]) -> bool:
+        return self._answers[indices]
+
+
+def star_database(instance: SetSystem) -> Database:
+    """Lemma 22's encoding: ``R_i = {(j, v) | v ∈ S_{i,j}}``."""
+    relations = {}
+    for i, family in enumerate(instance.families):
+        rows = {
+            (j, v) for j, subset in enumerate(family) for v in subset
+        }
+        relations[f"R{i + 1}"] = Relation(rows, arity=2)
+    return Database(relations)
+
+
+class StarDisjointness:
+    """Set-disjointness through direct access on the star query.
+
+    Composes Lemma 22 (instance → star database) with Proposition 19
+    (testing the projected star via logarithmically many accesses —
+    realized here through prefix-constraint counting, which is binary
+    search over the sorted answer array).
+    """
+
+    def __init__(self, instance: SetSystem):
+        self.instance = instance
+        k = instance.k
+        self.query = star_query(k)
+        self.order = star_bad_order(k)
+        self.access = DirectAccess(
+            self.query, self.order, star_database(instance)
+        )
+        self._counter = CountingFromDirectAccess(self.access)
+
+    def disjoint(self, indices: tuple[int, ...]) -> bool:
+        constraint = PrefixConstraint(
+            tuple(indices[:-1]), indices[-1], indices[-1]
+        )
+        return self._counter.count(constraint) == 0
+
+
+class StarSetIntersection:
+    """k-Set-Intersection (Definition 26) through star direct access.
+
+    The answers extending a fixed ``(j_1..j_k)`` prefix are contiguous in
+    the sorted array of ``Q*_k`` answers under a bad order; two binary
+    searches find the range, and up to ``T`` accesses read off elements.
+    """
+
+    def __init__(self, instance: SetSystem):
+        self.instance = instance
+        k = instance.k
+        self.query = star_query(k)
+        self.order = star_bad_order(k)
+        self.access = DirectAccess(
+            self.query, self.order, star_database(instance)
+        )
+        self._counter = CountingFromDirectAccess(self.access)
+
+    def intersect(
+        self, indices: tuple[int, ...], limit: int
+    ) -> list[int]:
+        """Up to ``limit`` elements of the queried intersection."""
+        constraint = PrefixConstraint(
+            tuple(indices[:-1]), indices[-1], indices[-1]
+        )
+        start = self._counter.first_index_above(
+            tuple(indices), strict=False
+        )
+        count = self._counter.count(constraint)
+        out = []
+        for offset in range(min(limit, count)):
+            answer = self.access.tuple_at(start + offset)
+            out.append(answer[-1])  # the value of z
+        return out
+
+
+class SetIntersectionEnumeration:
+    """k-Set-Intersection-Enumeration (Definition 51, §9.1).
+
+    The offline variant: a batch of queries is given up front and *all*
+    pairs ``(query, element-of-its-intersection)`` must be enumerated.
+    Lemma 52 lower-bounds its preprocessing/delay trade-off; this
+    implementation enumerates through a per-query intersection oracle,
+    which is what the Loomis-Whitney reduction of Theorem 53 consumes.
+    """
+
+    def __init__(
+        self,
+        instance: SetSystem,
+        queries: list[tuple[int, ...]],
+        backend=None,
+    ):
+        self.instance = instance
+        self.queries = list(queries)
+        self._oracle = (
+            backend(instance) if backend is not None else None
+        )
+
+    def _intersection(self, indices: tuple[int, ...]):
+        if self._oracle is not None:
+            return self._oracle.intersect(
+                indices, len(self.instance.universe()) + 1
+            )
+        sets = [
+            self.instance.families[i][j]
+            for i, j in enumerate(indices)
+        ]
+        out = sets[0]
+        for other in sets[1:]:
+            out = out & other
+        return sorted(out)
+
+    def __iter__(self):
+        """Yield every ``(query, element)`` answer pair."""
+        for indices in self.queries:
+            for element in self._intersection(indices):
+                yield (indices, element)
+
+    def answer_count(self) -> int:
+        return sum(1 for _ in self)
+
+
+class UniqueSetIntersectionViaDisjointness:
+    """Unique-k-Set-Intersection from k-Set-Disjointness (Lemma 31).
+
+    Builds ``2ℓ`` disjointness instances (``ℓ`` = bit-length of the
+    universe): ``I_{t,b}`` removes the elements whose ``t``-th bit is
+    ``b``. A query has a unique answer iff for every bit exactly one of
+    the two restricted queries is empty, and then the bits of the answer
+    can be read off (Claim 2).
+    """
+
+    def __init__(self, instance: SetSystem, backend=MergeDisjointness):
+        self.instance = instance
+        universe = instance.universe()
+        bits = max(universe).bit_length() if universe else 1
+        self._bits = max(bits, 1)
+        self._oracles: dict[tuple[int, int], object] = {}
+        for t in range(self._bits):
+            for b in (0, 1):
+                restricted = SetSystem(
+                    tuple(
+                        tuple(
+                            frozenset(
+                                v
+                                for v in subset
+                                if (v >> t) & 1 != b
+                            )
+                            for subset in family
+                        )
+                        for family in instance.families
+                    )
+                )
+                self._oracles[(t, b)] = backend(restricted)
+
+    def unique_element(
+        self, indices: tuple[int, ...]
+    ) -> int | None:
+        """The unique element of the intersection, or None (``⊥``)."""
+        answer = 0
+        for t in range(self._bits):
+            empty0 = self._oracles[(t, 0)].disjoint(indices)
+            empty1 = self._oracles[(t, 1)].disjoint(indices)
+            if empty0 == empty1:
+                return None
+            if empty0:  # all surviving elements have bit 0 == removing b=0 empties it
+                answer |= 0 << t
+            else:
+                answer |= 1 << t
+        # empty0 means: elements with bit t != 0 form an empty intersection,
+        # i.e. the unique element has bit t = 0. Cross-check membership:
+        sets = [
+            self.instance.families[i][j]
+            for i, j in enumerate(indices)
+        ]
+        if all(answer in s for s in sets):
+            return answer
+        return None
+
+
+class SetIntersectionViaUnique:
+    """k-Set-Intersection from Unique-k-Set-Intersection (Lemma 30).
+
+    Randomized: subsample the universe at rates ``2^{-ℓ}`` for
+    ``ℓ = log T .. log 4n``, ``rounds`` instances each; a query unions the
+    unique answers that got isolated. Succeeds with high probability for
+    sufficiently many rounds.
+    """
+
+    def __init__(
+        self,
+        instance: SetSystem,
+        limit: int,
+        rounds: int | None = None,
+        seed: int = 0,
+        backend=MergeDisjointness,
+    ):
+        self.instance = instance
+        self.limit = limit
+        universe = sorted(instance.universe())
+        n = max(len(universe), 2)
+        if rounds is None:
+            import math
+
+            rounds = max(8, int(4 * limit * math.log(n + 1)))
+        rng = random.Random(seed)
+        levels = []
+        level = max(1, limit)
+        while level <= 4 * n:
+            levels.append(level)
+            level *= 2
+        self._instances = []
+        for level in levels:
+            for _ in range(rounds):
+                keep = {
+                    v
+                    for v in universe
+                    if rng.random() < 1.0 / level
+                }
+                restricted = SetSystem(
+                    tuple(
+                        tuple(
+                            frozenset(subset & keep)
+                            for subset in family
+                        )
+                        for family in instance.families
+                    )
+                )
+                self._instances.append(
+                    UniqueSetIntersectionViaDisjointness(
+                        restricted, backend=backend
+                    )
+                )
+
+    def intersect(self, indices: tuple[int, ...]) -> list[int]:
+        """Up to ``limit`` elements of the queried intersection (whp)."""
+        found: set[int] = set()
+        for oracle in self._instances:
+            element = oracle.unique_element(indices)
+            if element is not None:
+                # Filter out wrong answers as the paper does.
+                if all(
+                    element in self.instance.families[i][j]
+                    for i, j in enumerate(indices)
+                ):
+                    found.add(element)
+            if len(found) >= self.limit:
+                break
+        return sorted(found)[: self.limit]

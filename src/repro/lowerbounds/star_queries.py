@@ -1,0 +1,179 @@
+"""Star embeddings: Lemmas 15 and 17 of Section 4.1.
+
+The hardness of a self-join-free query ``Q`` with order ``L`` is shown by
+*embedding* the star query ``Q*_k`` into ``Q``: variables of ``Q`` are
+assigned *roles* among ``x_1..x_k, z`` guided by a maximum (fractional)
+independent set of the witness bag of the disruption-free decomposition,
+and any star database is translated into a database for ``Q`` so that the
+``L``-lexicographic answer order of ``Q`` maps to a *bad* order of the
+star (center last). Lemma 15 is the integral case; Lemma 17 handles
+fractional incompatibility numbers by packing ``λ = lcm`` of the
+denominators many roles per variable; both are covered here (Lemma 15 is
+the ``λ = 1`` special case).
+
+Executing the embedding demonstrates the reduction is lex-preserving and
+has the claimed ``O(|D*|^λ)`` blow-up — the computable half of the lower
+bound.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.lp.covers import fractional_independent_set
+from repro.query.query import JoinQuery
+from repro.query.variable_order import VariableOrder
+
+X_ROLE = "x"
+Z_ROLE = "z"
+
+
+class StarEmbedding:
+    """The role assignment of Lemmas 15/17 for ``(Q, L)``.
+
+    Attributes:
+        star_size: ``k`` — the number of star leaves embedded.
+        blowup: ``λ`` — the instance-size exponent of the translation.
+        roles: per query variable, the ordered list of carried roles;
+            ``("x", j)`` (1-based leaf index) sorted ascending, then
+            possibly ``("z",)`` last.
+    """
+
+    def __init__(self, query: JoinQuery, order: VariableOrder):
+        if query.has_self_joins:
+            raise QueryError(
+                "the star embedding needs a self-join-free query "
+                "(Section 6 removes self-joins first)"
+            )
+        self.query = query
+        self.order = order
+        self.decomposition = DisruptionFreeDecomposition(query, order)
+        self.iota: Fraction = self.decomposition.incompatibility_number
+
+        witness = self.decomposition.witness_bag()
+        hypergraph = self.decomposition.hypergraph
+        _value, phi = fractional_independent_set(
+            hypergraph.induced(witness.edge)
+        )
+        self.blowup = math.lcm(
+            *(weight.denominator for weight in phi.values())
+        ) if phi else 1
+        star_size = self.blowup * self.iota
+        if star_size.denominator != 1:
+            raise AssertionError("λ·ι must be integral")
+        self.star_size = int(star_size)
+
+        position = {v: i for i, v in enumerate(order)}
+        suffix = set(list(order)[witness.index:])
+        self.component = hypergraph.induced(suffix).connected_component(
+            witness.variable
+        )
+
+        self.roles: dict[str, list[tuple]] = {
+            v: [] for v in query.variables
+        }
+        next_role = 1
+        for variable in sorted(phi, key=position.__getitem__):
+            count = int(self.blowup * phi[variable])
+            self.roles[variable].extend(
+                (X_ROLE, j)
+                for j in range(next_role, next_role + count)
+            )
+            next_role += count
+        if next_role - 1 != self.star_size:
+            raise AssertionError("distributed roles must total k")
+        for variable in self.component:
+            self.roles[variable].append((Z_ROLE,))
+
+    # -- database translation ------------------------------------------
+
+    def transform_database(self, star_db: Database) -> Database:
+        """A database ``D`` for ``Q`` encoding the star database ``D*``.
+
+        Values of ``D`` are tuples packing, per variable, the values of
+        its roles (empty tuple for role-less variables); size and
+        construction time are ``O(|D*|^λ)``.
+        """
+        centers: set = set()
+        leaf_by_center: dict[int, dict] = {}
+        for j in range(1, self.star_size + 1):
+            relation = star_db[f"R{j}"]
+            by_center: dict = {}
+            for leaf, center in relation.tuples:
+                by_center.setdefault(center, set()).add(leaf)
+                centers.add(center)
+            leaf_by_center[j] = by_center
+
+        relations: dict[str, Relation] = {}
+        for atom in self.query.atoms:
+            x_roles = sorted(
+                {
+                    role[1]
+                    for variable in atom.scope
+                    for role in self.roles[variable]
+                    if role[0] == X_ROLE
+                }
+            )
+            uses_z = any(
+                (Z_ROLE,) in self.roles[variable]
+                for variable in atom.scope
+            )
+            rows = set()
+            if x_roles:
+                for center in centers:
+                    options = [
+                        sorted(leaf_by_center[j].get(center, ()))
+                        for j in x_roles
+                    ]
+                    if any(not opts for opts in options):
+                        continue
+                    assignments = [()]
+                    for opts in options:
+                        assignments = [
+                            prefix + (leaf,)
+                            for prefix in assignments
+                            for leaf in opts
+                        ]
+                    for assignment in assignments:
+                        leaf_of = dict(zip(x_roles, assignment))
+                        rows.add(
+                            self._pack_row(atom, leaf_of, center)
+                        )
+            elif uses_z:
+                for center in centers:
+                    rows.add(self._pack_row(atom, {}, center))
+            else:
+                rows.add(self._pack_row(atom, {}, None))
+            relations[atom.relation] = Relation(
+                rows, arity=atom.arity
+            )
+        return Database(relations)
+
+    def _pack_row(self, atom, leaf_of: dict, center) -> tuple:
+        row = []
+        for variable in atom.variables:
+            packed = []
+            for role in self.roles[variable]:
+                if role[0] == X_ROLE:
+                    packed.append(leaf_of[role[1]])
+                else:
+                    packed.append(center)
+            row.append(tuple(packed))
+        return tuple(row)
+
+    # -- answer translation ----------------------------------------------
+
+    def star_answer(self, answer: dict[str, object]) -> tuple:
+        """τ: map an answer of ``Q`` to ``(x_1..x_k, z)`` star values."""
+        values: dict[tuple, object] = {}
+        for variable, packed in answer.items():
+            for role, value in zip(self.roles[variable], packed):
+                values[role] = value
+        return tuple(
+            values[(X_ROLE, j)] for j in range(1, self.star_size + 1)
+        ) + (values[(Z_ROLE,)],)

@@ -1,0 +1,455 @@
+"""Zero-k-Clique: instances, brute force, and the Theorem 27 reduction.
+
+The Zero-k-Clique Conjecture (Conjecture 1) is the paper's hardness
+source. We implement:
+
+* complete multipartite weighted instances (random and with a planted
+  zero-clique) — Observation 28 lets the paper assume this shape;
+* the ``O(n^k)`` brute-force solver (the conjectured-optimal baseline);
+* the full randomized reduction of Theorem 27 from Zero-(k+1)-Clique to
+  ``k``-Set-Intersection: pick a prime field, rehash edge weights with
+  the zero-sum-preserving random shift (equation (1)), split the field
+  into intervals, and for every *interval tuple* summing to zero query a
+  set-intersection data structure; candidates are verified exactly.
+
+Executing the reduction on planted instances is how we "reproduce" the
+lower bounds: the reduction is answer-preserving and its instance counts
+match the paper's accounting.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from itertools import combinations, product
+
+from repro.lowerbounds.setdisjointness import (
+    SetIntersectionEnumeration,
+    SetSystem,
+    StarSetIntersection,
+)
+
+
+@dataclass(frozen=True)
+class MultipartiteInstance:
+    """A complete k-partite edge-weighted graph.
+
+    ``parts`` is the number of color classes, each of size ``n``; vertex
+    ``(i, a)`` is the ``a``-th vertex of class ``i``. ``weights`` maps
+    cross-class vertex pairs (with ``i < j``) to integer weights.
+    """
+
+    parts: int
+    n: int
+    weights: dict[tuple[tuple[int, int], tuple[int, int]], int]
+
+    def weight(self, u: tuple[int, int], v: tuple[int, int]) -> int:
+        if u > v:
+            u, v = v, u
+        return self.weights[(u, v)]
+
+    def clique_weight(self, vertices: tuple[tuple[int, int], ...]) -> int:
+        return sum(
+            self.weight(u, v) for u, v in combinations(vertices, 2)
+        )
+
+    @classmethod
+    def random(
+        cls,
+        parts: int,
+        n: int,
+        weight_bound: int | None = None,
+        plant_zero: bool = False,
+        seed: int = 0,
+    ) -> "MultipartiteInstance":
+        """A random instance; optionally adjust one edge to plant a zero."""
+        rng = random.Random(seed)
+        bound = weight_bound if weight_bound is not None else n ** 2
+        weights = {}
+        for i, j in combinations(range(parts), 2):
+            for a in range(n):
+                for b in range(n):
+                    weights[((i, a), (j, b))] = rng.randint(-bound, bound)
+        instance = cls(parts, n, weights)
+        if plant_zero:
+            clique = tuple(
+                (i, rng.randrange(n)) for i in range(parts)
+            )
+            total = instance.clique_weight(clique)
+            u, v = clique[0], clique[1]
+            weights[(min(u, v), max(u, v))] -= total
+            instance = cls(parts, n, weights)
+        return instance
+
+
+def complete_multipartite_from_graph(
+    n: int,
+    edges: dict[tuple[int, int], int],
+    parts: int,
+    blocking_weight: int | None = None,
+) -> MultipartiteInstance:
+    """Observation 28: general Zero-k-Clique → complete k-partite.
+
+    Every vertex ``v`` of the input graph is duplicated once per color
+    class as ``(i, v)``; an input edge ``{u, v}`` of weight ``w`` becomes
+    the cross-class edges ``{(i, u), (j, v)}`` of weight ``w``; missing
+    edges get a ``blocking_weight`` so large no zero-clique can use them.
+    Zero-k-cliques of the input correspond exactly to colorful
+    zero-cliques of the output.
+
+    Args:
+        n: number of vertices of the input graph (labelled 0..n-1).
+        edges: undirected edge weights keyed by ``(u, v)`` with u < v.
+        parts: the clique size ``k``.
+        blocking_weight: weight for non-edges; defaults to a value
+            exceeding any achievable clique-weight magnitude.
+    """
+    max_abs = max((abs(w) for w in edges.values()), default=1)
+    if blocking_weight is None:
+        blocking_weight = parts * parts * max_abs + 1
+    weights: dict[tuple[tuple[int, int], tuple[int, int]], int] = {}
+    for i, j in combinations(range(parts), 2):
+        for u in range(n):
+            for v in range(n):
+                key = (min(u, v), max(u, v))
+                if u != v and key in edges:
+                    weight = edges[key]
+                else:
+                    weight = blocking_weight
+                weights[((i, u), (j, v))] = weight
+    return MultipartiteInstance(parts, n, weights)
+
+
+def brute_force_zero_clique(
+    instance: MultipartiteInstance,
+) -> tuple[tuple[int, int], ...] | None:
+    """Exhaustive search over all ``n^k`` colorful cliques."""
+    ranges = [range(instance.n)] * instance.parts
+    for choice in product(*ranges):
+        clique = tuple(
+            (i, a) for i, a in enumerate(choice)
+        )
+        if instance.clique_weight(clique) == 0:
+            return clique
+    return None
+
+
+def _random_prime(low: int, high: int, rng: random.Random) -> int:
+    """A prime in ``[low, high]`` by rejection sampling + Miller-Rabin."""
+
+    def is_prime(m: int) -> bool:
+        if m < 2:
+            return False
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+            if m % p == 0:
+                return m == p
+        d, s = m - 1, 0
+        while d % 2 == 0:
+            d //= 2
+            s += 1
+        for _ in range(24):
+            a = rng.randrange(2, m - 1)
+            x = pow(a, d, m)
+            if x in (1, m - 1):
+                continue
+            for _ in range(s - 1):
+                x = x * x % m
+                if x == m - 1:
+                    break
+            else:
+                return False
+        return True
+
+    while True:
+        candidate = rng.randrange(low, high + 1)
+        if is_prime(candidate):
+            return candidate
+
+
+class ZeroCliqueViaSetIntersection:
+    """The Theorem 27 reduction: Zero-(k+1)-Clique → k-Set-Intersection.
+
+    Args:
+        instance: a complete (k+1)-partite instance (classes
+            ``V_1..V_k`` are the query side, ``V_{k+1}`` the universe).
+        intervals: the number ``n^ρ`` of field intervals (the paper's
+            ``ρ`` is fixed by ε; here it is an explicit knob).
+        oracle_factory: builds the k-Set-Intersection data structure from
+            a :class:`SetSystem` — by default the paper's own star-query
+            direct-access structure.
+        seed: randomness for the prime and the weight rehash.
+    """
+
+    def __init__(
+        self,
+        instance: MultipartiteInstance,
+        intervals: int = 4,
+        oracle_factory=StarSetIntersection,
+        seed: int = 0,
+    ):
+        if instance.parts < 3:
+            raise ValueError("needs at least 3 parts (k >= 2)")
+        self.instance = instance
+        self.k = instance.parts - 1
+        self.intervals = intervals
+        self.oracle_factory = oracle_factory
+        self.rng = random.Random(seed)
+        self.stats: dict[str, int] = {
+            "instances": 0,
+            "queries": 0,
+            "candidates": 0,
+        }
+
+    # -- field setup ------------------------------------------------------
+
+    def _field_and_rehash(self):
+        """Pick p and the zero-preserving random weight rehash (eq. (1))."""
+        instance = self.instance
+        k = self.k
+        max_abs = max(
+            (abs(w) for w in instance.weights.values()), default=1
+        )
+        scale = max(max_abs, 1)
+        low = 10 * (k + 1) ** 2 * scale
+        p = _random_prime(low, 10 * low, self.rng)
+        x = self.rng.randrange(1, p)
+        y = {
+            (v, j): self.rng.randrange(p)
+            for v in range(instance.n)
+            for j in range(1, k)
+        }
+
+        def rehash(i: int, a: int, j: int, b: int) -> int:
+            """w'((i,a),(j,b)) for i < j, both 0-based part indices."""
+            w = x * instance.weight((i, a), (j, b)) % p
+            if j == k:  # edges into V_{k+1}
+                if i == 0:
+                    if k >= 2:
+                        w = (w + y[(b, 1)]) % p
+                elif i < k - 1:
+                    w = (w + y[(b, i + 1)] - y[(b, i)]) % p
+                else:  # i == k - 1
+                    w = (w - y[(b, k - 1)]) % p
+            return w
+
+        return p, rehash
+
+    def _interval_of(self, value: int, p: int) -> int:
+        return value * self.intervals // p
+
+    def _interval_bounds(self, index: int, p: int) -> tuple[int, int]:
+        """Inclusive bounds of interval ``index``: ``{v : v*m // p == index}``."""
+        m = self.intervals
+        low = -(-index * p // m)  # ceil(index * p / m)
+        high = -(-(index + 1) * p // m) - 1
+        return low, high
+
+    def _zero_sum_tuples(self, p: int):
+        """All interval tuples ``(I_0..I_k)`` with ``0 ∈ Σ I_i (mod p)``."""
+        m = self.intervals
+        for prefix in product(range(m), repeat=self.k):
+            lows = [self._interval_bounds(i, p)[0] for i in prefix]
+            highs = [self._interval_bounds(i, p)[1] for i in prefix]
+            # Need I_k with 0 ∈ sum: i.e. exists t in I_k with
+            # (t + Σ prefix values) ≡ 0, i.e. I_k ∩ [-Σhigh, -Σlow] ≠ ∅.
+            target_low = (-sum(highs)) % p
+            span = sum(highs) - sum(lows)
+            first = self._interval_of(target_low, p)
+            count = span * m // p + 2
+            seen = set()
+            for step in range(count + 1):
+                index = (first + step) % m
+                if index not in seen:
+                    seen.add(index)
+                    yield (*prefix, index)
+
+    # -- the solver -------------------------------------------------------
+
+    def find_zero_clique(
+        self,
+    ) -> tuple[tuple[int, int], ...] | None:
+        """One round of the randomized reduction.
+
+        Finds a planted zero-clique with constant probability (boost by
+        re-running with fresh seeds); never returns a false positive.
+        """
+        instance = self.instance
+        k = self.k
+        n = instance.n
+        p, rehash = self._field_and_rehash()
+        limit = max(1, math.ceil(100 * (3 ** k) * n / self.intervals ** k))
+
+        for interval_tuple in self._zero_sum_tuples(p):
+            self.stats["instances"] += 1
+            families = []
+            for i in range(k):
+                low, high = self._interval_bounds(interval_tuple[i + 1], p)
+                family = []
+                for a in range(n):
+                    family.append(
+                        frozenset(
+                            u
+                            for u in range(n)
+                            if low <= rehash(i, a, k, u) <= high
+                        )
+                    )
+                families.append(tuple(family))
+            oracle = self.oracle_factory(SetSystem(tuple(families)))
+
+            low0, high0 = self._interval_bounds(interval_tuple[0], p)
+            for choice in product(range(n), repeat=k):
+                head = tuple((i, a) for i, a in enumerate(choice))
+                head_weight = 0
+                for (i, a), (j, b) in combinations(head, 2):
+                    head_weight = (head_weight + rehash(i, a, j, b)) % p
+                if not low0 <= head_weight <= high0:
+                    continue
+                self.stats["queries"] += 1
+                for u in oracle.intersect(choice, limit):
+                    self.stats["candidates"] += 1
+                    clique = head + ((k, u),)
+                    if instance.clique_weight(clique) == 0:
+                        return clique
+        return None
+
+
+class ZeroCliqueViaEnumeration:
+    """The Lemma 52 variant: Zero-(k+1)-Clique → k-Set-Intersection-
+    Enumeration (Section 9.1).
+
+    Differs from :class:`ZeroCliqueViaSetIntersection` in two ways that
+    mirror the paper exactly: the weight rehash (equation (7)) draws an
+    extra random value ``y_v`` per vertex of ``V_1`` (subtracted on
+    ``V_1``–``V_{k+1}`` edges and added on ``V_1``–``V_2`` edges), and
+    instead of online queries, each interval tuple contributes a *batch*
+    instance whose answers are enumerated until a zero-clique shows up.
+    """
+
+    def __init__(
+        self,
+        instance: MultipartiteInstance,
+        intervals: int = 4,
+        seed: int = 0,
+    ):
+        if instance.parts < 3:
+            raise ValueError("needs at least 3 parts (k >= 2)")
+        self.instance = instance
+        self.k = instance.parts - 1
+        self.intervals = intervals
+        self.rng = random.Random(seed)
+        self.stats: dict[str, int] = {
+            "instances": 0,
+            "answers_enumerated": 0,
+        }
+
+    def _field_and_rehash(self):
+        """Pick p and the equation-(7) rehash (extra y_v on V_1)."""
+        instance = self.instance
+        k = self.k
+        max_abs = max(
+            (abs(w) for w in instance.weights.values()), default=1
+        )
+        low = 10 * (k + 1) ** 2 * max(max_abs, 1)
+        p = _random_prime(low, 10 * low, self.rng)
+        x = self.rng.randrange(1, p)
+        y_center = {
+            (v, j): self.rng.randrange(p)
+            for v in range(instance.n)
+            for j in range(1, k)
+        }
+        y_first = {
+            v: self.rng.randrange(p) for v in range(instance.n)
+        }
+
+        def rehash(i: int, a: int, j: int, b: int) -> int:
+            """w'((i,a),(j,b)) for part indices i < j (0-based)."""
+            w = x * instance.weight((i, a), (j, b)) % p
+            if j == k:  # edges into V_{k+1}
+                if i == 0:
+                    w = (w + y_center[(b, 1)] - y_first[a]) % p if k >= 2 else (w - y_first[a]) % p
+                elif i < k - 1:
+                    w = (w + y_center[(b, i + 1)] - y_center[(b, i)]) % p
+                else:
+                    w = (w - y_center[(b, k - 1)]) % p
+            elif i == 0 and j == 1:  # V_1 - V_2 edges
+                w = (w + y_first[a]) % p
+            return w
+
+        return p, rehash
+
+    def _interval_of(self, value: int, p: int) -> int:
+        return value * self.intervals // p
+
+    def _interval_bounds(self, index: int, p: int) -> tuple[int, int]:
+        m = self.intervals
+        low = -(-index * p // m)
+        high = -(-(index + 1) * p // m) - 1
+        return low, high
+
+    def _zero_sum_tuples(self, p: int):
+        m = self.intervals
+        for prefix in product(range(m), repeat=self.k):
+            lows = [self._interval_bounds(i, p)[0] for i in prefix]
+            highs = [self._interval_bounds(i, p)[1] for i in prefix]
+            target_low = (-sum(highs)) % p
+            span = sum(highs) - sum(lows)
+            first = self._interval_of(target_low, p)
+            count = span * m // p + 2
+            seen = set()
+            for step in range(count + 1):
+                index = (first + step) % m
+                if index not in seen:
+                    seen.add(index)
+                    yield (*prefix, index)
+
+    def find_zero_clique(
+        self,
+    ) -> tuple[tuple[int, int], ...] | None:
+        """One round; finds a planted zero-clique with high probability."""
+        instance = self.instance
+        k = self.k
+        n = instance.n
+        p, rehash = self._field_and_rehash()
+
+        for interval_tuple in self._zero_sum_tuples(p):
+            self.stats["instances"] += 1
+            families = []
+            for i in range(k):
+                low, high = self._interval_bounds(
+                    interval_tuple[i + 1], p
+                )
+                family = []
+                for a in range(n):
+                    family.append(
+                        frozenset(
+                            u
+                            for u in range(n)
+                            if low <= rehash(i, a, k, u) <= high
+                        )
+                    )
+                families.append(tuple(family))
+
+            low0, high0 = self._interval_bounds(interval_tuple[0], p)
+            queries = []
+            for choice in product(range(n), repeat=k):
+                head = tuple((i, a) for i, a in enumerate(choice))
+                head_weight = 0
+                for (i, a), (j, b) in combinations(head, 2):
+                    head_weight = (
+                        head_weight + rehash(i, a, j, b)
+                    ) % p
+                if low0 <= head_weight <= high0:
+                    queries.append(choice)
+
+            enumeration = SetIntersectionEnumeration(
+                SetSystem(tuple(families)), queries
+            )
+            for choice, u in enumeration:
+                self.stats["answers_enumerated"] += 1
+                clique = tuple(
+                    (i, a) for i, a in enumerate(choice)
+                ) + ((k, u),)
+                if instance.clique_weight(clique) == 0:
+                    return clique
+        return None

@@ -1,0 +1,27 @@
+"""Exact rational linear programming and hypergraph covers."""
+
+from repro.lp.covers import (
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    fractional_independent_set,
+    fractional_independent_set_number,
+    is_independent_set,
+    maximum_independent_set,
+)
+from repro.lp.simplex import EQ, GE, LE, Constraint, LPSolution, maximize_lp, solve_lp
+
+__all__ = [
+    "Constraint",
+    "EQ",
+    "GE",
+    "LE",
+    "LPSolution",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "fractional_independent_set",
+    "fractional_independent_set_number",
+    "is_independent_set",
+    "maximum_independent_set",
+    "maximize_lp",
+    "solve_lp",
+]

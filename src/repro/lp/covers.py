@@ -1,0 +1,110 @@
+"""Fractional edge covers and independent sets of hypergraphs (Section 2.3).
+
+* ``fractional_edge_cover_number`` — ρ*(H), with an optimal weighting.
+* ``fractional_independent_set_number`` — α*(H); equals ρ*(H) by LP
+  duality when every vertex is covered by an edge.
+* ``maximum_independent_set`` — an optimal *integral* independent set
+  (brute force; in acyclic hypergraphs its size equals ρ*, the fact used
+  by the star embedding of Lemma 15).
+
+All values are exact :class:`fractions.Fraction` numbers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.simplex import GE, LE, Constraint, maximize_lp, solve_lp
+
+
+def fractional_edge_cover(
+    hypergraph: Hypergraph,
+) -> tuple[Fraction, dict[frozenset[str], Fraction]]:
+    """Return ``(ρ*(H), weights)`` for an optimal fractional edge cover.
+
+    The LP has one variable per edge, minimizes total weight, and demands
+    that every vertex receive total incident weight at least 1.
+    """
+    edges = sorted(hypergraph.edges, key=lambda e: tuple(sorted(e)))
+    vertices = sorted(hypergraph.vertices)
+    if not vertices:
+        return Fraction(0), {}
+    constraints = []
+    for vertex in vertices:
+        row = tuple(
+            Fraction(1) if vertex in edge else Fraction(0)
+            for edge in edges
+        )
+        constraints.append(Constraint(row, GE, Fraction(1)))
+    solution = solve_lp([Fraction(1)] * len(edges), constraints)
+    weights = {
+        edge: weight
+        for edge, weight in zip(edges, solution.assignment)
+        if weight != 0
+    }
+    return solution.value, weights
+
+
+def fractional_edge_cover_number(hypergraph: Hypergraph) -> Fraction:
+    """ρ*(H) as an exact rational."""
+    value, _ = fractional_edge_cover(hypergraph)
+    return value
+
+
+def fractional_independent_set(
+    hypergraph: Hypergraph,
+) -> tuple[Fraction, dict[str, Fraction]]:
+    """Return ``(α*(H), weights)`` for an optimal fractional independent set.
+
+    Maximizes the total vertex weight subject to weight at most 1 per edge
+    and per vertex (the paper maps vertices into [0, 1]).
+    """
+    vertices = sorted(hypergraph.vertices)
+    if not vertices:
+        return Fraction(0), {}
+    index = {v: i for i, v in enumerate(vertices)}
+    constraints = []
+    for edge in sorted(hypergraph.edges, key=lambda e: tuple(sorted(e))):
+        row = [Fraction(0)] * len(vertices)
+        for vertex in edge:
+            row[index[vertex]] = Fraction(1)
+        constraints.append(Constraint(tuple(row), LE, Fraction(1)))
+    for vertex in vertices:  # phi(v) <= 1
+        row = [Fraction(0)] * len(vertices)
+        row[index[vertex]] = Fraction(1)
+        constraints.append(Constraint(tuple(row), LE, Fraction(1)))
+    solution = maximize_lp([Fraction(1)] * len(vertices), constraints)
+    weights = {
+        vertex: weight
+        for vertex, weight in zip(vertices, solution.assignment)
+        if weight != 0
+    }
+    return solution.value, weights
+
+
+def fractional_independent_set_number(hypergraph: Hypergraph) -> Fraction:
+    """α*(H) as an exact rational."""
+    value, _ = fractional_independent_set(hypergraph)
+    return value
+
+
+def is_independent_set(hypergraph: Hypergraph, vertices) -> bool:
+    """True when every edge contains at most one of ``vertices``."""
+    vertex_set = set(vertices)
+    return all(len(edge & vertex_set) <= 1 for edge in hypergraph.edges)
+
+
+def maximum_independent_set(hypergraph: Hypergraph) -> frozenset[str]:
+    """A maximum integral independent set, by brute force.
+
+    Exponential in the number of vertices — acceptable because hypergraphs
+    here are query-sized (data complexity).
+    """
+    vertices = sorted(hypergraph.vertices)
+    for size in range(len(vertices), 0, -1):
+        for subset in combinations(vertices, size):
+            if is_independent_set(hypergraph, subset):
+                return frozenset(subset)
+    return frozenset()

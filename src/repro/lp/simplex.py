@@ -1,0 +1,214 @@
+"""An exact two-phase simplex solver over :class:`fractions.Fraction`.
+
+Fractional edge cover numbers feed exponents (the incompatibility number,
+Definition 9) and the denominator blow-up λ of Lemma 17, so they must be
+exact rationals — floating-point LP is not acceptable. Query-sized LPs are
+tiny, so a dense tableau simplex with Bland's anti-cycling rule is plenty.
+
+The solver handles::
+
+    minimize    c . x
+    subject to  A_i . x  (<= | >= | ==)  b_i     for every constraint i
+                x >= 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import InfeasibleError, UnboundedError
+
+LE, GE, EQ = "<=", ">=", "=="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One linear constraint ``coefficients . x  sense  rhs``."""
+
+    coefficients: tuple[Fraction, ...]
+    sense: str
+    rhs: Fraction
+
+    def __post_init__(self) -> None:
+        if self.sense not in (LE, GE, EQ):
+            raise ValueError(f"bad sense {self.sense!r}")
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """An optimal solution: objective value and variable assignment."""
+
+    value: Fraction
+    assignment: tuple[Fraction, ...]
+
+
+def _pivot(
+    tableau: list[list[Fraction]], basis: list[int], row: int, col: int
+) -> None:
+    pivot_value = tableau[row][col]
+    tableau[row] = [x / pivot_value for x in tableau[row]]
+    for r, other in enumerate(tableau):
+        if r != row and other[col] != 0:
+            factor = other[col]
+            tableau[r] = [
+                x - factor * y for x, y in zip(other, tableau[row])
+            ]
+    basis[row] = col
+
+
+def _run_simplex(
+    tableau: list[list[Fraction]], basis: list[int], num_cols: int
+) -> None:
+    """Optimize in place. The last tableau row is the objective row.
+
+    Uses Bland's rule (smallest eligible index) which guarantees
+    termination. Raises UnboundedError when a column can grow forever.
+    """
+    objective = tableau[-1]
+    while True:
+        entering = next(
+            (j for j in range(num_cols) if objective[j] < 0), None
+        )
+        if entering is None:
+            return
+        best_row = None
+        best_ratio = None
+        for r in range(len(tableau) - 1):
+            coefficient = tableau[r][entering]
+            if coefficient > 0:
+                ratio = tableau[r][-1] / coefficient
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio
+                    or (ratio == best_ratio and basis[r] < basis[best_row])
+                ):
+                    best_ratio = ratio
+                    best_row = r
+        if best_row is None:
+            raise UnboundedError("LP is unbounded")
+        _pivot(tableau, basis, best_row, entering)
+        objective = tableau[-1]
+
+
+def solve_lp(
+    objective: Sequence[Fraction | int],
+    constraints: Sequence[Constraint],
+) -> LPSolution:
+    """Minimize ``objective . x`` subject to ``constraints`` and ``x >= 0``.
+
+    Returns an exact optimal :class:`LPSolution`. Raises
+    :class:`~repro.errors.InfeasibleError` / UnboundedError as appropriate.
+    """
+    cost = [Fraction(c) for c in objective]
+    n = len(cost)
+    rows: list[list[Fraction]] = []
+    senses: list[str] = []
+    rhs: list[Fraction] = []
+    for constraint in constraints:
+        coefficients = [Fraction(c) for c in constraint.coefficients]
+        if len(coefficients) != n:
+            raise ValueError("constraint width does not match objective")
+        right = Fraction(constraint.rhs)
+        sense = constraint.sense
+        if right < 0:  # normalize to nonnegative right-hand sides
+            coefficients = [-c for c in coefficients]
+            right = -right
+            sense = {LE: GE, GE: LE, EQ: EQ}[sense]
+        rows.append(coefficients)
+        senses.append(sense)
+        rhs.append(right)
+
+    m = len(rows)
+    num_slack = sum(1 for s in senses if s in (LE, GE))
+    num_artificial = sum(1 for s in senses if s in (GE, EQ))
+    total = n + num_slack + num_artificial
+
+    tableau: list[list[Fraction]] = []
+    basis: list[int] = []
+    slack_index = n
+    artificial_index = n + num_slack
+    artificial_columns: list[int] = []
+    for i in range(m):
+        row = rows[i] + [Fraction(0)] * (total - n) + [rhs[i]]
+        if senses[i] == LE:
+            row[slack_index] = Fraction(1)
+            basis.append(slack_index)
+            slack_index += 1
+        elif senses[i] == GE:
+            row[slack_index] = Fraction(-1)
+            slack_index += 1
+            row[artificial_index] = Fraction(1)
+            basis.append(artificial_index)
+            artificial_columns.append(artificial_index)
+            artificial_index += 1
+        else:  # EQ
+            row[artificial_index] = Fraction(1)
+            basis.append(artificial_index)
+            artificial_columns.append(artificial_index)
+            artificial_index += 1
+        tableau.append(row)
+
+    # Phase 1: minimize the sum of artificial variables.
+    phase1 = [Fraction(0)] * (total + 1)
+    for col in artificial_columns:
+        phase1[col] = Fraction(1)
+    tableau.append(phase1)
+    for r, b in enumerate(basis):
+        if b in artificial_columns:
+            tableau[-1] = [
+                x - y for x, y in zip(tableau[-1], tableau[r])
+            ]
+    _run_simplex(tableau, basis, total)
+    if -tableau[-1][-1] != 0:
+        raise InfeasibleError("LP is infeasible")
+    tableau.pop()
+
+    # Drive any artificial variable out of the basis (degenerate cases).
+    for r, b in enumerate(basis):
+        if b in artificial_columns:
+            pivot_col = next(
+                (
+                    j
+                    for j in range(n + num_slack)
+                    if tableau[r][j] != 0
+                ),
+                None,
+            )
+            if pivot_col is not None:
+                _pivot(tableau, basis, r, pivot_col)
+
+    # Phase 2: minimize the real objective over structural+slack columns.
+    usable = n + num_slack
+    phase2 = [Fraction(0)] * (total + 1)
+    for j in range(n):
+        phase2[j] = cost[j]
+    tableau.append(phase2)
+    for r, b in enumerate(basis):
+        if b < total and tableau[-1][b] != 0:
+            factor = tableau[-1][b]
+            tableau[-1] = [
+                x - factor * y for x, y in zip(tableau[-1], tableau[r])
+            ]
+    _run_simplex(tableau, basis, usable)
+
+    assignment = [Fraction(0)] * n
+    for r, b in enumerate(basis):
+        if b < n:
+            assignment[b] = tableau[r][-1]
+    value = sum(
+        (c * x for c, x in zip(cost, assignment)), start=Fraction(0)
+    )
+    return LPSolution(value=value, assignment=tuple(assignment))
+
+
+def maximize_lp(
+    objective: Sequence[Fraction | int],
+    constraints: Sequence[Constraint],
+) -> LPSolution:
+    """Maximize ``objective . x`` (same constraint conventions)."""
+    solution = solve_lp([-Fraction(c) for c in objective], constraints)
+    return LPSolution(
+        value=-solution.value, assignment=solution.assignment
+    )

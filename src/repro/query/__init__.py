@@ -1,0 +1,21 @@
+"""Query model: atoms, join/conjunctive queries, orders, transforms."""
+
+from repro.query.atoms import Atom
+from repro.query.parser import parse_query
+from repro.query.query import ConjunctiveQuery, JoinQuery
+from repro.query.transforms import (
+    colored_version,
+    self_join_free_version,
+)
+from repro.query.variable_order import VariableOrder, all_orders
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "JoinQuery",
+    "VariableOrder",
+    "all_orders",
+    "colored_version",
+    "parse_query",
+    "self_join_free_version",
+]

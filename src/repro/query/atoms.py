@@ -1,0 +1,75 @@
+"""Atoms of conjunctive queries.
+
+An atom ``R(x, y, x)`` pairs a relation symbol with a tuple of variables;
+variables may repeat within an atom (the corresponding columns of a
+matching database tuple must then be equal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One atom ``relation(v1, ..., vk)`` of a query.
+
+    Attributes:
+        relation: the relation symbol, e.g. ``"R"``.
+        variables: the variable tuple in scope order; repeats allowed.
+    """
+
+    relation: str
+    variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise QueryError("atom needs a non-empty relation symbol")
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, "variables", tuple(self.variables))
+        if not self.variables:
+            raise QueryError(f"atom {self.relation}() has no variables")
+
+    @property
+    def arity(self) -> int:
+        """Number of columns of the relation this atom refers to."""
+        return len(self.variables)
+
+    @property
+    def scope(self) -> frozenset[str]:
+        """The *set* of variables occurring in the atom (repeats merged)."""
+        return frozenset(self.variables)
+
+    def matches(self, row: tuple, assignment: dict[str, object]) -> bool:
+        """Check whether ``row`` is consistent with ``assignment``.
+
+        ``row`` must have the atom's arity. Returns True when binding the
+        atom's variables to the row's values neither conflicts with
+        ``assignment`` nor with a repeated variable inside the atom.
+        """
+        seen: dict[str, object] = {}
+        for var, value in zip(self.variables, row):
+            if var in assignment and assignment[var] != value:
+                return False
+            if var in seen and seen[var] != value:
+                return False
+            seen[var] = value
+        return True
+
+    def binding(self, row: tuple) -> dict[str, object] | None:
+        """Return the variable binding induced by ``row``, or None.
+
+        None signals that ``row`` assigns conflicting values to a repeated
+        variable of the atom.
+        """
+        bound: dict[str, object] = {}
+        for var, value in zip(self.variables, row):
+            if var in bound and bound[var] != value:
+                return None
+            bound[var] = value
+        return bound
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"

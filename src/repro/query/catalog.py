@@ -1,0 +1,135 @@
+"""Named queries used throughout the paper.
+
+Builders for the recurring query families:
+
+* paths and cycles,
+* the k-star query ``Q*_k`` of Section 4.1 (with its *bad* orders),
+* Loomis-Whitney joins ``LW_k`` (Section 9.2), with ``LW_3`` the triangle,
+* Example 5 (Figure 1) and Example 18 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.query.atoms import Atom
+from repro.query.query import ConjunctiveQuery, JoinQuery
+from repro.query.variable_order import VariableOrder
+
+
+def path_query(length: int, name: str = "Path") -> JoinQuery:
+    """The path join ``Q(x1..x_{k+1}) :- R1(x1,x2), ..., Rk(xk,x_{k+1})``."""
+    if length < 1:
+        raise ValueError("a path needs at least one atom")
+    atoms = tuple(
+        Atom(f"R{i + 1}", (f"x{i + 1}", f"x{i + 2}"))
+        for i in range(length)
+    )
+    return JoinQuery(atoms, name=name)
+
+
+def cycle_query(length: int, name: str = "Cycle") -> JoinQuery:
+    """The cycle join ``R1(x1,x2), ..., Rk(xk,x1)`` (the 4-cycle of §8.2)."""
+    if length < 3:
+        raise ValueError("a cycle needs at least three atoms")
+    atoms = tuple(
+        Atom(
+            f"R{i + 1}",
+            (f"x{i + 1}", f"x{(i + 1) % length + 1}"),
+        )
+        for i in range(length)
+    )
+    return JoinQuery(atoms, name=name)
+
+
+def four_cycle_query() -> JoinQuery:
+    """The query ``Q◦`` of Section 8.2."""
+    return cycle_query(4, name="Q_cycle4")
+
+
+def star_query(leaves: int, name: str | None = None) -> JoinQuery:
+    """The k-star ``Q*_k(x1..xk, z) :- R1(x1,z), ..., Rk(xk,z)``."""
+    if leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    atoms = tuple(
+        Atom(f"R{i + 1}", (f"x{i + 1}", "z")) for i in range(leaves)
+    )
+    return JoinQuery(atoms, name=name or f"Q_star{leaves}")
+
+
+def star_bad_order(leaves: int) -> VariableOrder:
+    """A *bad* order for ``Q*_k``: the center ``z`` comes last."""
+    return VariableOrder([f"x{i + 1}" for i in range(leaves)] + ["z"])
+
+
+def star_good_order(leaves: int) -> VariableOrder:
+    """A tractable order for ``Q*_k``: the center ``z`` comes first."""
+    return VariableOrder(["z"] + [f"x{i + 1}" for i in range(leaves)])
+
+
+def projected_star_query(leaves: int) -> ConjunctiveQuery:
+    """``Q̄*_k``: the star with the center ``z`` projected away."""
+    return star_query(leaves).project(
+        tuple(f"x{i + 1}" for i in range(leaves))
+    )
+
+
+def loomis_whitney_query(k: int, name: str | None = None) -> JoinQuery:
+    """``LW_k``: k atoms, atom i containing all variables except ``x_i``."""
+    if k < 3:
+        raise ValueError("Loomis-Whitney joins need k >= 3")
+    variables = [f"x{i + 1}" for i in range(k)]
+    atoms = tuple(
+        Atom(
+            f"R{i + 1}",
+            tuple(v for j, v in enumerate(variables) if j != i),
+        )
+        for i in range(k)
+    )
+    return JoinQuery(atoms, name=name or f"LW{k}")
+
+
+def triangle_query() -> JoinQuery:
+    """``LW_3``, the (edge-colored) triangle query."""
+    return loomis_whitney_query(3, name="Triangle")
+
+
+def example5_query() -> JoinQuery:
+    """Example 5 / Figure 1: R1(v1,v5), R2(v2,v4), R3(v3,v4), R4(v3,v5)."""
+    return JoinQuery(
+        (
+            Atom("R1", ("v1", "v5")),
+            Atom("R2", ("v2", "v4")),
+            Atom("R3", ("v3", "v4")),
+            Atom("R4", ("v3", "v5")),
+        ),
+        name="Example5",
+    )
+
+
+def example5_order() -> VariableOrder:
+    """The order (v1, v2, v3, v4, v5) of Example 5."""
+    return VariableOrder(["v1", "v2", "v3", "v4", "v5"])
+
+
+def example18_query() -> JoinQuery:
+    """Example 18: Example 5 plus R5(v1,v2), R6(v2,v3), R7(v1,v3).
+
+    Cyclic, no disruptive trios for the order of Example 5, and
+    incompatibility number exactly 3/2.
+    """
+    return JoinQuery(
+        example5_query().atoms
+        + (
+            Atom("R5", ("v1", "v2")),
+            Atom("R6", ("v2", "v3")),
+            Atom("R7", ("v1", "v3")),
+        ),
+        name="Example18",
+    )
+
+
+def running_selfjoin_query() -> JoinQuery:
+    """Example 37: ``Q(x, y, z) :- R(x), R(y), R(z)``."""
+    return JoinQuery(
+        (Atom("R", ("x",)), Atom("R", ("y",)), Atom("R", ("z",))),
+        name="Example37",
+    )

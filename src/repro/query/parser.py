@@ -1,0 +1,85 @@
+"""A small parser for textual (conjunctive) queries.
+
+Grammar (whitespace-insensitive)::
+
+    query  :=  head ":-" body
+    head   :=  NAME "(" vars ")"
+    body   :=  atom ("," atom)*
+    atom   :=  NAME "(" vars ")"
+    vars   :=  NAME ("," NAME)*
+
+If the head lists every body variable the result is a plain
+:class:`~repro.query.query.JoinQuery`; otherwise the head defines the free
+variables of a :class:`~repro.query.query.ConjunctiveQuery`.
+
+Example:
+    >>> q = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+    >>> q.variables
+    ('x', 'y', 'z')
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QueryError
+from repro.query.atoms import Atom
+from repro.query.query import ConjunctiveQuery, JoinQuery
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_']*"
+_ATOM_RE = re.compile(rf"\s*({_NAME})\s*\(([^()]*)\)\s*")
+
+
+def _parse_atom_text(text: str) -> tuple[str, tuple[str, ...]]:
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise QueryError(f"cannot parse atom {text!r}")
+    name = match.group(1)
+    variables = tuple(v.strip() for v in match.group(2).split(","))
+    if any(not v for v in variables):
+        raise QueryError(f"empty variable in atom {text!r}")
+    for var in variables:
+        if not re.fullmatch(_NAME, var):
+            raise QueryError(f"bad variable name {var!r} in atom {text!r}")
+    return name, variables
+
+
+def _split_atoms(body: str) -> list[str]:
+    """Split on commas that are not inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryError(f"unbalanced parentheses in {body!r}")
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise QueryError(f"unbalanced parentheses in {body!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def parse_query(text: str) -> JoinQuery:
+    """Parse a textual query into a JoinQuery or ConjunctiveQuery.
+
+    Raises :class:`~repro.errors.QueryError` on malformed input.
+    """
+    if ":-" not in text:
+        raise QueryError(f"query {text!r} is missing ':-'")
+    head_text, body_text = text.split(":-", 1)
+    name, head_vars = _parse_atom_text(head_text)
+    atoms = tuple(
+        Atom(*_parse_atom_text(part)) for part in _split_atoms(body_text)
+    )
+    body_vars = {v for atom in atoms for v in atom.variables}
+    if set(head_vars) == body_vars and len(set(head_vars)) == len(head_vars):
+        return JoinQuery(atoms, name=name)
+    return ConjunctiveQuery(atoms, name=name, free=head_vars)

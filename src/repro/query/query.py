@@ -1,0 +1,124 @@
+"""Join queries and conjunctive queries (Section 2.1 of the paper).
+
+A :class:`JoinQuery` is a full conjunctive query — its head contains every
+variable of the body. A :class:`ConjunctiveQuery` may project variables
+away. Queries may contain *self-joins* (the same relation symbol used by
+several atoms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.atoms import Atom
+
+
+def _unique_in_order(items) -> tuple:
+    seen = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A join query ``Q(u) :- R_1(x_1), ..., R_n(x_n)`` without projections.
+
+    Attributes:
+        atoms: the body atoms, in the order they were written.
+        name: the head predicate name (cosmetic).
+    """
+
+    atoms: tuple[Atom, ...]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atoms, tuple):
+            object.__setattr__(self, "atoms", tuple(self.atoms))
+        if not self.atoms:
+            raise QueryError("a query needs at least one atom")
+        arities: dict[str, int] = {}
+        for atom in self.atoms:
+            known = arities.setdefault(atom.relation, atom.arity)
+            if known != atom.arity:
+                raise QueryError(
+                    f"relation {atom.relation} used with arities "
+                    f"{known} and {atom.arity}"
+                )
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """All variables, in order of first occurrence in the body."""
+        return _unique_in_order(
+            var for atom in self.atoms for var in atom.variables
+        )
+
+    @property
+    def free_variables(self) -> tuple[str, ...]:
+        """Join queries have no projections: every variable is free."""
+        return self.variables
+
+    @property
+    def relation_symbols(self) -> tuple[str, ...]:
+        """Distinct relation symbols, in order of first occurrence."""
+        return _unique_in_order(atom.relation for atom in self.atoms)
+
+    @property
+    def has_self_joins(self) -> bool:
+        """True when some relation symbol occurs in two different atoms."""
+        return len(self.relation_symbols) < len(self.atoms)
+
+    def arity_of(self, relation: str) -> int:
+        """The arity a database must provide for ``relation``."""
+        for atom in self.atoms:
+            if atom.relation == relation:
+                return atom.arity
+        raise QueryError(f"relation {relation} does not occur in {self}")
+
+    def scopes(self) -> tuple[frozenset[str], ...]:
+        """Variable scopes of all atoms (the hyperedges of the query)."""
+        return tuple(atom.scope for atom in self.atoms)
+
+    def project(self, free: tuple[str, ...]) -> "ConjunctiveQuery":
+        """Build the conjunctive query keeping only ``free`` in the head."""
+        return ConjunctiveQuery(self.atoms, name=self.name, free=tuple(free))
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(self.free_variables)})"
+        return f"{head} :- {', '.join(str(a) for a in self.atoms)}"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery(JoinQuery):
+    """A conjunctive query: a join query whose head may omit variables."""
+
+    free: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.free, tuple):
+            object.__setattr__(self, "free", tuple(self.free))
+        body_vars = set(self.variables)
+        for var in self.free:
+            if var not in body_vars:
+                raise QueryError(f"head variable {var} not in the body")
+        if len(set(self.free)) != len(self.free):
+            raise QueryError("head variables must be distinct")
+
+    @property
+    def free_variables(self) -> tuple[str, ...]:
+        return self.free
+
+    @property
+    def projected_variables(self) -> tuple[str, ...]:
+        """Body variables that do not appear in the head."""
+        head = set(self.free)
+        return tuple(v for v in self.variables if v not in head)
+
+    def as_join_query(self) -> JoinQuery:
+        """Drop the projection, returning the underlying join query."""
+        return JoinQuery(self.atoms, name=self.name)

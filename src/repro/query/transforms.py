@@ -1,0 +1,102 @@
+"""Query transformations used by the self-join machinery (Section 6).
+
+* :func:`self_join_free_version` — replace relation symbols so that each
+  symbol occurs in at most one atom (the query ``Q^sf`` of Theorem 33).
+* :func:`colored_version` — add a fresh unary atom ``R_x(x)`` per variable
+  (the query ``Q^c`` of Section 6.1).
+* :func:`query_structure` — the finite structure ``A_Q`` whose
+  homomorphisms into a database are exactly the query answers (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.query.atoms import Atom
+from repro.query.query import JoinQuery
+
+COLOR_PREFIX = "__color__"
+
+
+def self_join_free_name(atom: Atom) -> str:
+    """The canonical fresh symbol for ``atom`` in the self-join-free version.
+
+    Mirrors the paper's ``R_{x1,...,xk}`` naming: the new symbol encodes
+    the original symbol and the variable list, so two atoms get the same
+    new symbol only if they are literally the same atom.
+    """
+    return f"{atom.relation}__{'_'.join(atom.variables)}"
+
+
+def self_join_free_version(query: JoinQuery) -> JoinQuery:
+    """Build a self-join-free version ``Q^sf`` of ``query``.
+
+    Duplicate atoms (same symbol, same variable tuple) are merged, matching
+    the set semantics of conjunction.
+    """
+    seen: set[Atom] = set()
+    atoms: list[Atom] = []
+    for atom in query.atoms:
+        if atom in seen:
+            continue
+        seen.add(atom)
+        atoms.append(Atom(self_join_free_name(atom), atom.variables))
+    return JoinQuery(tuple(atoms), name=f"{query.name}_sf")
+
+
+def color_symbol(variable: str) -> str:
+    """Relation symbol of the unary color atom guarding ``variable``."""
+    return f"{COLOR_PREFIX}{variable}"
+
+
+def colored_version(query: JoinQuery) -> JoinQuery:
+    """Build the colored version ``Q^c``: ``Q`` plus one ``R_x(x)`` per var."""
+    color_atoms = tuple(
+        Atom(color_symbol(v), (v,)) for v in query.variables
+    )
+    return JoinQuery(query.atoms + color_atoms, name=f"{query.name}_c")
+
+
+def query_structure(query: JoinQuery) -> dict[str, set[tuple[str, ...]]]:
+    """The structure ``A_Q`` of a query, as symbol -> set of variable tuples.
+
+    An answer of ``query`` on database ``D`` is exactly a homomorphism from
+    ``A_Q`` to ``D`` (Section 6.3).
+    """
+    structure: dict[str, set[tuple[str, ...]]] = {}
+    for atom in query.atoms:
+        structure.setdefault(atom.relation, set()).add(atom.variables)
+    return structure
+
+
+def _is_structure_homomorphism(
+    structure: dict[str, set[tuple[str, ...]]], mapping: dict[str, str]
+) -> bool:
+    for tuples in structure.values():
+        for tup in tuples:
+            image = tuple(mapping[v] for v in tup)
+            if image not in tuples:
+                return False
+    return True
+
+
+def automorphisms(
+    query: JoinQuery, fixed: tuple[str, ...] = ()
+) -> list[dict[str, str]]:
+    """All automorphisms of ``A_Q`` that fix every variable in ``fixed``.
+
+    Brute force over permutations — fine under data complexity, where the
+    query is constant-sized. Used by the self-join elimination pipeline
+    (the ``aut(A_Q, c)`` count of Section 6.3).
+    """
+    variables = query.variables
+    structure = query_structure(query)
+    fixed_set = set(fixed)
+    movable = [v for v in variables if v not in fixed_set]
+    found: list[dict[str, str]] = []
+    for image in permutations(movable):
+        mapping = {v: v for v in fixed_set}
+        mapping.update(dict(zip(movable, image)))
+        if _is_structure_homomorphism(structure, mapping):
+            found.append(mapping)
+    return found

@@ -1,0 +1,108 @@
+"""Variable orderings and the lexicographic orders they induce.
+
+A lexicographic order of a join query is specified by a permutation ``L``
+of its variables (Section 2.1). Answers are compared by the first variable
+of ``L`` on which they differ; the order on constants is the natural
+Python ordering of the database domain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import OrderError
+from repro.query.query import JoinQuery
+
+
+class VariableOrder:
+    """A permutation of (a subset of) a query's variables.
+
+    For full lexicographic direct access the order must cover all free
+    variables; *partial* lexicographic orders (Section 8.3) cover only a
+    prefix set and leave tie-breaking to the algorithm.
+    """
+
+    def __init__(self, variables: Sequence[str]):
+        self._variables = tuple(variables)
+        if len(set(self._variables)) != len(self._variables):
+            raise OrderError(f"order {self._variables} repeats a variable")
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self._variables
+
+    def __iter__(self):
+        return iter(self._variables)
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    def __getitem__(self, index: int) -> str:
+        return self._variables[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, VariableOrder):
+            return self._variables == other._variables
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._variables)
+
+    def __repr__(self) -> str:
+        return f"VariableOrder({list(self._variables)})"
+
+    def position(self, variable: str) -> int:
+        """0-based position of ``variable`` in the order."""
+        try:
+            return self._variables.index(variable)
+        except ValueError:
+            raise OrderError(f"{variable} is not in {self!r}") from None
+
+    def validate_for(self, query: JoinQuery, partial: bool = False) -> None:
+        """Check the order fits ``query``.
+
+        A full order must be a permutation of the query's free variables; a
+        partial order must use only free variables.
+        """
+        free = set(query.free_variables)
+        extra = set(self._variables) - free
+        if extra:
+            raise OrderError(
+                f"order mentions variables {sorted(extra)} that are not "
+                f"free in {query}"
+            )
+        if not partial and set(self._variables) != free:
+            missing = free - set(self._variables)
+            raise OrderError(
+                f"order is missing free variables {sorted(missing)}"
+            )
+
+    def key(self, answer: dict[str, object]) -> tuple:
+        """Sort key of an answer (a variable->constant mapping)."""
+        return tuple(answer[v] for v in self._variables)
+
+    def key_of_tuple(
+        self, answer: tuple, answer_variables: Sequence[str]
+    ) -> tuple:
+        """Sort key of an answer given as a tuple over ``answer_variables``."""
+        index = {v: i for i, v in enumerate(answer_variables)}
+        return tuple(answer[index[v]] for v in self._variables)
+
+    def sort_answers(
+        self, answers: Iterable[dict[str, object]]
+    ) -> list[dict[str, object]]:
+        """Sort answer mappings by the induced lexicographic order."""
+        return sorted(answers, key=self.key)
+
+
+def all_orders(query: JoinQuery) -> Iterable[VariableOrder]:
+    """Yield every permutation of the query's free variables.
+
+    Intended for small queries only (data complexity: the query is
+    constant-sized); used e.g. to minimize the incompatibility number over
+    orders (Proposition 45).
+    """
+    from itertools import permutations
+
+    for perm in permutations(query.free_variables):
+        yield VariableOrder(perm)

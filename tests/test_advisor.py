@@ -1,0 +1,93 @@
+"""Tests for the order advisor."""
+
+from fractions import Fraction
+
+from repro.core.advisor import (
+    cheapest_order,
+    cheapest_order_with_prefix,
+    order_cost_spread,
+    rank_orders,
+)
+from repro.core.htw import fractional_hypertree_width
+from repro.query.catalog import (
+    example5_query,
+    four_cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.query.variable_order import VariableOrder
+
+
+class TestRanking:
+    def test_star_cheapest_is_tractable(self):
+        # One leaf before the center is still trio-free; the center must
+        # come no later than second for ι = 1.
+        report = cheapest_order(star_query(3))
+        assert report.iota == 1
+        assert "z" in (report.order[0], report.order[1])
+        assert report.disruptive_trio is None
+
+    def test_star_ranking_is_monotone(self):
+        reports = rank_orders(star_query(2))
+        iotas = [r.iota for r in reports]
+        assert iotas == sorted(iotas)
+        assert iotas[0] == 1 and iotas[-1] == 2
+
+    def test_limit(self):
+        assert len(rank_orders(path_query(2), limit=3)) == 3
+
+    def test_cheapest_matches_fhtw(self):
+        for query in (
+            star_query(3),
+            triangle_query(),
+            four_cycle_query(),
+            example5_query(),
+        ):
+            width, _ = fractional_hypertree_width(query)
+            assert cheapest_order(query).iota == width
+
+    def test_describe_mentions_iota(self):
+        report = cheapest_order(star_query(2))
+        assert "ι = 1" in report.describe()
+
+
+class TestPrefixPlanning:
+    def test_star_with_leaf_prefix_is_forced_bad(self):
+        # Requiring the x-variables first forces the bad order cost.
+        query = star_query(2)
+        report = cheapest_order_with_prefix(
+            query, VariableOrder(["x1", "x2"])
+        )
+        assert report.iota == 2
+
+    def test_star_with_center_prefix_stays_cheap(self):
+        query = star_query(2)
+        report = cheapest_order_with_prefix(
+            query, VariableOrder(["z"])
+        )
+        assert report.iota == 1
+        assert report.order[0] == "z"
+
+    def test_single_leaf_prefix_recovers_tractability(self):
+        # (x1, z, x2) has no disruptive trio: ι = 1.
+        query = star_query(2)
+        report = cheapest_order_with_prefix(
+            query, VariableOrder(["x1"])
+        )
+        assert report.iota == 1
+        assert list(report.order)[1] == "z"
+
+
+class TestSpread:
+    def test_star_spread(self):
+        low, high = order_cost_spread(star_query(2))
+        assert (low, high) == (1, 2)
+
+    def test_triangle_has_no_spread(self):
+        low, high = order_cost_spread(triangle_query())
+        assert low == high == Fraction(3, 2)
+
+    def test_four_cycle_spread(self):
+        low, high = order_cost_spread(four_cycle_query())
+        assert low == 2 and high == 2

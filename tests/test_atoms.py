@@ -1,0 +1,50 @@
+"""Unit tests for repro.query.atoms."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.atoms import Atom
+
+
+class TestAtomBasics:
+    def test_str(self):
+        assert str(Atom("R", ("x", "y"))) == "R(x, y)"
+
+    def test_arity_counts_repeats(self):
+        assert Atom("R", ("x", "x", "y")).arity == 3
+
+    def test_scope_merges_repeats(self):
+        assert Atom("R", ("x", "x", "y")).scope == frozenset({"x", "y"})
+
+    def test_list_variables_coerced_to_tuple(self):
+        atom = Atom("R", ["x", "y"])
+        assert atom.variables == ("x", "y")
+
+    def test_empty_relation_symbol_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("", ("x",))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ())
+
+
+class TestAtomMatching:
+    def test_matches_consistent_assignment(self):
+        atom = Atom("R", ("x", "y"))
+        assert atom.matches((1, 2), {"x": 1})
+        assert not atom.matches((1, 2), {"x": 3})
+
+    def test_matches_repeated_variable(self):
+        atom = Atom("R", ("x", "x"))
+        assert atom.matches((5, 5), {})
+        assert not atom.matches((5, 6), {})
+
+    def test_binding_simple(self):
+        atom = Atom("R", ("x", "y"))
+        assert atom.binding((1, 2)) == {"x": 1, "y": 2}
+
+    def test_binding_conflicting_repeat_is_none(self):
+        atom = Atom("R", ("x", "x"))
+        assert atom.binding((1, 2)) is None
+        assert atom.binding((3, 3)) == {"x": 3}

@@ -1,0 +1,63 @@
+"""Tests for the Section 7 verdict API."""
+
+from fractions import Fraction
+
+from repro.core.classify import classify
+from repro.query.catalog import (
+    example5_order,
+    example5_query,
+    example18_query,
+    path_query,
+    running_selfjoin_query,
+    star_bad_order,
+    star_good_order,
+    star_query,
+)
+from repro.query.variable_order import VariableOrder
+
+
+class TestVerdicts:
+    def test_tractable_pair(self):
+        verdict = classify(star_query(2), star_good_order(2))
+        assert verdict.iota == 1
+        assert verdict.tractable
+        assert verdict.disruptive_trio is None
+        assert "unconditional" in verdict.lower_bound
+
+    def test_acyclic_hard_pair_cites_3sum(self):
+        verdict = classify(star_query(2), star_bad_order(2))
+        assert verdict.iota == 2
+        assert not verdict.tractable
+        assert "3SUM" in verdict.assumption
+
+    def test_example5(self):
+        verdict = classify(example5_query(), example5_order())
+        assert verdict.iota == 3
+        assert verdict.acyclic
+        assert verdict.disruptive_trio is not None
+        assert "Zero-Clique" in verdict.assumption
+
+    def test_example18_fractional(self):
+        verdict = classify(example18_query(), example5_order())
+        assert verdict.iota == Fraction(3, 2)
+        assert not verdict.acyclic
+        assert verdict.disruptive_trio is None
+
+    def test_selfjoins_do_not_change_the_verdict(self):
+        from repro.query.transforms import self_join_free_version
+
+        query = running_selfjoin_query()
+        order = VariableOrder(["x", "y", "z"])
+        with_sj = classify(query, order)
+        without = classify(self_join_free_version(query), order)
+        assert with_sj.iota == without.iota
+        assert with_sj.tractable == without.tractable
+        assert not with_sj.selfjoins_relevant
+
+    def test_summary_is_readable(self):
+        verdict = classify(
+            path_query(2), VariableOrder(["x1", "x2", "x3"])
+        )
+        text = verdict.summary()
+        assert "ι = 1" in text
+        assert "Theorem 10" in text

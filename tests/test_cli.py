@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_example5(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "Q(v1,v2,v3,v4,v5) :- R1(v1,v5), R2(v2,v4), "
+                "R3(v3,v4), R4(v3,v5)",
+                "--order",
+                "v1,v2,v3,v4,v5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "acyclic:      True" in out
+        assert "incompatibility number ι = 3" in out
+        assert "disruptive trio: (" in out
+
+    def test_tractable_pair(self, capsys):
+        code = main(
+            ["analyze", "Q(x,y) :- R(x,y)", "--order", "x,y"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ι = 1" in out
+        assert "disruptive trio: none" in out
+
+
+class TestFhtw:
+    def test_triangle(self, capsys):
+        code = main(["fhtw", "Q(a,b,c) :- R(a,b), S(b,c), T(c,a)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fractional hypertree width: 3/2" in out
+
+
+class TestAccess:
+    def test_with_csv_relations(self, tmp_path, capsys):
+        r_file = tmp_path / "r.csv"
+        r_file.write_text("1,2\n3,4\n# comment\n\n1,9\n")
+        code = main(
+            [
+                "access",
+                "Q(x,y) :- R(x,y)",
+                "--order",
+                "y,x",
+                "--relation",
+                f"R={r_file}",
+                "--index",
+                "0",
+                "--median",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 answers" in out
+        assert "answers[0] = (2, 1)" in out
+        assert "median = (4, 3)" in out
+
+    def test_bad_relation_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "access",
+                    "Q(x) :- R(x)",
+                    "--order",
+                    "x",
+                    "--relation",
+                    "just-a-path",
+                ]
+            )
+
+    def test_empty_relation_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "access",
+                    "Q(x) :- R(x)",
+                    "--order",
+                    "x",
+                    "--relation",
+                    f"R={empty}",
+                ]
+            )

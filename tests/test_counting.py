@@ -1,0 +1,114 @@
+"""Tests for counting under prefix constraints (Proposition 35)."""
+
+import pytest
+
+from repro.core.access import DirectAccess
+from repro.core.counting import (
+    CountingFromDirectAccess,
+    DirectAccessFromCounting,
+    PrefixConstraint,
+)
+from repro.errors import OutOfBoundsError
+from repro.query.parser import parse_query
+from repro.query.variable_order import VariableOrder
+from tests.conftest import (
+    lex_answers,
+    random_database_for,
+    random_join_query,
+    random_order,
+)
+
+
+def brute_count(answers, constraint: PrefixConstraint) -> int:
+    r = constraint.length
+    total = 0
+    for answer in answers:
+        prefix = answer[: r - 1]
+        if tuple(prefix) != constraint.exact:
+            continue
+        if constraint.low <= answer[r - 1] <= constraint.high:
+            total += 1
+    return total
+
+
+class TestCountingFromAccess:
+    def test_against_brute_force(self, rng):
+        for _ in range(25):
+            query = random_join_query(rng)
+            order = random_order(query, rng)
+            db = random_database_for(query, rng, rows=12, domain=3)
+            access = DirectAccess(query, order, db)
+            counter = CountingFromDirectAccess(access)
+            answers = lex_answers(query, db, order)
+            domain = sorted(db.domain()) or [0]
+            for _ in range(10):
+                r = rng.randint(1, len(list(order)))
+                exact = tuple(
+                    rng.choice(domain) for _ in range(r - 1)
+                )
+                low = rng.choice(domain)
+                high = rng.choice(domain)
+                constraint = PrefixConstraint(exact, low, high)
+                assert counter.count(constraint) == brute_count(
+                    answers, constraint
+                )
+
+    def test_empty_interval(self):
+        q = parse_query("Q(x) :- R(x)")
+        from repro.data.database import Database
+
+        db = Database({"R": {(1,), (2,)}})
+        counter = CountingFromDirectAccess(
+            DirectAccess(q, VariableOrder(["x"]), db)
+        )
+        assert counter.count(PrefixConstraint((), 5, 1)) == 0
+
+    def test_first_index_above(self):
+        q = parse_query("Q(x) :- R(x)")
+        from repro.data.database import Database
+
+        db = Database({"R": {(1,), (3,), (5,)}})
+        counter = CountingFromDirectAccess(
+            DirectAccess(q, VariableOrder(["x"]), db)
+        )
+        assert counter.first_index_above((0,)) == 0
+        assert counter.first_index_above((3,)) == 1
+        assert counter.first_index_above((3,), strict=True) == 2
+        assert counter.first_index_above((9,)) == 3
+
+
+class TestAccessFromCounting:
+    def test_roundtrip_equals_original(self, rng):
+        for _ in range(15):
+            query = random_join_query(rng)
+            order = random_order(query, rng)
+            db = random_database_for(query, rng, rows=12, domain=3)
+            access = DirectAccess(query, order, db)
+            counter = CountingFromDirectAccess(access)
+            rebuilt = DirectAccessFromCounting(
+                counter, len(list(order)), sorted(db.domain())
+            )
+            assert len(rebuilt) == len(access)
+            for i in range(len(access)):
+                assert rebuilt.tuple_at(i) == access.tuple_at(i)
+
+    def test_out_of_bounds(self, rng):
+        query = random_join_query(rng)
+        order = random_order(query, rng)
+        db = random_database_for(query, rng)
+        counter = CountingFromDirectAccess(
+            DirectAccess(query, order, db)
+        )
+        rebuilt = DirectAccessFromCounting(
+            counter, len(list(order)), sorted(db.domain())
+        )
+        with pytest.raises(OutOfBoundsError):
+            rebuilt.tuple_at(len(rebuilt))
+
+    def test_empty_domain(self):
+        class ZeroCounter:
+            def count(self, constraint):
+                return 0
+
+        rebuilt = DirectAccessFromCounting(ZeroCounter(), 2, [])
+        assert len(rebuilt) == 0

@@ -1,0 +1,130 @@
+"""Tests for Lemma 54: cyclic joins embed Loomis-Whitney joins."""
+
+import pytest
+
+from repro.data.generators import loomis_whitney_database
+from repro.errors import QueryError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.joins.generic_join import evaluate
+from repro.lowerbounds.cyclic_joins import (
+    CyclicJoinEmbedding,
+    find_chordless_cycle,
+    find_non_conformal_clique,
+)
+from repro.query.catalog import (
+    cycle_query,
+    example5_query,
+    four_cycle_query,
+    loomis_whitney_query,
+    path_query,
+    running_selfjoin_query,
+    triangle_query,
+)
+from repro.query.parser import parse_query
+
+
+def check_bijection(host_query, seed=0, rows=25, domain=4):
+    embedding = CyclicJoinEmbedding(host_query)
+    lw_query = loomis_whitney_query(embedding.k)
+    lw_db = loomis_whitney_database(
+        embedding.k, rows, domain, seed=seed
+    )
+    host_db = embedding.transform_database(lw_db)
+    host_answers = evaluate(
+        host_query, host_db, list(host_query.variables)
+    )
+    index = {v: i for i, v in enumerate(host_query.variables)}
+    mapped = [
+        embedding.lw_answer(
+            {v: row[index[v]] for v in host_query.variables}
+        )
+        for row in host_answers.rows
+    ]
+    lw_answers = {
+        tuple(r)
+        for r in evaluate(
+            lw_query,
+            lw_db,
+            [f"x{i + 1}" for i in range(embedding.k)],
+        ).rows
+    }
+    assert set(mapped) == lw_answers
+    assert len(mapped) == len(lw_answers)  # exact reduction: bijective
+    return embedding, len(lw_answers)
+
+
+class TestObstructionSearch:
+    def test_triangle_is_a_nonconformal_clique(self):
+        h = Hypergraph.of_query(triangle_query())
+        assert find_non_conformal_clique(h) == ("x1", "x2", "x3")
+
+    def test_four_cycle_is_chordless(self):
+        h = Hypergraph.of_query(four_cycle_query())
+        assert find_non_conformal_clique(h) is None
+        cycle = find_chordless_cycle(h)
+        assert cycle is not None and len(cycle) == 4
+
+    def test_acyclic_has_neither(self):
+        for query in (path_query(3), example5_query()):
+            h = Hypergraph.of_query(query)
+            assert find_non_conformal_clique(h) is None
+            assert find_chordless_cycle(h) is None
+
+    def test_lw_k_clique_size(self):
+        for k in (3, 4):
+            h = Hypergraph.of_query(loomis_whitney_query(k))
+            clique = find_non_conformal_clique(h)
+            assert clique is not None and len(clique) == k
+
+
+class TestEmbedding:
+    def test_triangle(self):
+        embedding, count = check_bijection(triangle_query(), seed=1)
+        assert embedding.kind == "clique" and embedding.k == 3
+        assert count > 0
+
+    def test_lw4(self):
+        embedding, count = check_bijection(
+            loomis_whitney_query(4), seed=2, rows=60, domain=4
+        )
+        assert embedding.kind == "clique" and embedding.k == 4
+        assert count > 0
+
+    def test_four_and_five_cycles(self):
+        for length, seed in ((4, 1), (5, 3)):
+            embedding, count = check_bijection(
+                cycle_query(length), seed=seed
+            )
+            assert embedding.kind == "cycle" and embedding.k == 3
+            assert count > 0
+
+    def test_cycle_with_pendants(self):
+        query = parse_query(
+            "Q(a,b,c,d,e,f) :- R1(a,b), R2(b,c), R3(c,d), "
+            "R4(d,e), R5(e,a), R6(c,f)"
+        )
+        embedding, count = check_bijection(query, seed=4)
+        assert embedding.k == 3
+        assert count > 0
+
+    def test_rejects_acyclic(self):
+        with pytest.raises(QueryError):
+            CyclicJoinEmbedding(path_query(2))
+
+    def test_rejects_self_joins(self):
+        with pytest.raises(QueryError):
+            CyclicJoinEmbedding(running_selfjoin_query())
+
+    def test_linear_blowup(self):
+        # |D| for the host is O(|D*|) — exact reductions are linear.
+        embedding = CyclicJoinEmbedding(cycle_query(6))
+        lw_db = loomis_whitney_database(3, 40, 6, seed=5)
+        host_db = embedding.transform_database(lw_db)
+        domain_size = len(
+            {v for rel in lw_db.relations.values()
+             for row in rel.tuples for v in row}
+        )
+        budget = len(embedding.query.atoms) * (
+            len(lw_db) + domain_size
+        )
+        assert len(host_db) <= budget

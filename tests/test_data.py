@@ -1,0 +1,141 @@
+"""Unit tests for relations, databases and generators."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import (
+    agm_worstcase_triangle_database,
+    bipartite_path_database,
+    four_cycle_database,
+    functional_path_database,
+    random_database,
+    sizes_sweep,
+    star_database,
+    zipf_database,
+)
+from repro.data.relation import Relation
+from repro.errors import DatabaseError
+from repro.query.catalog import (
+    four_cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.query.parser import parse_query
+
+
+class TestRelation:
+    def test_dedup_and_len(self):
+        r = Relation([(1, 2), (1, 2), (3, 4)])
+        assert len(r) == 2
+
+    def test_sorted_iteration(self):
+        r = Relation([(3, 1), (1, 2)])
+        assert list(r) == [(1, 2), (3, 1)]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(DatabaseError):
+            Relation([(1,), (1, 2)])
+
+    def test_empty_needs_arity(self):
+        with pytest.raises(DatabaseError):
+            Relation([])
+        assert len(Relation([], arity=2)) == 0
+
+    def test_contains(self):
+        r = Relation([(1, 2)])
+        assert (1, 2) in r
+        assert (2, 1) not in r
+
+    def test_project(self):
+        r = Relation([(1, 2), (3, 2)])
+        assert r.project([1]).tuples == frozenset({(2,)})
+        with pytest.raises(DatabaseError):
+            r.project([5])
+
+    def test_filtered(self):
+        r = Relation([(1, 2), (3, 4)])
+        assert len(r.filtered(lambda t: t[0] > 1)) == 1
+
+    def test_active_domain(self):
+        assert Relation([(1, 2)]).active_domain() == {1, 2}
+
+
+class TestDatabase:
+    def test_size_is_total_tuples(self):
+        db = Database({"R": {(1, 2)}, "S": {(1,), (2,)}})
+        assert len(db) == 3
+
+    def test_missing_relation(self):
+        db = Database({"R": {(1, 2)}})
+        with pytest.raises(DatabaseError):
+            db["S"]
+
+    def test_domain(self):
+        db = Database({"R": {(1, 2)}, "S": {(7,)}})
+        assert db.domain() == {1, 2, 7}
+
+    def test_validate_for(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        Database({"R": {(1, 2)}}).validate_for(q)
+        with pytest.raises(DatabaseError):
+            Database({"R": {(1,)}}).validate_for(q)
+
+    def test_extended(self):
+        db = Database({"R": {(1, 2)}})
+        bigger = db.extended({"S": {(3,)}})
+        assert "S" in bigger and "S" not in db
+
+
+class TestGenerators:
+    def test_random_database_shapes(self):
+        q = triangle_query()
+        db = random_database(q, 50, 10, seed=1)
+        assert set(db.relations) == {"R1", "R2", "R3"}
+        for rel in db.relations.values():
+            assert rel.arity == 2 and len(rel) <= 50
+
+    def test_functional_path_has_linear_output(self):
+        from repro.joins.generic_join import evaluate
+
+        q = path_query(3)
+        db = functional_path_database(3, 30, seed=2)
+        assert len(evaluate(q, db)) == 30
+
+    def test_bipartite_path_quadratic_output(self):
+        from repro.joins.generic_join import evaluate
+
+        q = path_query(2)
+        db = bipartite_path_database(10, 2)
+        assert len(db) == 2 * 10 * 2
+        assert len(evaluate(q, db)) == 100 * 2
+
+    def test_agm_triangle_worst_case(self):
+        from repro.joins.generic_join import evaluate
+
+        db = agm_worstcase_triangle_database(4)
+        answers = evaluate(triangle_query(), db)
+        assert len(answers) == 64  # side^3 = |R|^{3/2}
+
+    def test_star_database_arities(self):
+        db = star_database(3, sets=5, set_size=4, universe=10, seed=0)
+        q = star_query(3)
+        db.validate_for(q)
+
+    def test_four_cycle_database_validates(self):
+        db = four_cycle_database(40, seed=0)
+        db.validate_for(four_cycle_query())
+
+    def test_zipf_database(self):
+        q = path_query(2)
+        db = zipf_database(q, 100, 50, skew=1.5, seed=1)
+        db.validate_for(q)
+
+    def test_sizes_sweep(self):
+        assert sizes_sweep(100, 2.0, 3) == [100, 200, 400]
+
+    def test_generators_deterministic(self):
+        q = triangle_query()
+        assert random_database(q, 20, 5, seed=9) == random_database(
+            q, 20, 5, seed=9
+        )

@@ -1,0 +1,222 @@
+"""Tests for disruption-free decompositions (§3.1) and widths (§3.3)."""
+
+import random
+from fractions import Fraction
+from itertools import permutations
+
+from repro.core.decomposition import (
+    DisruptionFreeDecomposition,
+    incompatibility_number,
+)
+from repro.core.htw import (
+    decomposition_is_trio_free,
+    fractional_hypertree_width,
+    fractional_width,
+    is_hypertree_decomposition,
+)
+from repro.hypergraph.disruptive_trios import has_disruptive_trio
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.catalog import (
+    example5_order,
+    example5_query,
+    example18_query,
+    four_cycle_query,
+    loomis_whitney_query,
+    path_query,
+    star_bad_order,
+    star_good_order,
+    star_query,
+    triangle_query,
+)
+from repro.query.variable_order import VariableOrder, all_orders
+from tests.conftest import random_join_query, random_order
+
+
+class TestExample5:
+    """The worked example of Figure 1 / Examples 5 and 8."""
+
+    def test_edges_match_the_paper(self):
+        d = DisruptionFreeDecomposition(
+            example5_query(), example5_order()
+        )
+        edges = {bag.variable: set(bag.edge) for bag in d.bags}
+        assert edges["v5"] == {"v1", "v3", "v5"}
+        assert edges["v4"] == {"v2", "v3", "v4"}
+        assert edges["v3"] == {"v1", "v2", "v3"}
+        assert edges["v2"] == {"v1", "v2"}
+        assert edges["v1"] == {"v1"}
+
+    def test_incompatibility_number_is_3(self):
+        assert incompatibility_number(
+            example5_query(), example5_order()
+        ) == 3
+
+    def test_closed_form_matches_iterative(self):
+        d = DisruptionFreeDecomposition(
+            example5_query(), example5_order()
+        )
+        closed = d.closed_form_edges()
+        for bag in d.bags:
+            assert closed[bag.index] == bag.edge
+
+
+class TestExample18:
+    def test_incompatibility_number_is_three_halves(self):
+        assert incompatibility_number(
+            example18_query(), example5_order()
+        ) == Fraction(3, 2)
+
+    def test_same_added_edges_as_example5(self):
+        d5 = DisruptionFreeDecomposition(
+            example5_query(), example5_order()
+        )
+        d18 = DisruptionFreeDecomposition(
+            example18_query(), example5_order()
+        )
+        assert {b.edge for b in d5.bags} == {b.edge for b in d18.bags}
+
+
+class TestKnownValues:
+    def test_star_orders(self):
+        for k in (2, 3, 4):
+            assert incompatibility_number(
+                star_query(k), star_bad_order(k)
+            ) == k
+            assert incompatibility_number(
+                star_query(k), star_good_order(k)
+            ) == 1
+
+    def test_path_forward_order_is_tractable(self):
+        q = path_query(4)
+        order = VariableOrder([f"x{i + 1}" for i in range(5)])
+        assert incompatibility_number(q, order) == 1
+
+    def test_triangle_is_three_halves_for_all_orders(self):
+        q = triangle_query()
+        for order in all_orders(q):
+            assert incompatibility_number(q, order) == Fraction(3, 2)
+
+    def test_loomis_whitney_incompatibility(self):
+        q = loomis_whitney_query(4)
+        order = VariableOrder(["x1", "x2", "x3", "x4"])
+        assert incompatibility_number(q, order) == Fraction(4, 3)
+
+    def test_always_at_least_one(self):
+        q = path_query(1)
+        for order in all_orders(q):
+            assert incompatibility_number(q, order) >= 1
+
+
+class TestProposition6:
+    """The decomposition is acyclic and trio-free (Proposition 6)."""
+
+    def test_on_random_queries(self, rng):
+        for _ in range(40):
+            query = random_join_query(rng)
+            order = random_order(query, rng)
+            d = DisruptionFreeDecomposition(query, order)
+            h0 = d.decomposition_hypergraph
+            assert is_acyclic(h0)
+            assert not has_disruptive_trio(h0, order)
+            # super-hypergraph of the query
+            assert d.hypergraph.edges <= h0.edges
+
+    def test_closed_form_on_random_queries(self, rng):
+        for _ in range(40):
+            query = random_join_query(rng)
+            order = random_order(query, rng)
+            d = DisruptionFreeDecomposition(query, order)
+            closed = d.closed_form_edges()
+            for bag in d.bags:
+                assert closed[bag.index] == bag.edge, (query, order)
+
+    def test_forest_interfaces_contained_in_parent(self, rng):
+        # e_i \ {v_i} ⊆ e_{parent(i)} — the containment the counting
+        # forest of the access engine rests on.
+        for _ in range(40):
+            query = random_join_query(rng)
+            order = random_order(query, rng)
+            d = DisruptionFreeDecomposition(query, order)
+            for bag in d.bags:
+                if bag.parent is None:
+                    assert not bag.interface
+                else:
+                    assert bag.interface <= d.bags[bag.parent].edge
+
+    def test_atom_contained_in_its_bag(self, rng):
+        for _ in range(40):
+            query = random_join_query(rng)
+            order = random_order(query, rng)
+            d = DisruptionFreeDecomposition(query, order)
+            for scope in query.scopes():
+                bag = d.bags[d.bag_of_atom(scope)]
+                assert scope <= bag.edge
+
+
+class TestOptimality:
+    """Lemma 13 / Proposition 14: minimal width among trio-free decompositions."""
+
+    def _all_decompositions(self, hypergraph):
+        """All acyclic super-edge-sets that cover the query's edges.
+
+        Brutally exponential; only usable for tiny hypergraphs.
+        """
+        from itertools import combinations
+
+        vertices = sorted(hypergraph.vertices)
+        candidate_bags = []
+        for size in range(1, len(vertices) + 1):
+            candidate_bags.extend(combinations(vertices, size))
+        for count in range(1, 4):
+            for bags in combinations(candidate_bags, count):
+                candidate = Hypergraph(vertices, bags)
+                if is_hypertree_decomposition(hypergraph, candidate):
+                    yield candidate
+
+    def test_example5_no_better_trio_free_decomposition(self):
+        query = example5_query()
+        order = example5_order()
+        hypergraph = Hypergraph.of_query(query)
+        d = DisruptionFreeDecomposition(query, order)
+        best = d.incompatibility_number
+        for candidate in self._all_decompositions(hypergraph):
+            if decomposition_is_trio_free(candidate, order):
+                assert fractional_width(hypergraph, candidate) >= best
+
+    def test_lemma13_containment(self, rng):
+        # Every trio-free decomposition contains every decomposition edge.
+        query = example5_query()
+        order = example5_order()
+        hypergraph = Hypergraph.of_query(query)
+        d = DisruptionFreeDecomposition(query, order)
+        for candidate in self._all_decompositions(hypergraph):
+            if not decomposition_is_trio_free(candidate, order):
+                continue
+            for bag in d.bags:
+                assert any(
+                    bag.edge <= b for b in candidate.edges
+                ), (candidate, bag)
+
+
+class TestFractionalHypertreeWidth:
+    def test_four_cycle_is_2(self):
+        width, _ = fractional_hypertree_width(four_cycle_query())
+        assert width == 2
+
+    def test_triangle_is_three_halves(self):
+        width, _ = fractional_hypertree_width(triangle_query())
+        assert width == Fraction(3, 2)
+
+    def test_acyclic_is_1(self):
+        width, order = fractional_hypertree_width(path_query(3))
+        assert width == 1
+        assert incompatibility_number(path_query(3), order) == 1
+
+    def test_width_lower_bounds_incompatibility(self, rng):
+        # Observation 12: ι >= fhtw for every order.
+        for _ in range(8):
+            query = random_join_query(rng)
+            width, _ = fractional_hypertree_width(query)
+            order = random_order(query, rng)
+            assert incompatibility_number(query, order) >= width

@@ -1,0 +1,18 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import repro
+import repro.query.parser
+
+
+def test_package_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_parser_doctest():
+    results = doctest.testmod(repro.query.parser, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1

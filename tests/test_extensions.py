@@ -1,0 +1,82 @@
+"""Tests for Observation 28 and k-Set-Intersection-Enumeration (§9.1)."""
+
+from repro.lowerbounds.setdisjointness import (
+    SetIntersectionEnumeration,
+    SetSystem,
+    StarSetIntersection,
+)
+from repro.lowerbounds.zeroclique import (
+    brute_force_zero_clique,
+    complete_multipartite_from_graph,
+)
+
+
+class TestObservation28:
+    def test_zero_triangle_preserved(self):
+        # triangle 0-1-2 with weights summing to zero
+        edges = {(0, 1): 5, (1, 2): -3, (0, 2): -2, (1, 3): 7}
+        instance = complete_multipartite_from_graph(4, edges, parts=3)
+        clique = brute_force_zero_clique(instance)
+        assert clique is not None
+        vertices = sorted(v for _part, v in clique)
+        assert vertices == [0, 1, 2]
+        assert instance.clique_weight(clique) == 0
+
+    def test_no_zero_clique_when_graph_has_none(self):
+        edges = {(0, 1): 1, (1, 2): 1, (0, 2): 1}
+        instance = complete_multipartite_from_graph(3, edges, parts=3)
+        assert brute_force_zero_clique(instance) is None
+
+    def test_blocking_weight_excludes_non_edges(self):
+        # 0-1-2 sums to zero but edge (0, 2) is missing: no zero clique.
+        edges = {(0, 1): 5, (1, 2): -5}
+        instance = complete_multipartite_from_graph(3, edges, parts=3)
+        assert brute_force_zero_clique(instance) is None
+
+    def test_completeness(self):
+        edges = {(0, 1): 1}
+        instance = complete_multipartite_from_graph(2, edges, parts=3)
+        # complete 3-partite on 2 vertices per class: all cross pairs set
+        assert len(instance.weights) == 3 * 2 * 2
+
+
+class TestSetIntersectionEnumeration:
+    def test_enumerates_all_pairs(self):
+        instance = SetSystem.random(2, 5, 4, 8, seed=1)
+        queries = [(0, 1), (2, 2), (4, 0)]
+        enumeration = SetIntersectionEnumeration(instance, queries)
+        got = set(enumeration)
+        expected = {
+            (q, v)
+            for q in queries
+            for v in instance.families[0][q[0]]
+            & instance.families[1][q[1]]
+        }
+        assert got == expected
+        assert enumeration.answer_count() == len(expected)
+
+    def test_star_backend_agrees(self):
+        instance = SetSystem.random(2, 5, 4, 8, seed=2)
+        queries = [(i, j) for i in range(5) for j in range(5)]
+        plain = set(SetIntersectionEnumeration(instance, queries))
+        starred = set(
+            SetIntersectionEnumeration(
+                instance, queries, backend=StarSetIntersection
+            )
+        )
+        assert plain == starred
+
+    def test_three_families(self):
+        instance = SetSystem.random(3, 4, 3, 6, seed=3)
+        queries = [(0, 1, 2), (3, 3, 3)]
+        got = set(SetIntersectionEnumeration(instance, queries))
+        expected = {
+            (q, v)
+            for q in queries
+            for v in (
+                instance.families[0][q[0]]
+                & instance.families[1][q[1]]
+                & instance.families[2][q[2]]
+            )
+        }
+        assert got == expected

@@ -1,0 +1,123 @@
+"""Failure-injection tests: the library must fail loudly and precisely."""
+
+import pytest
+
+from repro.core.access import DirectAccess
+from repro.core.projections import partial_order_access
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import (
+    DatabaseError,
+    OrderError,
+    OutOfBoundsError,
+    QueryError,
+    ReproError,
+)
+from repro.query.catalog import projected_star_query
+from repro.query.parser import parse_query
+from repro.query.variable_order import VariableOrder
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (
+            DatabaseError,
+            OrderError,
+            OutOfBoundsError,
+            QueryError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_out_of_bounds_is_index_error(self):
+        # direct-access objects behave like sequences in for loops
+        assert issubclass(OutOfBoundsError, IndexError)
+
+    def test_for_loop_terminates_via_getitem(self):
+        q = parse_query("Q(x) :- R(x)")
+        db = Database({"R": {(1,), (2,)}})
+        access = DirectAccess(q, VariableOrder(["x"]), db)
+        collected = [a["x"] for a in access]
+        assert collected == [1, 2]
+
+
+class TestDatabaseMismatches:
+    def test_missing_relation(self):
+        q = parse_query("Q(x, y) :- R(x, y), S(y)")
+        db = Database({"R": {(1, 2)}})
+        with pytest.raises(DatabaseError):
+            DirectAccess(q, VariableOrder(["x", "y"]), db)
+
+    def test_wrong_arity(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        db = Database({"R": {(1, 2, 3)}})
+        with pytest.raises(DatabaseError):
+            DirectAccess(q, VariableOrder(["x", "y"]), db)
+
+    def test_extra_relations_are_fine(self):
+        q = parse_query("Q(x) :- R(x)")
+        db = Database({"R": {(1,)}, "Unused": {(9, 9)}})
+        assert len(DirectAccess(q, VariableOrder(["x"]), db)) == 1
+
+
+class TestOrderMismatches:
+    def test_order_with_foreign_variable(self):
+        q = parse_query("Q(x) :- R(x)")
+        db = Database({"R": {(1,)}})
+        with pytest.raises(OrderError):
+            DirectAccess(q, VariableOrder(["x", "ghost"]), db)
+
+    def test_projected_must_be_suffix(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        db = Database({"R": {(1, 2)}})
+        with pytest.raises(OrderError):
+            DirectAccess(
+                q,
+                VariableOrder(["x", "y"]),
+                db,
+                projected=frozenset({"x"}),  # x is first, not a suffix
+            )
+
+    def test_partial_order_with_projected_variable(self):
+        q = projected_star_query(2)
+        db = Database({"R1": {(0, 1)}, "R2": {(0, 1)}})
+        with pytest.raises(OrderError):
+            # z is projected: it cannot be part of the partial order
+            partial_order_access(q, VariableOrder(["z"]), db)
+
+
+class TestDegenerateInputs:
+    def test_all_relations_empty(self):
+        q = parse_query("Q(x, y) :- R(x, y), S(y, x)")
+        db = Database(
+            {
+                "R": Relation([], arity=2),
+                "S": Relation([], arity=2),
+            }
+        )
+        access = DirectAccess(q, VariableOrder(["x", "y"]), db)
+        assert len(access) == 0
+        with pytest.raises(OutOfBoundsError):
+            access.tuple_at(0)
+
+    def test_singleton_everything(self):
+        q = parse_query("Q(x) :- R(x), S(x)")
+        db = Database({"R": {(7,)}, "S": {(7,)}})
+        access = DirectAccess(q, VariableOrder(["x"]), db)
+        assert [a for a in access] == [{"x": 7}]
+
+    def test_mixed_type_columns_consistent(self):
+        # Strings and ints may coexist across columns, not within one.
+        q = parse_query("Q(name, score) :- R(name, score)")
+        db = Database({"R": {("alice", 3), ("bob", 1)}})
+        access = DirectAccess(
+            q, VariableOrder(["score", "name"]), db
+        )
+        assert access.tuple_at(0) == (1, "bob")
+
+    def test_tuple_valued_constants(self):
+        # The reductions pack roles into tuple constants; the engine
+        # must order them like any other domain.
+        q = parse_query("Q(x, y) :- R(x, y)")
+        db = Database({"R": {((1, 2), (0,)), ((1, 1), (5,))}})
+        access = DirectAccess(q, VariableOrder(["x", "y"]), db)
+        assert access.tuple_at(0) == ((1, 1), (5,))

@@ -1,0 +1,172 @@
+"""Unit tests for hypergraphs, GYO elimination and disruptive trios."""
+
+import pytest
+
+from repro.hypergraph.disruptive_trios import (
+    find_disruptive_trio,
+    has_disruptive_trio,
+    is_reverse_elimination_order,
+    is_tractable_pair,
+)
+from repro.hypergraph.gyo import (
+    gyo_reduce,
+    is_acyclic,
+    is_elimination_order,
+    join_tree,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.catalog import (
+    example5_order,
+    example5_query,
+    example18_query,
+    triangle_query,
+)
+from repro.query.variable_order import VariableOrder
+
+
+def triangle_hypergraph() -> Hypergraph:
+    return Hypergraph.of_query(triangle_query())
+
+
+class TestHypergraphBasics:
+    def test_of_query(self):
+        h = Hypergraph.of_query(example5_query())
+        assert h.vertices == frozenset({"v1", "v2", "v3", "v4", "v5"})
+        assert frozenset({"v1", "v5"}) in h.edges
+
+    def test_unknown_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(["a"], [["a", "b"]])
+
+    def test_neighbors(self):
+        h = Hypergraph.of_query(example5_query())
+        assert h.neighbors("v5") == frozenset({"v1", "v3"})
+        assert h.neighbors("v3") == frozenset({"v4", "v5"})
+
+    def test_neighbors_of_set(self):
+        h = Hypergraph.of_query(example5_query())
+        # N({v3, v4, v5}) = {v1, v2} (Example 8)
+        assert h.neighbors_of_set({"v3", "v4", "v5"}) == frozenset(
+            {"v1", "v2"}
+        )
+
+    def test_induced(self):
+        h = triangle_hypergraph()
+        induced = h.induced({"x1", "x2"})
+        assert induced.vertices == frozenset({"x1", "x2"})
+        assert frozenset({"x1", "x2"}) in induced.edges
+
+    def test_connected_components(self):
+        h = Hypergraph(["a", "b", "c"], [["a", "b"]])
+        components = {frozenset(c) for c in h.connected_components()}
+        assert components == {frozenset({"a", "b"}), frozenset({"c"})}
+
+    def test_is_clique_and_conformal(self):
+        h = triangle_hypergraph()
+        assert h.is_clique({"x1", "x2", "x3"})
+        assert not h.is_conformal()  # triangle: clique not in an edge
+        acyclic = Hypergraph(["a", "b", "c"], [["a", "b", "c"]])
+        assert acyclic.is_conformal()
+
+
+class TestGYO:
+    def test_acyclic_cases(self):
+        assert is_acyclic(Hypergraph.of_query(example5_query()))
+        assert not is_acyclic(triangle_hypergraph())
+        assert not is_acyclic(Hypergraph.of_query(example18_query()))
+
+    def test_gyo_residual_of_triangle_is_triangle(self):
+        _, residual = gyo_reduce(triangle_hypergraph())
+        assert residual.vertices == frozenset({"x1", "x2", "x3"})
+
+    def test_elimination_order_validation(self):
+        h = Hypergraph.of_query(example5_query())
+        eliminated, residual = gyo_reduce(h)
+        assert not residual.vertices
+        assert is_elimination_order(h, eliminated)
+        assert not is_elimination_order(
+            triangle_hypergraph(), ["x1", "x2", "x3"]
+        )
+
+    def test_join_tree_of_path(self):
+        h = Hypergraph(
+            ["a", "b", "c", "d"], [["a", "b"], ["b", "c"], ["c", "d"]]
+        )
+        parent = join_tree(h)
+        roots = [e for e, p in parent.items() if p is None]
+        assert len(roots) == 1
+        assert set(parent) == set(h.edges)
+
+    def test_join_tree_rejects_cyclic(self):
+        with pytest.raises(ValueError):
+            join_tree(triangle_hypergraph())
+
+    def test_join_tree_running_intersection(self):
+        h = Hypergraph.of_query(example5_query()).with_extra_edges(
+            [
+                {"v1", "v3", "v5"},
+                {"v2", "v3", "v4"},
+                {"v1", "v2", "v3"},
+            ]
+        )
+        parent = join_tree(h)
+        # Every vertex's bags must form a connected subtree.
+        for vertex in h.vertices:
+            bags = [e for e in parent if vertex in e]
+            # walk each bag upward; the set of bags containing the vertex
+            # must be connected: check each non-root bag's parent chain
+            # hits another bag containing the vertex or all others do.
+            containing = set(bags)
+            if len(containing) <= 1:
+                continue
+            reachable = set()
+            for bag in containing:
+                up = parent[bag]
+                while up is not None and up not in containing:
+                    up = parent.get(up)
+                if up is not None:
+                    reachable.add((bag, up))
+            # all but one (the top one) must connect upward inside the set
+            assert len(reachable) >= len(containing) - 1
+
+
+class TestDisruptiveTrios:
+    def test_example5_has_trio(self):
+        h = Hypergraph.of_query(example5_query())
+        trio = find_disruptive_trio(h, example5_order())
+        assert trio is not None
+        first, second, late = trio
+        assert late in h.neighbors(first) and late in h.neighbors(second)
+        assert second not in h.neighbors(first)
+
+    def test_example18_has_no_trio(self):
+        h = Hypergraph.of_query(example18_query())
+        assert not has_disruptive_trio(h, example5_order())
+
+    def test_star_center_first_is_tractable(self):
+        h = Hypergraph(
+            ["x1", "x2", "z"], [["x1", "z"], ["x2", "z"]]
+        )
+        assert is_tractable_pair(h, VariableOrder(["z", "x1", "x2"]))
+        assert not is_tractable_pair(
+            h, VariableOrder(["x1", "x2", "z"])
+        )
+
+    def test_trio_characterization_matches_elimination(self):
+        # Brault-Baron: reverse elimination order <=> acyclic & trio-free.
+        from itertools import permutations
+
+        for h in (
+            Hypergraph.of_query(example5_query()),
+            Hypergraph(
+                ["x1", "x2", "z"], [["x1", "z"], ["x2", "z"]]
+            ),
+            triangle_hypergraph(),
+        ):
+            for perm in permutations(sorted(h.vertices)):
+                order = VariableOrder(perm)
+                lhs = is_reverse_elimination_order(h, order)
+                rhs = is_acyclic(h) and not has_disruptive_trio(
+                    h, order
+                )
+                assert lhs == rhs, (perm, lhs, rhs)

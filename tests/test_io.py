@@ -1,0 +1,61 @@
+"""Tests for CSV relation/database persistence."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.io import (
+    load_database,
+    load_relation,
+    save_database,
+    save_relation,
+)
+from repro.data.relation import Relation
+from repro.errors import DatabaseError
+
+
+class TestLoad:
+    def test_roundtrip(self, tmp_path):
+        relation = Relation({(1, 2), (3, 4), (1, 9)})
+        path = tmp_path / "r.csv"
+        save_relation(relation, path)
+        assert load_relation(path) == relation
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("# header\n\n1,2\n\n# trailing\n3,4\n")
+        assert len(load_relation(path)) == 2
+
+    def test_string_values(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("alice,7\nbob,3\n")
+        relation = load_relation(path)
+        assert ("alice", 7) in relation
+
+    def test_ragged_rows_rejected_with_arity(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2\n3\n")
+        with pytest.raises(DatabaseError):
+            load_relation(path, arity=2)
+
+    def test_empty_without_arity_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("\n")
+        with pytest.raises(DatabaseError):
+            load_relation(path)
+        assert len(load_relation(path, arity=3)) == 0
+
+
+class TestDatabaseRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        database = Database(
+            {"R": {(1, 2), (3, 4)}, "S": {(5,), (6,)}}
+        )
+        paths = save_database(database, tmp_path / "db")
+        assert set(paths) == {"R", "S"}
+        loaded = load_database(paths)
+        assert loaded == database
+
+    def test_empty_relation_file_written(self, tmp_path):
+        database = Database({"R": Relation([], arity=2)})
+        paths = save_database(database, tmp_path)
+        assert paths["R"].read_text() == ""

@@ -1,0 +1,163 @@
+"""Unit tests for relational operators, Generic Join, Yannakakis."""
+
+import random
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import DatabaseError
+from repro.joins.generic_join import (
+    evaluate,
+    generic_join,
+    generic_join_iter,
+    tables_of_query,
+)
+from repro.joins.operators import Table
+from repro.joins.trie import Trie
+from repro.joins.yannakakis import (
+    acyclic_join,
+    count_acyclic_join,
+    full_reduce,
+)
+from repro.query.atoms import Atom
+from repro.query.catalog import triangle_query
+from repro.query.parser import parse_query
+from tests.conftest import random_database_for
+
+
+class TestTable:
+    def test_from_atom_repeated_variable(self):
+        relation = Relation([(1, 1), (1, 2)])
+        table = Table.from_atom(Atom("R", ("x", "x")), relation)
+        assert table.schema == ("x",)
+        assert table.rows == frozenset({(1,)})
+
+    def test_from_atom_arity_check(self):
+        with pytest.raises(DatabaseError):
+            Table.from_atom(Atom("R", ("x",)), Relation([(1, 2)]))
+
+    def test_project(self):
+        t = Table(("x", "y"), {(1, 2), (3, 2)})
+        assert t.project(("y",)).rows == frozenset({(2,)})
+
+    def test_select(self):
+        t = Table(("x", "y"), {(1, 2), (3, 2)})
+        assert t.select({"x": 1}).rows == frozenset({(1, 2)})
+
+    def test_semijoin(self):
+        t = Table(("x", "y"), {(1, 2), (3, 4)})
+        other = Table(("y", "z"), {(2, 9)})
+        assert t.semijoin(other).rows == frozenset({(1, 2)})
+
+    def test_semijoin_no_shared_columns(self):
+        t = Table(("x",), {(1,)})
+        assert t.semijoin(Table(("y",), {(5,)})).rows == t.rows
+        assert t.semijoin(Table(("y",), set())).rows == frozenset()
+
+    def test_natural_join(self):
+        t = Table(("x", "y"), {(1, 2)})
+        u = Table(("y", "z"), {(2, 3), (2, 4), (9, 9)})
+        joined = t.natural_join(u)
+        assert joined.schema == ("x", "y", "z")
+        assert joined.rows == frozenset({(1, 2, 3), (1, 2, 4)})
+
+    def test_schema_repeat_rejected(self):
+        with pytest.raises(DatabaseError):
+            Table(("x", "x"), set())
+
+
+class TestTrie:
+    def test_structure(self):
+        t = Table(("x", "y"), {(1, 2), (1, 3)})
+        trie = Trie(t, ["x", "y"])
+        assert set(trie.root) == {1}
+        assert set(trie.root[1]) == {2, 3}
+
+    def test_column_order_validation(self):
+        t = Table(("x", "y"), {(1, 2)})
+        with pytest.raises(ValueError):
+            Trie(t, ["x"])
+
+
+class TestGenericJoin:
+    def test_triangle(self):
+        r = Table(("x", "y"), {(1, 2), (2, 3)})
+        s = Table(("y", "z"), {(2, 3), (3, 1)})
+        t = Table(("z", "x"), {(3, 1), (1, 2)})
+        joined = generic_join([r, s, t], ["x", "y", "z"])
+        assert joined.rows == frozenset({(1, 2, 3), (2, 3, 1)})
+
+    def test_yields_in_lexicographic_order(self):
+        rng = random.Random(4)
+        q = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        db = random_database_for(q, rng, rows=30, domain=5)
+        tables = tables_of_query(q, db)
+        answers = list(generic_join_iter(tables, ["z", "x", "y"]))
+        assert answers == sorted(answers)
+
+    def test_uncovered_variable_rejected(self):
+        r = Table(("x",), {(1,)})
+        with pytest.raises(ValueError):
+            generic_join([r], ["x", "y"])
+
+    def test_cartesian_components(self):
+        r = Table(("x",), {(1,), (2,)})
+        s = Table(("y",), {(7,)})
+        joined = generic_join([r, s], ["x", "y"])
+        assert joined.rows == frozenset({(1, 7), (2, 7)})
+
+    def test_evaluate_with_projection(self):
+        q = parse_query("Q(x) :- R(x, y)")
+        db = Database({"R": {(1, 2), (1, 3), (4, 2)}})
+        assert evaluate(q, db).rows == frozenset({(1,), (4,)})
+
+
+class TestYannakakis:
+    def _path_tables(self, rng):
+        q = parse_query("Q(x, y, z, w) :- R(x, y), S(y, z), T(z, w)")
+        db = random_database_for(q, rng, rows=25, domain=5)
+        return q, db, tables_of_query(q, db)
+
+    def test_full_reduce_keeps_only_participating_rows(self, rng):
+        q, db, tables = self._path_tables(rng)
+        reduced = full_reduce(tables)
+        answers = evaluate(q, db)
+        participating = [set() for _ in tables]
+        index = {v: i for i, v in enumerate(q.variables)}
+        for row in answers.rows:
+            for t, table in enumerate(tables):
+                participating[t].add(
+                    tuple(row[index[v]] for v in table.schema)
+                )
+        for t, table in enumerate(reduced):
+            assert table.rows == frozenset(participating[t])
+
+    def test_acyclic_join_matches_generic_join(self, rng):
+        q, db, tables = self._path_tables(rng)
+        expected = evaluate(q, db).rows
+        got = acyclic_join(tables).project(q.variables).rows
+        assert got == expected
+
+    def test_count_matches(self, rng):
+        q, db, tables = self._path_tables(rng)
+        assert count_acyclic_join(tables) == len(evaluate(q, db).rows)
+
+    def test_cyclic_rejected(self):
+        tables = tables_of_query(
+            triangle_query(),
+            Database(
+                {
+                    "R1": {(1, 1)},
+                    "R2": {(1, 1)},
+                    "R3": {(1, 1)},
+                }
+            ),
+        )
+        with pytest.raises(ValueError):
+            full_reduce(tables)
+
+    def test_disconnected_count(self):
+        r = Table(("x",), {(1,), (2,)})
+        s = Table(("y",), {(5,), (6,), (7,)})
+        assert count_acyclic_join([r, s]) == 6

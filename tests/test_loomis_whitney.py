@@ -1,0 +1,114 @@
+"""Tests for Loomis-Whitney joins and the §9 constructions."""
+
+from fractions import Fraction
+
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.joins.generic_join import evaluate
+from repro.lowerbounds.loomis_whitney import (
+    MaterializingEnumerator,
+    lw_database_from_set_intersection,
+    triangle_database_from_set_intersection,
+)
+from repro.lowerbounds.setdisjointness import SetSystem
+from repro.lp.covers import fractional_edge_cover_number
+from repro.query.catalog import loomis_whitney_query, triangle_query
+
+
+class TestLWQueries:
+    def test_lw3_is_triangle(self):
+        lw3 = loomis_whitney_query(3)
+        tri = triangle_query()
+        assert {a.scope for a in lw3.atoms} == {
+            a.scope for a in tri.atoms
+        }
+
+    def test_lw_is_cyclic(self):
+        for k in (3, 4, 5):
+            assert not is_acyclic(
+                Hypergraph.of_query(loomis_whitney_query(k))
+            )
+
+    def test_lw_cover_number(self):
+        # ρ*(LW_k) = 1 + 1/(k-1): the preprocessing exponent Theorem 53
+        # proves optimal.
+        for k in (3, 4, 5):
+            h = Hypergraph.of_query(loomis_whitney_query(k))
+            assert fractional_edge_cover_number(h) == 1 + Fraction(
+                1, k - 1
+            )
+
+
+class TestTheorem53Construction:
+    def test_triangle_answers_are_enumeration_answers(self):
+        instance = SetSystem.random(2, 6, 4, 12, seed=2)
+        queries = {(0, 1), (2, 3), (4, 5), (1, 1)}
+        db = triangle_database_from_set_intersection(instance, queries)
+        answers = {
+            tuple(r)
+            for r in evaluate(
+                triangle_query(), db, ["x1", "x2", "x3"]
+            ).rows
+        }
+        expected = {
+            (j1, j2, v)
+            for (j1, j2) in queries
+            for v in instance.families[0][j1] & instance.families[1][j2]
+        }
+        assert answers == expected
+
+    def test_lw4_with_padding(self):
+        instance = SetSystem.random(3, 4, 3, 8, seed=1)
+        queries = {(0, 1, 2), (1, 2, 3), (3, 0, 1)}
+        db = lw_database_from_set_intersection(
+            instance, queries, padding_domain=4
+        )
+        lw4 = loomis_whitney_query(4)
+        answers = {
+            tuple(r)
+            for r in evaluate(
+                lw4, db, ["x1", "x2", "x3", "x4"]
+            ).rows
+        }
+        expected = {
+            (j1, j2, j3, v)
+            for (j1, j2, j3) in queries
+            for v in (
+                instance.families[0][j1]
+                & instance.families[1][j2]
+                & instance.families[2][j3]
+            )
+        }
+        assert answers == expected
+
+    def test_padding_size_accounting(self):
+        instance = SetSystem.random(3, 3, 2, 6, seed=0)
+        db = lw_database_from_set_intersection(
+            instance, {(0, 0, 0)}, padding_domain=5
+        )
+        # each pair gets 5^{k-3} = 5 padded copies for k = 4
+        for i in range(1, 4):
+            family = instance.families[i % 3]
+            pairs = sum(len(s) for s in family)
+            assert len(db[f"R{i}"]) == pairs * 5
+
+
+class TestMaterializingEnumerator:
+    def test_enumerates_everything(self):
+        instance = SetSystem.random(2, 5, 4, 10, seed=3)
+        queries = {(0, 0), (1, 2), (3, 4)}
+        db = triangle_database_from_set_intersection(instance, queries)
+        enumerator = MaterializingEnumerator(triangle_query(), db)
+        index = {v: i for i, v in enumerate(enumerator.variables)}
+        got = {
+            (r[index["x1"]], r[index["x2"]], r[index["x3"]])
+            for r in enumerator
+        }
+        expected = {
+            (j1, j2, v)
+            for (j1, j2) in queries
+            for v in instance.families[0][j1] & instance.families[1][j2]
+        }
+        assert got == expected
+        assert len(enumerator) == len(expected)
+        assert enumerator.preprocessing_seconds >= 0

@@ -1,0 +1,161 @@
+"""Unit tests for the exact simplex and hypergraph covers."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InfeasibleError, UnboundedError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.covers import (
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    fractional_independent_set_number,
+    is_independent_set,
+    maximum_independent_set,
+)
+from repro.lp.simplex import GE, LE, Constraint, maximize_lp, solve_lp
+from repro.query.catalog import (
+    example5_query,
+    loomis_whitney_query,
+    star_query,
+    triangle_query,
+)
+
+
+class TestSimplex:
+    def test_simple_minimization(self):
+        # min x + y s.t. x + 2y >= 4, 3x + y >= 6
+        solution = solve_lp(
+            [1, 1],
+            [
+                Constraint((Fraction(1), Fraction(2)), GE, Fraction(4)),
+                Constraint((Fraction(3), Fraction(1)), GE, Fraction(6)),
+            ],
+        )
+        assert solution.value == Fraction(14, 5)
+
+    def test_simple_maximization(self):
+        # max x + y s.t. x <= 2, y <= 3
+        solution = maximize_lp(
+            [1, 1],
+            [
+                Constraint((Fraction(1), Fraction(0)), LE, Fraction(2)),
+                Constraint((Fraction(0), Fraction(1)), LE, Fraction(3)),
+            ],
+        )
+        assert solution.value == 5
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            solve_lp(
+                [1],
+                [
+                    Constraint((Fraction(1),), GE, Fraction(2)),
+                    Constraint((Fraction(1),), LE, Fraction(1)),
+                ],
+            )
+
+    def test_unbounded(self):
+        with pytest.raises(UnboundedError):
+            maximize_lp(
+                [1], [Constraint((Fraction(1),), GE, Fraction(0))]
+            )
+
+    def test_negative_rhs_normalization(self):
+        # min x s.t. -x <= -3  (i.e. x >= 3)
+        solution = solve_lp(
+            [1], [Constraint((Fraction(-1),), LE, Fraction(-3))]
+        )
+        assert solution.value == 3
+
+    def test_matches_scipy_on_random_covering_lps(self):
+        scipy_optimize = pytest.importorskip("scipy.optimize")
+        rng = random.Random(7)
+        for _ in range(20):
+            n = rng.randint(2, 5)
+            m = rng.randint(2, 5)
+            rows = [
+                [rng.randint(0, 3) for _ in range(n)] for _ in range(m)
+            ]
+            # ensure feasibility: every row gets a positive entry
+            for row in rows:
+                if not any(row):
+                    row[rng.randrange(n)] = 1
+            constraints = [
+                Constraint(tuple(map(Fraction, row)), GE, Fraction(1))
+                for row in rows
+            ]
+            mine = solve_lp([1] * n, constraints)
+            result = scipy_optimize.linprog(
+                [1.0] * n,
+                A_ub=[[-x for x in row] for row in rows],
+                b_ub=[-1.0] * m,
+                bounds=[(0, None)] * n,
+            )
+            assert result.success
+            assert abs(float(mine.value) - result.fun) < 1e-7
+
+
+class TestCovers:
+    def test_triangle_rho_star(self):
+        h = Hypergraph.of_query(triangle_query())
+        assert fractional_edge_cover_number(h) == Fraction(3, 2)
+
+    def test_loomis_whitney_rho_star(self):
+        # ρ*(LW_k) = 1 + 1/(k-1) = k/(k-1).
+        for k in (3, 4, 5):
+            h = Hypergraph.of_query(loomis_whitney_query(k))
+            assert fractional_edge_cover_number(h) == Fraction(
+                k, k - 1
+            )
+
+    def test_star_rho_star(self):
+        for k in (1, 2, 3):
+            h = Hypergraph.of_query(star_query(k))
+            assert fractional_edge_cover_number(h) == k
+
+    def test_example5_rho_star(self):
+        h = Hypergraph.of_query(example5_query())
+        assert fractional_edge_cover_number(h) == 3
+
+    def test_cover_weights_are_a_cover(self):
+        h = Hypergraph.of_query(triangle_query())
+        value, weights = fractional_edge_cover(h)
+        assert sum(weights.values()) == value
+        for vertex in h.vertices:
+            incident = sum(
+                w for edge, w in weights.items() if vertex in edge
+            )
+            assert incident >= 1
+
+    def test_lp_duality_alpha_equals_rho(self):
+        for query in (
+            triangle_query(),
+            example5_query(),
+            star_query(3),
+            loomis_whitney_query(4),
+        ):
+            h = Hypergraph.of_query(query)
+            assert fractional_edge_cover_number(
+                h
+            ) == fractional_independent_set_number(h)
+
+    def test_maximum_independent_set(self):
+        h = Hypergraph.of_query(star_query(3))
+        independent = maximum_independent_set(h)
+        assert is_independent_set(h, independent)
+        assert len(independent) == 3  # the leaves
+
+    def test_acyclic_integral_cover_matches_independent_set(self):
+        # In acyclic hypergraphs ρ* is integral and equals the max
+        # independent set size (fact used in Lemma 15).
+        h = Hypergraph.of_query(example5_query())
+        rho = fractional_edge_cover_number(h)
+        assert rho.denominator == 1
+        assert len(maximum_independent_set(h)) == rho
+
+    def test_empty_hypergraph(self):
+        h = Hypergraph([], [])
+        assert fractional_edge_cover_number(h) == 0
+        assert fractional_independent_set_number(h) == 0

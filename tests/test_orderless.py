@@ -1,0 +1,121 @@
+"""Tests for orderless direct access on the 4-cycle (Lemma 48)."""
+
+import pytest
+
+from repro.core.orderless import OrderlessFourCycleAccess, split_heavy_light
+from repro.data.database import Database
+from repro.data.generators import four_cycle_database, random_database
+from repro.errors import OutOfBoundsError
+from repro.joins.generic_join import evaluate
+from repro.joins.operators import Table
+from repro.query.catalog import four_cycle_query
+
+
+def brute(database):
+    return {
+        tuple(row)
+        for row in evaluate(
+            four_cycle_query(), database, ["x1", "x2", "x3", "x4"]
+        ).rows
+    }
+
+
+class TestHeavyLightSplit:
+    def test_partition(self):
+        table = Table(
+            ("a", "b"),
+            {(0, i) for i in range(9)} | {(i, 0) for i in range(1, 4)},
+        )
+        heavy, light = split_heavy_light(table)
+        assert heavy.rows | light.rows == table.rows
+        assert not heavy.rows & light.rows
+        # 0 has degree 9 > sqrt(12); others degree 1
+        assert all(row[0] == 0 for row in heavy.rows)
+
+    def test_all_light(self):
+        table = Table(("a", "b"), {(i, i) for i in range(10)})
+        heavy, light = split_heavy_light(table)
+        assert not heavy.rows and len(light.rows) == 10
+
+
+class TestOrderlessAccess:
+    def test_is_a_bijection_onto_answers(self, rng):
+        for seed in range(4):
+            db = four_cycle_database(50, seed=seed)
+            access = OrderlessFourCycleAccess(db)
+            expected = brute(db)
+            got = [access.tuple_at(i) for i in range(len(access))]
+            assert len(got) == len(expected)
+            assert set(got) == expected
+            assert len(set(got)) == len(got)  # injective
+
+    def test_uniform_random_data(self, rng):
+        db = random_database(four_cycle_query(), 80, 9, seed=3)
+        access = OrderlessFourCycleAccess(db)
+        assert set(
+            access.tuple_at(i) for i in range(len(access))
+        ) == brute(db)
+
+    def test_out_of_bounds(self):
+        db = four_cycle_database(20, seed=0)
+        access = OrderlessFourCycleAccess(db)
+        with pytest.raises(OutOfBoundsError):
+            access.tuple_at(len(access))
+
+    def test_empty_relation(self):
+        from repro.data.relation import Relation
+
+        db = Database(
+            {
+                "R1": Relation([], arity=2),
+                "R2": {(1, 2)},
+                "R3": {(2, 3)},
+                "R4": {(3, 1)},
+            }
+        )
+        access = OrderlessFourCycleAccess(db)
+        assert len(access) == 0
+
+    def test_dense_instance_stays_within_budget(self):
+        # Complete bipartite relations: |Q(D)| = n^4 answers but the
+        # per-bag budget must stay well below materializing the output.
+        n = 8
+        full = {(a, b) for a in range(n) for b in range(n)}
+        db = Database(
+            {"R1": full, "R2": full, "R3": full, "R4": full}
+        )
+        access = OrderlessFourCycleAccess(db)
+        assert len(access) == n ** 4
+        assert access.bag_budget <= len(db) ** 1.5
+        # spot check membership
+        assert access.tuple_at(0) in brute(db)
+
+
+class TestBooleanAndCounting:
+    """The closing observations of §8.2/§8.3: existence and counting."""
+
+    def test_existence_matches_bruteforce(self):
+        from repro.core.orderless import four_cycle_answer_exists
+
+        positive = four_cycle_database(40, seed=2)
+        assert four_cycle_answer_exists(positive) == bool(
+            brute(positive)
+        )
+        from repro.data.relation import Relation
+
+        empty = Database(
+            {
+                "R1": {(1, 2)},
+                "R2": {(2, 3)},
+                "R3": {(3, 4)},
+                "R4": Relation([], arity=2),
+            }
+        )
+        assert not four_cycle_answer_exists(empty)
+
+    def test_count_matches_bruteforce(self):
+        from repro.core.orderless import four_cycle_count
+
+        for seed in range(3):
+            db = four_cycle_database(40, seed=seed)
+            assert four_cycle_count(db) == len(brute(db))

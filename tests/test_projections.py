@@ -1,0 +1,124 @@
+"""Tests for projections and partial lexicographic orders (Theorem 50)."""
+
+from fractions import Fraction
+
+from repro.core.projections import (
+    completions,
+    partial_order_access,
+    partial_order_incompatibility,
+)
+from repro.joins.generic_join import evaluate
+from repro.query.catalog import (
+    four_cycle_query,
+    path_query,
+    projected_star_query,
+    star_query,
+)
+from repro.query.variable_order import VariableOrder
+from tests.conftest import random_database_for
+
+
+def oracle_projected(query, database, partial):
+    """Distinct free-variable answers; sorted by the partial order prefix."""
+    base = query.as_join_query() if hasattr(query, "free") else query
+    rows = evaluate(base, database, list(base.variables)).rows
+    index = {v: i for i, v in enumerate(base.variables)}
+    free = query.free_variables
+    projected = sorted(
+        {tuple(row[index[v]] for v in free) for row in rows},
+        key=lambda t: tuple(
+            t[free.index(v)] for v in partial
+        ),
+    )
+    return projected
+
+
+class TestCompletions:
+    def test_projected_variables_at_the_end(self):
+        q = projected_star_query(2)
+        for order in completions(q, VariableOrder(["x1", "x2"])):
+            assert list(order)[-1] == "z"
+
+    def test_count(self):
+        q = projected_star_query(2)
+        # middle empty, one projected variable -> exactly one completion
+        assert len(list(completions(q, VariableOrder(["x1", "x2"])))) == 1
+        # leaving x2 unlisted doubles nothing (1 middle var, 1 projected)
+        assert len(list(completions(q, VariableOrder(["x1"])))) == 1
+
+
+class TestIncompatibility:
+    def test_projected_star(self):
+        q = projected_star_query(2)
+        iota, completion = partial_order_incompatibility(
+            q, VariableOrder(["x1", "x2"])
+        )
+        assert iota == 2  # z must come last: the bad order
+        assert list(completion) == ["x1", "x2", "z"]
+
+    def test_free_choice_recovers_tractability(self):
+        # With an empty partial order the completion may put z first.
+        q = projected_star_query(2)
+        iota, completion = partial_order_incompatibility(
+            q, VariableOrder([])
+        )
+        assert iota == 2  # z is projected, still must come last
+
+    def test_join_query_partial_order(self):
+        q = star_query(2)
+        iota, completion = partial_order_incompatibility(
+            q, VariableOrder(["z"])
+        )
+        assert iota == 1
+
+
+class TestAccess:
+    def test_projected_star_matches_oracle(self, rng):
+        q = projected_star_query(2)
+        db = random_database_for(q, rng, rows=20, domain=5)
+        partial = VariableOrder(["x1", "x2"])
+        access = partial_order_access(q, partial, db)
+        expected = oracle_projected(q, db, ["x1", "x2"])
+        got = [access.tuple_at(i) for i in range(len(access))]
+        assert got == expected
+
+    def test_projection_counts_each_answer_once(self, rng):
+        # Many z-extensions per (x1, x2) must still count once.
+        from repro.data.database import Database
+
+        q = projected_star_query(2)
+        db = Database(
+            {
+                "R1": {(0, z) for z in range(5)},
+                "R2": {(1, z) for z in range(5)},
+            }
+        )
+        access = partial_order_access(
+            q, VariableOrder(["x1", "x2"]), db
+        )
+        assert len(access) == 1
+        assert access.tuple_at(0) == (0, 1)
+
+    def test_partial_order_on_join_query(self, rng):
+        # No projections: order only x1; ties broken consistently.
+        q = path_query(2)
+        db = random_database_for(q, rng, rows=20, domain=5)
+        partial = VariableOrder(["x2"])
+        access = partial_order_access(q, partial, db)
+        values = [access.tuple_at(i) for i in range(len(access))]
+        # answers sorted by x2 (first variable of the completion)
+        x2_position = access.free_variables.index("x2")
+        x2_values = [v[x2_position] for v in values]
+        assert x2_values == sorted(x2_values)
+        # and the full list is the set of all answers
+        base = evaluate(q, db, list(access.free_variables))
+        assert set(values) == set(base.rows)
+
+    def test_four_cycle_projection(self, rng):
+        q = four_cycle_query().project(("x1", "x3"))
+        db = random_database_for(q, rng, rows=20, domain=4)
+        partial = VariableOrder(["x1", "x3"])
+        access = partial_order_access(q, partial, db)
+        expected = oracle_projected(q, db, ["x1", "x3"])
+        got = [access.tuple_at(i) for i in range(len(access))]
+        assert got == expected

@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.access import DirectAccess
+from repro.core.counting import (
+    CountingFromDirectAccess,
+    PrefixConstraint,
+)
+from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.hypergraph.disruptive_trios import has_disruptive_trio
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lp.covers import (
+    fractional_edge_cover,
+    fractional_independent_set_number,
+)
+from repro.query.atoms import Atom
+from repro.query.query import JoinQuery
+from repro.query.variable_order import VariableOrder
+from tests.conftest import lex_answers
+
+VARIABLES = ["a", "b", "c", "d"]
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def queries(draw):
+    variable_count = draw(st.integers(2, 4))
+    variables = VARIABLES[:variable_count]
+    atom_count = draw(st.integers(1, 3))
+    atoms = []
+    used: set[str] = set()
+    for i in range(atom_count):
+        arity = draw(st.integers(1, min(3, variable_count)))
+        scope = draw(
+            st.permutations(variables).map(lambda p: tuple(p[:arity]))
+        )
+        atoms.append(Atom(f"R{i}", scope))
+        used.update(scope)
+    missing = tuple(v for v in variables if v not in used)
+    if missing:
+        atoms.append(Atom("Rm", missing))
+    return JoinQuery(tuple(atoms))
+
+
+@st.composite
+def query_order_database(draw):
+    query = draw(queries())
+    order = VariableOrder(draw(st.permutations(query.variables)))
+    relations = {}
+    for symbol in query.relation_symbols:
+        arity = query.arity_of(symbol)
+        rows = draw(
+            st.sets(
+                st.tuples(
+                    *[st.integers(0, 2) for _ in range(arity)]
+                ),
+                max_size=10,
+            )
+        )
+        relations[symbol] = Relation(rows, arity=arity)
+    return query, order, Database(relations)
+
+
+@st.composite
+def hypergraphs(draw):
+    vertex_count = draw(st.integers(1, 5))
+    vertices = VARIABLES[:4] + ["e"]
+    vertices = vertices[:vertex_count]
+    edge_count = draw(st.integers(1, 4))
+    edges = []
+    covered: set[str] = set()
+    for _ in range(edge_count):
+        edge = draw(
+            st.sets(st.sampled_from(vertices), min_size=1, max_size=3)
+        )
+        edges.append(frozenset(edge))
+        covered |= edge
+    uncovered = set(vertices) - covered
+    if uncovered:
+        edges.append(frozenset(uncovered))
+    return Hypergraph(vertices, edges)
+
+
+class TestDirectAccessProperties:
+    @SETTINGS
+    @given(query_order_database())
+    def test_access_equals_sorted_bruteforce(self, qod):
+        query, order, database = qod
+        access = DirectAccess(query, order, database)
+        expected = lex_answers(query, database, order)
+        assert len(access) == len(expected)
+        got = [access.tuple_at(i) for i in range(len(access))]
+        assert got == expected
+
+    @SETTINGS
+    @given(query_order_database(), st.integers(0, 2), st.integers(0, 2))
+    def test_counting_matches_filtered_bruteforce(self, qod, low, high):
+        query, order, database = qod
+        access = DirectAccess(query, order, database)
+        counter = CountingFromDirectAccess(access)
+        answers = lex_answers(query, database, order)
+        constraint = PrefixConstraint((), low, high)
+        expected = sum(1 for a in answers if low <= a[0] <= high)
+        assert counter.count(constraint) == expected
+
+
+class TestDecompositionProperties:
+    @SETTINGS
+    @given(query_order_database())
+    def test_proposition6(self, qod):
+        query, order, _ = qod
+        decomposition = DisruptionFreeDecomposition(query, order)
+        h0 = decomposition.decomposition_hypergraph
+        assert is_acyclic(h0)
+        assert not has_disruptive_trio(h0, order)
+        assert decomposition.hypergraph.edges <= h0.edges
+
+    @SETTINGS
+    @given(query_order_database())
+    def test_lemma7_closed_form(self, qod):
+        query, order, _ = qod
+        decomposition = DisruptionFreeDecomposition(query, order)
+        closed = decomposition.closed_form_edges()
+        for bag in decomposition.bags:
+            assert closed[bag.index] == bag.edge
+
+    @SETTINGS
+    @given(query_order_database())
+    def test_incompatibility_at_least_one(self, qod):
+        query, order, _ = qod
+        decomposition = DisruptionFreeDecomposition(query, order)
+        assert decomposition.incompatibility_number >= 1
+
+
+class TestLPProperties:
+    @SETTINGS
+    @given(hypergraphs())
+    def test_duality(self, hypergraph):
+        value, weights = fractional_edge_cover(hypergraph)
+        assert value == fractional_independent_set_number(hypergraph)
+
+    @SETTINGS
+    @given(hypergraphs())
+    def test_cover_is_feasible(self, hypergraph):
+        value, weights = fractional_edge_cover(hypergraph)
+        for vertex in hypergraph.vertices:
+            incident = sum(
+                (w for e, w in weights.items() if vertex in e),
+                start=Fraction(0),
+            )
+            assert incident >= 1
+
+    @SETTINGS
+    @given(hypergraphs())
+    def test_acyclic_implies_integral_cover(self, hypergraph):
+        if is_acyclic(hypergraph):
+            value, _ = fractional_edge_cover(hypergraph)
+            assert value.denominator == 1

@@ -1,0 +1,105 @@
+"""Further hypothesis property tests: projections, orderless, testing."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.access import DirectAccess
+from repro.core.orderless import OrderlessFourCycleAccess
+from repro.core.projections import partial_order_access
+from repro.core.testing import AnswerTester
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.joins.generic_join import evaluate
+from repro.query.catalog import (
+    four_cycle_query,
+    projected_star_query,
+    star_query,
+)
+from repro.query.variable_order import VariableOrder
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+binary_relation = st.sets(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=12
+)
+
+
+class TestProjectionProperties:
+    @SETTINGS
+    @given(binary_relation, binary_relation)
+    def test_projected_star_matches_distinct_pairs(self, rows1, rows2):
+        query = projected_star_query(2)
+        database = Database(
+            {
+                "R1": Relation(rows1, arity=2),
+                "R2": Relation(rows2, arity=2),
+            }
+        )
+        access = partial_order_access(
+            query, VariableOrder(["x1", "x2"]), database
+        )
+        expected = sorted(
+            {
+                (a, c)
+                for a, b in rows1
+                for c, d in rows2
+                if b == d
+            }
+        )
+        got = [access.tuple_at(i) for i in range(len(access))]
+        assert got == expected
+
+
+class TestOrderlessProperties:
+    @SETTINGS
+    @given(
+        binary_relation,
+        binary_relation,
+        binary_relation,
+        binary_relation,
+    )
+    def test_four_cycle_bijection(self, r1, r2, r3, r4):
+        database = Database(
+            {
+                "R1": Relation(r1, arity=2),
+                "R2": Relation(r2, arity=2),
+                "R3": Relation(r3, arity=2),
+                "R4": Relation(r4, arity=2),
+            }
+        )
+        access = OrderlessFourCycleAccess(database)
+        expected = {
+            tuple(row)
+            for row in evaluate(
+                four_cycle_query(),
+                database,
+                ["x1", "x2", "x3", "x4"],
+            ).rows
+        }
+        got = [access.tuple_at(i) for i in range(len(access))]
+        assert len(got) == len(expected)
+        assert set(got) == expected
+        assert len(set(got)) == len(got)
+
+
+class TestTesterProperties:
+    @SETTINGS
+    @given(binary_relation, binary_relation, st.integers(0, 3), st.integers(0, 3), st.integers(0, 3))
+    def test_membership_matches_bruteforce(
+        self, r1, r2, a, b, c
+    ):
+        query = star_query(2)
+        database = Database(
+            {
+                "R1": Relation(r1, arity=2),
+                "R2": Relation(r2, arity=2),
+            }
+        )
+        order = VariableOrder(["x1", "x2", "z"])
+        tester = AnswerTester(DirectAccess(query, order, database))
+        expected = (a, c) in r1 and (b, c) in r2
+        assert tester.contains((a, b, c)) == expected

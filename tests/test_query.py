@@ -1,0 +1,101 @@
+"""Unit tests for repro.query.query and the parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.atoms import Atom
+from repro.query.parser import parse_query
+from repro.query.query import ConjunctiveQuery, JoinQuery
+
+
+class TestJoinQuery:
+    def test_variables_in_first_occurrence_order(self):
+        q = JoinQuery((Atom("R", ("y", "x")), Atom("S", ("x", "z"))))
+        assert q.variables == ("y", "x", "z")
+
+    def test_free_variables_equal_variables(self):
+        q = JoinQuery((Atom("R", ("x", "y")),))
+        assert q.free_variables == q.variables
+
+    def test_self_join_detection(self):
+        q = JoinQuery((Atom("R", ("x",)), Atom("R", ("y",))))
+        assert q.has_self_joins
+        q2 = JoinQuery((Atom("R", ("x",)), Atom("S", ("y",))))
+        assert not q2.has_self_joins
+
+    def test_arity_consistency_enforced(self):
+        with pytest.raises(QueryError):
+            JoinQuery((Atom("R", ("x",)), Atom("R", ("x", "y"))))
+
+    def test_arity_of(self):
+        q = JoinQuery((Atom("R", ("x", "y")),))
+        assert q.arity_of("R") == 2
+        with pytest.raises(QueryError):
+            q.arity_of("S")
+
+    def test_needs_an_atom(self):
+        with pytest.raises(QueryError):
+            JoinQuery(())
+
+    def test_scopes(self):
+        q = JoinQuery((Atom("R", ("x", "x", "y")),))
+        assert q.scopes() == (frozenset({"x", "y"}),)
+
+    def test_str_roundtrip_shape(self):
+        q = JoinQuery((Atom("R", ("x", "y")), Atom("S", ("y", "z"))))
+        assert str(q) == "Q(x, y, z) :- R(x, y), S(y, z)"
+
+
+class TestConjunctiveQuery:
+    def test_projection(self):
+        q = JoinQuery((Atom("R", ("x", "y")),)).project(("x",))
+        assert isinstance(q, ConjunctiveQuery)
+        assert q.free_variables == ("x",)
+        assert q.projected_variables == ("y",)
+
+    def test_head_variable_must_be_in_body(self):
+        with pytest.raises(QueryError):
+            JoinQuery((Atom("R", ("x",)),)).project(("z",))
+
+    def test_duplicate_head_variables_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                (Atom("R", ("x", "y")),), free=("x", "x")
+            )
+
+    def test_as_join_query(self):
+        q = JoinQuery((Atom("R", ("x", "y")),)).project(("x",))
+        assert q.as_join_query().free_variables == ("x", "y")
+
+
+class TestParser:
+    def test_parse_join_query(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        assert isinstance(q, JoinQuery)
+        assert not isinstance(q, ConjunctiveQuery)
+        assert q.name == "Q"
+
+    def test_parse_projection(self):
+        q = parse_query("Q(x) :- R(x, y)")
+        assert isinstance(q, ConjunctiveQuery)
+        assert q.free_variables == ("x",)
+
+    def test_parse_self_join(self):
+        q = parse_query("Q(x, y) :- R(x), R(y)")
+        assert q.has_self_joins
+
+    def test_whitespace_insensitive(self):
+        q = parse_query("  Q( x ,y )  :-  R( x , y )  ")
+        assert q.variables == ("x", "y")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(x) = R(x)")
+
+    def test_bad_atom_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(x) :- R(x,)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(x) :- R((x)")

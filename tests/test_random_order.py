@@ -1,0 +1,83 @@
+"""Tests for random-order enumeration without repetition."""
+
+import pytest
+
+from repro.core.access import DirectAccess
+from repro.core.random_order import (
+    FeistelPermutation,
+    random_order_enumeration,
+    random_prefix,
+)
+from repro.data.database import Database
+from repro.query.parser import parse_query
+from repro.query.variable_order import VariableOrder
+from tests.conftest import lex_answers, random_database_for
+
+
+class TestFeistelPermutation:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 64, 100, 1000])
+    def test_is_a_permutation(self, n):
+        permutation = FeistelPermutation(n, seed=3)
+        images = [permutation(i) for i in range(n)]
+        assert sorted(images) == list(range(n))
+
+    def test_seed_changes_order(self):
+        n = 50
+        first = [FeistelPermutation(n, seed=1)(i) for i in range(n)]
+        second = [FeistelPermutation(n, seed=2)(i) for i in range(n)]
+        assert first != second
+
+    def test_deterministic(self):
+        n = 30
+        a = [FeistelPermutation(n, seed=9)(i) for i in range(n)]
+        b = [FeistelPermutation(n, seed=9)(i) for i in range(n)]
+        assert a == b
+
+    def test_out_of_range(self):
+        permutation = FeistelPermutation(5)
+        with pytest.raises(IndexError):
+            permutation(5)
+
+    def test_not_identity_for_reasonable_sizes(self):
+        n = 200
+        permutation = FeistelPermutation(n, seed=0)
+        moved = sum(1 for i in range(n) if permutation(i) != i)
+        assert moved > n // 2
+
+
+class TestRandomOrderEnumeration:
+    def _access(self, rng):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        db = random_database_for(query, rng, rows=25, domain=5)
+        order = VariableOrder(["x", "y", "z"])
+        return (
+            DirectAccess(query, order, db),
+            lex_answers(query, db, order),
+        )
+
+    def test_covers_all_answers_exactly_once(self, rng):
+        access, answers = self._access(rng)
+        stream = list(random_order_enumeration(access, seed=4))
+        assert len(stream) == len(answers)
+        assert sorted(stream) == answers
+
+    def test_is_not_sorted_order(self, rng):
+        access, answers = self._access(rng)
+        if len(answers) < 10:
+            pytest.skip("too few answers to distinguish orders")
+        stream = list(random_order_enumeration(access, seed=4))
+        assert stream != answers
+
+    def test_prefix_is_resumable(self, rng):
+        access, _ = self._access(rng)
+        short = random_prefix(access, 5, seed=7)
+        longer = random_prefix(access, 10, seed=7)
+        assert longer[:5] == short
+
+    def test_empty_access(self):
+        query = parse_query("Q(x) :- R(x)")
+        from repro.data.relation import Relation
+
+        db = Database({"R": Relation([], arity=1)})
+        access = DirectAccess(query, VariableOrder(["x"]), db)
+        assert list(random_order_enumeration(access)) == []

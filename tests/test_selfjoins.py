@@ -1,0 +1,118 @@
+"""Tests for the self-join elimination pipeline (Section 6, Theorem 33)."""
+
+from repro.core.selfjoins import SelfJoinFreeAccess, duplicate_relations
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.joins.generic_join import evaluate
+from repro.query.catalog import running_selfjoin_query
+from repro.query.parser import parse_query
+from repro.query.transforms import self_join_free_version
+from repro.query.variable_order import VariableOrder
+
+
+def oracle(query_sf, database_sf, order):
+    rows = evaluate(query_sf, database_sf, list(order)).rows
+    return sorted(tuple(r) for r in rows)
+
+
+def check(query, order, database_sf):
+    access = SelfJoinFreeAccess(query, order, database_sf)
+    expected = oracle(
+        self_join_free_version(query), database_sf, order
+    )
+    assert len(access) == len(expected)
+    got = [access.tuple_at(i) for i in range(len(access))]
+    assert got == expected
+    return access
+
+
+class TestExample37:
+    """Q(x, y, z) :- R(x), R(y), R(z) — the running example of §6.3."""
+
+    def test_small_instance(self):
+        query = running_selfjoin_query()
+        db = Database(
+            {
+                "R__x": {(1,), (4,)},
+                "R__y": {(2,), (4,)},
+                "R__z": {(3,)},
+            }
+        )
+        access = check(query, VariableOrder(["x", "y", "z"]), db)
+        assert access.answer_at(0) == {"x": 1, "y": 2, "z": 3}
+
+    def test_overlapping_relations(self):
+        query = running_selfjoin_query()
+        db = Database(
+            {
+                "R__x": {(1,), (2,)},
+                "R__y": {(1,), (2,)},
+                "R__z": {(1,), (2,)},
+            }
+        )
+        access = check(query, VariableOrder(["x", "y", "z"]), db)
+        assert len(access) == 8
+
+    def test_empty_relation(self):
+        query = running_selfjoin_query()
+        db = Database(
+            {
+                "R__x": {(1,)},
+                "R__y": Relation([], arity=1),
+                "R__z": {(2,)},
+            }
+        )
+        access = SelfJoinFreeAccess(
+            query, VariableOrder(["x", "y", "z"]), db
+        )
+        assert len(access) == 0
+
+
+class TestBinarySelfJoins:
+    def test_shared_binary_relation(self):
+        # Q(x, y, z) :- R(x, y), R(y, z): self-join free version has
+        # two distinct symbols over the same shape.
+        query = parse_query("Q(x, y, z) :- R(x, y), R(y, z)")
+        db = Database(
+            {
+                "R__x_y": {(1, 2), (2, 2), (5, 1)},
+                "R__y_z": {(2, 7), (2, 8), (1, 1)},
+            }
+        )
+        check(query, VariableOrder(["x", "y", "z"]), db)
+
+    def test_symmetric_pair(self):
+        # Q(x, y) :- R(x, y), R(y, x) has a nontrivial automorphism.
+        query = parse_query("Q(x, y) :- R(x, y), R(y, x)")
+        db = Database(
+            {
+                "R__x_y": {(1, 2), (2, 1), (3, 3)},
+                "R__y_x": {(2, 1), (1, 2), (3, 3), (4, 4)},
+            }
+        )
+        check(query, VariableOrder(["x", "y"]), db)
+
+    def test_mixed_symbols(self):
+        # Self-join on R plus an independent S atom.
+        query = parse_query("Q(x, y) :- R(x), R(y), S(x, y)")
+        db = Database(
+            {
+                "R__x": {(1,), (2,), (3,)},
+                "R__y": {(2,), (3,)},
+                "S__x_y": {(1, 2), (2, 2), (3, 2), (1, 3)},
+            }
+        )
+        check(query, VariableOrder(["y", "x"]), db)
+
+
+class TestTrivialDirection:
+    def test_duplicate_relations(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), R(y, z)")
+        db_for_q = Database({"R": {(1, 2), (2, 3)}})
+        db_sf = duplicate_relations(query, db_for_q)
+        assert db_sf["R__x_y"] == db_for_q["R"]
+        assert db_sf["R__y_z"] == db_for_q["R"]
+        sf = self_join_free_version(query)
+        assert {
+            tuple(r) for r in evaluate(sf, db_sf, ["x", "y", "z"]).rows
+        } == {(1, 2, 3)}

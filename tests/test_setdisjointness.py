@@ -1,0 +1,151 @@
+"""Tests for the set-disjointness/intersection problem family (§4.3, §5)."""
+
+import pytest
+
+from repro.lowerbounds.setdisjointness import (
+    MergeDisjointness,
+    PrecomputedDisjointness,
+    SetIntersectionViaUnique,
+    SetSystem,
+    StarDisjointness,
+    StarSetIntersection,
+    UniqueSetIntersectionViaDisjointness,
+    star_database,
+)
+
+
+@pytest.fixture
+def example21() -> SetSystem:
+    """The instance of Example 21 (paper, Section 4.3)."""
+    return SetSystem(
+        (
+            (frozenset({1, 3, 5}), frozenset({1, 2, 4})),
+            (
+                frozenset({1, 4}),
+                frozenset({2, 4}),
+                frozenset({1, 2, 3, 4, 5}),
+            ),
+            (frozenset({3, 4, 5}), frozenset({4})),
+        )
+    )
+
+
+class TestSetSystem:
+    def test_example21_size(self, example21):
+        assert example21.size == 19  # the paper computes ‖I‖ = 19
+        assert example21.k == 3
+        assert example21.set_count == 7
+
+    def test_universe(self, example21):
+        assert example21.universe() == frozenset({1, 2, 3, 4, 5})
+
+    def test_random_is_deterministic(self):
+        a = SetSystem.random(2, 5, 3, 10, seed=1)
+        b = SetSystem.random(2, 5, 3, 10, seed=1)
+        assert a == b
+
+
+class TestDisjointnessBackends:
+    def test_example21_queries(self, example21):
+        for backend in (
+            MergeDisjointness,
+            PrecomputedDisjointness,
+            StarDisjointness,
+        ):
+            oracle = backend(example21)
+            # (2,3,2) in the paper (1-based): intersection {4} -> not disjoint
+            assert not oracle.disjoint((1, 2, 1))
+            # (1,1,1): empty -> disjoint
+            assert oracle.disjoint((0, 0, 0))
+
+    def test_backends_agree_on_random_instances(self):
+        for seed in range(3):
+            instance = SetSystem.random(2, 8, 5, 16, seed=seed)
+            merge = MergeDisjointness(instance)
+            pre = PrecomputedDisjointness(instance)
+            star = StarDisjointness(instance)
+            for j1 in range(8):
+                for j2 in range(8):
+                    q = (j1, j2)
+                    assert (
+                        merge.disjoint(q)
+                        == pre.disjoint(q)
+                        == star.disjoint(q)
+                    )
+
+    def test_star_database_size_matches_instance(self, example21):
+        assert len(star_database(example21)) == example21.size
+
+
+class TestStarSetIntersection:
+    def test_full_intersections(self):
+        instance = SetSystem.random(2, 6, 5, 12, seed=4)
+        oracle = StarSetIntersection(instance)
+        for j1 in range(6):
+            for j2 in range(6):
+                expected = sorted(
+                    instance.families[0][j1] & instance.families[1][j2]
+                )
+                assert oracle.intersect((j1, j2), 100) == expected
+
+    def test_limit_truncates(self):
+        instance = SetSystem(
+            ((frozenset(range(10)),), (frozenset(range(10)),))
+        )
+        oracle = StarSetIntersection(instance)
+        assert len(oracle.intersect((0, 0), 3)) == 3
+
+    def test_three_families(self, example21):
+        oracle = StarSetIntersection(example21)
+        assert oracle.intersect((1, 2, 1), 10) == [4]
+        assert oracle.intersect((0, 0, 0), 10) == []
+
+
+class TestUniqueViaDisjointness:
+    def test_matches_definition(self):
+        instance = SetSystem.random(2, 8, 4, 12, seed=6)
+        oracle = UniqueSetIntersectionViaDisjointness(instance)
+        for j1 in range(8):
+            for j2 in range(8):
+                intersection = (
+                    instance.families[0][j1] & instance.families[1][j2]
+                )
+                expected = (
+                    next(iter(intersection))
+                    if len(intersection) == 1
+                    else None
+                )
+                assert oracle.unique_element((j1, j2)) == expected
+
+    def test_with_star_backend(self, example21):
+        oracle = UniqueSetIntersectionViaDisjointness(
+            example21, backend=StarDisjointness
+        )
+        assert oracle.unique_element((1, 2, 1)) == 4
+
+
+class TestLemma30Subsampling:
+    def test_returns_only_correct_elements(self):
+        instance = SetSystem.random(2, 6, 5, 10, seed=8)
+        oracle = SetIntersectionViaUnique(instance, limit=4, seed=1)
+        for j1 in range(6):
+            for j2 in range(6):
+                got = set(oracle.intersect((j1, j2)))
+                assert got <= (
+                    instance.families[0][j1] & instance.families[1][j2]
+                )
+
+    def test_high_recall(self):
+        instance = SetSystem.random(2, 5, 4, 8, seed=2)
+        oracle = SetIntersectionViaUnique(instance, limit=3, seed=5)
+        hits = total = 0
+        for j1 in range(5):
+            for j2 in range(5):
+                intersection = (
+                    instance.families[0][j1] & instance.families[1][j2]
+                )
+                want = min(3, len(intersection))
+                total += 1
+                if len(oracle.intersect((j1, j2))) >= want:
+                    hits += 1
+        assert hits / total > 0.9  # "with high probability"

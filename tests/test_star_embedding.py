@@ -1,0 +1,118 @@
+"""Tests for the Lemma 15/17 star embeddings."""
+
+import pytest
+
+from repro.core.access import DirectAccess
+from repro.data.generators import random_database
+from repro.errors import QueryError
+from repro.joins.generic_join import evaluate
+from repro.lowerbounds.star_queries import StarEmbedding, X_ROLE, Z_ROLE
+from repro.query.catalog import (
+    example5_order,
+    example5_query,
+    example18_query,
+    running_selfjoin_query,
+    star_bad_order,
+    star_query,
+)
+from repro.query.variable_order import VariableOrder
+
+
+def star_answers_bad_order(k, star_db):
+    sq = star_query(k)
+    bad = star_bad_order(k)
+    rows = evaluate(sq, star_db, list(sq.variables)).rows
+    return sorted(
+        bad.key_of_tuple(tuple(r), sq.variables) for r in rows
+    )
+
+
+def check_embedding(query, order, seed=0, sets=10, universe=4):
+    embedding = StarEmbedding(query, order)
+    k = embedding.star_size
+    star_db = random_database(star_query(k), sets, universe, seed=seed)
+    database = embedding.transform_database(star_db)
+    access = DirectAccess(query, order, database)
+    mapped = [
+        embedding.star_answer(access.answer_at(i))
+        for i in range(len(access))
+    ]
+    assert mapped == star_answers_bad_order(k, star_db)
+    return embedding
+
+
+class TestRoleAssignment:
+    def test_example16(self):
+        """Example 16: ι = 3, roles x1..x3 on v1..v3; z on v3, v4, v5."""
+        embedding = StarEmbedding(example5_query(), example5_order())
+        assert embedding.star_size == 3
+        assert embedding.blowup == 1
+        x_carriers = {
+            role[1]: var
+            for var, roles in embedding.roles.items()
+            for role in roles
+            if role[0] == X_ROLE
+        }
+        assert set(x_carriers) == {1, 2, 3}
+        z_carriers = {
+            var
+            for var, roles in embedding.roles.items()
+            if (Z_ROLE,) in roles
+        }
+        assert z_carriers == {"v3", "v4", "v5"}
+
+    def test_example18_fractional(self):
+        """Example 18: ι = 3/2, λ = 2, k = λι = 3 (Lemma 17's formula)."""
+        embedding = StarEmbedding(example18_query(), example5_order())
+        assert embedding.blowup == 2
+        assert embedding.star_size == 3
+
+    def test_selfjoin_rejected(self):
+        with pytest.raises(QueryError):
+            StarEmbedding(
+                running_selfjoin_query(), VariableOrder(["x", "y", "z"])
+            )
+
+
+class TestLexPreservation:
+    def test_example5(self):
+        check_embedding(example5_query(), example5_order(), seed=1)
+
+    def test_example18(self):
+        check_embedding(example18_query(), example5_order(), seed=2)
+
+    def test_star_itself(self):
+        # Embedding the star into itself with its own bad order: k = 2.
+        q = star_query(2)
+        embedding = check_embedding(q, star_bad_order(2), seed=3)
+        assert embedding.star_size == 2
+
+    def test_path_with_hard_order(self):
+        # 2-path with order (x1, x3, x2): x2 last creates a 2-star.
+        from repro.query.catalog import path_query
+
+        q = path_query(2)
+        order = VariableOrder(["x1", "x3", "x2"])
+        embedding = check_embedding(q, order, seed=4)
+        assert embedding.star_size == 2
+
+    def test_several_seeds(self):
+        for seed in range(3):
+            check_embedding(
+                example5_query(), example5_order(), seed=seed
+            )
+
+
+class TestBlowup:
+    def test_database_size_bounded(self):
+        # |D| = O(|D*|^λ) — check the constructed database respects it
+        # grossly (with the query-dependent constant <= atom count).
+        embedding = StarEmbedding(example18_query(), example5_order())
+        star_db = random_database(
+            star_query(embedding.star_size), 15, 5, seed=0
+        )
+        database = embedding.transform_database(star_db)
+        budget = len(embedding.query.atoms) * (
+            (len(star_db) + 5) ** embedding.blowup
+        )
+        assert len(database) <= budget

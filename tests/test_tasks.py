@@ -1,0 +1,98 @@
+"""Tests for the order-sensitive task layer (median, sampling, ...)."""
+
+import pytest
+
+from repro.core.access import DirectAccess
+from repro.core.tasks import (
+    answer_count,
+    boxplot,
+    enumerate_in_order,
+    median,
+    page,
+    quantile,
+    sample_without_repetition,
+)
+from repro.data.database import Database
+from repro.errors import OutOfBoundsError
+from repro.query.parser import parse_query
+from repro.query.variable_order import VariableOrder
+from tests.conftest import lex_answers, random_database_for
+
+
+@pytest.fixture
+def access(rng):
+    query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+    db = random_database_for(query, rng, rows=25, domain=5)
+    order = VariableOrder(["x", "y", "z"])
+    return (
+        DirectAccess(query, order, db),
+        lex_answers(query, db, order),
+    )
+
+
+class TestOrderStatistics:
+    def test_median(self, access):
+        da, answers = access
+        assert median(da) == answers[(len(answers) - 1) // 2]
+
+    def test_quantiles(self, access):
+        da, answers = access
+        n = len(answers)
+        assert quantile(da, 0) == answers[0]
+        assert quantile(da, 1) == answers[-1]
+        assert quantile(da, 0.25) == answers[(n - 1) // 4]
+
+    def test_quantile_bounds(self, access):
+        da, _ = access
+        with pytest.raises(ValueError):
+            quantile(da, 1.5)
+
+    def test_boxplot(self, access):
+        da, answers = access
+        summary = boxplot(da)
+        assert summary["min"] == answers[0]
+        assert summary["max"] == answers[-1]
+        assert summary["median"] == median(da)
+
+    def test_empty_access_raises(self):
+        from repro.data.relation import Relation
+
+        q = parse_query("Q(x) :- R(x)")
+        da = DirectAccess(
+            q,
+            VariableOrder(["x"]),
+            Database({"R": Relation([], arity=1)}),
+        )
+        with pytest.raises(OutOfBoundsError):
+            median(da)
+
+
+class TestSamplingAndPagination:
+    def test_sample_without_repetition(self, access):
+        da, answers = access
+        sample = sample_without_repetition(da, 10, seed=3)
+        assert len(sample) == len(set(sample)) == 10
+        assert set(sample) <= set(answers)
+
+    def test_sample_too_large(self, access):
+        da, _ = access
+        with pytest.raises(OutOfBoundsError):
+            sample_without_repetition(da, len(da) + 1)
+
+    def test_pagination(self, access):
+        da, answers = access
+        size = 7
+        collected = []
+        number = 0
+        while True:
+            chunk = page(da, number, size)
+            if not chunk:
+                break
+            collected.extend(chunk)
+            number += 1
+        assert collected == answers
+
+    def test_enumeration(self, access):
+        da, answers = access
+        assert list(enumerate_in_order(da)) == answers
+        assert answer_count(da) == len(answers)

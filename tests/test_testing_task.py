@@ -1,0 +1,102 @@
+"""Tests for the testing task (§2.2) and answer ranking."""
+
+import pytest
+
+from repro.core.access import DirectAccess
+from repro.core.testing import AnswerTester
+from repro.data.database import Database
+from repro.errors import OrderError
+from repro.query.parser import parse_query
+from repro.query.variable_order import VariableOrder
+from tests.conftest import (
+    lex_answers,
+    random_database_for,
+    random_join_query,
+    random_order,
+)
+
+
+class TestMembership:
+    def test_small(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        db = Database({"R": {(1, 2), (3, 4)}})
+        tester = AnswerTester(
+            DirectAccess(q, VariableOrder(["x", "y"]), db)
+        )
+        assert tester.contains((1, 2))
+        assert tester.contains((3, 4))
+        assert not tester.contains((1, 4))
+        assert not tester.contains((0, 0))
+        assert not tester.contains((9, 9))
+
+    def test_mapping_interface(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        db = Database({"R": {(1, 2)}})
+        tester = AnswerTester(
+            DirectAccess(q, VariableOrder(["y", "x"]), db)
+        )
+        assert tester.contains_mapping({"x": 1, "y": 2})
+        assert tester.variables == ("y", "x")
+
+    def test_wrong_arity(self):
+        q = parse_query("Q(x) :- R(x)")
+        db = Database({"R": {(1,)}})
+        tester = AnswerTester(
+            DirectAccess(q, VariableOrder(["x"]), db)
+        )
+        with pytest.raises(OrderError):
+            tester.contains((1, 2))
+
+    def test_random_membership(self, rng):
+        for _ in range(15):
+            query = random_join_query(rng)
+            order = random_order(query, rng)
+            db = random_database_for(query, rng, rows=10, domain=3)
+            access = DirectAccess(query, order, db)
+            tester = AnswerTester(access)
+            answers = set(lex_answers(query, db, order))
+            # every true answer is found
+            for answer in answers:
+                assert tester.contains(answer)
+            # random non-answers are rejected
+            width = len(list(order))
+            for _ in range(10):
+                candidate = tuple(
+                    rng.randrange(4) for _ in range(width)
+                )
+                assert tester.contains(candidate) == (
+                    candidate in answers
+                )
+
+
+class TestRank:
+    def test_rank_is_inverse_of_access(self, rng):
+        query = random_join_query(rng)
+        order = random_order(query, rng)
+        db = random_database_for(query, rng, rows=15, domain=3)
+        access = DirectAccess(query, order, db)
+        tester = AnswerTester(access)
+        for index in range(len(access)):
+            assert tester.rank(access.tuple_at(index)) == index
+
+    def test_rank_of_non_answer(self):
+        q = parse_query("Q(x) :- R(x)")
+        db = Database({"R": {(1,)}})
+        tester = AnswerTester(
+            DirectAccess(q, VariableOrder(["x"]), db)
+        )
+        with pytest.raises(KeyError):
+            tester.rank((2,))
+
+
+class TestPrefixCounts:
+    def test_count_with_prefix(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        db = Database({"R": {(1, 2), (1, 3), (2, 9)}})
+        tester = AnswerTester(
+            DirectAccess(q, VariableOrder(["x", "y"]), db)
+        )
+        assert tester.count_with_prefix(()) == 3
+        assert tester.count_with_prefix((1,)) == 2
+        assert tester.count_with_prefix((2,)) == 1
+        assert tester.count_with_prefix((7,)) == 0

@@ -1,0 +1,68 @@
+"""Unit tests for query transforms (Section 6.1 constructions)."""
+
+from repro.query.catalog import running_selfjoin_query
+from repro.query.parser import parse_query
+from repro.query.transforms import (
+    automorphisms,
+    colored_version,
+    query_structure,
+    self_join_free_version,
+)
+
+
+class TestSelfJoinFreeVersion:
+    def test_distinct_symbols(self):
+        q = running_selfjoin_query()  # R(x), R(y), R(z)
+        sf = self_join_free_version(q)
+        assert not sf.has_self_joins
+        assert len(sf.atoms) == 3
+
+    def test_duplicate_atoms_merge(self):
+        q = parse_query("Q(x, y) :- R(x, y), R(x, y)")
+        sf = self_join_free_version(q)
+        assert len(sf.atoms) == 1
+
+    def test_variables_preserved(self):
+        q = running_selfjoin_query()
+        assert self_join_free_version(q).variables == q.variables
+
+
+class TestColoredVersion:
+    def test_adds_one_unary_atom_per_variable(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        colored = colored_version(q)
+        assert len(colored.atoms) == 1 + 2
+        unary = [a for a in colored.atoms if a.arity == 1]
+        assert {a.variables[0] for a in unary} == {"x", "y"}
+
+    def test_example_from_section_6(self):
+        # Q(x,y) :- R(x), R(y) gets R_x(x), R_y(y) added.
+        q = parse_query("Q(x, y) :- R(x), R(y)")
+        colored = colored_version(q)
+        assert len(colored.atoms) == 4
+
+
+class TestStructureAndAutomorphisms:
+    def test_structure_of_selfjoin_query(self):
+        q = running_selfjoin_query()
+        structure = query_structure(q)
+        assert structure == {"R": {("x",), ("y",), ("z",)}}
+
+    def test_example_37_automorphism_count(self):
+        # The paper: 3! automorphisms for Q(x,y,z) :- R(x),R(y),R(z).
+        q = running_selfjoin_query()
+        assert len(automorphisms(q)) == 6
+
+    def test_example_fixing_prefix(self):
+        # aut(A_Q, c) with c on {x}: permutations of {y, z} -> 2.
+        q = running_selfjoin_query()
+        assert len(automorphisms(q, fixed=("x",))) == 2
+
+    def test_asymmetric_query_has_trivial_automorphisms(self):
+        q = parse_query("Q(x, y) :- R(x, y), S(y)")
+        assert len(automorphisms(q)) == 1
+
+    def test_path_swap_symmetry(self):
+        # R(x,y), R(y,x) swaps x and y.
+        q = parse_query("Q(x, y) :- R(x, y), R(y, x)")
+        assert len(automorphisms(q)) == 2

@@ -1,0 +1,48 @@
+"""Unit tests for variable orders and lexicographic keys."""
+
+import pytest
+
+from repro.errors import OrderError
+from repro.query.parser import parse_query
+from repro.query.variable_order import VariableOrder, all_orders
+
+
+class TestVariableOrder:
+    def test_position(self):
+        order = VariableOrder(["b", "a"])
+        assert order.position("a") == 1
+        with pytest.raises(OrderError):
+            order.position("z")
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(OrderError):
+            VariableOrder(["a", "a"])
+
+    def test_validate_full_order(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        VariableOrder(["y", "x"]).validate_for(q)
+        with pytest.raises(OrderError):
+            VariableOrder(["x"]).validate_for(q)
+        with pytest.raises(OrderError):
+            VariableOrder(["x", "z"]).validate_for(q)
+
+    def test_validate_partial_order(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        VariableOrder(["x"]).validate_for(q, partial=True)
+
+    def test_key_sorts_lexicographically(self):
+        order = VariableOrder(["y", "x"])
+        answers = [{"x": 0, "y": 1}, {"x": 1, "y": 0}]
+        assert order.sort_answers(answers)[0] == {"x": 1, "y": 0}
+
+    def test_key_of_tuple(self):
+        order = VariableOrder(["y", "x"])
+        assert order.key_of_tuple((7, 8), ("x", "y")) == (8, 7)
+
+    def test_equality_and_hash(self):
+        assert VariableOrder(["a", "b"]) == VariableOrder(["a", "b"])
+        assert hash(VariableOrder(["a"])) == hash(VariableOrder(["a"]))
+
+    def test_all_orders_count(self):
+        q = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        assert len(list(all_orders(q))) == 6

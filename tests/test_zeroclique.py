@@ -1,0 +1,197 @@
+"""Tests for Zero-k-Clique instances and the Theorem 27 reduction."""
+
+import pytest
+
+from repro.lowerbounds.setdisjointness import MergeDisjointness, SetSystem
+from repro.lowerbounds.zeroclique import (
+    MultipartiteInstance,
+    ZeroCliqueViaSetIntersection,
+    brute_force_zero_clique,
+)
+
+
+class _MergeIntersection:
+    """A plain set-intersection oracle used as an alternative backend."""
+
+    def __init__(self, instance: SetSystem):
+        self.instance = instance
+
+    def intersect(self, indices, limit):
+        sets = [
+            self.instance.families[i][j]
+            for i, j in enumerate(indices)
+        ]
+        out = sets[0]
+        for s in sets[1:]:
+            out = out & s
+        return sorted(out)[:limit]
+
+
+class TestInstances:
+    def test_planting_creates_a_zero_clique(self):
+        for seed in range(5):
+            instance = MultipartiteInstance.random(
+                3, 6, weight_bound=40, plant_zero=True, seed=seed
+            )
+            clique = brute_force_zero_clique(instance)
+            assert clique is not None
+            assert instance.clique_weight(clique) == 0
+
+    def test_huge_weights_have_no_zero_clique(self):
+        instance = MultipartiteInstance.random(
+            3, 5, weight_bound=10 ** 9, plant_zero=False, seed=1
+        )
+        assert brute_force_zero_clique(instance) is None
+
+    def test_weight_symmetric_lookup(self):
+        instance = MultipartiteInstance.random(3, 3, seed=0)
+        assert instance.weight((0, 1), (1, 2)) == instance.weight(
+            (1, 2), (0, 1)
+        )
+
+    def test_clique_weight_sums_pairs(self):
+        instance = MultipartiteInstance.random(3, 2, seed=2)
+        clique = ((0, 0), (1, 1), (2, 0))
+        expected = (
+            instance.weight((0, 0), (1, 1))
+            + instance.weight((0, 0), (2, 0))
+            + instance.weight((1, 1), (2, 0))
+        )
+        assert instance.clique_weight(clique) == expected
+
+
+class TestReduction:
+    def test_finds_planted_zero_triangle(self):
+        instance = MultipartiteInstance.random(
+            3, 7, weight_bound=30, plant_zero=True, seed=5
+        )
+        reduction = ZeroCliqueViaSetIntersection(
+            instance, intervals=4, seed=11
+        )
+        clique = reduction.find_zero_clique()
+        assert clique is not None
+        assert instance.clique_weight(clique) == 0
+
+    def test_no_false_positives(self):
+        instance = MultipartiteInstance.random(
+            3, 5, weight_bound=10 ** 6, plant_zero=False, seed=9
+        )
+        reduction = ZeroCliqueViaSetIntersection(
+            instance, intervals=3, seed=2
+        )
+        assert reduction.find_zero_clique() is None
+
+    def test_zero_four_clique(self):
+        instance = MultipartiteInstance.random(
+            4, 4, weight_bound=15, plant_zero=True, seed=3
+        )
+        reduction = ZeroCliqueViaSetIntersection(
+            instance, intervals=3, seed=4
+        )
+        clique = reduction.find_zero_clique()
+        assert clique is not None
+        assert instance.clique_weight(clique) == 0
+
+    def test_success_across_seeds(self):
+        # The reduction is randomized; success probability is high per
+        # round on planted instances.
+        instance = MultipartiteInstance.random(
+            3, 6, weight_bound=25, plant_zero=True, seed=7
+        )
+        successes = sum(
+            1
+            for seed in range(5)
+            if ZeroCliqueViaSetIntersection(
+                instance, intervals=4, seed=seed
+            ).find_zero_clique()
+            is not None
+        )
+        assert successes >= 4
+
+    def test_alternative_oracle_backend(self):
+        instance = MultipartiteInstance.random(
+            3, 6, weight_bound=20, plant_zero=True, seed=8
+        )
+        reduction = ZeroCliqueViaSetIntersection(
+            instance,
+            intervals=4,
+            oracle_factory=_MergeIntersection,
+            seed=1,
+        )
+        clique = reduction.find_zero_clique()
+        assert clique is not None
+        assert instance.clique_weight(clique) == 0
+
+    def test_needs_three_parts(self):
+        instance = MultipartiteInstance.random(2, 3, seed=0)
+        with pytest.raises(ValueError):
+            ZeroCliqueViaSetIntersection(instance)
+
+    def test_stats_accounting(self):
+        instance = MultipartiteInstance.random(
+            3, 5, weight_bound=10 ** 6, plant_zero=False, seed=4
+        )
+        reduction = ZeroCliqueViaSetIntersection(
+            instance, intervals=3, seed=0
+        )
+        reduction.find_zero_clique()
+        # m^k prefixes, O(1) completions each (the paper's accounting)
+        assert reduction.stats["instances"] >= 3 ** 2
+        assert reduction.stats["instances"] <= 3 ** 2 * 6
+
+
+class TestLemma52Enumeration:
+    """The §9.1 variant: reduction to Set-Intersection-Enumeration."""
+
+    def test_finds_planted_zero_triangle(self):
+        from repro.lowerbounds.zeroclique import ZeroCliqueViaEnumeration
+
+        instance = MultipartiteInstance.random(
+            3, 7, weight_bound=30, plant_zero=True, seed=5
+        )
+        reduction = ZeroCliqueViaEnumeration(
+            instance, intervals=4, seed=1
+        )
+        clique = reduction.find_zero_clique()
+        assert clique is not None
+        assert instance.clique_weight(clique) == 0
+        assert reduction.stats["instances"] >= 1
+
+    def test_no_false_positives(self):
+        from repro.lowerbounds.zeroclique import ZeroCliqueViaEnumeration
+
+        instance = MultipartiteInstance.random(
+            3, 5, weight_bound=10 ** 6, plant_zero=False, seed=2
+        )
+        reduction = ZeroCliqueViaEnumeration(
+            instance, intervals=3, seed=0
+        )
+        assert reduction.find_zero_clique() is None
+
+    def test_zero_four_clique(self):
+        from repro.lowerbounds.zeroclique import ZeroCliqueViaEnumeration
+
+        instance = MultipartiteInstance.random(
+            4, 4, weight_bound=15, plant_zero=True, seed=3
+        )
+        clique = ZeroCliqueViaEnumeration(
+            instance, intervals=3, seed=1
+        ).find_zero_clique()
+        assert clique is not None
+        assert instance.clique_weight(clique) == 0
+
+    def test_success_across_seeds(self):
+        from repro.lowerbounds.zeroclique import ZeroCliqueViaEnumeration
+
+        instance = MultipartiteInstance.random(
+            3, 6, weight_bound=25, plant_zero=True, seed=7
+        )
+        successes = sum(
+            1
+            for seed in range(5)
+            if ZeroCliqueViaEnumeration(
+                instance, intervals=4, seed=seed
+            ).find_zero_clique()
+            is not None
+        )
+        assert successes >= 4
