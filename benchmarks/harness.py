@@ -5,6 +5,12 @@ prints a table (and writes it under ``benchmarks/out/``) with the paper's
 claimed exponent/shape next to the measured one, and registers at least
 one ``pytest-benchmark`` timing for the experiment's key operation.
 
+Every report records the active execution engine (``python`` /
+``numpy``, see :mod:`repro.engine`): the table header names it, and a
+machine-readable ``<name>.<engine>.json`` sidecar is written next to the
+``.txt`` table so runs under ``REPRO_ENGINE=python`` and
+``REPRO_ENGINE=numpy`` can be diffed to track the speedup.
+
 Absolute times are CPython times and are *not* comparable to the paper's
 word-RAM model; the meaningful outputs are the fitted exponents (log-log
 slopes over a geometric size sweep) and who-wins comparisons.
@@ -12,11 +18,22 @@ slopes over a geometric size sweep) and who-wins comparisons.
 
 from __future__ import annotations
 
+import json
 import math
 import time
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def active_engine() -> str:
+    """Name of the execution engine benchmarks are running under."""
+    try:
+        from repro.engine import get_engine
+
+        return get_engine().name
+    except Exception:  # pragma: no cover - repro not importable
+        return "unknown"
 
 
 def timed(callable_, *args, **kwargs):
@@ -59,7 +76,7 @@ def median_seconds(callable_, repeats: int = 5) -> float:
 
 def format_table(title: str, headers: list[str], rows: list[list]) -> str:
     widths = [
-        max(len(str(h)), *(len(str(row[i])) for row in rows))
+        max([len(str(h))] + [len(str(row[i])) for row in rows])
         for i, h in enumerate(headers)
     ]
     lines = [title, ""]
@@ -77,9 +94,24 @@ def format_table(title: str, headers: list[str], rows: list[list]) -> str:
 
 
 def report(name: str, title: str, headers: list[str], rows: list[list]):
-    """Print the experiment table and persist it under benchmarks/out/."""
-    table = format_table(title, headers, rows)
+    """Print the experiment table and persist it under benchmarks/out/.
+
+    The active engine is stamped into the table title, the ``.txt``
+    artifact, and a per-engine ``.json`` sidecar.
+    """
+    engine = active_engine()
+    table = format_table(f"{title} [engine={engine}]", headers, rows)
     print("\n" + table + "\n")
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(table + "\n")
+    payload = {
+        "name": name,
+        "title": title,
+        "engine": engine,
+        "headers": headers,
+        "rows": rows,
+    }
+    (OUT_DIR / f"{name}.{engine}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
     return table

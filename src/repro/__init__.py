@@ -28,7 +28,13 @@ from repro.core import (
     partial_order_access,
 )
 from repro.data import Database, Relation
-from repro.errors import OutOfBoundsError, ReproError
+from repro.engine import (
+    available_engines,
+    get_engine,
+    set_engine,
+    use_engine,
+)
+from repro.errors import EngineError, OutOfBoundsError, ReproError
 from repro.query import (
     Atom,
     ConjunctiveQuery,
@@ -37,7 +43,7 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnswerTester",
@@ -50,6 +56,7 @@ __all__ = [
     "Database",
     "DirectAccess",
     "DisruptionFreeDecomposition",
+    "EngineError",
     "JoinQuery",
     "OrderlessFourCycleAccess",
     "OutOfBoundsError",
@@ -59,8 +66,12 @@ __all__ = [
     "SelfJoinFreeAccess",
     "VariableOrder",
     "__version__",
+    "available_engines",
     "fractional_hypertree_width",
+    "get_engine",
     "incompatibility_number",
     "parse_query",
     "partial_order_access",
+    "set_engine",
+    "use_engine",
 ]

@@ -10,11 +10,15 @@ Commands:
 * ``access`` — preprocess a query over relations read from CSV-ish
   files and serve indices / medians from the command line.
 
+The global ``--engine {python,numpy}`` flag selects the execution
+engine (default: the ``REPRO_ENGINE`` environment variable, else
+``python``).
+
 Examples::
 
     python -m repro analyze "Q(x,y,z) :- R(x,y), S(y,z)" --order x,y,z
     python -m repro fhtw "Q(a,b,c) :- R(a,b), S(b,c), T(c,a)"
-    python -m repro access "Q(x,y) :- R(x,y)" --order y,x \\
+    python -m repro --engine numpy access "Q(x,y) :- R(x,y)" --order y,x \\
         --relation R=data/r.csv --index 0 --median
 """
 
@@ -25,6 +29,7 @@ import sys
 
 from repro.core.access import DirectAccess
 from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.engine import available_engines, set_engine
 from repro.core.htw import fractional_hypertree_width
 from repro.core.tasks import median
 from repro.data.database import Database
@@ -117,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Lexicographic direct access on join queries "
         "(Bringmann, Carmeli & Mengel, PODS 2022).",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["python", "numpy"],
+        default=None,
+        help="execution engine (default: $REPRO_ENGINE or 'python'; "
+        f"available here: {', '.join(available_engines())})",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser(
@@ -156,6 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.engine import get_engine
+    from repro.errors import EngineError
+
+    try:
+        if args.engine is not None:
+            set_engine(args.engine)
+        else:
+            get_engine()  # surface a bad $REPRO_ENGINE cleanly
+    except EngineError as error:
+        raise SystemExit(str(error)) from None
     return args.func(args)
 
 

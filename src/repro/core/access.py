@@ -11,6 +11,13 @@ lexicographic order induced by a variable order ``L``:
   maintaining the exact count of answers below the current prefix —
   ``O(ℓ log |D|)`` per call.
 
+The counting forest is built by the execution engine active at
+construction time: the Python engine loops per row, the numpy engine
+lexsorts dictionary-encoded columns and takes one ``cumsum`` per bag —
+the resulting structure is identical.  :meth:`DirectAccess.answers_at`
+answers a whole batch of indices at once (vectorized under the numpy
+engine), for pagination and sampling workloads.
+
 Projected variables (conjunctive queries, Theorem 50) are supported when
 they form a suffix of the order: their bags contribute existence
 indicators instead of counts, so each free-variable answer is counted
@@ -20,59 +27,22 @@ once no matter how many extensions it has.
 from __future__ import annotations
 
 from bisect import bisect_right
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.core.preprocessing import Preprocessing
 from repro.data.database import Database
+from repro.engine.base import BagIndex as _BagIndex  # noqa: F401 (compat)
 from repro.errors import OrderError, OutOfBoundsError
 from repro.query.query import JoinQuery
 from repro.query.variable_order import VariableOrder
-
-
-class _BagIndex:
-    """Per-bag search structure.
-
-    ``groups[s]`` (``s`` = interface value tuple) is a triple of parallel
-    lists: candidate values of the bag variable in sorted order, the
-    subtree weight of each candidate, and cumulative weights with a
-    leading 0 (so ``cumulative[j]`` is the weight strictly before
-    candidate ``j``). ``totals[s]`` is the group's total weight ``W_i(s)``.
-    Zero-weight candidates are dropped.
-    """
-
-    __slots__ = ("groups", "totals")
-
-    def __init__(self) -> None:
-        self.groups: dict[tuple, tuple[list, list[int], list[int]]] = {}
-        self.totals: dict[tuple, int] = {}
-
-    def build(self, weighted_rows: dict[tuple, int]) -> None:
-        by_interface: dict[tuple, list[tuple]] = {}
-        for row, weight in weighted_rows.items():
-            if weight <= 0:
-                continue
-            by_interface.setdefault(row[:-1], []).append(
-                (row[-1], weight)
-            )
-        for interface, pairs in by_interface.items():
-            pairs.sort()
-            values = [value for value, _ in pairs]
-            weights = [weight for _, weight in pairs]
-            cumulative = [0]
-            for weight in weights:
-                cumulative.append(cumulative[-1] + weight)
-            self.groups[interface] = (values, weights, cumulative)
-            self.totals[interface] = cumulative[-1]
-
-    def total(self, interface: tuple) -> int:
-        return self.totals.get(interface, 0)
 
 
 class DirectAccess:
     """Array-like access to ``Q(D)`` sorted by the order ``L``.
 
     Supports ``len``, integer indexing (including negative indices),
-    iteration (ordered enumeration), and slicing-free random access. For
+    iteration (ordered enumeration), batch access
+    (:meth:`answers_at`), and slicing-free random access. For
     conjunctive queries with projections, pass the free-variable prefix of
     a completion order; see :mod:`repro.core.projections` for the
     Theorem 50 wrapper that picks an optimal completion automatically.
@@ -105,16 +75,22 @@ class DirectAccess:
         self._free_prefix = variables[:free_count]
 
         self.preprocessing = Preprocessing(query, order, database)
+        self._engine = self.preprocessing.engine
         decomposition = self.preprocessing.decomposition
         self._bags = self.preprocessing.bags
         self._interface_vars: list[list[str]] = []
-        position = {v: i for i, v in enumerate(order)}
+        self._position = {v: i for i, v in enumerate(order)}
         for item in self._bags:
             self._interface_vars.append(
-                sorted(item.bag.interface, key=position.__getitem__)
+                sorted(item.bag.interface, key=self._position.__getitem__)
             )
         self._children = decomposition.children()
         self._indexes, self._total = self._build_counts()
+
+    @property
+    def engine_name(self) -> str:
+        """Name of the engine this access structure was built with."""
+        return self._engine.name
 
     # -- preprocessing ----------------------------------------------------
 
@@ -135,30 +111,9 @@ class DirectAccess:
                     )
                 )
             projected_bag = item.bag.variable in self.projected
-            weighted: dict[tuple, int] = {}
-            for row in table.rows:
-                weight = 1
-                for child_index, positions in child_slots:
-                    weight *= child_index.total(
-                        tuple(row[p] for p in positions)
-                    )
-                    if weight == 0:
-                        break
-                if projected_bag and weight > 0:
-                    # Existence suffices below a projected variable: the
-                    # bag variable and everything beneath it is projected,
-                    # so collapse multiplicity to one per row ...
-                    weight = 1
-                weighted[row] = weight
-            index = _BagIndex()
-            index.build(weighted)
-            if projected_bag:
-                # ... and to one per *interface* value: the caller must
-                # not distinguish different values of the projected
-                # variable either.
-                for interface in index.totals:
-                    index.totals[interface] = 1
-            indexes[i] = index
+            indexes[i] = self._engine.build_bag_index(
+                table, child_slots, projected_bag
+            )
 
         total = 1
         for root in self._children.get(None, ()):
@@ -202,6 +157,30 @@ class DirectAccess:
             remaining -= others * cumulative[j]
             live = others * weights[j]
         return assignment
+
+    def answers_at(
+        self, indices: Iterable[int] | Sequence[int]
+    ) -> list[dict[str, object]]:
+        """The answers at ``indices``, in the same order (batch access).
+
+        Negative indices count from the end, like :meth:`__getitem__`.
+        Raises :class:`~repro.errors.OutOfBoundsError` if any index
+        falls outside ``[-len, len)``.  Under the numpy engine the whole
+        batch is resolved level-synchronously with vectorized binary
+        searches; the result is identical to calling :meth:`answer_at`
+        per index.
+        """
+        normalized: list[int] = []
+        for requested in indices:
+            requested = int(requested)
+            index = requested + self._total if requested < 0 else requested
+            if index < 0 or index >= self._total:
+                raise OutOfBoundsError(
+                    f"index {requested} out of range "
+                    f"[-{self._total}, {self._total})"
+                )
+            normalized.append(index)
+        return self._engine.batch_access(self, normalized)
 
     def __getitem__(self, index: int) -> dict[str, object]:
         if index < 0:

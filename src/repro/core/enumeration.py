@@ -75,6 +75,6 @@ def materializing_enumerator(query, order, database):
 
     def setup():
         table = evaluate(query, database, list(order))
-        return iter(sorted(table.rows))
+        return iter(table.sorted_rows())
 
     return DelayInstrumentedEnumerator(setup)

@@ -7,6 +7,11 @@ fractional edge cover of ``H[e_i]`` — time ``O(|D|^{ρ*(H[e_i])})``, hence
 ``O(|D|^ι)`` overall. Each original atom is then enforced *exactly* (not
 just as a projection) at the bag of its latest variable, which makes the
 join of the bag relations equal to ``Q(D)``.
+
+All tuple-level work (atom interpretation, projections, joins, exact
+semijoin filters) runs on the execution engine active at construction
+time, so one preprocessing pass is internally consistent even if the
+global engine is switched while it runs.
 """
 
 from __future__ import annotations
@@ -15,8 +20,8 @@ from dataclasses import dataclass
 
 from repro.core.decomposition import Bag, DisruptionFreeDecomposition
 from repro.data.database import Database
+from repro.engine.registry import get_engine
 from repro.errors import QueryError
-from repro.joins.generic_join import generic_join
 from repro.joins.operators import Table
 from repro.query.query import JoinQuery
 from repro.query.variable_order import VariableOrder
@@ -46,6 +51,7 @@ class Preprocessing:
         self.query = query
         self.order = order
         self.database = database
+        self.engine = get_engine()
         self.decomposition = DisruptionFreeDecomposition(query, order)
         self._position = {v: i for i, v in enumerate(order)}
         self.bags = self._materialize()
@@ -56,7 +62,7 @@ class Preprocessing:
 
     def _atom_tables(self) -> list[Table]:
         return [
-            Table.from_atom(atom, self.database[atom.relation])
+            self.engine.from_atom(atom, self.database[atom.relation])
             for atom in self.query.atoms
         ]
 
@@ -84,9 +90,9 @@ class Preprocessing:
                 raise QueryError(
                     f"bag {set(bag.edge)} has an empty fractional cover"
                 )
-            table = generic_join(cover_tables, bag_schema)
+            table = self.engine.join(cover_tables, bag_schema)
             for exact in enforced_at.get(bag.index, ()):  # exact filters
-                table = table.semijoin(exact)
+                table = self.engine.semijoin(table, exact)
             out.append(PreprocessedBag(bag=bag, table=table))
         return out
 
@@ -96,7 +102,10 @@ class Preprocessing:
         """``π_{e_i}`` of an atom whose scope traces to ``trace`` on the bag."""
         for table in atom_tables:
             if frozenset(table.schema) & bag.edge == trace:
-                return table.project(self._ordered(trace))
+                variables = tuple(self._ordered(trace))
+                return self.engine.project(
+                    table, variables, table._positions(variables)
+                )
         raise QueryError(
             f"no atom realizes trace {set(trace)} on bag {set(bag.edge)}"
         )

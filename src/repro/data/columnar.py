@@ -1,0 +1,228 @@
+"""Dictionary-encoded columnar relations (the NumpyEngine substrate).
+
+The paper's word-RAM model assumes the active domain is ``[n]``; this
+module realizes that assumption for arbitrary (hashable, mutually
+comparable) Python constants.  A :class:`Dictionary` encodes the active
+domain of a table once into dense ``int64`` codes whose numeric order
+equals the value order, so every order-sensitive operation downstream
+(lexicographic sort, group boundaries, binary search) can run on
+contiguous integer arrays and still agree bit-for-bit with the
+pure-Python engine.
+
+A :class:`ColumnarTable` stores the rows of one table as an ``(n, k)``
+``int64`` code matrix sharing a single dictionary across columns.  The
+vectorized algorithms (:mod:`repro.engine.numpy_engine`) never put raw
+Python values into numpy arrays — only codes — so arbitrary constants
+(tuples, strings, Fractions) round-trip exactly.
+
+This module imports numpy lazily: importing :mod:`repro.data` stays
+possible on interpreters without numpy, and the engine registry gates
+the numpy engine on :func:`numpy_available`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+try:  # gated dependency: the container image may lack numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via numpy_available()
+    _np = None
+
+#: Largest key span we allow before densifying packed keys.  Staying
+#: well under 2**63 keeps every Horner step exact in int64.
+_MAX_SAFE = 2**62
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be used at all."""
+    return _np is not None
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover
+        raise RuntimeError("numpy is not available in this environment")
+    return _np
+
+
+class Dictionary:
+    """An order-preserving encoding of an active domain.
+
+    ``values`` is the sorted list of distinct constants; the code of a
+    value is its rank, so ``code(a) < code(b)`` iff ``a < b``.  Building
+    one requires the constants to be mutually comparable — the same
+    assumption the rest of the pipeline (tries, counting forests) already
+    makes; the numpy engine falls back to the Python engine when a domain
+    violates it.
+    """
+
+    __slots__ = ("values", "_code")
+
+    def __init__(self, values: Iterable):
+        self.values: list = sorted(set(values))
+        self._code: dict = {v: i for i, v in enumerate(self.values)}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, value) -> bool:
+        return value in self._code
+
+    def code(self, value) -> int:
+        """The code of ``value``, or ``-1`` when absent."""
+        return self._code.get(value, -1)
+
+    def decode(self, code: int):
+        return self.values[code]
+
+    def remap_to(self, other: "Dictionary"):
+        """An int64 array mapping this dictionary's codes into ``other``.
+
+        Entry ``i`` is ``other``'s code for ``self.values[i]``, or ``-1``
+        when the value is absent from ``other``.  Gathering through the
+        result vectorizes cross-dictionary comparisons at per-*unique*
+        -value cost instead of per-row cost.
+        """
+        np = _require_numpy()
+        get = other._code.get
+        return np.fromiter(
+            (get(v, -1) for v in self.values),
+            dtype=np.int64,
+            count=len(self.values),
+        )
+
+    @staticmethod
+    def merged(a: "Dictionary", b: "Dictionary") -> "Dictionary":
+        """The dictionary over the union of two active domains."""
+        if a is b:
+            return a
+        if not b.values:
+            return a
+        if not a.values:
+            return b
+        out = Dictionary(())
+        out.values = sorted(set(a.values) | set(b.values))
+        out._code = {v: i for i, v in enumerate(out.values)}
+        return out
+
+
+class ColumnarTable:
+    """Rows of one table as a dictionary-encoded int64 code matrix.
+
+    ``codes`` has shape ``(n_rows, arity)`` and is C-contiguous; all
+    columns share ``dictionary``.  Rows are unique (set semantics, like
+    :class:`~repro.joins.operators.Table`).
+    """
+
+    __slots__ = ("codes", "dictionary")
+
+    def __init__(self, codes, dictionary: Dictionary):
+        self.codes = codes
+        self.dictionary = dictionary
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[tuple],
+        arity: int,
+        dictionary: Dictionary | None = None,
+    ) -> "ColumnarTable":
+        """Encode ``rows`` (unique tuples) into a code matrix.
+
+        Raises ``TypeError`` when the values are not mutually comparable
+        (callers treat that as "fall back to the Python engine").
+        """
+        np = _require_numpy()
+        rows = list(rows)
+        if dictionary is None:
+            dictionary = Dictionary(
+                value for row in rows for value in row
+            )
+        code = dictionary._code
+        flat = np.fromiter(
+            (code[value] for row in rows for value in row),
+            dtype=np.int64,
+            count=len(rows) * arity,
+        )
+        return cls(flat.reshape(len(rows), arity), dictionary)
+
+    @property
+    def nrows(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def arity(self) -> int:
+        return self.codes.shape[1]
+
+    def to_rows(self) -> list[tuple]:
+        """Decode back to Python tuples (row order preserved)."""
+        values = self.dictionary.values
+        arity = self.arity
+        flat = [values[c] for c in self.codes.ravel().tolist()]
+        return [
+            tuple(flat[i : i + arity])
+            for i in range(0, len(flat), arity)
+        ]
+
+    def decode_column(self, column: int) -> list:
+        values = self.dictionary.values
+        return [values[c] for c in self.codes[:, column].tolist()]
+
+    def with_dictionary(self, dictionary: Dictionary) -> "ColumnarTable":
+        """Re-express the codes in ``dictionary`` (a superset domain)."""
+        if dictionary is self.dictionary:
+            return self
+        remap = self.dictionary.remap_to(dictionary)
+        return ColumnarTable(remap[self.codes], dictionary)
+
+
+def pack_keys(columns: Sequence, card: int):
+    """Collapse parallel code columns into one int64 key per row.
+
+    ``card`` bounds every code strictly (all codes in ``[0, card)``).
+    Keys preserve lexicographic order and equality of the column tuples.
+    When the mixed-radix span would overflow int64 the keys are densified
+    with ``np.unique`` (whose inverse is rank-ordered, so order is still
+    preserved) before the next Horner step.
+    """
+    np = _require_numpy()
+    if not columns:
+        raise ValueError("pack_keys needs at least one column")
+    key = np.ascontiguousarray(columns[0], dtype=np.int64)
+    span = max(card, 1)
+    for column in columns[1:]:
+        if span > _MAX_SAFE // max(card, 1):
+            uniques, key = np.unique(key, return_inverse=True)
+            key = key.astype(np.int64, copy=False)
+            span = max(len(uniques), 1)
+            if span > _MAX_SAFE // max(card, 1):  # pragma: no cover
+                raise OverflowError("key space exceeds int64")
+        key = key * card + np.asarray(column, dtype=np.int64)
+        span = span * max(card, 1)
+    return key
+
+
+def pack_pair(a, b, card: int):
+    """Pack two code matrices over the *same* dictionary jointly.
+
+    Returns ``(keys_a, keys_b)`` that are mutually comparable: equal row
+    tuples get equal keys and lexicographic row order maps to numeric key
+    order across both arrays (joint densification keeps this true even
+    when the plain mixed-radix product would overflow).
+    """
+    np = _require_numpy()
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError("pack_pair needs two matrices of equal width")
+    width = a.shape[1]
+    if width == 0:
+        return (
+            np.zeros(a.shape[0], dtype=np.int64),
+            np.zeros(b.shape[0], dtype=np.int64),
+        )
+    stacked = np.concatenate([a, b], axis=0)
+    keys = pack_keys(
+        [stacked[:, i] for i in range(width)], card
+    )
+    return keys[: a.shape[0]], keys[a.shape[0] :]

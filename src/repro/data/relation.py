@@ -17,7 +17,7 @@ from repro.errors import DatabaseError
 class Relation:
     """An immutable set of same-arity tuples with sorted iteration."""
 
-    __slots__ = ("_tuples", "_arity", "_sorted")
+    __slots__ = ("_tuples", "_arity", "_sorted", "_columnar")
 
     def __init__(self, tuples: Iterable[tuple], arity: int | None = None):
         tuple_set = {tuple(t) for t in tuples}
@@ -35,6 +35,8 @@ class Relation:
         self._tuples = frozenset(tuple_set)
         self._arity = arity
         self._sorted: list[tuple] | None = None
+        # Dictionary-encoded mirror, filled lazily by the numpy engine.
+        self._columnar = None
 
     @property
     def arity(self) -> int:

@@ -1,0 +1,24 @@
+"""Pluggable execution engines.
+
+``get_engine()`` returns the process-global active engine (``python`` by
+default, or whatever ``REPRO_ENGINE`` names); ``set_engine("numpy")``
+switches to the vectorized columnar backend.  See
+:class:`repro.engine.base.Engine` for the protocol.
+"""
+
+from repro.engine.base import BagIndex, Engine
+from repro.engine.registry import (
+    available_engines,
+    get_engine,
+    set_engine,
+    use_engine,
+)
+
+__all__ = [
+    "BagIndex",
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "set_engine",
+    "use_engine",
+]

@@ -1,0 +1,150 @@
+"""The execution-engine protocol.
+
+An :class:`Engine` separates *what* the algorithms compute (worst-case
+optimal joins, Theorem 10 bag materialization, counting-forest prefix
+sums) from *how* tuples are stored and batched.  Two implementations
+ship with the library:
+
+* :class:`~repro.engine.python_engine.PythonEngine` — frozensets of
+  Python tuples, tries, per-row loops; the reference semantics.
+* :class:`~repro.engine.numpy_engine.NumpyEngine` — dictionary-encoded
+  columnar batches (:mod:`repro.data.columnar`), lexsort-based ordering
+  and vectorized prefix sums.
+
+Both must be observationally identical: same ``Table`` row sets, same
+counting-forest group contents, same enumeration order.  The numpy
+engine guarantees this by encoding the active domain order-preservingly
+and falling back to the Python engine wherever a domain cannot be
+encoded (e.g. incomparable mixed-type constants) or a count could
+overflow int64.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+
+class BagIndex:
+    """Per-bag search structure of the counting forest.
+
+    ``groups[s]`` (``s`` = interface value tuple) is a triple of parallel
+    lists: candidate values of the bag variable in sorted order, the
+    subtree weight of each candidate, and cumulative weights with a
+    leading 0 (so ``cumulative[j]`` is the weight strictly before
+    candidate ``j``).  ``totals[s]`` is the group's total weight
+    ``W_i(s)``.  Zero-weight candidates are dropped.
+
+    ``aux`` is an engine-private slot: the numpy engine stashes the
+    columnar (CSR-style) mirror of ``groups`` there so batch access can
+    binary-search whole index vectors at once.  Engines that do not use
+    it leave it ``None``.
+    """
+
+    __slots__ = ("groups", "totals", "aux")
+
+    def __init__(self) -> None:
+        self.groups: dict[tuple, tuple[list, list[int], list[int]]] = {}
+        self.totals: dict[tuple, int] = {}
+        self.aux = None
+
+    def build(self, weighted_rows: dict[tuple, int]) -> None:
+        by_interface: dict[tuple, list[tuple]] = {}
+        for row, weight in weighted_rows.items():
+            if weight <= 0:
+                continue
+            by_interface.setdefault(row[:-1], []).append(
+                (row[-1], weight)
+            )
+        for interface, pairs in by_interface.items():
+            pairs.sort()
+            values = [value for value, _ in pairs]
+            weights = [weight for _, weight in pairs]
+            cumulative = [0]
+            for weight in weights:
+                cumulative.append(cumulative[-1] + weight)
+            self.groups[interface] = (values, weights, cumulative)
+            self.totals[interface] = cumulative[-1]
+
+    def total(self, interface: tuple) -> int:
+        return self.totals.get(interface, 0)
+
+
+class Engine(abc.ABC):
+    """Tuple-level operations behind the join and access layers.
+
+    All ``Table``-valued operations take and return
+    :class:`~repro.joins.operators.Table` instances; an engine is free to
+    attach its own backing representation to the tables it produces (the
+    numpy engine returns tables whose rows are materialized lazily from a
+    columnar code matrix).
+    """
+
+    #: Registry name (``"python"`` / ``"numpy"``).
+    name: str = "abstract"
+
+    # -- relational operators ---------------------------------------------
+
+    @abc.abstractmethod
+    def from_atom(self, atom, relation):
+        """Interpret ``relation`` through ``atom`` (collapse repeats)."""
+
+    @abc.abstractmethod
+    def project(self, table, variables: tuple, positions: list[int]):
+        """Project ``table`` onto ``variables`` at ``positions``."""
+
+    @abc.abstractmethod
+    def select(self, table, assignment: dict):
+        """Keep rows of ``table`` consistent with ``assignment``."""
+
+    @abc.abstractmethod
+    def semijoin(self, left, right):
+        """``left ⋉ right`` on the shared columns."""
+
+    @abc.abstractmethod
+    def natural_join(self, left, right):
+        """Binary natural join, schema = left's then right's extras."""
+
+    @abc.abstractmethod
+    def join(self, tables: Sequence, variable_order: Sequence[str]):
+        """Materialize the n-way natural join over ``variable_order``."""
+
+    # -- ordering ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def sorted_rows(self, table) -> list[tuple]:
+        """``table``'s rows in lexicographic order."""
+
+    @abc.abstractmethod
+    def intersect_sorted(self, left: Sequence, right: Sequence) -> list:
+        """Intersection of two sorted duplicate-free sequences."""
+
+    # -- counting forest ---------------------------------------------------
+
+    @abc.abstractmethod
+    def build_bag_index(
+        self,
+        table,
+        child_slots: Sequence[tuple["BagIndex", list[int]]],
+        projected: bool,
+    ) -> BagIndex:
+        """Build one bag's counting-forest index.
+
+        ``child_slots`` pairs each child bag's index with the positions
+        of the child's interface variables inside ``table``'s schema.
+        The weight of a row is the product of the child totals at the
+        row's interface values; when ``projected`` both the row weights
+        and the group totals collapse to existence indicators (Theorem
+        50's projected-suffix handling).
+        """
+
+    # -- batch access ------------------------------------------------------
+
+    def batch_access(self, access, indices: Sequence[int]) -> list[dict]:
+        """``[access.answer_at(i) for i in indices]``, possibly batched.
+
+        ``indices`` are already validated and non-negative.  Engines may
+        override with a vectorized strategy but must return answers in
+        the same order as ``indices``.
+        """
+        return [access.answer_at(int(i)) for i in indices]

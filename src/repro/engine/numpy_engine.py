@@ -1,0 +1,645 @@
+"""Vectorized engine over dictionary-encoded columnar storage.
+
+Every operator works on ``int64`` code matrices (:mod:`repro.data.columnar`)
+instead of frozensets of tuples: joins become ``searchsorted`` range
+lookups over packed keys, semijoins become ``isin`` masks, and the
+counting-forest build becomes one ``lexsort`` plus ``cumsum`` per bag.
+Because the dictionary encoding preserves the value order, every result
+— row sets, group contents, enumeration order — is bit-identical to the
+:class:`~repro.engine.python_engine.PythonEngine`.
+
+The engine degrades gracefully rather than changing semantics:
+
+* domains that cannot be totally ordered (``TypeError`` while encoding)
+  fall back to the Python engine per operation;
+* counting-forest builds whose weights could overflow ``int64`` fall
+  back per bag (the Python path uses arbitrary-precision ints);
+* batch access falls back per call when the answer count or the packed
+  search keys would not fit in ``int64``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.columnar import (
+    _MAX_SAFE,
+    ColumnarTable,
+    Dictionary,
+    pack_keys,
+    pack_pair,
+)
+from repro.engine.base import BagIndex, Engine
+from repro.engine.python_engine import PythonEngine
+
+
+def _columnar(table) -> ColumnarTable:
+    """The (cached) columnar encoding of a Table; TypeError if unsortable."""
+    ct = table._columnar
+    if ct is None:
+        ct = ColumnarTable.from_rows(
+            list(table.rows), len(table.schema)
+        )
+        table._columnar = ct
+    return ct
+
+
+def _relation_columnar(relation) -> ColumnarTable:
+    ct = relation._columnar
+    if ct is None:
+        ct = ColumnarTable.from_rows(
+            relation.sorted_tuples(), relation.arity
+        )
+        relation._columnar = ct
+    return ct
+
+
+def _expand_matches(rows, lo, counts, order):
+    """Indices realizing every (probe row, matching sorted-key row) pair.
+
+    ``lo[r]``/``counts[r]`` delimit probe row ``r``'s match range in the
+    key-sorted permutation ``order``.  Returns ``(rep, idx)`` where
+    ``rep`` repeats each probe row once per match and ``idx`` is the
+    matching row in the original (unsorted) array.
+    """
+    total = int(counts.sum())
+    rep = rows.repeat(counts)
+    starts = np.repeat(lo, counts)
+    offs = np.arange(total) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return rep, order[starts + offs]
+
+
+def _unique_rows(codes, card: int):
+    """Distinct rows of a code matrix (order not specified)."""
+    if codes.shape[1] == 0:
+        return codes[:1]
+    keys = pack_keys(
+        [codes[:, i] for i in range(codes.shape[1])], card
+    )
+    _, idx = np.unique(keys, return_index=True)
+    return codes[idx]
+
+
+class _BagAux:
+    """Columnar (CSR-style) mirror of a :class:`BagIndex`.
+
+    Groups are lexicographically sorted by interface codes;
+    ``offsets[g]:offsets[g+1]`` slices the flat candidate arrays.
+    ``cum_before[t]`` is the weight strictly before candidate ``t``
+    within its group.  All arrays are int64 (the build guards overflow).
+    """
+
+    __slots__ = (
+        "dictionary",
+        "group_codes",
+        "offsets",
+        "values_flat",
+        "weights_flat",
+        "cum_before",
+        "totals",
+        "max_total",
+        "_shifted",
+    )
+
+    def __init__(
+        self,
+        dictionary,
+        group_codes,
+        offsets,
+        values_flat,
+        weights_flat,
+        cum_before,
+        totals,
+    ):
+        self.dictionary = dictionary
+        self.group_codes = group_codes
+        self.offsets = offsets
+        self.values_flat = values_flat
+        self.weights_flat = weights_flat
+        self.cum_before = cum_before
+        self.totals = totals
+        self.max_total = int(totals.max()) if len(totals) else 0
+        self._shifted = None
+
+    def cum_shifted(self):
+        """``cum_before`` offset by ``group_id * (max_total + 1)``.
+
+        Makes the per-group ascending runs globally ascending, so one
+        ``searchsorted`` answers a different within-group query per row.
+        """
+        if self._shifted is None:
+            stride = self.max_total + 1
+            counts = np.diff(self.offsets)
+            gid = np.repeat(np.arange(len(counts)), counts)
+            self._shifted = self.cum_before + gid * stride
+        return self._shifted
+
+
+class _LazyGroups(dict):
+    """``BagIndex.groups`` decoded from the CSR mirror on demand.
+
+    Decoding every candidate back to Python objects eagerly would cost
+    O(rows) per bag and double the index's memory; scalar ``answer_at``
+    only ever touches a handful of interface groups, so each group is
+    materialized (with exactly the structure the Python engine builds)
+    on first access and then cached like a normal dict entry.
+    """
+
+    __slots__ = ("_aux", "_group_of")
+
+    def __init__(self, aux: "_BagAux", group_of: dict):
+        super().__init__()
+        self._aux = aux
+        self._group_of = group_of
+
+    def __contains__(self, interface) -> bool:
+        return (
+            super().__contains__(interface)
+            or interface in self._group_of
+        )
+
+    def __missing__(self, interface):
+        group = self._group_of[interface]  # KeyError when unknown
+        aux = self._aux
+        start = int(aux.offsets[group])
+        end = int(aux.offsets[group + 1])
+        domain = aux.dictionary.values
+        weights = aux.weights_flat[start:end].tolist()
+        before = aux.cum_before[start:end].tolist()
+        cumulative = [0]
+        cumulative.extend(b + w for b, w in zip(before, weights))
+        values = [
+            domain[c] for c in aux.values_flat[start:end].tolist()
+        ]
+        triple = (values, weights, cumulative)
+        self[interface] = triple
+        return triple
+
+
+class NumpyEngine(Engine):
+    """Batch execution over dictionary-encoded int64 columns."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._fallback = PythonEngine()
+
+    # -- relational operators ---------------------------------------------
+
+    def from_atom(self, atom, relation):
+        from repro.joins.operators import Table
+
+        try:
+            ct = _relation_columnar(relation)
+        except TypeError:
+            return self._fallback.from_atom(atom, relation)
+        schema: list[str] = []
+        first: list[int] = []
+        for i, var in enumerate(atom.variables):
+            if var not in schema:
+                schema.append(var)
+                first.append(i)
+        codes = ct.codes
+        if len(schema) != len(atom.variables):
+            mask = np.ones(codes.shape[0], dtype=bool)
+            for var, pos in zip(schema, first):
+                for j, other in enumerate(atom.variables):
+                    if other == var and j != pos:
+                        mask &= codes[:, pos] == codes[:, j]
+            codes = codes[mask]
+        sub = np.ascontiguousarray(codes[:, first])
+        return Table._from_columnar(
+            tuple(schema), ColumnarTable(sub, ct.dictionary)
+        )
+
+    def project(self, table, variables, positions):
+        from repro.joins.operators import Table
+
+        if not positions:
+            return Table(variables, [()] if len(table) else ())
+        try:
+            ct = _columnar(table)
+        except TypeError:
+            return self._fallback.project(table, variables, positions)
+        sub = _unique_rows(
+            np.ascontiguousarray(ct.codes[:, positions]),
+            max(len(ct.dictionary), 1),
+        )
+        return Table._from_columnar(
+            variables, ColumnarTable(sub, ct.dictionary)
+        )
+
+    def select(self, table, assignment):
+        from repro.joins.operators import Table
+
+        bound = [
+            (i, assignment[v])
+            for i, v in enumerate(table.schema)
+            if v in assignment
+        ]
+        if not bound:
+            return table
+        try:
+            ct = _columnar(table)
+        except TypeError:
+            return self._fallback.select(table, assignment)
+        mask = np.ones(ct.nrows, dtype=bool)
+        for position, value in bound:
+            code = ct.dictionary.code(value)
+            if code < 0:
+                return Table(table.schema, ())
+            mask &= ct.codes[:, position] == code
+        return Table._from_columnar(
+            table.schema,
+            ColumnarTable(ct.codes[mask], ct.dictionary),
+        )
+
+    def semijoin(self, left, right):
+        from repro.joins.operators import Table
+
+        shared = [v for v in left.schema if v in right.schema]
+        if not shared:
+            return left if len(right) else Table(left.schema, ())
+        try:
+            lct, rct = _columnar(left), _columnar(right)
+            merged = Dictionary.merged(lct.dictionary, rct.dictionary)
+        except TypeError:
+            return self._fallback.semijoin(left, right)
+        lcols = lct.with_dictionary(merged).codes[
+            :, left._positions(shared)
+        ]
+        rcols = rct.with_dictionary(merged).codes[
+            :, right._positions(shared)
+        ]
+        ka, kb = pack_pair(lcols, rcols, max(len(merged), 1))
+        mask = np.isin(ka, kb)
+        return Table._from_columnar(
+            left.schema, ColumnarTable(lct.codes[mask], lct.dictionary)
+        )
+
+    def natural_join(self, left, right):
+        from repro.joins.operators import Table
+
+        shared = [v for v in left.schema if v in right.schema]
+        extra = [v for v in right.schema if v not in left.schema]
+        out_schema = left.schema + tuple(extra)
+        try:
+            lct, rct = _columnar(left), _columnar(right)
+            merged = Dictionary.merged(lct.dictionary, rct.dictionary)
+        except TypeError:
+            return self._fallback.natural_join(left, right)
+        lcodes = lct.with_dictionary(merged).codes
+        rcodes = rct.with_dictionary(merged).codes
+        ka, kb = pack_pair(
+            lcodes[:, left._positions(shared)],
+            rcodes[:, right._positions(shared)],
+            max(len(merged), 1),
+        )
+        order = np.argsort(kb, kind="stable")
+        kb_sorted = kb[order]
+        lo = np.searchsorted(kb_sorted, ka, side="left")
+        hi = np.searchsorted(kb_sorted, ka, side="right")
+        rep, ridx = _expand_matches(
+            np.arange(lcodes.shape[0]), lo, hi - lo, order
+        )
+        out = np.concatenate(
+            [
+                lcodes[rep],
+                rcodes[ridx][:, right._positions(extra)],
+            ],
+            axis=1,
+        )
+        return Table._from_columnar(
+            out_schema,
+            ColumnarTable(np.ascontiguousarray(out), merged),
+        )
+
+    def join(self, tables, variable_order):
+        from repro.joins.operators import Table
+
+        variable_order = list(variable_order)
+        covered = {v for table in tables for v in table.schema}
+        if set(variable_order) != covered:
+            raise ValueError(
+                "variable order must cover exactly the joined variables"
+            )
+        if not tables:
+            return Table((), [()])
+        try:
+            cts = [_columnar(table) for table in tables]
+            merged = cts[0].dictionary
+            for ct in cts[1:]:
+                merged = Dictionary.merged(merged, ct.dictionary)
+        except TypeError:
+            return self._fallback.join(tables, variable_order)
+        mats = [ct.with_dictionary(merged).codes for ct in cts]
+        card = max(len(merged), 1)
+        col_of = [
+            {v: i for i, v in enumerate(table.schema)}
+            for table in tables
+        ]
+        frontier = None
+        bound_index: dict[str, int] = {}
+        for v in variable_order:
+            parts = [t for t in range(len(tables)) if v in col_of[t]]
+            if frontier is None:
+                # First variable: sorted intersection of the candidate
+                # value sets of every participating table.
+                cand = None
+                for t in parts:
+                    u = np.unique(mats[t][:, col_of[t][v]])
+                    cand = (
+                        u
+                        if cand is None
+                        else self.intersect_sorted(cand, u)
+                    )
+                frontier = cand.reshape(-1, 1)
+                bound_index[v] = 0
+                continue
+            # Generic Join's adaptive probing, batched: every participant
+            # reports its per-prefix candidate count, each frontier row
+            # expands from its *smallest* candidate list, and the other
+            # participants filter the result.  Per-row (not per-table)
+            # choice is what preserves the worst-case optimal bound.
+            lookups = []
+            count_columns = []
+            for t in parts:
+                key_vars = [
+                    u for u in tables[t].schema if u in bound_index
+                ]
+                cols = [col_of[t][u] for u in key_vars] + [col_of[t][v]]
+                proj = _unique_rows(
+                    np.ascontiguousarray(mats[t][:, cols]), card
+                )
+                fkeys = np.ascontiguousarray(
+                    frontier[:, [bound_index[u] for u in key_vars]]
+                )
+                ka, kb = pack_pair(fkeys, proj[:, :-1], card)
+                order = np.argsort(kb, kind="stable")
+                kb_sorted = kb[order]
+                lo = np.searchsorted(kb_sorted, ka, side="left")
+                hi = np.searchsorted(kb_sorted, ka, side="right")
+                lookups.append((proj, order, lo))
+                count_columns.append(hi - lo)
+            counts_matrix = np.stack(count_columns, axis=1)
+            choice = np.argmin(counts_matrix, axis=1)
+            width = frontier.shape[1]
+            chunks = []
+            for p, (proj, order, lo) in enumerate(lookups):
+                rows = np.flatnonzero(choice == p)
+                if not len(rows):
+                    continue
+                counts = counts_matrix[rows, p]
+                if not counts.sum():
+                    continue
+                rep, pidx = _expand_matches(
+                    rows, lo[rows], counts, order
+                )
+                chunks.append(
+                    np.concatenate(
+                        [
+                            frontier[rep],
+                            proj[pidx, -1].reshape(-1, 1),
+                        ],
+                        axis=1,
+                    )
+                )
+            if chunks:
+                frontier = np.concatenate(chunks, axis=0)
+            else:
+                frontier = np.empty((0, width + 1), dtype=np.int64)
+            bound_index[v] = width
+            for t in parts:
+                if len(parts) == 1 or not frontier.shape[0]:
+                    break
+                fvars = [u for u in tables[t].schema if u in bound_index]
+                tproj = _unique_rows(
+                    np.ascontiguousarray(
+                        mats[t][:, [col_of[t][u] for u in fvars]]
+                    ),
+                    card,
+                )
+                fcols = np.ascontiguousarray(
+                    frontier[:, [bound_index[u] for u in fvars]]
+                )
+                ka, kb = pack_pair(fcols, tproj, card)
+                frontier = frontier[np.isin(ka, kb)]
+        return Table._from_columnar(
+            tuple(variable_order),
+            ColumnarTable(np.ascontiguousarray(frontier), merged),
+        )
+
+    # -- ordering ----------------------------------------------------------
+
+    def sorted_rows(self, table):
+        try:
+            ct = _columnar(table)
+        except TypeError:
+            return self._fallback.sorted_rows(table)
+        arity = ct.arity
+        if arity == 0 or ct.nrows == 0:
+            return ct.to_rows()
+        order = np.lexsort(
+            tuple(ct.codes[:, c] for c in range(arity - 1, -1, -1))
+        )
+        return ColumnarTable(ct.codes[order], ct.dictionary).to_rows()
+
+    def intersect_sorted(self, left, right):
+        if isinstance(left, np.ndarray) and isinstance(right, np.ndarray):
+            return np.intersect1d(left, right, assume_unique=True)
+        return self._fallback.intersect_sorted(left, right)
+
+    # -- counting forest ---------------------------------------------------
+
+    def build_bag_index(self, table, child_slots, projected):
+        try:
+            ct = _columnar(table)
+        except TypeError:
+            return self._fallback.build_bag_index(
+                table, child_slots, projected
+            )
+        n, arity = ct.codes.shape
+        k = arity - 1
+
+        # int64 overflow guard: a group total is at most n times the
+        # product of the children's maximal totals.  The Python path uses
+        # arbitrary-precision ints, so fall back there when in doubt.
+        bound = 1
+        for child, _positions in child_slots:
+            if child.aux is None:
+                return self._fallback.build_bag_index(
+                    table, child_slots, projected
+                )
+            bound *= max(child.aux.max_total, 1)
+            if bound * max(n, 1) >= _MAX_SAFE:
+                return self._fallback.build_bag_index(
+                    table, child_slots, projected
+                )
+
+        weights = np.ones(n, dtype=np.int64)
+        for child, positions in child_slots:
+            aux = child.aux
+            group_count = aux.group_codes.shape[0]
+            if group_count == 0:
+                weights[:] = 0
+                continue
+            sub = np.ascontiguousarray(ct.codes[:, positions])
+            if ct.dictionary is not aux.dictionary and positions:
+                remap = ct.dictionary.remap_to(aux.dictionary)
+                sub = remap[sub]
+            if positions:
+                valid = (sub >= 0).all(axis=1)
+                sub = np.where(sub < 0, 0, sub)
+            else:
+                valid = np.ones(n, dtype=bool)
+            ka, kb = pack_pair(
+                sub, aux.group_codes, max(len(aux.dictionary), 1)
+            )
+            pos = np.searchsorted(kb, ka)
+            clipped = np.minimum(pos, group_count - 1)
+            match = valid & (pos < group_count) & (kb[clipped] == ka)
+            weights *= np.where(match, aux.totals[clipped], 0)
+        if projected:
+            # Existence suffices below a projected variable (Theorem 50).
+            weights = (weights > 0).astype(np.int64)
+
+        keep = weights > 0
+        codes = ct.codes[keep]
+        weights = weights[keep]
+        m = codes.shape[0]
+        index = BagIndex()
+        if m == 0:
+            index.aux = _BagAux(
+                ct.dictionary,
+                np.empty((0, k), dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+            return index
+
+        # Group by interface, order by bag-variable code: one lexsort
+        # (codes are order-preserving, so this is the value order), then
+        # prefix sums per group via a single cumsum.
+        order = np.lexsort(
+            tuple(codes[:, c] for c in range(arity - 1, -1, -1))
+        )
+        codes = codes[order]
+        weights = weights[order]
+        if k:
+            change = np.any(
+                codes[1:, :k] != codes[:-1, :k], axis=1
+            )
+            starts = np.concatenate(
+                [[0], np.flatnonzero(change) + 1]
+            ).astype(np.int64)
+        else:
+            starts = np.zeros(1, dtype=np.int64)
+        offsets = np.concatenate([starts, [m]]).astype(np.int64)
+        counts = np.diff(offsets)
+        csum = np.cumsum(weights)
+        base = csum[starts] - weights[starts]
+        cum_inclusive = csum - np.repeat(base, counts)
+        cum_before = cum_inclusive - weights
+        totals = csum[offsets[1:] - 1] - base
+        if projected:
+            totals = np.ones_like(totals)
+        aux = _BagAux(
+            ct.dictionary,
+            np.ascontiguousarray(codes[starts][:, :k]),
+            offsets,
+            np.ascontiguousarray(codes[:, k]),
+            weights,
+            cum_before,
+            totals,
+        )
+        index.aux = aux
+
+        # Totals are decoded eagerly (needed by parent builds and any
+        # Python-path fallback); the per-group candidate lists are
+        # materialized lazily from the CSR mirror with exactly the
+        # structure the Python engine builds.
+        domain = ct.dictionary.values
+        group_of: dict[tuple, int] = {}
+        totals_list = totals.tolist()
+        for g, key_codes in enumerate(aux.group_codes.tolist()):
+            interface = tuple(domain[c] for c in key_codes)
+            group_of[interface] = g
+            index.totals[interface] = totals_list[g]
+        index.groups = _LazyGroups(aux, group_of)
+        return index
+
+    # -- batch access ------------------------------------------------------
+
+    def batch_access(self, access, indices):
+        indices = [int(i) for i in indices]
+        if not indices:
+            return []
+        if access._total >= _MAX_SAFE:
+            return self._fallback.batch_access(access, indices)
+        levels = len(access._free_prefix)
+        for i in range(levels):
+            aux = access._indexes[i].aux
+            if aux is None:
+                return self._fallback.batch_access(access, indices)
+            groups = len(aux.totals)
+            if groups and aux.max_total + 1 > _MAX_SAFE // groups:
+                return self._fallback.batch_access(access, indices)
+
+        remaining = np.asarray(indices, dtype=np.int64)
+        live = np.full(len(indices), access._total, dtype=np.int64)
+        assigned: list = []
+        for i in range(levels):
+            aux = access._indexes[i].aux
+            interface_vars = access._interface_vars[i]
+            if interface_vars:
+                cols = []
+                for v in interface_vars:
+                    j = access._position[v]
+                    source = access._indexes[j].aux
+                    codes_j = assigned[j]
+                    if source.dictionary is not aux.dictionary:
+                        remap = source.dictionary.remap_to(
+                            aux.dictionary
+                        )
+                        codes_j = remap[codes_j]
+                    cols.append(codes_j)
+                ka, kb = pack_pair(
+                    np.stack(cols, axis=1),
+                    aux.group_codes,
+                    max(len(aux.dictionary), 1),
+                )
+                # Every prefix reached here has positive count, so its
+                # interface is an existing group: exact match guaranteed.
+                group = np.searchsorted(kb, ka)
+            else:
+                group = np.zeros(len(indices), dtype=np.int64)
+            group_total = aux.totals[group]
+            others = live // group_total
+            block = remaining // others
+            stride = aux.max_total + 1
+            position = (
+                np.searchsorted(
+                    aux.cum_shifted(),
+                    block + group * stride,
+                    side="right",
+                )
+                - 1
+            )
+            assigned.append(aux.values_flat[position])
+            remaining = remaining - others * aux.cum_before[position]
+            live = others * aux.weights_flat[position]
+
+        decoded = []
+        for i in range(levels):
+            domain = access._indexes[i].aux.dictionary.values
+            decoded.append([domain[c] for c in assigned[i].tolist()])
+        free = access._free_prefix
+        return [
+            {v: decoded[i][r] for i, v in enumerate(free)}
+            for r in range(len(indices))
+        ]

@@ -1,0 +1,80 @@
+"""Engine selection: ``get_engine`` / ``set_engine`` / ``REPRO_ENGINE``.
+
+The active engine is process-global.  It is resolved lazily on first use
+from the ``REPRO_ENGINE`` environment variable (``python`` by default)
+and can be switched at runtime with :func:`set_engine` or scoped with
+the :func:`use_engine` context manager.  Long-lived structures such as
+:class:`~repro.core.access.DirectAccess` capture the engine active at
+construction time, so switching engines never corrupts existing indexes.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.data.columnar import numpy_available
+from repro.engine.base import Engine
+from repro.errors import EngineError
+
+_ENV_VAR = "REPRO_ENGINE"
+_current: Engine | None = None
+
+
+def available_engines() -> list[str]:
+    """Engine names usable in this environment, default first."""
+    names = ["python"]
+    if numpy_available():
+        names.append("numpy")
+    return names
+
+
+def _instantiate(name: str) -> Engine:
+    if name == "python":
+        from repro.engine.python_engine import PythonEngine
+
+        return PythonEngine()
+    if name == "numpy":
+        if not numpy_available():
+            raise EngineError(
+                "engine 'numpy' requires numpy, which is not installed; "
+                "available engines: " + ", ".join(available_engines())
+            )
+        from repro.engine.numpy_engine import NumpyEngine
+
+        return NumpyEngine()
+    raise EngineError(
+        f"unknown engine {name!r}; available engines: "
+        + ", ".join(available_engines())
+    )
+
+
+def get_engine() -> Engine:
+    """The active engine (resolving ``REPRO_ENGINE`` on first use)."""
+    global _current
+    if _current is None:
+        name = os.environ.get(_ENV_VAR, "python").strip().lower()
+        _current = _instantiate(name or "python")
+    return _current
+
+
+def set_engine(engine: str | Engine) -> Engine:
+    """Activate an engine by name or instance; returns it."""
+    global _current
+    if isinstance(engine, Engine):
+        _current = engine
+    else:
+        _current = _instantiate(str(engine).strip().lower())
+    return _current
+
+
+@contextmanager
+def use_engine(engine: str | Engine):
+    """Temporarily activate ``engine`` within a ``with`` block."""
+    global _current
+    previous = _current
+    active = set_engine(engine)
+    try:
+        yield active
+    finally:
+        _current = previous

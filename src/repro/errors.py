@@ -32,6 +32,10 @@ class OutOfBoundsError(ReproError, IndexError):
     """
 
 
+class EngineError(ReproError):
+    """An execution engine is unknown or unavailable in this environment."""
+
+
 class InfeasibleError(ReproError):
     """A linear program has no feasible solution."""
 

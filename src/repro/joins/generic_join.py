@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 
 from repro.data.database import Database
+from repro.engine.registry import get_engine
 from repro.joins.operators import Table
 from repro.joins.trie import Trie
 from repro.query.query import JoinQuery
@@ -84,11 +85,13 @@ def generic_join_iter(
 def generic_join(
     tables: Sequence[Table], variable_order: Sequence[str]
 ) -> Table:
-    """Materialize the natural join of ``tables`` as a Table."""
-    return Table(
-        tuple(variable_order),
-        generic_join_iter(tables, variable_order),
-    )
+    """Materialize the natural join of ``tables`` as a Table.
+
+    Routed through the active engine: the Python engine materializes the
+    trie-based :func:`generic_join_iter`, the numpy engine runs the same
+    variable-at-a-time intersection on dictionary-encoded columns.
+    """
+    return get_engine().join(tables, variable_order)
 
 
 def tables_of_query(query: JoinQuery, database: Database) -> list[Table]:

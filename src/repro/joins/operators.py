@@ -5,6 +5,13 @@ rows; it is the working representation inside the join algorithms, while
 :class:`~repro.data.relation.Relation` is the stored representation.
 Atoms with repeated variables turn into tables over the *set* of
 variables, keeping only rows where the repeated columns agree.
+
+Tuple-level work is routed through the active execution engine
+(:mod:`repro.engine`): the Python engine operates on the ``rows``
+frozenset directly, while the numpy engine operates on a
+dictionary-encoded columnar mirror and materializes ``rows`` lazily —
+observable behavior (row sets, equality, hashing) is identical either
+way.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.data.relation import Relation
+from repro.engine.registry import get_engine
 from repro.errors import DatabaseError
 from repro.query.atoms import Atom
 
@@ -19,20 +27,40 @@ from repro.query.atoms import Atom
 class Table:
     """An immutable relation with named columns."""
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "_rows", "_columnar")
 
     def __init__(self, schema: Iterable[str], rows: Iterable[tuple]):
         self.schema: tuple[str, ...] = tuple(schema)
         if len(set(self.schema)) != len(self.schema):
             raise DatabaseError(f"schema {self.schema} repeats a column")
-        self.rows: frozenset[tuple] = frozenset(
+        self._columnar = None
+        self._rows: frozenset[tuple] | None = frozenset(
             tuple(r) for r in rows
         )
-        for row in self.rows:
+        for row in self._rows:
             if len(row) != len(self.schema):
                 raise DatabaseError(
                     f"row {row} does not fit schema {self.schema}"
                 )
+
+    @classmethod
+    def _from_columnar(cls, schema: tuple[str, ...], columnar) -> "Table":
+        """Wrap an engine-produced columnar batch (rows decoded lazily).
+
+        ``columnar`` must hold unique rows matching ``schema``'s arity.
+        """
+        table = object.__new__(cls)
+        table.schema = tuple(schema)
+        table._rows = None
+        table._columnar = columnar
+        return table
+
+    @property
+    def rows(self) -> frozenset[tuple]:
+        """The row set (decoded from columnar storage on first use)."""
+        if self._rows is None:
+            self._rows = frozenset(self._columnar.to_rows())
+        return self._rows
 
     @classmethod
     def from_atom(cls, atom: Atom, relation: Relation) -> "Table":
@@ -46,22 +74,15 @@ class Table:
                 f"{atom} expects arity {atom.arity}, relation has "
                 f"{relation.arity}"
             )
-        schema: list[str] = []
-        for var in atom.variables:
-            if var not in schema:
-                schema.append(var)
-        rows = set()
-        for raw in relation.tuples:
-            binding = atom.binding(raw)
-            if binding is not None:
-                rows.add(tuple(binding[v] for v in schema))
-        return cls(schema, rows)
+        return get_engine().from_atom(atom, relation)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is not None:
+            return len(self._rows)
+        return self._columnar.nrows
 
     def __repr__(self) -> str:
-        return f"Table({list(self.schema)}, n={len(self.rows)})"
+        return f"Table({list(self.schema)}, n={len(self)})"
 
     def __eq__(self, other) -> bool:
         if isinstance(other, Table):
@@ -84,64 +105,23 @@ class Table:
         """Project onto ``variables`` (which must be in the schema)."""
         variables = tuple(variables)
         positions = self._positions(variables)
-        return Table(
-            variables,
-            {tuple(row[p] for p in positions) for row in self.rows},
-        )
+        return get_engine().project(self, variables, positions)
 
     def select(self, assignment: dict[str, object]) -> "Table":
         """Keep rows consistent with a partial assignment."""
-        bound = [
-            (i, assignment[v])
-            for i, v in enumerate(self.schema)
-            if v in assignment
-        ]
-        return Table(
-            self.schema,
-            {
-                row
-                for row in self.rows
-                if all(row[i] == value for i, value in bound)
-            },
-        )
+        return get_engine().select(self, assignment)
 
     def semijoin(self, other: "Table") -> "Table":
         """``self ⋉ other``: keep rows matching ``other`` on shared columns."""
-        shared = [v for v in self.schema if v in other.schema]
-        if not shared:
-            return self if other.rows else Table(self.schema, ())
-        mine = self._positions(shared)
-        theirs = other._positions(shared)
-        keys = {tuple(row[p] for p in theirs) for row in other.rows}
-        return Table(
-            self.schema,
-            {
-                row
-                for row in self.rows
-                if tuple(row[p] for p in mine) in keys
-            },
-        )
+        return get_engine().semijoin(self, other)
 
     def natural_join(self, other: "Table") -> "Table":
-        """Hash join on shared columns."""
-        shared = [v for v in self.schema if v in other.schema]
-        extra = [v for v in other.schema if v not in self.schema]
-        out_schema = self.schema + tuple(extra)
-        theirs_shared = other._positions(shared)
-        theirs_extra = other._positions(extra)
-        buckets: dict[tuple, list[tuple]] = {}
-        for row in other.rows:
-            key = tuple(row[p] for p in theirs_shared)
-            buckets.setdefault(key, []).append(
-                tuple(row[p] for p in theirs_extra)
-            )
-        mine_shared = self._positions(shared)
-        rows = set()
-        for row in self.rows:
-            key = tuple(row[p] for p in mine_shared)
-            for suffix in buckets.get(key, ()):
-                rows.add(row + suffix)
-        return Table(out_schema, rows)
+        """Join on shared columns (hash join or vectorized merge join)."""
+        return get_engine().natural_join(self, other)
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows in lexicographic order (engine-sorted)."""
+        return get_engine().sorted_rows(self)
 
     def rows_as_dicts(self) -> Iterable[dict[str, object]]:
         """Yield rows as variable -> constant mappings."""

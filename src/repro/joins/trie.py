@@ -24,7 +24,7 @@ class Trie:
         self.column_order = list(column_order)
         positions = [table.schema.index(v) for v in column_order]
         self.root: dict = {}
-        for row in table.rows:
+        for row in table.sorted_rows():
             node = self.root
             for position in positions[:-1]:
                 node = node.setdefault(row[position], {})

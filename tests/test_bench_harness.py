@@ -1,0 +1,54 @@
+"""Regression tests for the benchmark harness utilities."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+)
+
+import harness  # noqa: E402
+
+
+def test_format_table_empty_rows():
+    """Regression: ``max(len(header))`` degenerated to ``max(int)`` and
+    raised ``TypeError`` whenever an experiment produced zero rows."""
+    table = harness.format_table("Empty", ["alpha", "b"], [])
+    lines = table.splitlines()
+    assert lines[0] == "Empty"
+    assert lines[2] == "alpha  b"
+    assert lines[3] == "-----  -"
+    assert len(lines) == 4
+
+
+def test_format_table_pads_to_widest_cell():
+    table = harness.format_table(
+        "T", ["h", "header"], [["wide-cell", 1], ["x", 22]]
+    )
+    lines = [line.rstrip() for line in table.splitlines()]
+    assert lines[2] == "h          header"
+    assert "wide-cell  1" in lines
+    assert "x          22" in lines
+
+
+def test_report_records_engine(monkeypatch, tmp_path, capsys):
+    monkeypatch.setattr(harness, "OUT_DIR", tmp_path)
+    harness.report("unit", "Unit title", ["h"], [["v"]])
+    engine = harness.active_engine()
+    printed = capsys.readouterr().out
+    assert f"[engine={engine}]" in printed
+    assert (tmp_path / "unit.txt").exists()
+    payload = json.loads(
+        (tmp_path / f"unit.{engine}.json").read_text()
+    )
+    assert payload["engine"] == engine
+    assert payload["rows"] == [["v"]]
+
+
+def test_report_tolerates_empty_rows(monkeypatch, tmp_path):
+    monkeypatch.setattr(harness, "OUT_DIR", tmp_path)
+    harness.report("empty", "No rows", ["only", "headers"], [])
+    assert (tmp_path / "empty.txt").read_text().count("\n") >= 3

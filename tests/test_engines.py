@@ -1,0 +1,306 @@
+"""Cross-engine differential tests.
+
+Hypothesis-style randomized (seeded) queries and databases asserting
+that the Python and numpy engines are observationally identical: same
+answer counts, same ``answer_at`` results, same enumeration order, same
+relational-operator outputs.  Skipped numpy legs degrade to a Python
+self-consistency check when numpy is unavailable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import zlib
+
+import pytest
+
+from repro import (
+    Database,
+    DirectAccess,
+    OutOfBoundsError,
+    Relation,
+    VariableOrder,
+    parse_query,
+)
+from repro.data.columnar import numpy_available
+from repro.engine import (
+    available_engines,
+    get_engine,
+    set_engine,
+    use_engine,
+)
+from repro.errors import EngineError
+from repro.joins.generic_join import evaluate, generic_join
+from repro.joins.operators import Table
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+QUERIES = [
+    "Q(x, y, z) :- R(x, y), S(y, z)",
+    "Q(x, y, z) :- R(x, y), S(y, z), T(z, x)",
+    "Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)",
+    "Q(x, y) :- R(x, y), S(y, x)",
+    "Q(x, y, z, w) :- R(x, y), S(y, z), T(z, w), U(w, x)",
+    "Q(x, y) :- R(x, x, y)",
+    "Q(x, y, z) :- R(x, y), R(y, z)",
+    "Q(u, v, w) :- R(u), S(u, v), T(u, v, w)",
+]
+
+
+def random_database(query, rng, max_rows=14, max_value=5):
+    relations = {}
+    for symbol in query.relation_symbols:
+        arity = query.arity_of(symbol)
+        tuples = {
+            tuple(rng.randint(0, max_value) for _ in range(arity))
+            for _ in range(rng.randint(0, max_rows))
+        }
+        relations[symbol] = Relation(tuples, arity=arity)
+    return Database(relations)
+
+
+def direct_access_observation(query, order, database, projected):
+    access = DirectAccess(query, order, database, projected=projected)
+    count = len(access)
+    enumeration = [access.tuple_at(i) for i in range(count)]
+    batch = access.answers_at(range(count))
+    sample = (
+        access.answers_at([-1, 0, count // 2]) if count else []
+    )
+    return count, enumeration, batch, sample
+
+
+@needs_numpy
+@pytest.mark.parametrize("query_text", QUERIES)
+def test_direct_access_differential(query_text):
+    """len / answer_at / enumeration order agree across engines."""
+    query = parse_query(query_text)
+    rng = random.Random(zlib.crc32(query_text.encode()))
+    for _ in range(8):
+        database = random_database(query, rng)
+        order = VariableOrder(
+            rng.choice(list(itertools.permutations(query.variables)))
+        )
+        observations = {}
+        for engine in ("python", "numpy"):
+            with use_engine(engine):
+                observations[engine] = direct_access_observation(
+                    query, order, database, frozenset()
+                )
+        assert observations["python"] == observations["numpy"], (
+            f"engines disagree on {query_text} / {list(order)}"
+        )
+
+
+@needs_numpy
+def test_direct_access_projected_differential():
+    """Theorem 50 projected suffixes agree across engines."""
+    query = parse_query("Q(x, y, z, w) :- R(x, y), S(y, z), T(z, w)")
+    order = VariableOrder(["x", "y", "z", "w"])
+    rng = random.Random(99)
+    for _ in range(10):
+        database = random_database(query, rng, max_value=3)
+        for projected in ({"w"}, {"z", "w"}, {"y", "z", "w"}):
+            observations = {}
+            for engine in ("python", "numpy"):
+                with use_engine(engine):
+                    observations[engine] = direct_access_observation(
+                        query, order, database, frozenset(projected)
+                    )
+            assert observations["python"] == observations["numpy"]
+
+
+@needs_numpy
+def test_table_operators_differential():
+    """project / select / semijoin / join / sort agree across engines."""
+    rng = random.Random(2022)
+    names = ["a", "b", "c", "d"]
+    for trial in range(150):
+        k1, k2 = rng.randint(1, 3), rng.randint(1, 3)
+        schema1, schema2 = rng.sample(names, k1), rng.sample(names, k2)
+        top = rng.randint(0, 5)
+        rows1 = {
+            tuple(rng.randint(0, top) for _ in range(k1))
+            for _ in range(rng.randint(0, 12))
+        }
+        rows2 = {
+            tuple(rng.randint(0, top) for _ in range(k2))
+            for _ in range(rng.randint(0, 12))
+        }
+        onto = tuple(rng.sample(schema1, rng.randint(1, k1)))
+        constant = rng.randint(0, top)
+        observed = {}
+        for engine in ("python", "numpy"):
+            with use_engine(engine):
+                left = Table(schema1, set(rows1))
+                right = Table(schema2, set(rows2))
+                observed[engine] = (
+                    left.semijoin(right).rows,
+                    left.natural_join(right).rows,
+                    left.project(onto).rows,
+                    left.select({schema1[0]: constant}).rows,
+                    tuple(left.sorted_rows()),
+                )
+        assert observed["python"] == observed["numpy"], (
+            f"trial {trial}: {schema1} {sorted(rows1)} vs "
+            f"{schema2} {sorted(rows2)}"
+        )
+
+
+@needs_numpy
+def test_generic_join_differential():
+    """Worst-case-optimal join materialization agrees across engines."""
+    rng = random.Random(7)
+    for _ in range(40):
+        top = rng.randint(1, 5)
+        tables_spec = [
+            (("x", "y"), rng.randint(0, 15)),
+            (("y", "z"), rng.randint(0, 15)),
+            (("z", "x"), rng.randint(0, 15)),
+        ]
+        rows = [
+            {
+                (rng.randint(0, top), rng.randint(0, top))
+                for _ in range(n)
+            }
+            for _, n in tables_spec
+        ]
+        results = {}
+        for engine in ("python", "numpy"):
+            with use_engine(engine):
+                tables = [
+                    Table(schema, set(r))
+                    for (schema, _), r in zip(tables_spec, rows)
+                ]
+                results[engine] = generic_join(
+                    tables, ["x", "y", "z"]
+                ).rows
+        assert results["python"] == results["numpy"]
+
+
+@needs_numpy
+def test_numpy_engine_falls_back_on_incomparable_domains():
+    """Cross-column str/int domains can't be dictionary-encoded in one
+    order; the numpy engine must degrade to Python semantics, not crash."""
+    query = parse_query("Q(x, y) :- R(x, y), S(y)")
+    database = Database(
+        {
+            "R": Relation({(1, "u"), (2, "v"), (3, "u")}, arity=2),
+            "S": Relation({("u",)}, arity=1),
+        }
+    )
+    order = VariableOrder(["x", "y"])
+    observations = {}
+    for engine in ("python", "numpy"):
+        with use_engine(engine):
+            observations[engine] = direct_access_observation(
+                query, order, database, frozenset()
+            )
+    assert observations["python"] == observations["numpy"]
+    assert observations["python"][0] == 2
+
+
+@needs_numpy
+def test_evaluate_differential_matches_python():
+    query = parse_query("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+    rng = random.Random(5)
+    database = random_database(query, rng, max_rows=25, max_value=6)
+    with use_engine("python"):
+        expected = evaluate(query, database)
+    with use_engine("numpy"):
+        assert evaluate(query, database) == expected
+
+
+def test_answers_at_matches_answer_at_per_engine():
+    query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+    database = Database(
+        {
+            "R": {(1, 2), (3, 2), (3, 4)},
+            "S": {(2, 7), (2, 9), (4, 1)},
+        }
+    )
+    order = VariableOrder(["x", "y", "z"])
+    for engine in available_engines():
+        with use_engine(engine):
+            access = DirectAccess(query, order, database)
+            everything = access.answers_at(range(len(access)))
+            assert everything == [
+                access.answer_at(i) for i in range(len(access))
+            ]
+            assert access.answers_at([]) == []
+            assert access.answers_at([-1]) == [
+                access.answer_at(len(access) - 1)
+            ]
+            with pytest.raises(OutOfBoundsError):
+                access.answers_at([0, len(access)])
+            with pytest.raises(OutOfBoundsError):
+                access.answers_at([-len(access) - 1])
+
+
+def test_engine_registry():
+    assert "python" in available_engines()
+    previous = get_engine()
+    try:
+        engine = set_engine("python")
+        assert engine.name == "python"
+        assert get_engine() is engine
+        with pytest.raises(EngineError):
+            set_engine("no-such-engine")
+        if numpy_available():
+            with use_engine("numpy") as numpy_engine:
+                assert numpy_engine.name == "numpy"
+                assert get_engine() is numpy_engine
+            assert get_engine() is engine
+    finally:
+        set_engine(previous)
+
+
+def test_direct_access_reports_engine_name():
+    query = parse_query("Q(x, y) :- R(x, y)")
+    database = Database({"R": {(1, 2)}})
+    for engine in available_engines():
+        with use_engine(engine):
+            access = DirectAccess(
+                query, VariableOrder(["x", "y"]), database
+            )
+        assert access.engine_name == engine
+        # Built structures keep working after the engine is switched.
+        assert access.tuple_at(0) == (1, 2)
+        assert access.answers_at([0]) == [{"x": 1, "y": 2}]
+
+
+@needs_numpy
+def test_large_counts_do_not_overflow():
+    """Weights beyond int64 must fall back to Python big ints, not wrap."""
+    # A cross product of unary relations: 500**7 ≈ 7.8e18 answers sits
+    # between the engine's 2**62 overflow guard and the 2**63 - 1 cap of
+    # the ``len`` protocol, so the numpy engine must hand the affected
+    # bags (and the batch access) to the Python path.
+    variables = [f"v{i}" for i in range(7)]
+    atoms = ", ".join(f"R{i}({v})" for i, v in enumerate(variables))
+    query = parse_query(f"Q({', '.join(variables)}) :- {atoms}")
+    database = Database(
+        {
+            f"R{i}": Relation(
+                {(j,) for j in range(500)}, arity=1
+            )
+            for i in range(7)
+        }
+    )
+    order = VariableOrder(variables)
+    expected_total = 500**7  # > 2**62, below the len() cap
+    observations = {}
+    for engine in ("python", "numpy"):
+        with use_engine(engine):
+            access = DirectAccess(query, order, database)
+            observations[engine] = (
+                len(access),
+                access.tuple_at(0),
+                access.tuple_at(expected_total - 1),
+                access.answers_at([0, expected_total - 1]),
+            )
+    assert observations["python"][0] == expected_total
+    assert observations["python"] == observations["numpy"]
