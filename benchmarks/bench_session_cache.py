@@ -1,0 +1,280 @@
+"""Session caching — cold vs warm requests, shared-dictionary encoding.
+
+The serving layer (:mod:`repro.session`) amortizes per-query work
+across repeated requests.  Two claims are measured on the E4 workload
+(the 2-path with quadratic blow-up, plus its star-shaped variant whose
+leaf permutations all induce the same disruption-free decomposition):
+
+* **cold vs warm** — the first request pays the full ``O(|D|^ι)``
+  preprocessing; a repeat of the same request, *and* a request for a
+  different order with the same decomposition, are served from the
+  session caches with zero bag materializations;
+* **shared dictionary** — pre-encoding the database once into a
+  shared-domain dictionary beats re-encoding it per query (what every
+  cold ``DirectAccess`` on a fresh database does under numpy).
+
+Run under pytest (``pytest benchmarks/bench_session_cache.py``) for the
+full sweep, or standalone (CI smoke)::
+
+    python benchmarks/bench_session_cache.py --quick
+
+which asserts the warm-path speedup is >= 1 and exits non-zero on a
+cache regression.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from harness import report, timed
+
+from repro.core.access import DirectAccess
+from repro.data.columnar import numpy_available
+from repro.data.database import Database, EncodedDatabase
+from repro.data.generators import bipartite_path_database
+from repro.engine import use_engine
+from repro.query.catalog import path_query
+from repro.query.parser import parse_query
+from repro.query.variable_order import VariableOrder
+from repro.session import AccessSession
+
+ROWS = 300
+FANOUT = 2
+PROBES = (0, None, -1)  # None -> middle index, resolved per size
+
+
+def star_workload(rows: int, fanout: int):
+    """The E4 bipartite data reshaped as a 3-leaf star.
+
+    ``Q(x, y, z, w) :- R(x, y), S(x, z), T(x, w)`` — every permutation
+    of the leaves ``y, z, w`` (with ``x`` first) induces the *same*
+    disruption-free decomposition, so a session must share one
+    preprocessing pass among all six orders.
+    """
+    query = parse_query("Q(x, y, z, w) :- R(x, y), S(x, z), T(x, w)")
+    pairs = {(m, v) for m in range(fanout) for v in range(rows)}
+    database = Database(
+        {"R": set(pairs), "S": set(pairs), "T": set(pairs)}
+    )
+    return query, database
+
+
+def probe(access, probes=PROBES) -> list[tuple]:
+    indices = [
+        len(access) // 2 if p is None else p for p in probes
+    ]
+    return access.tuples_at(indices)
+
+
+def measure_cold_vs_warm(rows: int, fanout: int, engine: str):
+    """(table rows, speedups dict) for one size/engine combination."""
+    query, database = star_workload(rows, fanout)
+    cold_order = VariableOrder(["x", "y", "z", "w"])
+    # Distinct leaf permutations, all inducing the same decomposition:
+    # each is a first-time request (access-cache miss) served from the
+    # shared bag relations + counting forest.
+    sibling_orders = [
+        VariableOrder(["x", "w", "z", "y"]),
+        VariableOrder(["x", "z", "y", "w"]),
+        VariableOrder(["x", "y", "w", "z"]),
+    ]
+
+    with use_engine(engine):
+        session = AccessSession(database, engine=engine)
+        cold_access, cold = timed(
+            lambda: probe(session.access(query, order=cold_order))
+        )
+        materialized_cold = session.stats.bag_materializations
+        # The cold pass is one-shot by nature; the warm samples take a
+        # min over repeats so a CI scheduler hiccup on a single warm
+        # call cannot flip the gating ratio.
+        warm_repeat = min(
+            timed(
+                lambda: probe(session.access(query, order=cold_order))
+            )[1]
+            for _ in range(3)
+        )
+        warm_sibling = min(
+            timed(
+                lambda: probe(session.access(query, order=sibling))
+            )[1]
+            for sibling in sibling_orders
+        )
+        materialized_after = session.stats.bag_materializations
+
+    speedups = {
+        "repeat": cold / max(warm_repeat, 1e-9),
+        "sibling": cold / max(warm_sibling, 1e-9),
+    }
+    table_rows = [
+        [
+            f"|D|={3 * rows * fanout}",
+            engine,
+            f"{cold * 1e3:.1f} ms",
+            f"{warm_repeat * 1e3:.2f} ms",
+            f"{warm_sibling * 1e3:.2f} ms",
+            f"{speedups['sibling']:.1f}x",
+        ]
+    ]
+    assert materialized_after == materialized_cold, (
+        "warm requests must not re-materialize bag relations"
+    )
+    return table_rows, speedups
+
+
+def measure_shared_dictionary(rows: int, fanout: int, repeats: int = 3):
+    """Per-query encoding vs the session's shared dictionary (numpy)."""
+    query = path_query(2)
+    order = VariableOrder(query.variables)
+    database = bipartite_path_database(rows, fanout)
+
+    def cold_per_query():
+        # What a fresh database costs every query today: no mirrors,
+        # every operation re-encodes and merges dictionaries.
+        for relation in database.relations.values():
+            relation._columnar = None
+        return DirectAccess(query, order, database)
+
+    with use_engine("numpy"):
+        per_query = min(
+            timed(cold_per_query)[1] for _ in range(repeats)
+        )
+        encoded, encode_once = timed(EncodedDatabase, database.relations)
+        shared = min(
+            timed(DirectAccess, query, order, encoded)[1]
+            for _ in range(repeats)
+        )
+    speedup = per_query / max(shared, 1e-9)
+    table_rows = [
+        [
+            f"|D|={2 * rows * fanout}",
+            f"{per_query * 1e3:.1f} ms",
+            f"{encode_once * 1e3:.1f} ms",
+            f"{shared * 1e3:.1f} ms",
+            f"{speedup:.2f}x",
+        ]
+    ]
+    return table_rows, speedup
+
+
+def test_session_cold_vs_warm(benchmark):
+    engines = ["python"] + (["numpy"] if numpy_available() else [])
+    rows = []
+    sibling_speedups = []
+    for engine in engines:
+        table_rows, speedups = measure_cold_vs_warm(
+            ROWS, FANOUT, engine
+        )
+        rows.extend(table_rows)
+        sibling_speedups.append(speedups["sibling"])
+    report(
+        "session_cold_vs_warm",
+        "Session cache: cold access vs warm repeat vs sibling order "
+        "(star workload, 3 probes per request)",
+        [
+            "workload",
+            "engine",
+            "cold",
+            "warm (same order)",
+            "warm (sibling order)",
+            "sibling speedup",
+        ],
+        rows,
+    )
+    # The headline claim: a warm request with an identical decomposition
+    # must beat paying preprocessing again.
+    assert min(sibling_speedups) >= 1.0
+
+    query, database = star_workload(ROWS, FANOUT)
+    session = AccessSession(database)
+    session.access(query, order=["x", "y", "z", "w"])  # warm it
+    benchmark(
+        lambda: probe(
+            session.access(query, order=["x", "z", "y", "w"])
+        )
+    )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_session_shared_dictionary(benchmark):
+    rows, speedup = measure_shared_dictionary(ROWS, FANOUT)
+    report(
+        "session_shared_dictionary",
+        "Shared-domain dictionary: per-query encoding vs pre-encoded "
+        "database (E4 2-path preprocessing, numpy engine)",
+        [
+            "workload",
+            "per-query encoding",
+            "encode once",
+            "pre-encoded",
+            "speedup",
+        ],
+        rows,
+    )
+    # Skipping the per-query dictionary build + merges must not slow
+    # preprocessing down; on this workload it is a clear win.
+    assert speedup >= 1.0
+
+    database = bipartite_path_database(ROWS, FANOUT)
+    encoded = EncodedDatabase(database.relations)
+    query = path_query(2)
+    with use_engine("numpy"):
+        benchmark(
+            DirectAccess, query, VariableOrder(query.variables), encoded
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (the CI cache-regression smoke job)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, assert warm-cache speedup >= 1",
+    )
+    args = parser.parse_args(argv)
+    rows, fanout = (60, 2) if args.quick else (ROWS, FANOUT)
+
+    engines = ["python"] + (["numpy"] if numpy_available() else [])
+    failures = []
+    for engine in engines:
+        table_rows, speedups = measure_cold_vs_warm(rows, fanout, engine)
+        print(
+            f"[{engine}] cold vs warm: "
+            f"repeat {speedups['repeat']:.1f}x, "
+            f"sibling-order {speedups['sibling']:.1f}x "
+            f"({table_rows[0][2].strip()} cold)"
+        )
+        if speedups["sibling"] < 1.0 or speedups["repeat"] < 1.0:
+            failures.append(
+                f"{engine}: warm-cache speedup below 1: {speedups}"
+            )
+    if numpy_available():
+        table_rows, speedup = measure_shared_dictionary(rows, fanout)
+        print(f"[numpy] shared dictionary vs per-query: {speedup:.2f}x")
+        # Informational, not gating: the margin is real but small
+        # (~1.1-1.2x), and sub-millisecond quick-mode timings on noisy
+        # CI runners would make a hard >= 1 gate flake.  The cold-vs-
+        # warm cache gates above (4x-100x margins) are the regression
+        # guard; the full-size pytest benchmark asserts this one.
+        if speedup < 1.0:
+            print(
+                "warning: shared-dictionary speedup below 1 "
+                f"({speedup:.2f}x) — timing noise or a regression; "
+                "rerun pytest benchmarks/bench_session_cache.py",
+                file=sys.stderr,
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("session cache smoke: " + ("FAIL" if failures else "OK"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,8 @@ from repro.core import (
     incompatibility_number,
     partial_order_access,
 )
-from repro.data import Database, Relation
+from repro.data import Database, EncodedDatabase, Relation
+from repro.session import AccessSession
 from repro.engine import (
     available_engines,
     get_engine,
@@ -43,9 +44,10 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AccessSession",
     "AnswerTester",
     "Atom",
     "TightBounds",
@@ -56,6 +58,7 @@ __all__ = [
     "Database",
     "DirectAccess",
     "DisruptionFreeDecomposition",
+    "EncodedDatabase",
     "EngineError",
     "JoinQuery",
     "OrderlessFourCycleAccess",

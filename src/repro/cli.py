@@ -9,6 +9,10 @@ Commands:
   (Proposition 45).
 * ``access`` — preprocess a query over relations read from CSV-ish
   files and serve indices / medians from the command line.
+* ``session`` — load the relations once, then serve repeated
+  ``access`` / ``median`` / ``page`` / ``count`` requests read from
+  stdin against one :class:`~repro.session.AccessSession` (shared
+  dictionary encoding, cross-order preprocessing cache).
 
 The global ``--engine {python,numpy}`` flag selects the execution
 engine (default: the ``REPRO_ENGINE`` environment variable, else
@@ -20,6 +24,8 @@ Examples::
     python -m repro fhtw "Q(a,b,c) :- R(a,b), S(b,c), T(c,a)"
     python -m repro --engine numpy access "Q(x,y) :- R(x,y)" --order y,x \\
         --relation R=data/r.csv --index 0 --median
+    printf 'access x,y 0\\nmedian -\\nstats\\n' | \\
+        python -m repro session "Q(x,y) :- R(x,y)" --relation R=data/r.csv
 """
 
 from __future__ import annotations
@@ -116,6 +122,112 @@ def cmd_access(args) -> int:
     return 0
 
 
+_SESSION_HELP = """\
+commands (one per line; order '-' lets the advisor choose):
+  access <order|-> <index> [<index> ...]   answers at the indices
+  median <order|->                          the middle answer
+  page <order|-> <number> <size>            one page of ranked answers
+  count <order|->                           the number of answers
+  plan [prefix]                             the order the advisor would pick
+  stats                                     cache/work counters
+  help                                      this text
+  quit                                      end the session\
+"""
+
+
+def cmd_session(args) -> int:
+    """Serve repeated requests from stdin against one AccessSession."""
+    from repro.errors import ReproError
+    from repro.session import AccessSession
+
+    if args.capacity < 0:
+        raise SystemExit("--capacity must be non-negative")
+    query = parse_query(args.query)
+    relations = dict(_load_relation(spec) for spec in args.relation)
+    # The session's engine does the right database preparation itself
+    # (shared dictionary under numpy, warm sort caches under python).
+    database = Database(relations)
+    try:
+        # Fail fast at startup, not once per request.
+        database.validate_for(query)
+    except ReproError as error:
+        raise SystemExit(str(error)) from None
+    session = AccessSession(database, capacity=args.capacity)
+    print(
+        f"session ready: {query}  |D|={len(database)}  "
+        f"engine={session.engine.name}"
+    )
+
+    def resolve_order(token: str):
+        return None if token == "-" else _parse_order(token)
+
+    stream = args.commands if args.commands is not None else sys.stdin
+    for line in stream:
+        words = line.split()
+        if not words or words[0].startswith("#"):
+            continue
+        command, rest = words[0].lower(), words[1:]
+        try:
+            if command in ("quit", "exit"):
+                break
+            elif command == "help":
+                print(_SESSION_HELP)
+            elif command == "stats":
+                for key, value in session.cache_stats().items():
+                    print(f"  {key}: {value}")
+            elif command == "plan":
+                prefix = _parse_order(rest[0]) if rest else None
+                report = session.plan(query, prefix)
+                print(
+                    f"order {','.join(report.order)}  ι = {report.iota}"
+                )
+            elif command == "count":
+                (order_token,) = rest
+                access = session.access(
+                    query, order=resolve_order(order_token)
+                )
+                print(f"{len(access)} answers over {list(access.order)}")
+            elif command == "access":
+                order_token, *index_tokens = rest
+                if not index_tokens:
+                    raise ValueError("access needs at least one index")
+                # Parse before serving: a malformed index must not pay
+                # (and then discard) a cold preprocessing pass.
+                indices = [int(token) for token in index_tokens]
+                access = session.access(
+                    query, order=resolve_order(order_token)
+                )
+                for index, answer in zip(
+                    indices, access.tuples_at(indices)
+                ):
+                    print(f"answers[{index}] = {answer}")
+            elif command == "median":
+                (order_token,) = rest
+                median = session.median(
+                    query, order=resolve_order(order_token)
+                )
+                print(f"median = {median}")
+            elif command == "page":
+                order_token, number, size = rest
+                number, size = int(number), int(size)
+                for answer in session.page(
+                    query, number, size,
+                    order=resolve_order(order_token),
+                ):
+                    print(answer)
+            else:
+                print(f"error: unknown command {command!r} (try 'help')")
+        except (ReproError, ValueError) as error:
+            print(f"error: {error}")
+    stats = session.stats
+    print(
+        f"served {stats.requests} requests; "
+        f"{stats.bag_materializations} bag materializations, "
+        f"{stats.forest_builds} forest builds"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +274,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     access.add_argument("--median", action="store_true")
     access.set_defaults(func=cmd_access)
+
+    session = commands.add_parser(
+        "session",
+        help="load relations once, serve repeated requests from stdin",
+        description="Serve access/median/page/count requests read from "
+        "stdin against one cached AccessSession.\n\n" + _SESSION_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    session.add_argument("query")
+    session.add_argument(
+        "--relation",
+        action="append",
+        default=[],
+        help="NAME=path, repeatable",
+    )
+    session.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="per-cache LRU capacity (default 64)",
+    )
+    session.set_defaults(func=cmd_session, commands=None)
     return parser
 
 
@@ -178,7 +312,16 @@ def main(argv: list[str] | None = None) -> int:
             get_engine()  # surface a bad $REPRO_ENGINE cleanly
     except EngineError as error:
         raise SystemExit(str(error)) from None
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-stream: normal for
+        # a serving CLI. Detach stdout so interpreter shutdown does not
+        # try (and fail) to flush it.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

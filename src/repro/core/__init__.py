@@ -13,6 +13,7 @@ from repro.core.advisor import (
     cheapest_order_with_prefix,
     order_cost_spread,
     rank_orders,
+    rank_orders_with_prefix,
 )
 from repro.core.enumeration import (
     DelayInstrumentedEnumerator,
@@ -55,6 +56,7 @@ __all__ = [
     "cheapest_order_with_prefix",
     "order_cost_spread",
     "rank_orders",
+    "rank_orders_with_prefix",
     "Bag",
     "DelayInstrumentedEnumerator",
     "materializing_enumerator",

@@ -27,14 +27,37 @@ once no matter how many extensions it has.
 from __future__ import annotations
 
 from bisect import bisect_right
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
 
 from repro.core.preprocessing import Preprocessing
 from repro.data.database import Database
 from repro.engine.base import BagIndex as _BagIndex  # noqa: F401 (compat)
-from repro.errors import OrderError, OutOfBoundsError
+from repro.errors import OrderError, OutOfBoundsError, QueryError
 from repro.query.query import JoinQuery
 from repro.query.variable_order import VariableOrder
+
+
+@dataclass(frozen=True)
+class CountingForest:
+    """A counting forest with the identity it was built for.
+
+    ``indexes`` maps each bag variable to its
+    :class:`~repro.engine.base.BagIndex`; ``key`` is ``(query
+    signature, decomposition cache_key, projected frozenset)`` and
+    ``database`` the exact database the counts came from.  The
+    provenance lets :class:`DirectAccess` *validate* an injected forest
+    instead of silently mis-counting with one built for a different
+    query, decomposition, projection, or database — per-bag indexes
+    are order-independent, but only within one such tuple.
+    """
+
+    indexes: Mapping[str, _BagIndex]
+    key: tuple
+    database: Database
+
+    def __len__(self) -> int:
+        return len(self.indexes)
 
 
 class DirectAccess:
@@ -53,6 +76,18 @@ class DirectAccess:
             ``projected`` must form a suffix.
         database: the input database.
         projected: variables to project away (suffix of ``order``).
+        preprocessing: optionally, an already-built
+            :class:`~repro.core.preprocessing.Preprocessing` for the same
+            ``(query, order, database)`` (session caches inject it here
+            to skip re-materializing the bag relations).
+        forest: optionally, an already-built :class:`CountingForest`
+            from a session cache (e.g. another access structure's
+            :attr:`forest`).  The per-bag indexes depend only on the
+            decomposition (and ``projected``), not on the inducing
+            order, so a forest built for one order is reused verbatim
+            by any other order with the same decomposition; the
+            forest's key is validated against this request and a
+            mismatch raises :class:`~repro.errors.QueryError`.
     """
 
     def __init__(
@@ -61,6 +96,9 @@ class DirectAccess:
         order: VariableOrder,
         database: Database,
         projected: frozenset[str] | set[str] = frozenset(),
+        *,
+        preprocessing: Preprocessing | None = None,
+        forest: CountingForest | None = None,
     ):
         self.query = query
         self.order = order
@@ -74,7 +112,21 @@ class DirectAccess:
             )
         self._free_prefix = variables[:free_count]
 
-        self.preprocessing = Preprocessing(query, order, database)
+        if preprocessing is None:
+            preprocessing = Preprocessing(query, order, database)
+        elif list(preprocessing.order) != variables:
+            raise OrderError(
+                "preprocessing was built for a different order"
+            )
+        elif preprocessing.database is not database or (
+            preprocessing.query is not query
+            and preprocessing.query.signature() != query.signature()
+        ):
+            raise QueryError(
+                "preprocessing was built for a different "
+                "query/database"
+            )
+        self.preprocessing = preprocessing
         self._engine = self.preprocessing.engine
         decomposition = self.preprocessing.decomposition
         self._bags = self.preprocessing.bags
@@ -85,7 +137,29 @@ class DirectAccess:
                 sorted(item.bag.interface, key=self._position.__getitem__)
             )
         self._children = decomposition.children()
-        self._indexes, self._total = self._build_counts()
+        forest_key = (
+            query.signature(),
+            decomposition.cache_key(),
+            self.projected,
+        )
+        if forest is not None and (
+            forest.key != forest_key or forest.database is not database
+        ):
+            raise QueryError(
+                "forest was built for a different query/"
+                "decomposition/projection/database"
+            )
+        self._indexes, self._total = self._build_counts(forest)
+        #: The counting forest — the cacheable, order-independent
+        #: artifact (see the ``forest`` argument).
+        self.forest = CountingForest(
+            indexes={
+                item.bag.variable: index
+                for item, index in zip(self._bags, self._indexes)
+            },
+            key=forest_key,
+            database=database,
+        )
 
     @property
     def engine_name(self) -> str:
@@ -94,26 +168,34 @@ class DirectAccess:
 
     # -- preprocessing ----------------------------------------------------
 
-    def _build_counts(self) -> tuple[list[_BagIndex], int]:
+    def _build_counts(
+        self, forest: CountingForest | None = None
+    ) -> tuple[list[_BagIndex], int]:
         count = len(self._bags)
-        indexes: list[_BagIndex | None] = [None] * count
-        for i in range(count - 1, -1, -1):
-            item = self._bags[i]
-            table = item.table
-            schema_pos = {v: p for p, v in enumerate(table.schema)}
-            child_slots = []
-            for child in self._children.get(i, ()):  # children: index > i
-                child_vars = self._interface_vars[child]
-                child_slots.append(
-                    (
-                        indexes[child],
-                        [schema_pos[v] for v in child_vars],
+        if forest is not None:
+            indexes = [
+                forest.indexes[item.bag.variable]
+                for item in self._bags
+            ]
+        else:
+            indexes: list[_BagIndex | None] = [None] * count
+            for i in range(count - 1, -1, -1):
+                item = self._bags[i]
+                table = item.table
+                schema_pos = {v: p for p, v in enumerate(table.schema)}
+                child_slots = []
+                for child in self._children.get(i, ()):  # children: > i
+                    child_vars = self._interface_vars[child]
+                    child_slots.append(
+                        (
+                            indexes[child],
+                            [schema_pos[v] for v in child_vars],
+                        )
                     )
+                projected_bag = item.bag.variable in self.projected
+                indexes[i] = self._engine.build_bag_index(
+                    table, child_slots, projected_bag
                 )
-            projected_bag = item.bag.variable in self.projected
-            indexes[i] = self._engine.build_bag_index(
-                table, child_slots, projected_bag
-            )
 
         total = 1
         for root in self._children.get(None, ()):
@@ -192,12 +274,37 @@ class DirectAccess:
         answer = self.answer_at(index)
         return tuple(answer[v] for v in self._free_prefix)
 
+    def tuples_at(
+        self, indices: Iterable[int] | Sequence[int]
+    ) -> list[tuple]:
+        """Batch :meth:`tuple_at`: tuples over the free prefix, in order.
+
+        One engine batch (vectorized under numpy) instead of one access
+        walk per index — the task layer (:mod:`repro.core.tasks`) routes
+        boxplots, pages, and samples through this.
+        """
+        free = self._free_prefix
+        return [
+            tuple(answer[v] for v in free)
+            for answer in self.answers_at(indices)
+        ]
+
     @property
     def free_variables(self) -> tuple[str, ...]:
         """The variables of returned answers, in order position."""
         return tuple(self._free_prefix)
 
+    #: Batch size of :meth:`__iter__`: large enough to amortize the
+    #: vectorized batch dispatch, small enough to stay O(1)-ish memory.
+    ITER_CHUNK = 1024
+
     def __iter__(self) -> Iterator[dict[str, object]]:
-        """Ordered enumeration by consecutive accesses ([10]'s reduction)."""
-        for index in range(self._total):
-            yield self.answer_at(index)
+        """Ordered enumeration by consecutive accesses ([10]'s reduction).
+
+        Iterates in chunked :meth:`answers_at` batches so enumeration is
+        vectorized under the numpy engine while staying lazy: only
+        :attr:`ITER_CHUNK` answers are materialized at a time.
+        """
+        for start in range(0, self._total, self.ITER_CHUNK):
+            stop = min(start + self.ITER_CHUNK, self._total)
+            yield from self.answers_at(range(start, stop))

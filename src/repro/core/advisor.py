@@ -11,7 +11,8 @@ its disruptive structure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field
 from fractions import Fraction
 from itertools import permutations
 
@@ -32,12 +33,21 @@ class OrderReport:
         witness_edge: the bag realizing ι.
         disruptive_trio: a trio witnessing incompatibility with the
             original hypergraph, or None.
+        decomposition: optional slot (excluded from equality/repr) a
+            cache-aware planner can fill — e.g. the session attaches
+            decompositions to the few head reports it keeps, so serving
+            the planned order needs no recomputation.  Rankings leave
+            it ``None`` to avoid retaining factorial-many
+            decompositions.
     """
 
     order: VariableOrder
     iota: Fraction
     witness_edge: frozenset[str]
     disruptive_trio: tuple[str, str, str] | None
+    decomposition: DisruptionFreeDecomposition | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def describe(self) -> str:
         trio = (
@@ -58,28 +68,39 @@ def rank_orders(
 
     Ties are broken lexicographically on the order itself, so the
     ranking is deterministic. ``limit`` truncates the output (the number
-    of orders is factorial in the query size).
+    of orders is factorial in the query size) and streams: only the
+    best ``limit`` reports are retained while iterating.
     """
+    return _rank(query, permutations(query.variables), limit)
+
+
+def _rank(
+    query: JoinQuery, candidate_orders, limit: int | None
+) -> list[OrderReport]:
+    """Rank candidate orders; decompositions are dropped per candidate
+    so only small report tuples accumulate (cache-aware planners
+    rebuild them for the few reports they actually use)."""
     hypergraph = Hypergraph.of_query(query)
-    reports = []
-    for perm in permutations(query.variables):
-        order = VariableOrder(perm)
-        decomposition = DisruptionFreeDecomposition(query, order)
-        witness = decomposition.witness_bag()
-        reports.append(
-            OrderReport(
+
+    def reports():
+        for perm in candidate_orders:
+            order = VariableOrder(perm)
+            decomposition = DisruptionFreeDecomposition(query, order)
+            yield OrderReport(
                 order=order,
                 iota=decomposition.incompatibility_number,
-                witness_edge=witness.edge,
+                witness_edge=decomposition.witness_bag().edge,
                 disruptive_trio=find_disruptive_trio(
                     hypergraph, order
                 ),
             )
-        )
-    reports.sort(key=lambda r: (r.iota, r.order.variables))
+
+    def sort_key(report: OrderReport):
+        return (report.iota, report.order.variables)
+
     if limit is not None:
-        reports = reports[:limit]
-    return reports
+        return heapq.nsmallest(limit, reports(), key=sort_key)
+    return sorted(reports(), key=sort_key)
 
 
 def cheapest_order(query: JoinQuery) -> OrderReport:
@@ -87,37 +108,38 @@ def cheapest_order(query: JoinQuery) -> OrderReport:
     return rank_orders(query, limit=1)[0]
 
 
-def cheapest_order_with_prefix(
-    query: JoinQuery, prefix: VariableOrder
-) -> OrderReport:
-    """The cheapest order starting with ``prefix``.
+def rank_orders_with_prefix(
+    query: JoinQuery,
+    prefix: VariableOrder,
+    limit: int | None = None,
+) -> list[OrderReport]:
+    """All orders extending ``prefix``, cheapest first.
 
     The planning face of Definition 49 (without projections): the user
     needs the answers sorted primarily by ``prefix`` and does not care
-    how ties are broken; the advisor picks the completion minimizing the
-    preprocessing exponent.
+    how ties are broken; the ranking lists every completion by its
+    preprocessing exponent so a cache-aware planner (the session) can
+    trade a marginally higher exponent for an already-cached
+    decomposition.
     """
     prefix.validate_for(query, partial=True)
     listed = set(prefix)
     rest = [v for v in query.variables if v not in listed]
-    hypergraph = Hypergraph.of_query(query)
-    best: OrderReport | None = None
-    for completion in permutations(rest):
-        order = VariableOrder(list(prefix) + list(completion))
-        decomposition = DisruptionFreeDecomposition(query, order)
-        report = OrderReport(
-            order=order,
-            iota=decomposition.incompatibility_number,
-            witness_edge=decomposition.witness_bag().edge,
-            disruptive_trio=find_disruptive_trio(hypergraph, order),
-        )
-        if best is None or (report.iota, report.order.variables) < (
-            best.iota,
-            best.order.variables,
-        ):
-            best = report
-    assert best is not None
-    return best
+    return _rank(
+        query,
+        (
+            tuple(prefix) + completion
+            for completion in permutations(rest)
+        ),
+        limit,
+    )
+
+
+def cheapest_order_with_prefix(
+    query: JoinQuery, prefix: VariableOrder
+) -> OrderReport:
+    """The cheapest order starting with ``prefix``."""
+    return rank_orders_with_prefix(query, prefix, limit=1)[0]
 
 
 def order_cost_spread(query: JoinQuery) -> tuple[Fraction, Fraction]:

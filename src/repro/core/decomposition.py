@@ -64,6 +64,7 @@ class DisruptionFreeDecomposition:
         self.incompatibility_number: Fraction = max(
             bag.cover_number for bag in self.bags
         )
+        self._cache_key: tuple | None = None
 
     def _build_bags(self) -> tuple[Bag, ...]:
         variables = list(self.order)
@@ -136,6 +137,44 @@ class DisruptionFreeDecomposition:
                 }
             )
         return out
+
+    def cache_key(self) -> tuple:
+        """A canonical, hashable identity of this decomposition.
+
+        Two orders of the same query get equal keys iff they induce the
+        same decomposition: the same ``variable -> (edge, interface,
+        cover)`` map.  The key deliberately forgets the bag *indices*
+        (i.e. where each variable sits in the order): permuting
+        variables that never co-occur in a bag — cross-product
+        components, star leaves — changes the order but not the
+        decomposition, and such orders must share one preprocessing
+        pass.  Equality of the per-variable edge map pins down the rest
+        of the structure: for ``u, w`` in one edge, ``u ∈ e_w \\ {w}``
+        forces ``u`` before ``w`` in *every* inducing order, so the
+        parent forest, the within-interface variable order, and hence
+        the bag-relation schemas and counting-forest shapes are all
+        determined by the key.
+
+        Sorted by variable name (not order position) so the key is
+        stable across inducing orders; memoized, since sessions hash it
+        on every request.
+        """
+        if self._cache_key is None:
+            self._cache_key = tuple(
+                sorted(
+                    (
+                        bag.variable,
+                        tuple(sorted(bag.edge)),
+                        tuple(sorted(bag.interface)),
+                        tuple(
+                            (tuple(sorted(edge)), weight)
+                            for edge, weight in bag.cover
+                        ),
+                    )
+                    for bag in self.bags
+                )
+            )
+        return self._cache_key
 
     def bag_of_atom(self, scope: frozenset[str]) -> int:
         """The bag enforcing an atom exactly: the bag of its latest variable.

@@ -16,6 +16,7 @@ global engine is switched while it runs.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.core.decomposition import Bag, DisruptionFreeDecomposition
@@ -38,23 +39,117 @@ class PreprocessedBag:
     table: Table
 
 
+@dataclass(frozen=True)
+class BagTables:
+    """Materialized bag relations with the identity they carry.
+
+    ``tables`` maps each bag variable to its relation; ``key`` is
+    ``(query signature, decomposition cache_key)`` and ``database`` the
+    exact database the tables were computed from.  The provenance lets
+    :class:`Preprocessing` *validate* injected tables instead of
+    silently replaying stale ones: per-bag tables are order-independent
+    within one (query, decomposition, database) triple, and only there.
+    """
+
+    tables: Mapping[str, Table]
+    key: tuple
+    database: Database
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+
 class Preprocessing:
-    """The full Theorem 10 preprocessing result."""
+    """The full Theorem 10 preprocessing result.
+
+    Args:
+        query: the join query.
+        order: the variable order.
+        database: the input database.
+        decomposition: optionally, the already-built disruption-free
+            decomposition of ``(query, order)`` (avoids recomputing it
+            when a caller — e.g. the session's advisor — has one).
+        bag_tables: optionally, already-materialized bag relations as a
+            :class:`BagTables` carrier, e.g. another
+            :meth:`Preprocessing.bag_tables` result from a session
+            cache fed by *another order inducing the same
+            decomposition* (their schemas are canonical given the
+            decomposition, so reuse is exact).  The carrier's
+            provenance is validated — a different query, decomposition,
+            or database raises :class:`~repro.errors.QueryError`.  When
+            given, no tuple-level work happens at all;
+            :attr:`materialized_bag_count` stays 0.
+    """
 
     def __init__(
         self,
         query: JoinQuery,
         order: VariableOrder,
         database: Database,
+        *,
+        decomposition: DisruptionFreeDecomposition | None = None,
+        bag_tables: BagTables | None = None,
     ):
         database.validate_for(query)
         self.query = query
         self.order = order
         self.database = database
         self.engine = get_engine()
-        self.decomposition = DisruptionFreeDecomposition(query, order)
+        if decomposition is None:
+            decomposition = DisruptionFreeDecomposition(query, order)
+        elif (
+            # Signatures, not __eq__: the head name is cosmetic, and
+            # session caches deliberately share entries across it.
+            decomposition.query is not query
+            and decomposition.query.signature() != query.signature()
+        ) or list(decomposition.order) != list(order):
+            raise QueryError(
+                "decomposition was built for a different query/order"
+            )
+        self.decomposition = decomposition
         self._position = {v: i for i, v in enumerate(order)}
-        self.bags = self._materialize()
+        self._provenance = (
+            query.signature(),
+            decomposition.cache_key(),
+        )
+        #: Bags whose relations were materialized here (0 on cache reuse).
+        self.materialized_bag_count = 0
+        if bag_tables is None:
+            self.bags = self._materialize()
+            self.materialized_bag_count = len(self.bags)
+        else:
+            if (
+                bag_tables.database is not database
+                or bag_tables.key != self._provenance
+            ):
+                raise QueryError(
+                    "bag tables were built for a different "
+                    "query/decomposition/database"
+                )
+            self.bags = [
+                PreprocessedBag(
+                    bag=bag, table=bag_tables.tables[bag.variable]
+                )
+                for bag in self.decomposition.bags
+            ]
+
+    def bag_tables(self) -> BagTables:
+        """The materialized bag relations as a reusable carrier.
+
+        The cacheable artifact: every order inducing the same
+        decomposition produces exactly these tables (same schemas, same
+        rows), so a session stores this under the decomposition's
+        :meth:`~repro.core.decomposition.DisruptionFreeDecomposition.cache_key`
+        and replays it via the ``bag_tables`` constructor argument;
+        the carrier's provenance guards the replay.
+        """
+        return BagTables(
+            tables={
+                item.bag.variable: item.table for item in self.bags
+            },
+            key=self._provenance,
+            database=self.database,
+        )
 
     @property
     def incompatibility_number(self):

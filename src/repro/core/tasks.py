@@ -3,6 +3,14 @@
 Direct access turns ``Q(D)`` into a virtual sorted array, which makes
 order statistics, boxplots, uniform sampling without repetition, and
 paginated/ranked retrieval logarithmic-per-item after preprocessing.
+
+Every multi-index task here resolves its whole index set through the
+batch API (:meth:`~repro.core.access.DirectAccess.tuples_at` /
+``answers_at``) in one call instead of one access walk per index — the
+numpy engine then answers the batch level-synchronously with vectorized
+binary searches.  Access structures that only implement the scalar
+:class:`~repro.core.counting.SupportsDirectAccess` protocol (e.g. the
+Proposition 35 reductions) degrade transparently to per-index calls.
 """
 
 from __future__ import annotations
@@ -14,22 +22,32 @@ from repro.core.counting import SupportsDirectAccess
 from repro.errors import OutOfBoundsError
 
 
+def _tuples_at(access: SupportsDirectAccess, indices: list[int]) -> list[tuple]:
+    """Batch resolve ``indices``, via ``tuples_at`` when available."""
+    batch = getattr(access, "tuples_at", None)
+    if batch is not None:
+        return batch(indices)
+    return [access.tuple_at(i) for i in indices]
+
+
 def answer_count(access: SupportsDirectAccess) -> int:
     """The number of answers (array length)."""
     return len(access)
+
+
+def _quantile_rank(n: int, fraction: Fraction | float) -> int:
+    if n == 0:
+        raise OutOfBoundsError("no answers: quantiles undefined")
+    if not 0 <= fraction <= 1:
+        raise ValueError("quantile fraction must be within [0, 1]")
+    return int(Fraction(fraction) * (n - 1))
 
 
 def quantile(
     access: SupportsDirectAccess, fraction: Fraction | float
 ) -> tuple:
     """The answer at rank ``⌊fraction * (n-1)⌋`` (nearest-rank, 0-based)."""
-    n = len(access)
-    if n == 0:
-        raise OutOfBoundsError("no answers: quantiles undefined")
-    if not 0 <= fraction <= 1:
-        raise ValueError("quantile fraction must be within [0, 1]")
-    rank = int(Fraction(fraction) * (n - 1))
-    return access.tuple_at(rank)
+    return access.tuple_at(_quantile_rank(len(access), fraction))
 
 
 def median(access: SupportsDirectAccess) -> tuple:
@@ -38,13 +56,23 @@ def median(access: SupportsDirectAccess) -> tuple:
 
 
 def boxplot(access: SupportsDirectAccess) -> dict[str, tuple]:
-    """Five-number summary: min, lower quartile, median, upper quartile, max."""
+    """Five-number summary: min, lower quartile, median, upper quartile, max.
+
+    All five ranks are resolved in one batch access.
+    """
+    n = len(access)
+    fractions = (
+        ("min", Fraction(0)),
+        ("q1", Fraction(1, 4)),
+        ("median", Fraction(1, 2)),
+        ("q3", Fraction(3, 4)),
+        ("max", Fraction(1)),
+    )
+    ranks = [_quantile_rank(n, f) for _, f in fractions]
+    answers = _tuples_at(access, ranks)
     return {
-        "min": quantile(access, 0),
-        "q1": quantile(access, Fraction(1, 4)),
-        "median": quantile(access, Fraction(1, 2)),
-        "q3": quantile(access, Fraction(3, 4)),
-        "max": quantile(access, 1),
+        name: answer
+        for (name, _), answer in zip(fractions, answers)
     }
 
 
@@ -53,27 +81,50 @@ def sample_without_repetition(
 ) -> list[tuple]:
     """``k`` uniform answers without repetition ([19]'s application).
 
-    Draws ``k`` distinct indices uniformly and resolves each with one
-    access call.
+    Draws ``k`` distinct indices uniformly and resolves them with one
+    batch access.
     """
     n = len(access)
     if k > n:
         raise OutOfBoundsError(f"cannot sample {k} of {n} answers")
     rng = random.Random(seed)
-    return [access.tuple_at(i) for i in rng.sample(range(n), k)]
+    return _tuples_at(access, rng.sample(range(n), k))
 
 
 def page(
     access: SupportsDirectAccess, page_number: int, page_size: int
 ) -> list[tuple]:
-    """Ranked pagination: answers ``[page*size, (page+1)*size)``."""
+    """Ranked pagination: answers ``[page*size, (page+1)*size)``.
+
+    Raises :class:`~repro.errors.OutOfBoundsError` for a negative
+    ``page_number`` (pages past the end are simply empty, which ends a
+    forward scan cleanly — but a negative page is a caller bug, not an
+    empty page).
+    """
+    if page_number < 0:
+        raise OutOfBoundsError(
+            f"page number must be non-negative, got {page_number}"
+        )
+    if page_size <= 0:
+        raise OutOfBoundsError(
+            f"page size must be positive, got {page_size}"
+        )
     n = len(access)
     start = page_number * page_size
     stop = min(start + page_size, n)
-    return [access.tuple_at(i) for i in range(max(start, 0), stop)]
+    return _tuples_at(access, list(range(start, stop)))
 
 
-def enumerate_in_order(access: SupportsDirectAccess):
-    """Full ordered enumeration by consecutive accesses ([10])."""
-    for index in range(len(access)):
-        yield access.tuple_at(index)
+def enumerate_in_order(access: SupportsDirectAccess, chunk: int = 1024):
+    """Full ordered enumeration by consecutive accesses ([10]).
+
+    Lazily yields tuples, resolving ``chunk`` indices per batch so the
+    numpy engine vectorizes the scan without materializing the output.
+    """
+    if chunk <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk}")
+    n = len(access)
+    for start in range(0, n, chunk):
+        yield from _tuples_at(
+            access, list(range(start, min(start + chunk, n)))
+        )

@@ -1,6 +1,6 @@
 """Data substrate: relations, databases, synthetic generators."""
 
-from repro.data.database import Database
+from repro.data.database import Database, EncodedDatabase
 from repro.data.relation import Relation
 
-__all__ = ["Database", "Relation"]
+__all__ = ["Database", "EncodedDatabase", "Relation"]

@@ -176,6 +176,50 @@ class ColumnarTable:
         return ColumnarTable(remap[self.codes], dictionary)
 
 
+def shared_dictionary_encode(relations) -> Dictionary | None:
+    """Encode ``relations`` (name -> Relation) against one dictionary.
+
+    Builds a single order-preserving :class:`Dictionary` over the union
+    of the relations' active domains and installs a
+    :class:`ColumnarTable` mirror sharing it on every relation, so every
+    downstream cross-table operation (semijoin, join, counting-forest
+    remap) short-circuits its dictionary merge on object identity
+    instead of merging + remapping per operation.
+
+    Idempotent: when every relation already carries a mirror over one
+    common dictionary, that dictionary is returned untouched.  Returns
+    ``None`` (leaving the relations as they were) when numpy is missing
+    or the combined domain is not totally orderable — the engines then
+    fall back per operation exactly as before.
+    """
+    if _np is None:
+        return None
+    relations = dict(relations)
+    mirrors = [rel._columnar for rel in relations.values()]
+    if mirrors and all(m is not None for m in mirrors):
+        first = mirrors[0].dictionary
+        if all(m.dictionary is first for m in mirrors):
+            return first
+    try:
+        dictionary = Dictionary(
+            value
+            for rel in relations.values()
+            for t in rel.tuples
+            for value in t
+        )
+        encoded = {
+            name: ColumnarTable.from_rows(
+                rel.sorted_tuples(), rel.arity, dictionary
+            )
+            for name, rel in relations.items()
+        }
+    except TypeError:
+        return None
+    for name, rel in relations.items():
+        rel._columnar = encoded[name]
+    return dictionary
+
+
 def pack_keys(columns: Sequence, card: int):
     """Collapse parallel code columns into one int64 key per row.
 

@@ -80,3 +80,46 @@ class Database:
                     f"{symbol} has arity {relation.arity}, query needs "
                     f"{expected}"
                 )
+
+
+class EncodedDatabase(Database):
+    """A database whose relations share one order-preserving dictionary.
+
+    The paper's word-RAM model assumes the active domain is ``[n]``
+    once, for the whole database; a plain :class:`Database` leaves each
+    relation to be dictionary-encoded independently, so every
+    cross-table operation of the numpy engine pays a dictionary merge
+    plus a code remap.  An :class:`EncodedDatabase` realizes the model's
+    assumption eagerly: one shared :class:`~repro.data.columnar.Dictionary`
+    over ``dom(D)``, built at construction, shared by every relation's
+    columnar mirror, so all downstream merges short-circuit on object
+    identity.
+
+    ``shared_dictionary`` is ``None`` when the encoding is unavailable
+    (no numpy, or a domain that is not totally orderable); the database
+    then behaves exactly like a plain :class:`Database`.
+    """
+
+    def __init__(self, relations: Mapping[str, Relation | Iterable[tuple]]):
+        super().__init__(relations)
+        from repro.data.columnar import shared_dictionary_encode
+
+        # Encode private copies: the mirrors are installed on the
+        # Relation objects in place, and the caller's relations may be
+        # shared with another database (e.g. the one extended() was
+        # called on) whose own shared encoding must stay intact.
+        self._relations = {
+            name: Relation(rel.tuples, arity=rel.arity)
+            for name, rel in self._relations.items()
+        }
+        self.shared_dictionary = shared_dictionary_encode(self._relations)
+
+    def extended(
+        self, extra: Mapping[str, Relation | Iterable[tuple]]
+    ) -> "EncodedDatabase":
+        """A new encoded database with additional (or replaced) relations."""
+        merged: dict[str, Relation | Iterable[tuple]] = dict(
+            self._relations
+        )
+        merged.update(extra)
+        return EncodedDatabase(merged)

@@ -10,6 +10,7 @@ from repro.engine.base import BagIndex, Engine
 from repro.engine.registry import (
     available_engines,
     get_engine,
+    resolve_engine,
     set_engine,
     use_engine,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "Engine",
     "available_engines",
     "get_engine",
+    "resolve_engine",
     "set_engine",
     "use_engine",
 ]

@@ -138,6 +138,18 @@ class Engine(abc.ABC):
         50's projected-suffix handling).
         """
 
+    # -- database preparation ----------------------------------------------
+
+    def encode_database(self, database) -> None:
+        """Prepare ``database`` for repeated queries under this engine.
+
+        Called once per session (:class:`repro.session.AccessSession`),
+        before any query runs, so per-query setup work can be hoisted:
+        the numpy engine builds one shared-domain dictionary for all
+        relations, the Python engine warms the sorted-tuple caches.
+        Must be a pure optimization — observable results never change.
+        """
+
     # -- batch access ------------------------------------------------------
 
     def batch_access(self, access, indices: Sequence[int]) -> list[dict]:

@@ -28,6 +28,7 @@ from repro.data.columnar import (
     Dictionary,
     pack_keys,
     pack_pair,
+    shared_dictionary_encode,
 )
 from repro.engine.base import BagIndex, Engine
 from repro.engine.python_engine import PythonEngine
@@ -572,6 +573,21 @@ class NumpyEngine(Engine):
             index.totals[interface] = totals_list[g]
         index.groups = _LazyGroups(aux, group_of)
         return index
+
+    # -- database preparation ----------------------------------------------
+
+    def encode_database(self, database) -> None:
+        """Install one shared-domain dictionary across all relations.
+
+        Afterwards every cross-table dictionary merge in this engine
+        short-circuits on object identity (``Dictionary.merged(a, a) is
+        a``) and every ``with_dictionary`` remap is a no-op, so the
+        per-operation merge + remap cost disappears for every query
+        served against the database.  A domain that cannot be totally
+        ordered leaves the relations untouched (per-operation fallback
+        keeps working).
+        """
+        shared_dictionary_encode(database.relations)
 
     # -- batch access ------------------------------------------------------
 

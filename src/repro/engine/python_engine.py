@@ -129,6 +129,17 @@ class PythonEngine(Engine):
                 j += 1
         return out
 
+    # -- database preparation ----------------------------------------------
+
+    def encode_database(self, database) -> None:
+        """Warm the per-relation sorted-tuple caches (the only per-query
+        setup the tuple-at-a-time path repeats)."""
+        for relation in database.relations.values():
+            try:
+                relation.sorted_tuples()
+            except TypeError:  # incomparable domain: sorting is per-op
+                pass
+
     # -- counting forest ---------------------------------------------------
 
     def build_bag_index(self, table, child_slots, projected):

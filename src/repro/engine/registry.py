@@ -49,6 +49,20 @@ def _instantiate(name: str) -> Engine:
     )
 
 
+def resolve_engine(engine: str | Engine | None) -> Engine:
+    """An engine instance for ``engine``, *without* activating it.
+
+    ``None`` resolves to the process-global active engine; a string is
+    instantiated by name; an instance passes through.  Sessions use this
+    to pin their own engine independently of the global one.
+    """
+    if engine is None:
+        return get_engine()
+    if isinstance(engine, Engine):
+        return engine
+    return _instantiate(str(engine).strip().lower())
+
+
 def get_engine() -> Engine:
     """The active engine (resolving ``REPRO_ENGINE`` on first use)."""
     global _current

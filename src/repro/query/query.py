@@ -87,6 +87,22 @@ class JoinQuery:
         """Build the conjunctive query keeping only ``free`` in the head."""
         return ConjunctiveQuery(self.atoms, name=self.name, free=tuple(free))
 
+    def signature(self) -> tuple:
+        """A hashable identity of the query, ignoring the cosmetic name.
+
+        Two queries with the same body atoms (same relation symbols
+        applied to the same variables, in the same written order) and
+        the same head get equal signatures even when their ``name``
+        differs; session caches key on this instead of the query object
+        so re-parsed requests share entries.
+        """
+        return (
+            tuple(
+                (atom.relation, atom.variables) for atom in self.atoms
+            ),
+            self.free_variables,
+        )
+
     def __str__(self) -> str:
         head = f"{self.name}({', '.join(self.free_variables)})"
         return f"{head} :- {', '.join(str(a) for a in self.atoms)}"

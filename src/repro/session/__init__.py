@@ -1,0 +1,12 @@
+"""Serving layer: amortized direct access across repeated requests.
+
+:class:`AccessSession` owns a database, pins an execution engine, and
+shares dictionary encodings, materialized bag relations, and counting
+forests between every request that can legally reuse them (same
+decomposition, same engine) — see :mod:`repro.session.session`.
+"""
+
+from repro.session.cache import CacheStats, LRUCache, SessionStats
+from repro.session.session import AccessSession
+
+__all__ = ["AccessSession", "CacheStats", "LRUCache", "SessionStats"]

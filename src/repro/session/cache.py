@@ -1,0 +1,123 @@
+"""Session-scoped LRU caches and their observability counters.
+
+The session amortizes three artifacts across requests, each in its own
+LRU (bounded, so a long-lived serving process cannot grow without
+limit):
+
+* materialized bag relations, keyed by the *decomposition* (not the
+  order) — shared by every order inducing the same disruption-free
+  decomposition;
+* counting forests, keyed by decomposition + projected set;
+* assembled :class:`~repro.core.access.DirectAccess` structures, keyed
+  by the exact (query, order, projected) request.
+
+:class:`CacheStats` counts hits/misses/evictions per cache plus the
+tuple-level work actually performed (bag materializations, forest
+builds), so tests and operators can verify that a warm request did zero
+preprocessing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by :meth:`repro.session.AccessSession.cache_stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class SessionStats:
+    """Aggregate observability for one :class:`AccessSession`.
+
+    ``bag_materializations`` / ``forest_builds`` count *work done*, not
+    lookups: a request served entirely from cache leaves both untouched
+    — the property the acceptance tests pin down.
+    """
+
+    preprocessing: CacheStats = field(default_factory=CacheStats)
+    forest: CacheStats = field(default_factory=CacheStats)
+    access: CacheStats = field(default_factory=CacheStats)
+    plans: CacheStats = field(default_factory=CacheStats)
+    decompositions: CacheStats = field(default_factory=CacheStats)
+    bag_materializations: int = 0
+    forest_builds: int = 0
+    requests: int = 0
+    advisor_calls: int = 0
+    cache_preferred_orders: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "advisor_calls": self.advisor_calls,
+            "cache_preferred_orders": self.cache_preferred_orders,
+            "bag_materializations": self.bag_materializations,
+            "forest_builds": self.forest_builds,
+            "preprocessing": self.preprocessing.as_dict(),
+            "forest": self.forest.as_dict(),
+            "access": self.access.as_dict(),
+            "plans": self.plans.as_dict(),
+            "decompositions": self.decompositions.as_dict(),
+        }
+
+
+class LRUCache:
+    """A minimal ordered-dict LRU with externally-owned stats.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used
+    entry beyond ``capacity``.  ``capacity=None`` means unbounded (used
+    by tests); ``capacity=0`` disables caching entirely.
+    """
+
+    def __init__(self, capacity: int | None, stats: CacheStats):
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"negative cache capacity {capacity}")
+        self.capacity = capacity
+        self.stats = stats
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        """Membership *without* touching recency or hit/miss counters
+        (used by the cache-aware planner to peek at warm orders)."""
+        return key in self._entries
+
+    def get(self, key):
+        """The cached value, or ``None`` on a miss (values are never
+        ``None``: every artifact is a dict or structure)."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -90,3 +90,90 @@ class TestAccess:
                     f"R={empty}",
                 ]
             )
+
+
+class TestSession:
+    def _serve(self, tmp_path, monkeypatch, script):
+        import io
+
+        r_file = tmp_path / "r.csv"
+        r_file.write_text("1,2\n3,2\n3,4\n")
+        s_file = tmp_path / "s.csv"
+        s_file.write_text("2,7\n2,9\n4,1\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        return main(
+            [
+                "session",
+                "Q(x,y,z) :- R(x,y), S(y,z)",
+                "--relation",
+                f"R={r_file}",
+                "--relation",
+                f"S={s_file}",
+            ]
+        )
+
+    def test_serves_multiple_requests(self, tmp_path, monkeypatch, capsys):
+        code = self._serve(
+            tmp_path,
+            monkeypatch,
+            "access x,y,z 0 -1\n"
+            "median -\n"
+            "page x,y,z 0 2\n"
+            "count x,y,z\n"
+            "stats\n"
+            "quit\n",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "session ready" in out
+        assert "answers[0] = (1, 2, 7)" in out
+        assert "answers[-1] = (3, 4, 1)" in out
+        assert "median = (3, 2, 7)" in out
+        assert "(1, 2, 9)" in out  # second row of the page
+        assert "5 answers over ['x', 'y', 'z']" in out
+        assert "bag_materializations: 3" in out
+        assert "served 4 requests" in out
+
+    def test_missing_relation_exits_at_startup(self, tmp_path):
+        r_file = tmp_path / "r.csv"
+        r_file.write_text("1,2\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "session",
+                    "Q(x,y) :- R(x,y)",
+                    "--relation",
+                    f"Wrong={r_file}",
+                ]
+            )
+
+    def test_negative_capacity_exits_cleanly(self, tmp_path):
+        r_file = tmp_path / "r.csv"
+        r_file.write_text("1,2\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "session",
+                    "Q(x,y) :- R(x,y)",
+                    "--relation",
+                    f"R={r_file}",
+                    "--capacity",
+                    "-1",
+                ]
+            )
+
+    def test_errors_do_not_end_the_session(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code = self._serve(
+            tmp_path,
+            monkeypatch,
+            "access x,y,z 99\n"  # out of bounds
+            "page x,y,z -1 5\n"  # negative page
+            "frobnicate\n"  # unknown command
+            "count x,y,z\n",  # still served afterwards
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("error:") == 3
+        assert "5 answers" in out

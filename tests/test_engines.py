@@ -16,6 +16,7 @@ import zlib
 import pytest
 
 from repro import (
+    AccessSession,
     Database,
     DirectAccess,
     OutOfBoundsError,
@@ -93,6 +94,45 @@ def test_direct_access_differential(query_text):
         assert observations["python"] == observations["numpy"], (
             f"engines disagree on {query_text} / {list(order)}"
         )
+
+
+@needs_numpy
+@pytest.mark.parametrize("query_text", QUERIES)
+def test_session_differential(query_text):
+    """Session-served access (cold and warm) agrees across engines.
+
+    Each engine gets its own session over the same database; every
+    request is served twice — the repeat must come from the cache and
+    still observe identical answers, so this differentially tests the
+    cache layers, not just the engines.
+    """
+    query = parse_query(query_text)
+    rng = random.Random(zlib.crc32(b"session:" + query_text.encode()))
+    database = random_database(query, rng)
+    orders = [
+        VariableOrder(
+            rng.choice(list(itertools.permutations(query.variables)))
+        )
+        for _ in range(3)
+    ]
+    observations = {}
+    for engine in ("python", "numpy"):
+        session = AccessSession(database, engine=engine)
+        trace = []
+        for order in orders + orders:  # second half: warm requests
+            access = session.access(query, order=order)
+            trace.append(
+                (
+                    len(access),
+                    [access.tuple_at(i) for i in range(len(access))],
+                    access.answers_at(range(len(access))),
+                )
+            )
+        trace.append(session.stats.bag_materializations)
+        observations[engine] = trace
+    assert observations["python"] == observations["numpy"], (
+        f"sessions disagree on {query_text}"
+    )
 
 
 @needs_numpy

@@ -1,0 +1,478 @@
+"""Tests for the serving layer: AccessSession, caches, shared encoding."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    AccessSession,
+    Database,
+    DirectAccess,
+    EncodedDatabase,
+    Relation,
+    VariableOrder,
+    parse_query,
+    use_engine,
+)
+from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.data.columnar import numpy_available
+from repro.engine import available_engines
+from repro.errors import OrderError
+from repro.session.cache import CacheStats, LRUCache
+from tests.conftest import (
+    lex_answers,
+    random_database_for,
+    random_join_query,
+)
+
+STAR = "Q(x, y, z, w) :- R(x, y), S(x, z), T(x, w)"
+
+
+def star_database(seed=0, rows=40, domain=6) -> Database:
+    rng = random.Random(seed)
+    return random_database_for(
+        parse_query(STAR), rng, rows=rows, domain=domain
+    )
+
+
+def enumerate_all(access) -> list[tuple]:
+    return [access.tuple_at(i) for i in range(len(access))]
+
+
+class TestCrossOrderSharing:
+    """Orders inducing one decomposition share one preprocessing pass."""
+
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_sibling_order_hits_cache(self, engine):
+        query = parse_query(STAR)
+        session = AccessSession(star_database(), engine=engine)
+        first = session.access(query, order=["x", "y", "z", "w"])
+        cold_materializations = session.stats.bag_materializations
+        cold_builds = session.stats.forest_builds
+        assert cold_materializations == 4  # one table per bag
+
+        # A different order, same decomposition: zero new tuple work.
+        second = session.access(query, order=["x", "w", "z", "y"])
+        assert session.stats.bag_materializations == cold_materializations
+        assert session.stats.forest_builds == cold_builds
+        assert session.stats.preprocessing.hits == 1
+        assert session.stats.forest.hits == 1
+
+        # ... and the cached structures answer bit-identically to a
+        # cold, session-free DirectAccess for that order.
+        with use_engine(engine):
+            cold = DirectAccess(
+                query,
+                VariableOrder(["x", "w", "z", "y"]),
+                session.database,
+            )
+        assert len(second) == len(cold) == len(first)
+        assert enumerate_all(second) == enumerate_all(cold)
+
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_exact_repeat_returns_cached_structure(self, engine):
+        query = parse_query(STAR)
+        session = AccessSession(star_database(), engine=engine)
+        first = session.access(query, order=["x", "y", "z", "w"])
+        again = session.access(query, order=["x", "y", "z", "w"])
+        assert again is first
+        assert session.stats.access.hits == 1
+
+    def test_projected_requests_cache_separately(self):
+        query = parse_query(STAR)
+        session = AccessSession(star_database())
+        full = session.access(query, order=["x", "y", "z", "w"])
+        materialized = session.stats.bag_materializations
+        projected = session.access(
+            query, order=["x", "y", "z", "w"], projected={"w"}
+        )
+        # Bag relations are shared with the full-order request ...
+        assert session.stats.bag_materializations == materialized
+        assert session.stats.preprocessing.hits == 1
+        # ... but the counting forest is projected-set specific.
+        assert session.stats.forest.misses == 2
+        expected = sorted({t[:3] for t in enumerate_all(full)})
+        assert enumerate_all(projected) == expected
+
+    def test_structurally_equal_query_shares_cache(self):
+        session = AccessSession(star_database())
+        session.access(parse_query(STAR), order=["x", "y", "z", "w"])
+        materialized = session.stats.bag_materializations
+        renamed = parse_query(
+            "P(x, y, z, w) :- R(x, y), S(x, z), T(x, w)"
+        )
+        session.access(renamed, order=["x", "z", "w", "y"])
+        assert session.stats.bag_materializations == materialized
+
+    def test_renamed_query_served_after_artifact_eviction(self):
+        """Regression: a warm plan for query A must be reusable to
+        rebuild evicted artifacts for a same-body query named B (the
+        decomposition guard compares signatures, not head names)."""
+        query_a = parse_query("A(x, y, z) :- R(x, y), S(y, z)")
+        query_b = parse_query("B(x, y, z) :- R(x, y), S(y, z)")
+        other = parse_query("O(u, v) :- T(u, v)")
+        database = Database(
+            {
+                "R": {(1, 2), (3, 2)},
+                "S": {(2, 7), (2, 9)},
+                "T": {(0, 0)},
+            }
+        )
+        session = AccessSession(database, capacity=1)
+        session.access(query_a)  # plan + artifacts for A
+        session.access(other, order=["u", "v"])  # evicts A's artifacts
+        access = session.access(query_b)  # warm plan, cold artifacts
+        assert len(access) == 4
+
+
+class TestDecompositionCacheKey:
+    """cache_key is canonical: equal iff the decompositions are equal."""
+
+    def test_property_random_order_pairs(self):
+        rng = random.Random(2024)
+        checked_equal = 0
+        for _ in range(60):
+            query = random_join_query(rng)
+            variables = list(query.variables)
+            order_a = VariableOrder(
+                rng.sample(variables, len(variables))
+            )
+            order_b = VariableOrder(
+                rng.sample(variables, len(variables))
+            )
+            da = DisruptionFreeDecomposition(query, order_a)
+            db_ = DisruptionFreeDecomposition(query, order_b)
+            structure = lambda d: {
+                bag.variable: (bag.edge, bag.interface)
+                for bag in d.bags
+            }
+            same_structure = structure(da) == structure(db_)
+            assert (da.cache_key() == db_.cache_key()) == same_structure
+            if not same_structure:
+                continue
+            checked_equal += 1
+            # Same decomposition => the session serves order_b from
+            # order_a's preprocessing, with identical answers.
+            database = random_database_for(query, rng)
+            session = AccessSession(database)
+            session.access(query, order=order_a)
+            materialized = session.stats.bag_materializations
+            warm = session.access(query, order=order_b)
+            assert (
+                session.stats.bag_materializations == materialized
+            ), f"{query} {list(order_a)} {list(order_b)}"
+            assert enumerate_all(warm) == lex_answers(
+                query, database, order_b
+            )
+        assert checked_equal >= 5  # the property was actually exercised
+
+    def test_key_differs_across_decompositions(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        cheap = DisruptionFreeDecomposition(
+            query, VariableOrder(["x", "y", "z"])
+        )
+        costly = DisruptionFreeDecomposition(
+            query, VariableOrder(["x", "z", "y"])
+        )
+        assert cheap.cache_key() != costly.cache_key()
+
+
+class TestPlanning:
+    def test_advisor_picks_cheapest_cold(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        session = AccessSession(
+            random_database_for(query, random.Random(1))
+        )
+        report = session.plan(query)
+        assert report.iota == 1
+        access = session.access(query)
+        assert list(access.order) == list(report.order)
+
+    def test_prefix_planning(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        session = AccessSession(
+            random_database_for(query, random.Random(2))
+        )
+        access = session.access(query, prefix=["y"])
+        assert list(access.order)[0] == "y"
+        assert enumerate_all(access) == lex_answers(
+            query, session.database, access.order
+        )
+
+    def test_cache_aware_order_choice(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        database = random_database_for(query, random.Random(3))
+        # Slack 1 admits the iota-2 order (x, z, y) once it is warm.
+        session = AccessSession(database, cache_slack=1)
+        warm_order = ["x", "z", "y"]
+        session.access(query, order=warm_order)
+        report = session.plan(query)
+        assert list(report.order) == warm_order
+        assert session.stats.cache_preferred_orders == 1
+        # With the default slack 0 the cold optimum still wins.
+        strict = AccessSession(database)
+        strict.access(query, order=warm_order)
+        assert strict.plan(query).iota == 1
+
+    def test_mutated_cache_slack_replans(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        database = random_database_for(query, random.Random(9))
+        session = AccessSession(database)
+        session.plan(query)  # caches the slack-0 (ties-only) window
+        session.cache_slack = Fraction(1)
+        session.access(query, order=["x", "z", "y"])  # warm iota-2
+        assert list(session.plan(query).order) == ["x", "z", "y"]
+
+    def test_plan_accepts_plain_list_prefix(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        session = AccessSession(
+            random_database_for(query, random.Random(8))
+        )
+        report = session.plan(query, ["y"])  # cold plan cache
+        assert list(report.order)[0] == "y"
+
+    def test_injected_forest_must_match_request(self):
+        from repro.errors import QueryError
+
+        query = parse_query(STAR)
+        order = VariableOrder(["x", "y", "z", "w"])
+        database = star_database()
+        full = DirectAccess(query, order, database)
+        # Same decomposition, different projection: must be rejected,
+        # not silently double-counted.
+        with pytest.raises(QueryError):
+            DirectAccess(
+                query,
+                order,
+                database,
+                projected={"w"},
+                forest=full.forest,
+            )
+        # Different decomposition of the same variables: rejected too.
+        path = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        path_db = Database({"R": {(1, 2)}, "S": {(2, 3)}})
+        cheap = DirectAccess(
+            path, VariableOrder(["x", "y", "z"]), path_db
+        )
+        with pytest.raises(QueryError):
+            DirectAccess(
+                path,
+                VariableOrder(["x", "z", "y"]),
+                path_db,
+                forest=cheap.forest,
+            )
+        # A different database: rejected (stale counts, not answers).
+        with pytest.raises(QueryError):
+            DirectAccess(
+                query, order, star_database(seed=1), forest=full.forest
+            )
+        # The matching forest is accepted (the session's warm path).
+        warm = DirectAccess(
+            query,
+            VariableOrder(["x", "w", "z", "y"]),
+            database,
+            forest=full.forest,
+        )
+        assert len(warm) == len(full)
+
+    def test_injected_bag_tables_must_match_database(self):
+        from repro.core.preprocessing import Preprocessing
+        from repro.errors import QueryError
+
+        query = parse_query("Q(x, y) :- R(x, y)")
+        order = VariableOrder(["x", "y"])
+        db_old = Database({"R": {(1, 2)}})
+        db_new = Database({"R": {(1, 2), (3, 4)}})
+        old = Preprocessing(query, order, db_old)
+        with pytest.raises(QueryError):
+            Preprocessing(
+                query, order, db_new, bag_tables=old.bag_tables()
+            )
+        # The matching carrier replays without re-materializing.
+        warm = Preprocessing(
+            query, order, db_old, bag_tables=old.bag_tables()
+        )
+        assert warm.materialized_bag_count == 0
+
+    def test_injected_preprocessing_must_match_database(self):
+        from repro.core.preprocessing import Preprocessing
+        from repro.errors import QueryError
+
+        query = parse_query("Q(x, y) :- R(x, y)")
+        order = VariableOrder(["x", "y"])
+        db_old = Database({"R": {(1, 2)}})
+        db_new = Database({"R": {(1, 2), (3, 4)}})
+        prep = Preprocessing(query, order, db_old)
+        with pytest.raises(QueryError):
+            DirectAccess(query, order, db_new, preprocessing=prep)
+
+    def test_plan_results_are_memoized(self):
+        query = parse_query(STAR)
+        session = AccessSession(star_database())
+        session.access(query)
+        session.access(query)
+        assert session.stats.advisor_calls == 1
+
+    def test_projected_needs_explicit_order(self):
+        session = AccessSession(star_database())
+        with pytest.raises(OrderError):
+            session.access(parse_query(STAR), projected={"w"})
+
+    def test_conflicting_order_and_prefix_raise(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        session = AccessSession(
+            random_database_for(query, random.Random(7))
+        )
+        with pytest.raises(OrderError):
+            session.access(query, order=["x", "y", "z"], prefix=["y"])
+        # A consistent pair is served normally.
+        access = session.access(
+            query, order=["y", "x", "z"], prefix=["y"]
+        )
+        assert list(access.order) == ["y", "x", "z"]
+
+    def test_plan_cache_keeps_only_the_slack_window(self):
+        query = parse_query(STAR)  # 4 variables, 24 orders
+        session = AccessSession(star_database())
+        session.plan(query)
+        (stored,) = session._plans._entries.values()
+        best = stored[0].iota
+        assert all(report.iota == best for report in stored)
+        assert len(stored) < 24
+
+
+class TestSessionMechanics:
+    def test_task_conveniences(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        database = random_database_for(query, random.Random(4))
+        session = AccessSession(database)
+        order = ["x", "y", "z"]
+        answers = lex_answers(query, database, VariableOrder(order))
+        assert session.count(query, order=order) == len(answers)
+        if answers:
+            assert (
+                session.median(query, order=order)
+                == answers[(len(answers) - 1) // 2]
+            )
+            assert session.page(query, 0, 3, order=order) == answers[:3]
+
+    def test_lru_eviction_keeps_serving(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        database = random_database_for(query, random.Random(5))
+        session = AccessSession(database, capacity=1)
+        orders = (["x", "y", "z"], ["y", "x", "z"], ["x", "y", "z"])
+        for order in orders:
+            access = session.access(query, order=order)
+            assert enumerate_all(access) == lex_answers(
+                query, database, VariableOrder(order)
+            )
+        assert session.stats.preprocessing.evictions >= 1
+
+    def test_clear_drops_artifacts_but_keeps_counters(self):
+        query = parse_query(STAR)
+        session = AccessSession(star_database())
+        session.access(query, order=["x", "y", "z", "w"])
+        session.clear()
+        session.access(query, order=["x", "y", "z", "w"])
+        assert session.stats.bag_materializations == 8
+
+    def test_cache_stats_snapshot_shape(self):
+        session = AccessSession(star_database())
+        stats = session.cache_stats()
+        assert set(stats) == {
+            "requests",
+            "advisor_calls",
+            "cache_preferred_orders",
+            "bag_materializations",
+            "forest_builds",
+            "preprocessing",
+            "forest",
+            "access",
+            "plans",
+            "decompositions",
+        }
+
+    def test_session_engine_is_pinned(self):
+        query = parse_query("Q(x, y) :- R(x, y)")
+        database = Database({"R": {(1, 2), (2, 3)}})
+        for engine in available_engines():
+            session = AccessSession(database, engine=engine)
+            access = session.access(query, order=["x", "y"])
+            assert access.engine_name == engine
+
+    def test_lru_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1, CacheStats())
+
+
+class TestEncodedDatabase:
+    def test_relations_share_one_dictionary(self):
+        database = EncodedDatabase(
+            {"R": {(1, 2), (3, 4)}, "S": {(2, 5)}}
+        )
+        if not numpy_available():
+            assert database.shared_dictionary is None
+            return
+        dictionary = database.shared_dictionary
+        assert dictionary is not None
+        assert dictionary.values == [1, 2, 3, 4, 5]
+        for relation in database.relations.values():
+            assert relation._columnar.dictionary is dictionary
+
+    def test_same_answers_as_plain_database(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        rng = random.Random(6)
+        relations = {
+            "R": Relation(
+                {(rng.randrange(6), rng.randrange(6)) for _ in range(20)},
+                arity=2,
+            ),
+            "S": Relation(
+                {(rng.randrange(6), rng.randrange(6)) for _ in range(20)},
+                arity=2,
+            ),
+        }
+        order = VariableOrder(["x", "y", "z"])
+        expected = lex_answers(query, Database(relations), order)
+        for engine in available_engines():
+            with use_engine(engine):
+                access = DirectAccess(
+                    query, order, EncodedDatabase(relations)
+                )
+            assert enumerate_all(access) == expected
+
+    def test_incomparable_domain_degrades_gracefully(self):
+        database = EncodedDatabase(
+            {"R": {(1, "u"), (2, "v")}, "S": {("u",)}}
+        )
+        assert database.shared_dictionary is None
+        query = parse_query("Q(x, y) :- R(x, y), S(y)")
+        session = AccessSession(database)
+        access = session.access(query, order=["x", "y"])
+        assert enumerate_all(access) == [(1, "u")]
+
+    def test_extended_reencodes(self):
+        database = EncodedDatabase({"R": {(1, 2)}})
+        extended = database.extended({"S": {(9,)}})
+        assert isinstance(extended, EncodedDatabase)
+        if numpy_available():
+            assert extended.shared_dictionary.values == [1, 2, 9]
+            # ... without stealing the original's mirrors: db1's
+            # relations must keep pointing at db1's dictionary.
+            assert (
+                database.relations["R"]._columnar.dictionary
+                is database.shared_dictionary
+            )
+
+    def test_lazy_prefix_is_consumed_once(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        session = AccessSession(
+            random_database_for(query, random.Random(10))
+        )
+        access = session.access(
+            query, order=["y", "x", "z"], prefix=iter(["y"])
+        )
+        assert list(access.order) == ["y", "x", "z"]

@@ -92,7 +92,111 @@ class TestSamplingAndPagination:
             number += 1
         assert collected == answers
 
+    def test_negative_page_raises(self, access):
+        """Regression: negative pages used to clamp silently to page 0."""
+        da, answers = access
+        with pytest.raises(OutOfBoundsError):
+            page(da, -1, 5)
+        with pytest.raises(OutOfBoundsError):
+            page(da, -100, 5)
+        # Pages past the end stay empty (they end forward scans).
+        assert page(da, len(answers), 5) == []
+
+    def test_bad_page_size_raises(self, access):
+        da, _ = access
+        with pytest.raises(OutOfBoundsError):
+            page(da, 0, 0)
+        with pytest.raises(OutOfBoundsError):
+            page(da, 2, -3)
+
     def test_enumeration(self, access):
         da, answers = access
         assert list(enumerate_in_order(da)) == answers
         assert answer_count(da) == len(answers)
+
+    def test_enumeration_chunked(self, access):
+        """Chunk boundaries are invisible in the enumeration order."""
+        da, answers = access
+        assert list(enumerate_in_order(da, chunk=3)) == answers
+        assert list(enumerate_in_order(da, chunk=10**6)) == answers
+
+    def test_enumeration_rejects_bad_chunk(self, access):
+        da, _ = access
+        with pytest.raises(ValueError):
+            list(enumerate_in_order(da, chunk=0))
+        with pytest.raises(ValueError):
+            list(enumerate_in_order(da, chunk=-5))
+
+
+class TestBatchedTaskLayer:
+    """The task helpers resolve index sets through one batch access."""
+
+    def test_tasks_route_through_batch_api(self, access):
+        da, _ = access
+
+        calls = {"batch": 0, "scalar": 0}
+
+        class Spy:
+            def __len__(self):
+                return len(da)
+
+            def tuple_at(self, index):
+                calls["scalar"] += 1
+                return da.tuple_at(index)
+
+            def tuples_at(self, indices):
+                calls["batch"] += 1
+                return da.tuples_at(indices)
+
+        spy = Spy()
+        boxplot(spy)
+        sample_without_repetition(spy, min(5, len(da)), seed=0)
+        page(spy, 0, 5)
+        list(enumerate_in_order(spy))
+        assert calls["batch"] >= 4
+        assert calls["scalar"] == 0
+
+    def test_batched_results_match_scalar(self, access):
+        """Bit-identical to resolving every index with tuple_at."""
+        da, answers = access
+
+        class ScalarOnly:
+            def __len__(self):
+                return len(da)
+
+            def tuple_at(self, index):
+                return da.tuple_at(index)
+
+        scalar = ScalarOnly()
+        assert boxplot(da) == boxplot(scalar)
+        assert sample_without_repetition(
+            da, 8, seed=11
+        ) == sample_without_repetition(scalar, 8, seed=11)
+        assert page(da, 1, 6) == page(scalar, 1, 6)
+        assert list(enumerate_in_order(da)) == list(
+            enumerate_in_order(scalar)
+        )
+
+    def test_direct_access_iter_is_chunked_and_lazy(self, access):
+        da, answers = access
+        assert DirectAccess.ITER_CHUNK > 0
+        expected = [
+            {v: value for v, value in zip(da.free_variables, row)}
+            for row in answers
+        ]
+        assert list(iter(da)) == expected
+        # A tiny chunk size must not change the stream.
+        old = DirectAccess.ITER_CHUNK
+        try:
+            DirectAccess.ITER_CHUNK = 2
+            assert list(iter(da)) == expected
+        finally:
+            DirectAccess.ITER_CHUNK = old
+
+    def test_tuples_at_matches_tuple_at(self, access):
+        da, answers = access
+        n = len(da)
+        indices = [0, n // 2, n - 1, -1, -n]
+        assert da.tuples_at(indices) == [
+            da.tuple_at(i % n) for i in indices
+        ]
