@@ -2,7 +2,8 @@
 
 The motivating §1 scenario: a ratings join whose output is far larger
 than the input. Direct access simulates the sorted answer array, so
-median/quantiles cost a handful of logarithmic accesses.
+median/quantiles cost a handful of logarithmic accesses — all exposed
+as methods on the prepared ``AnswerView``.
 
 Run with:  python examples/order_statistics.py
 """
@@ -10,8 +11,7 @@ Run with:  python examples/order_statistics.py
 import random
 import time
 
-from repro import Database, DirectAccess, VariableOrder, parse_query
-from repro.core.tasks import boxplot, median, sample_without_repetition
+import repro
 
 rng = random.Random(42)
 
@@ -25,26 +25,24 @@ ratings = {
 }
 catalog = {(t, g) for t in range(TITLES) for g in rng.sample(range(GENRES), 2)}
 
-query = parse_query(
-    "Q(score, title, user, genre) :- "
-    "Ratings(score, title, user), Catalog(title, genre)"
-)
-database = Database({"Ratings": ratings, "Catalog": catalog})
+connection = repro.connect({"Ratings": ratings, "Catalog": catalog})
 
 # Sort by score first: order statistics over the rating distribution of
 # the *joined* result (ratings weighted by genre memberships).
-order = VariableOrder(["score", "title", "user", "genre"])
-
 start = time.perf_counter()
-access = DirectAccess(query, order, database)
-print(f"|D| = {len(database)} input tuples")
-print(f"|Q(D)| = {len(access)} join answers "
+view = connection.prepare(
+    "Q(score, title, user, genre) :- "
+    "Ratings(score, title, user), Catalog(title, genre)",
+    order=["score", "title", "user", "genre"],
+)
+print(f"|D| = {len(connection.database)} input tuples")
+print(f"|Q(D)| = {len(view)} join answers "
       f"(preprocessed in {time.perf_counter() - start:.2f}s, "
       f"not materialized)")
 
 start = time.perf_counter()
-mid = median(access)
-summary = boxplot(access)
+mid = view.median()
+summary = view.boxplot()
 elapsed = time.perf_counter() - start
 print(f"\nmedian joined rating: {mid[0]}  (answer {mid})")
 print("boxplot over joined scores:")
@@ -54,6 +52,13 @@ print(f"(both computed in {elapsed * 1e3:.2f} ms — "
       "a few binary searches)")
 
 print("\n5 uniform answers without repetition:")
-for answer in sample_without_repetition(access, 5, seed=7):
+for answer in view.sample(5, seed=7):
     score, title, user, genre = answer
     print(f"  user {user} rated title {title} (genre {genre}): {score}")
+
+# Inverse access: where does a given rating combination rank?
+answer = view.sample(1, seed=11)[0]
+rank = view.rank(answer)
+print(f"\n{answer} sits at rank {rank} of {len(view)} "
+      f"({100 * rank / len(view):.1f}th percentile) — "
+      "found by descending the counting forest, not by scanning")

@@ -1,14 +1,17 @@
 """Quickstart: lexicographic direct access on a join query.
 
+The public API is one prepared-query handle: ``repro.connect`` opens a
+connection over a database, ``prepare`` preprocesses a query, and the
+returned ``AnswerView`` behaves like the sorted list of answers —
+without ever materializing it.
+
 Run with:  python examples/quickstart.py
 """
 
-from repro import Database, DirectAccess, VariableOrder, parse_query
+import repro
 
 # A 2-path join: follows edges R then S.
-query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
-
-database = Database(
+connection = repro.connect(
     {
         "R": {(1, 2), (3, 2), (3, 5)},
         "S": {(2, 7), (2, 9), (5, 1)},
@@ -16,23 +19,29 @@ database = Database(
 )
 
 # The user picks the lexicographic order — here: sort by z first.
-order = VariableOrder(["z", "x", "y"])
-access = DirectAccess(query, order, database)
+view = connection.prepare(
+    "Q(x, y, z) :- R(x, y), S(y, z)", order=["z", "x", "y"]
+)
 
-print(f"query:   {query}")
-print(f"order:   {list(order)}")
-print(f"answers: {len(access)} (never materialized)")
-print(f"ι (incompatibility number): "
-      f"{access.preprocessing.incompatibility_number}")
+print(f"query:   {view.query}")
+print(f"order:   {list(view.order)}")
+print(f"answers: {len(view)} (never materialized)")
 print()
 
-for index in range(len(access)):
-    print(f"  answer[{index}] = {access.tuple_at(index)}")
+# Sequence semantics: indexing, negative indices, slices, iteration.
+for index, answer in enumerate(view):
+    print(f"  view[{index}] = {answer}")
+print(f"\nlast answer:      view[-1]   = {view[-1]}")
+print(f"middle two (lazy): view[1:3]  = {list(view[1:3])}")
+
+# Inverse access: answer -> index, in O(log) time, and it round-trips.
+answer = view[2]
+print(f"\nview.rank({answer}) = {view.rank(answer)}")
+print(f"{answer} in view -> {answer in view}")
+print(f"(9, 9, 9) in view -> {(9, 9, 9) in view}")
 
 # Out-of-bounds indices raise, like the paper's out-of-bounds error:
-from repro import OutOfBoundsError
-
 try:
-    access.tuple_at(len(access))
-except OutOfBoundsError as error:
+    view[len(view)]
+except repro.OutOfBoundsError as error:
     print(f"\naccess past the end -> {error}")

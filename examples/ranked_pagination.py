@@ -2,8 +2,9 @@
 
 A product search joins suppliers to offers; the UI shows page 37 of the
 price-ranked results. Materializing the join to serve one page wastes
-work proportional to the full output; direct access serves any page in
-logarithmic time per row after (near-)linear preprocessing.
+work proportional to the full output; a prepared ``AnswerView`` serves
+any page in logarithmic time per row after (near-)linear preprocessing
+— ``view.page`` or, equivalently, a lazy slice.
 
 Run with:  python examples/ranked_pagination.py
 """
@@ -11,8 +12,7 @@ Run with:  python examples/ranked_pagination.py
 import random
 import time
 
-from repro import Database, DirectAccess, VariableOrder, parse_query
-from repro.core.tasks import page
+import repro
 from repro.joins.generic_join import evaluate
 
 rng = random.Random(7)
@@ -25,23 +25,25 @@ offers = {
 }
 regions = {(s, r) for s in range(SUPPLIERS) for r in range(3)}
 
-query = parse_query(
-    "Q(price, product, supplier, region) :- "
-    "Offers(price, product, supplier), Regions(supplier, region)"
-)
-database = Database({"Offers": offers, "Regions": regions})
-order = VariableOrder(["price", "product", "supplier", "region"])
+connection = repro.connect({"Offers": offers, "Regions": regions})
 
 start = time.perf_counter()
-access = DirectAccess(query, order, database)
+view = connection.prepare(
+    "Q(price, product, supplier, region) :- "
+    "Offers(price, product, supplier), Regions(supplier, region)",
+    order=["price", "product", "supplier", "region"],
+)
 prep = time.perf_counter() - start
 
 PAGE, SIZE = 37, 10
 start = time.perf_counter()
-rows = page(access, PAGE, SIZE)
+rows = view.page(PAGE, SIZE)
 page_time = time.perf_counter() - start
+# A page is also just a lazy slice of the view:
+assert rows == list(view[PAGE * SIZE:(PAGE + 1) * SIZE])
 
-print(f"{len(access)} ranked offers from |D| = {len(database)} tuples")
+print(f"{len(view)} ranked offers from "
+      f"|D| = {len(connection.database)} tuples")
 print(f"preprocessing: {prep:.2f}s; page fetch: {page_time * 1e3:.2f} ms")
 print(f"\npage {PAGE} (offers {PAGE * SIZE}..{PAGE * SIZE + SIZE - 1}):")
 print(f"{'price':>7}  {'product':>7}  {'supplier':>8}  {'region':>6}")
@@ -50,7 +52,7 @@ for price, product, supplier, region in rows:
 
 # Compare against materialize-and-sort for serving this single page.
 start = time.perf_counter()
-table = evaluate(query, database, list(order))
+table = evaluate(view.query, connection.database, list(view.order))
 materialized = sorted(table.rows)[PAGE * SIZE: PAGE * SIZE + SIZE]
 naive = time.perf_counter() - start
 assert materialized == rows

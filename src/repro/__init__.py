@@ -1,41 +1,65 @@
 """repro — lexicographic direct access on join queries.
 
 A faithful, executable reproduction of *Tight Fine-Grained Bounds for
-Direct Access on Join Queries* (Bringmann, Carmeli & Mengel, PODS 2022).
+Direct Access on Join Queries* (Bringmann, Carmeli & Mengel, PODS 2022),
+grown into a serving system behind one prepared-query facade.
 
-Quickstart:
-    >>> from repro import parse_query, VariableOrder, Database, DirectAccess
-    >>> q = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
-    >>> db = Database({"R": {(1, 2), (3, 2)}, "S": {(2, 7), (2, 9)}})
-    >>> access = DirectAccess(q, VariableOrder(["x", "y", "z"]), db)
-    >>> len(access), access.tuple_at(0)
-    (4, (1, 2, 7))
+Quickstart — the public API is ``connect`` → ``prepare`` → a view with
+``Sequence`` semantics and inverse access:
+
+    >>> import repro
+    >>> conn = repro.connect({"R": {(1, 2), (3, 2)}, "S": {(2, 7), (2, 9)}})
+    >>> view = conn.prepare("Q(x, y, z) :- R(x, y), S(y, z)",
+    ...                     order=["x", "y", "z"])
+    >>> len(view), view[0], view[-1]
+    (4, (1, 2, 7), (3, 2, 9))
+    >>> view.rank((3, 2, 7))        # inverse access: answer -> index
+    2
+    >>> view[view.rank((3, 2, 7))]  # ... and it round-trips
+    (3, 2, 7)
+    >>> [tuple(answer) for answer in view[1:3]]   # slices are lazy views
+    [(1, 2, 9), (3, 2, 7)]
+
+The pre-facade entry points (``DirectAccess``, ``Preprocessing``, the
+``repro.core.tasks`` free functions) keep working but are deprecated:
+importing them from ``repro`` emits :class:`DeprecationWarning`.
 """
+
+import warnings as _warnings
 
 from repro.core import (
     AnswerTester,
-    DirectAccess,
     TightBounds,
     cheapest_order,
     classify,
     rank_orders,
     DisruptionFreeDecomposition,
     OrderlessFourCycleAccess,
-    Preprocessing,
     SelfJoinFreeAccess,
     fractional_hypertree_width,
     incompatibility_number,
     partial_order_access,
 )
 from repro.data import Database, EncodedDatabase, Relation
-from repro.session import AccessSession
+from repro.facade import AnswerView, Connection, connect
+from repro.session import (
+    AccessSession,
+    SessionRequest,
+    SessionResponse,
+)
 from repro.engine import (
     available_engines,
     get_engine,
     set_engine,
     use_engine,
 )
-from repro.errors import EngineError, OutOfBoundsError, ReproError
+from repro.errors import (
+    EngineError,
+    NotAnAnswerError,
+    OutOfBoundsError,
+    ProtocolError,
+    ReproError,
+)
 from repro.query import (
     Atom,
     ConjunctiveQuery,
@@ -44,29 +68,78 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+#: Pre-facade entry points, kept importable behind a deprecation
+#: warning: name -> (module, attribute, replacement hint).
+_DEPRECATED = {
+    "DirectAccess": (
+        "repro.core.access",
+        "DirectAccess",
+        "repro.connect(database).prepare(query, order=...)",
+    ),
+    "Preprocessing": (
+        "repro.core.preprocessing",
+        "Preprocessing",
+        "repro.connect(database).prepare(query, order=...) "
+        "(preprocessing and caching happen behind the connection)",
+    ),
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 deprecation shims for the pre-facade entry points.
+
+    The classes themselves are unchanged (the facade routes through
+    them internally, without this warning); only reaching them through
+    the top-level package warns, so new code is nudged to
+    :func:`connect` while old code keeps working.
+    """
+    try:
+        module_name, attribute, replacement = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+# DirectAccess and Preprocessing are intentionally absent: they remain
+# importable (behind the __getattr__ deprecation shim) but a star
+# import must not trigger the warning for users who never touch them.
 __all__ = [
     "AccessSession",
     "AnswerTester",
+    "AnswerView",
     "Atom",
+    "Connection",
     "TightBounds",
     "cheapest_order",
     "classify",
+    "connect",
     "rank_orders",
     "ConjunctiveQuery",
     "Database",
-    "DirectAccess",
     "DisruptionFreeDecomposition",
     "EncodedDatabase",
     "EngineError",
     "JoinQuery",
+    "NotAnAnswerError",
     "OrderlessFourCycleAccess",
     "OutOfBoundsError",
-    "Preprocessing",
+    "ProtocolError",
     "Relation",
     "ReproError",
     "SelfJoinFreeAccess",
+    "SessionRequest",
+    "SessionResponse",
     "VariableOrder",
     "__version__",
     "available_engines",

@@ -7,12 +7,15 @@ Commands:
   number (the preprocessing exponent of Theorem 44).
 * ``fhtw`` — the fractional hypertree width and a witness order
   (Proposition 45).
-* ``access`` — preprocess a query over relations read from CSV-ish
-  files and serve indices / medians from the command line.
-* ``session`` — load the relations once, then serve repeated
-  ``access`` / ``median`` / ``page`` / ``count`` requests read from
-  stdin against one :class:`~repro.session.AccessSession` (shared
-  dictionary encoding, cross-order preprocessing cache).
+* ``access`` — prepare a query over relations read from CSV-ish files
+  (through the :func:`repro.connect` facade) and serve indices /
+  medians from the command line.
+* ``session`` — load the relations once, then serve repeated requests
+  read from stdin against one :class:`~repro.Connection`.  Two wire
+  forms, one codepath: the human text grammar (``access x,y 0``) and
+  ``--json`` mode (one :class:`~repro.session.SessionRequest` object
+  per line) both parse into the same request dataclass and run through
+  :func:`repro.session.protocol.execute`.
 
 The global ``--engine {python,numpy}`` flag selects the execution
 engine (default: the ``REPRO_ENGINE`` environment variable, else
@@ -26,6 +29,9 @@ Examples::
         --relation R=data/r.csv --index 0 --median
     printf 'access x,y 0\\nmedian -\\nstats\\n' | \\
         python -m repro session "Q(x,y) :- R(x,y)" --relation R=data/r.csv
+    printf '{"op": "count"}\\n{"op": "quit"}\\n' | \\
+        python -m repro session --json "Q(x,y) :- R(x,y)" \\
+        --relation R=data/r.csv
 """
 
 from __future__ import annotations
@@ -33,13 +39,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.access import DirectAccess
 from repro.core.decomposition import DisruptionFreeDecomposition
 from repro.engine import available_engines, set_engine
 from repro.core.htw import fractional_hypertree_width
-from repro.core.tasks import median
 from repro.data.database import Database
 from repro.data.relation import Relation  # noqa: F401 (re-export)
+from repro.facade import connect
 from repro.hypergraph.disruptive_trios import find_disruptive_trio
 from repro.hypergraph.gyo import is_acyclic
 from repro.hypergraph.hypergraph import Hypergraph
@@ -112,13 +117,12 @@ def cmd_access(args) -> int:
     relations = dict(
         _load_relation(spec) for spec in args.relation
     )
-    database = Database(relations)
-    access = DirectAccess(query, order, database)
-    print(f"{len(access)} answers over {list(order)}")
+    view = connect(Database(relations)).prepare(query, order=order)
+    print(f"{len(view)} answers over {list(order)}")
     for index in args.index or []:
-        print(f"answers[{index}] = {access.tuple_at(index)}")
+        print(f"answers[{index}] = {view[index]}")
     if args.median:
-        print(f"median = {median(access)}")
+        print(f"median = {view.median()}")
     return 0
 
 
@@ -128,103 +132,127 @@ commands (one per line; order '-' lets the advisor choose):
   median <order|->                          the middle answer
   page <order|-> <number> <size>            one page of ranked answers
   count <order|->                           the number of answers
+  rank <order|-> <v1,v2,...>                inverse access: answer -> index
   plan [prefix]                             the order the advisor would pick
   stats                                     cache/work counters
   help                                      this text
-  quit                                      end the session\
+  quit                                      end the session
+
+with --json, each line is one SessionRequest object instead, e.g.
+  {"op": "access", "order": ["x", "y"], "indices": [0, -1]}
+and each reply one SessionResponse object.\
 """
 
 
+def _render_text(response) -> list[str]:
+    """Human lines for one protocol response (the legacy text format)."""
+    if not response.ok:
+        return [f"error: {response.error}"]
+    result = response.result
+    op = response.op
+    if op == "stats":
+        return [f"  {key}: {value}" for key, value in result.items()]
+    if op == "plan":
+        return [
+            f"order {','.join(result['order'])}  ι = {result['iota']}"
+        ]
+    if op == "count":
+        return [
+            f"{result['count']} answers over {result['order']}"
+        ]
+    if op == "access":
+        return [
+            f"answers[{index}] = {tuple(answer)}"
+            for index, answer in zip(
+                result["indices"], result["answers"]
+            )
+        ]
+    if op == "median":
+        return [f"median = {tuple(result['answer'])}"]
+    if op == "page":
+        return [f"{tuple(answer)}" for answer in result["answers"]]
+    if op == "rank":
+        rank = result["rank"]
+        found = rank if rank is not None else "not an answer"
+        return [f"rank[{tuple(result['answer'])}] = {found}"]
+    return []
+
+
 def cmd_session(args) -> int:
-    """Serve repeated requests from stdin against one AccessSession."""
-    from repro.errors import ReproError
-    from repro.session import AccessSession
+    """Serve repeated stdin requests against one facade Connection.
+
+    Text grammar and ``--json`` lines both become
+    :class:`~repro.session.SessionRequest` objects and run through the
+    protocol executor — one codepath, two renderings.
+    """
+    from repro.errors import ProtocolError, ReproError
+    from repro.session.protocol import (
+        SessionRequest,
+        SessionResponse,
+        execute,
+        parse_command,
+    )
 
     if args.capacity < 0:
         raise SystemExit("--capacity must be non-negative")
     query = parse_query(args.query)
     relations = dict(_load_relation(spec) for spec in args.relation)
-    # The session's engine does the right database preparation itself
-    # (shared dictionary under numpy, warm sort caches under python).
+    # The connection's engine does the right database preparation
+    # itself (shared dictionary under numpy, warm sort caches under
+    # python).
     database = Database(relations)
     try:
         # Fail fast at startup, not once per request.
         database.validate_for(query)
     except ReproError as error:
         raise SystemExit(str(error)) from None
-    session = AccessSession(database, capacity=args.capacity)
-    print(
-        f"session ready: {query}  |D|={len(database)}  "
-        f"engine={session.engine.name}"
-    )
-
-    def resolve_order(token: str):
-        return None if token == "-" else _parse_order(token)
+    connection = connect(database, cache=args.capacity)
+    json_mode = args.json
+    if not json_mode:
+        print(
+            f"session ready: {query}  |D|={len(database)}  "
+            f"engine={connection.engine_name}"
+        )
 
     stream = args.commands if args.commands is not None else sys.stdin
     for line in stream:
-        words = line.split()
-        if not words or words[0].startswith("#"):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
             continue
-        command, rest = words[0].lower(), words[1:]
+        if not json_mode and stripped.split()[0].lower() == "help":
+            print(_SESSION_HELP)
+            continue
         try:
-            if command in ("quit", "exit"):
-                break
-            elif command == "help":
-                print(_SESSION_HELP)
-            elif command == "stats":
-                for key, value in session.cache_stats().items():
-                    print(f"  {key}: {value}")
-            elif command == "plan":
-                prefix = _parse_order(rest[0]) if rest else None
-                report = session.plan(query, prefix)
-                print(
-                    f"order {','.join(report.order)}  ι = {report.iota}"
-                )
-            elif command == "count":
-                (order_token,) = rest
-                access = session.access(
-                    query, order=resolve_order(order_token)
-                )
-                print(f"{len(access)} answers over {list(access.order)}")
-            elif command == "access":
-                order_token, *index_tokens = rest
-                if not index_tokens:
-                    raise ValueError("access needs at least one index")
-                # Parse before serving: a malformed index must not pay
-                # (and then discard) a cold preprocessing pass.
-                indices = [int(token) for token in index_tokens]
-                access = session.access(
-                    query, order=resolve_order(order_token)
-                )
-                for index, answer in zip(
-                    indices, access.tuples_at(indices)
-                ):
-                    print(f"answers[{index}] = {answer}")
-            elif command == "median":
-                (order_token,) = rest
-                median = session.median(
-                    query, order=resolve_order(order_token)
-                )
-                print(f"median = {median}")
-            elif command == "page":
-                order_token, number, size = rest
-                number, size = int(number), int(size)
-                for answer in session.page(
-                    query, number, size,
-                    order=resolve_order(order_token),
-                ):
-                    print(answer)
-            else:
-                print(f"error: unknown command {command!r} (try 'help')")
-        except (ReproError, ValueError) as error:
-            print(f"error: {error}")
-    stats = session.stats
-    print(
-        f"served {stats.requests} requests; "
-        f"{stats.bag_materializations} bag materializations, "
-        f"{stats.forest_builds} forest builds"
-    )
+            request = (
+                SessionRequest.from_json(stripped)
+                if json_mode
+                else parse_command(stripped)
+            )
+        except ProtocolError as error:
+            response = SessionResponse(
+                op="?", ok=False, error=str(error)
+            )
+            print(
+                response.to_json()
+                if json_mode
+                else f"error: {error}"
+            )
+            continue
+        response = execute(connection, request, default_query=query)
+        if json_mode:
+            print(response.to_json())
+        else:
+            for rendered in _render_text(response):
+                print(rendered)
+        if request.op == "quit" and response.ok:
+            break
+    if not json_mode:
+        stats = connection.session.stats
+        print(
+            f"served {stats.requests} requests; "
+            f"{stats.bag_materializations} bag materializations, "
+            f"{stats.forest_builds} forest builds"
+        )
     return 0
 
 
@@ -294,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="per-cache LRU capacity (default 64)",
+    )
+    session.add_argument(
+        "--json",
+        action="store_true",
+        help="speak the JSON protocol: one SessionRequest object per "
+        "input line, one SessionResponse object per output line",
     )
     session.set_defaults(func=cmd_session, commands=None)
     return parser

@@ -65,10 +65,18 @@ class DirectAccess:
 
     Supports ``len``, integer indexing (including negative indices),
     iteration (ordered enumeration), batch access
-    (:meth:`answers_at`), and slicing-free random access. For
+    (:meth:`answers_at`), inverse access (:meth:`rank_of` /
+    :meth:`ranks_of` / ``in``), and slicing-free random access. For
     conjunctive queries with projections, pass the free-variable prefix of
     a completion order; see :mod:`repro.core.projections` for the
     Theorem 50 wrapper that picks an optimal completion automatically.
+
+    .. deprecated:: 1.3
+        As a *public entry point* (``repro.DirectAccess``): construct
+        views through :func:`repro.connect` /
+        :meth:`repro.Connection.prepare` instead, which adds planning,
+        caching, and ``Sequence`` slice semantics on top.  This class
+        remains the internal engine-room structure behind the facade.
 
     Args:
         query: a join query (all variables free).
@@ -222,6 +230,13 @@ class DirectAccess:
             raise OutOfBoundsError(
                 f"index {index} out of range [0, {self._total})"
             )
+        self._engine.counters.add("answer_walks")
+        return self._walk_at(index)
+
+    def _walk_at(self, index: int) -> dict[str, object]:
+        """One forest descent for a validated index — the uncounted
+        inner walk; engines' batch loops call this so enumeration pays
+        one counter update per *batch*, not one lock per answer."""
         remaining = index
         live = self._total
         assignment: dict[str, object] = {}
@@ -262,6 +277,9 @@ class DirectAccess:
                     f"[-{self._total}, {self._total})"
                 )
             normalized.append(index)
+        counters = self._engine.counters
+        counters.add("access_batches")
+        counters.add("access_indices", len(normalized))
         return self._engine.batch_access(self, normalized)
 
     def __getitem__(self, index: int) -> dict[str, object]:
@@ -288,6 +306,46 @@ class DirectAccess:
             tuple(answer[v] for v in free)
             for answer in self.answers_at(indices)
         ]
+
+    # -- inverse access ----------------------------------------------------
+
+    def rank_of(self, row: tuple) -> int | None:
+        """The index of answer ``row``, or ``None`` if it is no answer.
+
+        The inverse of :meth:`tuple_at`: ``row`` is a tuple over the
+        free prefix, and whenever the result is not ``None``,
+        ``self.tuple_at(self.rank_of(row)) == row``.  One counting-forest
+        descent with a binary search per level — ``O(ℓ log |D|)``, never
+        enumeration.
+        """
+        return self.ranks_of([row])[0]
+
+    def ranks_of(
+        self, rows: Iterable[tuple] | Sequence[tuple]
+    ) -> list[int | None]:
+        """Batch :meth:`rank_of`: one rank (or ``None``) per input row.
+
+        Resolved by the engine in one batch — level-synchronous
+        vectorized binary searches under numpy, one reference
+        :func:`~repro.engine.base.rank_walk` per row under Python.
+        """
+        rows = list(rows)
+        counters = self._engine.counters
+        counters.add("rank_batches")
+        counters.add("rank_tuples", len(rows))
+        return self._engine.batch_rank(self, rows)
+
+    def __contains__(self, row) -> bool:
+        """Inverse-access membership (no enumeration).
+
+        Accepts a tuple over the free prefix or a variable -> value
+        mapping (the form :meth:`__getitem__` returns).
+        """
+        if isinstance(row, Mapping):
+            if set(row) != set(self._free_prefix):
+                return False
+            row = tuple(row[v] for v in self._free_prefix)
+        return self.rank_of(row) is not None
 
     @property
     def free_variables(self) -> tuple[str, ...]:

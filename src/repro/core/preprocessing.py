@@ -62,6 +62,12 @@ class BagTables:
 class Preprocessing:
     """The full Theorem 10 preprocessing result.
 
+    .. deprecated:: 1.3
+        As a *public entry point* (``repro.Preprocessing``): use
+        :func:`repro.connect` — preprocessing (and its cross-order
+        caching) happens behind :meth:`repro.Connection.prepare`.  The
+        class itself remains the internal engine-room structure.
+
     Args:
         query: the join query.
         order: the variable order.

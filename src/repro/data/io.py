@@ -15,7 +15,13 @@ from repro.data.relation import Relation
 from repro.errors import DatabaseError
 
 
-def _parse_cell(cell: str):
+def parse_cell(cell: str):
+    """One CSV-ish value: integer when possible, string otherwise.
+
+    The single source of the on-disk value convention — the session
+    wire protocol parses constants (e.g. ``rank x,y 3,2``) through this
+    too, so text-grammar lookups always agree with loaded relations.
+    """
     cell = cell.strip()
     try:
         return int(cell)
@@ -36,7 +42,7 @@ def load_relation(path: str | Path, arity: int | None = None) -> Relation:
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        row = tuple(_parse_cell(cell) for cell in line.split(","))
+        row = tuple(parse_cell(cell) for cell in line.split(","))
         if arity is not None and len(row) != arity:
             raise DatabaseError(
                 f"{path}:{line_number}: expected {arity} values, "

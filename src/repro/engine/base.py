@@ -22,7 +22,95 @@ overflow int64.
 from __future__ import annotations
 
 import abc
+import threading
+from bisect import bisect_left
+from collections import Counter
 from collections.abc import Sequence
+
+
+class OpCounters(Counter):
+    """Monotonic per-engine operation counters.
+
+    Engines and the access layer increment these so tests (and
+    operators) can assert *how* a result was produced — e.g. that an
+    inverse-access lookup resolved zero positional accesses and hence
+    never fell back to enumerating answers.  Keys in use:
+
+    * ``answer_walks`` — scalar ``answer_at`` forest descents;
+    * ``access_batches`` / ``access_indices`` — ``answers_at`` calls
+      and the total number of indices they resolved;
+    * ``rank_batches`` / ``rank_tuples`` — ``ranks_of`` calls and the
+      total number of tuples they ranked.
+
+    Counters are engine-instance-local.  :func:`repro.connect` gives
+    every connection a fresh engine instance (unless handed an explicit
+    instance to share), so ``view.op_counters()`` only moves with that
+    connection's work; structures built directly on the process-global
+    engine (``get_engine()``) share the global instance's counters.
+
+    Increment through :meth:`add`: it locks, so concurrent lock-free
+    reads of one access structure (the documented-safe pattern) never
+    lose counts.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._lock = threading.Lock()
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Atomically bump ``key`` by ``amount``."""
+        with self._lock:
+            self[key] += amount
+
+    def snapshot(self) -> dict[str, int]:
+        """An atomic plain-dict copy (safe to diff against a later one)."""
+        with self._lock:
+            return dict(self)
+
+
+def rank_walk(access, row) -> int | None:
+    """The rank of answer ``row``, by one descent of the counting forest.
+
+    The exact inverse of ``answer_at``'s recurrence: at each level the
+    candidate list of the current interface group is binary-searched for
+    the row's value, and the cumulative weight strictly before it —
+    scaled by the count of answers per unit of this group (``others``) —
+    is accumulated into the rank.  ``O(ℓ log |D|)``, no enumeration.
+
+    Returns ``None`` when ``row`` is not an answer (wrong arity, value
+    absent at some level, or an interface never reached by any answer).
+    """
+    prefix = access._free_prefix
+    if not isinstance(row, tuple) or len(row) != len(prefix):
+        return None
+    live = access._total
+    if live == 0:
+        return None
+    rank = 0
+    assignment: dict[str, object] = {}
+    for i, variable in enumerate(prefix):
+        bag_index = access._indexes[i]
+        value = row[i]
+        try:
+            interface = tuple(
+                assignment[v] for v in access._interface_vars[i]
+            )
+            group_total = bag_index.total(interface)
+            if group_total <= 0:
+                return None
+            values, weights, cumulative = bag_index.groups[interface]
+            j = bisect_left(values, value)
+            if j >= len(values) or values[j] != value:
+                return None
+        except (KeyError, TypeError):
+            # Unknown interface, unhashable or incomparable value: by
+            # definition not an answer under this order's domain.
+            return None
+        others = live // group_total
+        rank += others * cumulative[j]
+        live = others * weights[j]
+        assignment[variable] = value
+    return rank
 
 
 class BagIndex:
@@ -82,6 +170,11 @@ class Engine(abc.ABC):
 
     #: Registry name (``"python"`` / ``"numpy"``).
     name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Operation counters (see :class:`OpCounters`); the access
+        #: layer increments them for every walk/batch it dispatches.
+        self.counters = OpCounters()
 
     # -- relational operators ---------------------------------------------
 
@@ -157,6 +250,24 @@ class Engine(abc.ABC):
 
         ``indices`` are already validated and non-negative.  Engines may
         override with a vectorized strategy but must return answers in
-        the same order as ``indices``.
+        the same order as ``indices``.  The walk bypasses the scalar
+        ``answer_at`` counter: the batch was already counted once at the
+        ``answers_at`` boundary.
         """
-        return [access.answer_at(int(i)) for i in indices]
+        return [access._walk_at(int(i)) for i in indices]
+
+    # -- inverse access ----------------------------------------------------
+
+    def batch_rank(
+        self, access, rows: Sequence[tuple]
+    ) -> list[int | None]:
+        """The rank of each tuple of ``rows``, or ``None`` if not an answer.
+
+        The reference path (inherited by the Python engine) performs one
+        :func:`rank_walk` counting-forest descent per tuple —
+        ``O(ℓ log |D|)`` each, never enumeration.  The numpy engine
+        overrides with a level-synchronous vectorized strategy; both
+        satisfy ``access.tuple_at(rank) == row`` whenever the result is
+        not ``None``.
+        """
+        return [rank_walk(access, row) for row in rows]

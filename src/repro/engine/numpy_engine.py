@@ -102,6 +102,7 @@ class _BagAux:
         "totals",
         "max_total",
         "_shifted",
+        "_val_shifted",
     )
 
     def __init__(
@@ -123,6 +124,7 @@ class _BagAux:
         self.totals = totals
         self.max_total = int(totals.max()) if len(totals) else 0
         self._shifted = None
+        self._val_shifted = None
 
     def cum_shifted(self):
         """``cum_before`` offset by ``group_id * (max_total + 1)``.
@@ -136,6 +138,21 @@ class _BagAux:
             gid = np.repeat(np.arange(len(counts)), counts)
             self._shifted = self.cum_before + gid * stride
         return self._shifted
+
+    def values_shifted(self):
+        """``values_flat`` offset by ``group_id * len(dictionary)``.
+
+        The same trick as :meth:`cum_shifted`, for inverse access: the
+        per-group ascending candidate-code runs become one globally
+        ascending array, so a single ``searchsorted`` locates a
+        different (group, value) pair per row.
+        """
+        if self._val_shifted is None:
+            stride = max(len(self.dictionary), 1)
+            counts = np.diff(self.offsets)
+            gid = np.repeat(np.arange(len(counts)), counts)
+            self._val_shifted = self.values_flat + gid * stride
+        return self._val_shifted
 
 
 class _LazyGroups(dict):
@@ -185,6 +202,7 @@ class NumpyEngine(Engine):
     name = "numpy"
 
     def __init__(self) -> None:
+        super().__init__()
         self._fallback = PythonEngine()
 
     # -- relational operators ---------------------------------------------
@@ -658,4 +676,112 @@ class NumpyEngine(Engine):
         return [
             {v: decoded[i][r] for i, v in enumerate(free)}
             for r in range(len(indices))
+        ]
+
+    # -- inverse access ----------------------------------------------------
+
+    def batch_rank(self, access, rows):
+        """Vectorized inverse access: all rows descend level-synchronously.
+
+        Per level one ``searchsorted`` locates every row's interface
+        group and one more its candidate position inside the group (via
+        the :meth:`_BagAux.values_shifted` globally-ascending trick);
+        rows whose value or interface is absent are masked out and come
+        back ``None``.  The recurrence is the exact inverse of
+        :meth:`batch_access`, so ranks round-trip.
+        """
+        rows = list(rows)
+        if not rows:
+            return []
+        if access._total == 0:
+            return [None] * len(rows)
+        if access._total >= _MAX_SAFE:
+            return self._fallback.batch_rank(access, rows)
+        levels = len(access._free_prefix)
+        for i in range(levels):
+            aux = access._indexes[i].aux
+            if aux is None:
+                return self._fallback.batch_rank(access, rows)
+            groups = len(aux.totals)
+            if groups and aux.max_total + 1 > _MAX_SAFE // groups:
+                return self._fallback.batch_rank(access, rows)
+            card = max(len(aux.dictionary), 1)
+            if groups and card > _MAX_SAFE // groups:
+                return self._fallback.batch_rank(access, rows)
+
+        n = len(rows)
+        valid = np.array(
+            [
+                isinstance(row, tuple) and len(row) == levels
+                for row in rows
+            ],
+            dtype=bool,
+        )
+
+        def encode(dictionary, level):
+            """Codes of every row's ``level``-th value, -1 when absent."""
+            out = np.full(n, -1, dtype=np.int64)
+            code = dictionary.code
+            for r, row in enumerate(rows):
+                if valid[r]:
+                    try:
+                        out[r] = code(row[level])
+                    except TypeError:  # unhashable: not in the domain
+                        out[r] = -1
+            return out
+
+        rank = np.zeros(n, dtype=np.int64)
+        live = np.full(n, access._total, dtype=np.int64)
+        # level_codes[j]: row j-th values encoded under level j's own
+        # dictionary (clipped non-negative; invalid rows are masked).
+        # Interface lookups below gather through remap_to instead of
+        # re-encoding per row — per-unique-value cost, like batch_access.
+        level_codes: list = []
+        for i in range(levels):
+            aux = access._indexes[i].aux
+            card = max(len(aux.dictionary), 1)
+            group_count = aux.group_codes.shape[0]
+            if group_count == 0:
+                valid[:] = False
+                break
+            interface_vars = access._interface_vars[i]
+            if interface_vars:
+                cols = []
+                for v in interface_vars:
+                    j = access._position[v]
+                    source = access._indexes[j].aux
+                    codes_j = level_codes[j]
+                    if source.dictionary is not aux.dictionary:
+                        remap = source.dictionary.remap_to(
+                            aux.dictionary
+                        )
+                        codes_j = remap[codes_j]  # absent values -> -1
+                    cols.append(codes_j)
+                mat = np.stack(cols, axis=1)
+                valid &= (mat >= 0).all(axis=1)
+                ka, kb = pack_pair(
+                    np.where(mat < 0, 0, mat), aux.group_codes, card
+                )
+                pos = np.searchsorted(kb, ka)
+                group = np.minimum(pos, group_count - 1)
+                valid &= (pos < group_count) & (kb[group] == ka)
+            else:
+                group = np.zeros(n, dtype=np.int64)
+            codes = encode(aux.dictionary, i)
+            valid &= codes >= 0
+            codes = np.where(codes < 0, 0, codes)
+            level_codes.append(codes)
+            target = codes + group * card
+            shifted = aux.values_shifted()
+            pos = np.searchsorted(shifted, target, side="left")
+            pos = np.minimum(pos, len(shifted) - 1)
+            valid &= shifted[pos] == target
+            # Masked-out rows keep computing on candidate 0 of group 0;
+            # their lanes are discarded at the end.
+            group_total = aux.totals[group]
+            others = live // group_total
+            rank += others * aux.cum_before[pos]
+            live = others * aux.weights_flat[pos]
+        return [
+            int(rank[r]) if valid[r] else None for r in range(n)
         ]

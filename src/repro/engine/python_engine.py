@@ -5,6 +5,11 @@ the numpy engine is differentially tested against it.  It has no
 dependencies and works for any hashable constants (the join operators do
 not even require comparability — only the order-sensitive structures,
 tries and counting forests, do).
+
+Batch access and inverse access (``batch_rank``) use the base class's
+reference paths: one scalar counting-forest descent per index or tuple
+(:func:`repro.engine.base.rank_walk`) — the semantics the numpy
+engine's vectorized strategies are checked against.
 """
 
 from __future__ import annotations

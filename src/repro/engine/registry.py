@@ -2,7 +2,8 @@
 
 The active engine is process-global.  It is resolved lazily on first use
 from the ``REPRO_ENGINE`` environment variable (``python`` by default)
-and can be switched at runtime with :func:`set_engine` or scoped with
+and can be switched at runtime with :func:`set_engine` or scoped —
+per thread, so concurrent sessions cannot corrupt each other — with
 the :func:`use_engine` context manager.  Long-lived structures such as
 :class:`~repro.core.access.DirectAccess` capture the engine active at
 construction time, so switching engines never corrupts existing indexes.
@@ -11,6 +12,7 @@ construction time, so switching engines never corrupts existing indexes.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 
 from repro.data.columnar import numpy_available
@@ -19,6 +21,12 @@ from repro.errors import EngineError
 
 _ENV_VAR = "REPRO_ENGINE"
 _current: Engine | None = None
+# Scoped engine activations (use_engine) are per-thread: each thread
+# keeps its own override stack, so a session building under its pinned
+# engine can never observe — or leave behind — another thread's engine,
+# and no lock (hence no lock-order coupling with session locks) is
+# needed.  set_engine() stays process-global.
+_scoped = threading.local()
 
 
 def available_engines() -> list[str]:
@@ -64,7 +72,14 @@ def resolve_engine(engine: str | Engine | None) -> Engine:
 
 
 def get_engine() -> Engine:
-    """The active engine (resolving ``REPRO_ENGINE`` on first use)."""
+    """The active engine (resolving ``REPRO_ENGINE`` on first use).
+
+    A :func:`use_engine` scope on the *calling thread* takes precedence
+    over the process-global engine.
+    """
+    stack = getattr(_scoped, "stack", None)
+    if stack:
+        return stack[-1]
     global _current
     if _current is None:
         name = os.environ.get(_ENV_VAR, "python").strip().lower()
@@ -84,11 +99,21 @@ def set_engine(engine: str | Engine) -> Engine:
 
 @contextmanager
 def use_engine(engine: str | Engine):
-    """Temporarily activate ``engine`` within a ``with`` block."""
-    global _current
-    previous = _current
-    active = set_engine(engine)
+    """Temporarily activate ``engine`` for the calling thread.
+
+    The activation is **thread-local**: concurrent sessions pinning
+    different engines never observe each other's scope, and no lock is
+    involved (so a ``use_engine`` block may freely call into locked
+    structures like :class:`~repro.session.AccessSession`).  Threads
+    spawned inside the block do not inherit it; outside any scope,
+    :func:`get_engine` keeps the process-global semantics.
+    """
+    active = resolve_engine(engine)
+    stack = getattr(_scoped, "stack", None)
+    if stack is None:
+        stack = _scoped.stack = []
+    stack.append(active)
     try:
         yield active
     finally:
-        _current = previous
+        stack.pop()

@@ -32,6 +32,19 @@ class OutOfBoundsError(ReproError, IndexError):
     """
 
 
+class NotAnAnswerError(ReproError, ValueError):
+    """Inverse access was asked for a tuple that is not an answer.
+
+    Also a :class:`ValueError` so that :meth:`AnswerView.index` keeps
+    the :class:`collections.abc.Sequence` contract (``list.index``
+    raises ``ValueError`` for missing values).
+    """
+
+
+class ProtocolError(ReproError, ValueError):
+    """A malformed or unsupported session request (text or JSON form)."""
+
+
 class EngineError(ReproError):
     """An execution engine is unknown or unavailable in this environment."""
 

@@ -1,0 +1,398 @@
+"""The public facade: ``connect`` → :class:`Connection` → :class:`AnswerView`.
+
+The paper's result is that, after preprocessing, the sorted answer set
+``Q(D)`` behaves like an array: the k-th answer is retrievable in
+``O(ℓ log |D|)``.  That is exactly Python's :class:`collections.abc.Sequence`
+contract, so the library's public surface is one prepared-query handle
+with sequence semantics:
+
+    >>> import repro
+    >>> conn = repro.connect({"R": {(1, 2), (3, 2)}, "S": {(2, 7), (2, 9)}})
+    >>> view = conn.prepare("Q(x, y, z) :- R(x, y), S(y, z)",
+    ...                     order=["x", "y", "z"])
+    >>> len(view), view[0], view[-1]
+    (4, (1, 2, 7), (3, 2, 9))
+    >>> view.rank((3, 2, 7))            # inverse access: answer -> index
+    2
+    >>> list(view[1:3])                 # slices are lazy sub-views
+    [(1, 2, 9), (3, 2, 7)]
+
+Everything underneath — engine selection, dictionary encoding,
+cache-aware planning, cross-order preprocessing reuse — is the
+:class:`~repro.session.AccessSession` engine room behind the
+:class:`Connection`; every :meth:`Connection.prepare` is a cache-aware
+planning step, so preparing the same query twice costs one
+preprocessing pass.
+
+Inverse access (:meth:`AnswerView.rank` / ``in`` / ``index``) descends
+the counting forest with one binary search per level — ``O(ℓ log |D|)``
+per lookup, never enumeration — so ``view[view.rank(t)] == t``
+round-trips and membership over answer sets of any size is cheap.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Iterator, Mapping, Sequence
+from fractions import Fraction
+
+from repro.core import tasks
+from repro.core.access import DirectAccess
+from repro.core.advisor import OrderReport
+from repro.engine.registry import get_engine
+from repro.data.database import Database
+from repro.errors import NotAnAnswerError, OutOfBoundsError, ReproError
+from repro.query.parser import parse_query
+from repro.session.session import AccessSession
+
+
+def connect(
+    database: Database | Mapping,
+    *,
+    engine=None,
+    cache: int | None = 64,
+    cache_slack: Fraction | int | float = 0,
+) -> "Connection":
+    """Open a :class:`Connection` over ``database``.
+
+    Args:
+        database: a :class:`~repro.data.database.Database` or a plain
+            mapping of relation names to tuple iterables (converted).
+        engine: execution engine (name, instance, or ``None`` for a
+            fresh instance of the process-global active engine's kind);
+            pinned for the connection's lifetime.  Passing ``None`` or
+            a name gives the connection its own instance — and thus its
+            own :class:`~repro.engine.base.OpCounters` — while an
+            explicit instance is shared as given.
+        cache: per-artifact LRU capacity of the connection's caches
+            (``None`` = unbounded, ``0`` = caching disabled).
+        cache_slack: how much preprocessing exponent the planner may
+            trade for a warm cache (see
+            :class:`~repro.session.AccessSession`).
+    """
+    if not isinstance(database, Database):
+        database = Database(database)
+    if engine is None:
+        # A fresh instance of the active engine's kind: connection-local
+        # op counters, no shared mutable state with other connections.
+        engine = get_engine().name
+    return Connection(
+        AccessSession(
+            database,
+            engine=engine,
+            capacity=cache,
+            cache_slack=cache_slack,
+        )
+    )
+
+
+class Connection:
+    """A prepared-query handle over one database.
+
+    Wraps the serving layer (:class:`~repro.session.AccessSession`):
+    every :meth:`prepare` is cache-aware planning, so repeated or
+    sibling-order requests share dictionary encodings, materialized bag
+    relations, and counting forests.  Thread-safe: the underlying
+    session serializes cache mutation behind an ``RLock``.
+
+    Construct through :func:`connect`.
+    """
+
+    def __init__(self, session: AccessSession):
+        self._session = session
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop the caches and refuse further ``prepare`` calls."""
+        if not self._closed:
+            self._session.clear()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("connection is closed")
+
+    # -- the one API -------------------------------------------------------
+
+    def prepare(
+        self,
+        query,
+        order=None,
+        prefix=None,
+        projected: frozenset[str] | set[str] = frozenset(),
+    ) -> "AnswerView":
+        """Preprocess ``query`` and return its sorted answers as a view.
+
+        Args:
+            query: a :class:`~repro.query.query.JoinQuery` or its text.
+            order: the lexicographic variable order; ``None`` lets the
+                cache-aware planner choose the cheapest one.
+            prefix: with ``order=None``, a required order prefix — the
+                planner picks the cheapest completion (Definition 49).
+            projected: variables to project away (must form a suffix of
+                an explicit ``order``).
+        """
+        self._check_open()
+        return AnswerView(
+            self._session.access(
+                query, order=order, prefix=prefix, projected=projected
+            )
+        )
+
+    def plan(self, query, prefix=None) -> OrderReport:
+        """The order :meth:`prepare` would serve ``query`` with."""
+        self._check_open()
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self._session.plan(query, prefix)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        return self._session.database
+
+    @property
+    def engine_name(self) -> str:
+        return self._session.engine.name
+
+    @property
+    def session(self) -> AccessSession:
+        """The serving engine room (caches, planner) behind this handle."""
+        return self._session
+
+    def stats(self) -> dict:
+        """An atomic snapshot of cache/work counters (plain dicts)."""
+        return self._session.cache_stats()
+
+    def clear_cache(self) -> None:
+        """Drop every cached artifact (counters are kept)."""
+        self._check_open()
+        self._session.clear()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Connection({self.database!r}, "
+            f"engine={self.engine_name!r}, {state})"
+        )
+
+
+class AnswerView(Sequence):
+    """The sorted answers of a prepared query, as a lazy ``Sequence``.
+
+    ``view[k]`` is the k-th answer tuple in ``O(ℓ log |D|)``; negative
+    indices count from the end and slices return lazy sub-views (a
+    ``range`` window over the same preprocessed structure — nothing is
+    copied or enumerated).  Inverse access goes the other way:
+    :meth:`rank` maps an answer tuple back to its index by descending
+    the counting forest with one binary search per level, which also
+    powers ``in`` and :meth:`index` without any enumeration, so
+    ``view[view.rank(t)] == t`` round-trips.
+
+    Iteration (and ``reversed``) resolves indices in chunked batches —
+    vectorized level-synchronously under the numpy engine — while
+    staying lazy.  The order-statistics task layer lives here too:
+    :meth:`median`, :meth:`quantile`, :meth:`page`, :meth:`sample`,
+    :meth:`boxplot` all delegate to the batch kernels.
+    """
+
+    #: Batch size of ``__iter__``/``__reversed__``.
+    ITER_CHUNK = 1024
+
+    __slots__ = ("_access", "_window")
+
+    def __init__(self, access: DirectAccess, window: range | None = None):
+        self._access = access
+        self._window = (
+            range(len(access)) if window is None else window
+        )
+
+    # -- provenance --------------------------------------------------------
+
+    @property
+    def query(self):
+        return self._access.query
+
+    @property
+    def order(self):
+        """The variable order the answers are sorted by."""
+        return self._access.order
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The variables of each answer tuple, in order position."""
+        return self._access.free_variables
+
+    @property
+    def engine_name(self) -> str:
+        return self._access.engine_name
+
+    def op_counters(self) -> dict[str, int]:
+        """Snapshot of the engine's operation counters (for assertions
+        that a lookup did no enumeration — see
+        :class:`~repro.engine.base.OpCounters`)."""
+        return self._access._engine.counters.snapshot()
+
+    def __repr__(self) -> str:
+        window = self._window
+        full = window == range(len(self._access))
+        span = "" if full else f", window={window!r}"
+        return (
+            f"AnswerView({self.query}, order={list(self.order)}, "
+            f"len={len(self)}{span})"
+        )
+
+    # -- Sequence: positional access ---------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def __bool__(self) -> bool:
+        return len(self._window) > 0
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return AnswerView(self._access, self._window[item])
+        try:
+            underlying = self._window[operator.index(item)]
+        except IndexError:
+            n = len(self._window)
+            raise OutOfBoundsError(
+                f"index {item} out of range [-{n}, {n})"
+            ) from None
+        return self._access.tuple_at(underlying)
+
+    def tuple_at(self, index: int) -> tuple:
+        """Positional access (the ``SupportsDirectAccess`` protocol)."""
+        return self[index]
+
+    def tuples_at(self, indices) -> list[tuple]:
+        """Batch positional access: one engine batch for all ``indices``."""
+        window = self._window
+        n = len(window)
+        underlying = []
+        for index in indices:
+            index = operator.index(index)
+            try:
+                underlying.append(window[index])
+            except IndexError:
+                raise OutOfBoundsError(
+                    f"index {index} out of range [-{n}, {n})"
+                ) from None
+        return self._access.tuples_at(underlying)
+
+    def __iter__(self) -> Iterator[tuple]:
+        window = self._window
+        for start in range(0, len(window), self.ITER_CHUNK):
+            chunk = window[start : start + self.ITER_CHUNK]
+            yield from self._access.tuples_at(list(chunk))
+
+    def __reversed__(self) -> Iterator[tuple]:
+        return iter(self[::-1])
+
+    # -- Sequence: inverse access ------------------------------------------
+
+    def rank(self, row: tuple) -> int:
+        """The index of answer ``row`` in this view (inverse access).
+
+        One counting-forest descent with a per-level binary search —
+        ``O(ℓ log |D|)``, no enumeration — then an O(1) window
+        translation for sliced views.  Raises
+        :class:`~repro.errors.NotAnAnswerError` (a ``ValueError``) when
+        ``row`` is not an answer, or lies outside this view's window.
+        """
+        underlying = self._access.rank_of(row)
+        if underlying is None:
+            raise NotAnAnswerError(
+                f"{row!r} is not an answer of {self.query}"
+            )
+        try:
+            return self._window.index(underlying)
+        except ValueError:
+            raise NotAnAnswerError(
+                f"{row!r} is an answer of {self.query} but outside "
+                f"this view's window"
+            ) from None
+
+    def ranks(self, rows) -> list[int | None]:
+        """Batch :meth:`rank`: the view index of each row, ``None`` for
+        non-answers (and answers outside the window) instead of raising."""
+        out = []
+        for underlying in self._access.ranks_of(rows):
+            if underlying is None:
+                out.append(None)
+                continue
+            try:
+                out.append(self._window.index(underlying))
+            except ValueError:
+                out.append(None)
+        return out
+
+    def __contains__(self, row) -> bool:
+        try:
+            self.rank(row)
+        except NotAnAnswerError:
+            return False
+        return True
+
+    def index(self, value, start: int = 0, stop: int | None = None) -> int:
+        """``Sequence.index`` without enumeration: one rank lookup."""
+        position = self.rank(value)  # NotAnAnswerError is a ValueError
+        n = len(self)
+        if start < 0:
+            start = max(n + start, 0)
+        if stop is None:
+            stop = n
+        elif stop < 0:
+            stop += n
+        if not start <= position < stop:
+            raise ValueError(
+                f"{value!r} is not in view[{start}:{stop}]"
+            )
+        return position
+
+    def count(self, value) -> int:
+        """0 or 1: answers are distinct and the window never repeats."""
+        return 1 if value in self else 0
+
+    # -- the task layer ----------------------------------------------------
+
+    def median(self) -> tuple:
+        """The middle answer of this view."""
+        return tasks.median_impl(self)
+
+    def quantile(self, fraction: Fraction | float) -> tuple:
+        """The answer at rank ``⌊fraction * (len-1)⌋`` (nearest-rank)."""
+        return tasks.quantile_impl(self, fraction)
+
+    def boxplot(self) -> dict[str, tuple]:
+        """Five-number summary, resolved in one batch access."""
+        return tasks.boxplot_impl(self)
+
+    def page(self, page_number: int, page_size: int) -> list[tuple]:
+        """Ranked pagination: answers ``[page*size, (page+1)*size)``."""
+        return tasks.page_impl(self, page_number, page_size)
+
+    def sample(self, k: int, seed: int | None = None) -> list[tuple]:
+        """``k`` uniform answers without repetition, one batch access."""
+        return tasks.sample_impl(self, k, seed)
+
+    def to_list(self) -> list[tuple]:
+        """Materialize the view (chunked batches under the hood)."""
+        return list(self)
+
+
+__all__ = ["AnswerView", "Connection", "connect"]

@@ -3,10 +3,30 @@
 :class:`AccessSession` owns a database, pins an execution engine, and
 shares dictionary encodings, materialized bag relations, and counting
 forests between every request that can legally reuse them (same
-decomposition, same engine) — see :mod:`repro.session.session`.
+decomposition, same engine) — see :mod:`repro.session.session`.  It is
+the engine room behind the public facade (:func:`repro.connect`).
+
+:mod:`repro.session.protocol` defines the versioned, JSON-serializable
+request/response shapes (:class:`SessionRequest` /
+:class:`SessionResponse`) that every transport — the ``repro session``
+CLI's text grammar and its ``--json`` mode alike — funnels through one
+executor.
 """
 
 from repro.session.cache import CacheStats, LRUCache, SessionStats
+from repro.session.protocol import (
+    PROTOCOL_VERSION,
+    SessionRequest,
+    SessionResponse,
+)
 from repro.session.session import AccessSession
 
-__all__ = ["AccessSession", "CacheStats", "LRUCache", "SessionStats"]
+__all__ = [
+    "AccessSession",
+    "CacheStats",
+    "LRUCache",
+    "PROTOCOL_VERSION",
+    "SessionRequest",
+    "SessionResponse",
+    "SessionStats",
+]

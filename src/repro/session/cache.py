@@ -46,6 +46,11 @@ class SessionStats:
     ``bag_materializations`` / ``forest_builds`` count *work done*, not
     lookups: a request served entirely from cache leaves both untouched
     — the property the acceptance tests pin down.
+
+    Instances are mutated only under the owning session's ``RLock``;
+    :meth:`snapshot` (taken through
+    :meth:`~repro.session.AccessSession.cache_stats`, which holds that
+    lock) therefore returns an internally consistent plain-dict copy.
     """
 
     preprocessing: CacheStats = field(default_factory=CacheStats)

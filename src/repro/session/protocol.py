@@ -1,0 +1,416 @@
+"""The session wire protocol: versioned, JSON-serializable requests.
+
+One request/response shape shared by every transport: the ``repro
+session`` CLI parses its legacy text grammar *and* its ``--json`` mode
+into the same :class:`SessionRequest`, and a single executor
+(:func:`execute`) serves both against a facade
+:class:`~repro.facade.Connection` — there is exactly one codepath from
+a request to an answer.
+
+The protocol is versioned (:data:`PROTOCOL_VERSION`): requests carry
+the version they speak, a server rejects versions newer than its own
+with a clean error response, and responses echo the version so clients
+can do the same.  All payloads are plain JSON types (tuples become
+lists on the wire).
+
+    >>> from repro.session.protocol import SessionRequest
+    >>> request = SessionRequest(op="access", order=("x", "y"), indices=(0, -1))
+    >>> SessionRequest.from_json(request.to_json()) == request
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+from repro.data.io import parse_cell
+from repro.errors import ProtocolError, ReproError
+
+#: Version of the request/response shapes this module speaks.
+PROTOCOL_VERSION = 1
+
+#: Operations a server understands.  ``quit`` is included so clients can
+#: end a stream in-band; transports decide what to do after its ack.
+OPS = frozenset(
+    {"access", "count", "median", "page", "plan", "rank", "stats", "quit"}
+)
+
+
+def _string_tuple(value, name: str) -> tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ProtocolError(f"{name} must be a list of variable names")
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One serving request, independent of transport.
+
+    ``query`` is optional: the CLI session binds one query for its whole
+    lifetime and fills it in, but a standalone client may send it per
+    request.  ``order=None`` lets the cache-aware planner choose.
+    """
+
+    op: str
+    query: str | None = None
+    order: tuple[str, ...] | None = None
+    prefix: tuple[str, ...] | None = None
+    indices: tuple[int, ...] = ()
+    page_number: int | None = None
+    page_size: int | None = None
+    answer: tuple | None = None
+    version: int = PROTOCOL_VERSION
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ProtocolError(
+                f"unknown command {self.op!r} (try 'help')"
+            )
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The JSON-ready form (defaults omitted, tuples as lists)."""
+        out: dict = {"version": self.version, "op": self.op}
+        if self.query is not None:
+            out["query"] = self.query
+        if self.order is not None:
+            out["order"] = list(self.order)
+        if self.prefix is not None:
+            out["prefix"] = list(self.prefix)
+        if self.indices:
+            out["indices"] = list(self.indices)
+        if self.page_number is not None:
+            out["page_number"] = self.page_number
+        if self.page_size is not None:
+            out["page_size"] = self.page_size
+        if self.answer is not None:
+            out["answer"] = list(self.answer)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data) -> "SessionRequest":
+        if not isinstance(data, dict):
+            raise ProtocolError("request must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ProtocolError(
+                f"unknown request fields: {sorted(unknown)}"
+            )
+        version = data.get("version", PROTOCOL_VERSION)
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise ProtocolError("version must be an integer")
+        if version > PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"request speaks protocol {version}, this server "
+                f"speaks {PROTOCOL_VERSION}"
+            )
+        op = data.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError("request needs a string 'op'")
+        query = data.get("query")
+        if query is not None and not isinstance(query, str):
+            raise ProtocolError("query must be a string")
+        order = data.get("order")
+        if order is not None:
+            order = _string_tuple(order, "order")
+        prefix = data.get("prefix")
+        if prefix is not None:
+            prefix = _string_tuple(prefix, "prefix")
+        indices = data.get("indices", ())
+        if not isinstance(indices, (list, tuple)) or not all(
+            isinstance(i, int) and not isinstance(i, bool)
+            for i in indices
+        ):
+            raise ProtocolError("indices must be a list of integers")
+        answer = data.get("answer")
+        if answer is not None:
+            if not isinstance(answer, (list, tuple)):
+                raise ProtocolError("answer must be a list of values")
+            answer = tuple(answer)
+        page_number = data.get("page_number")
+        page_size = data.get("page_size")
+        for name, value in (
+            ("page_number", page_number),
+            ("page_size", page_size),
+        ):
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ProtocolError(f"{name} must be an integer")
+        return cls(
+            op=op,
+            query=query,
+            order=order,
+            prefix=prefix,
+            indices=tuple(indices),
+            page_number=page_number,
+            page_size=page_size,
+            answer=answer,
+            version=version,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionRequest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"bad JSON request: {error}") from None
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class SessionResponse:
+    """The answer to one :class:`SessionRequest`.
+
+    ``ok`` distinguishes served results from request errors; a failed
+    request carries the error message in ``error`` and ``result=None``.
+    ``result`` holds only JSON types — answer tuples arrive as lists.
+    """
+
+    op: str
+    ok: bool
+    result: object = None
+    error: str | None = None
+    version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "version": self.version,
+            "op": self.op,
+            "ok": self.ok,
+        }
+        if self.ok:
+            out["result"] = self.result
+        else:
+            out["error"] = self.error
+        return out
+
+    def to_json(self) -> str:
+        # default=str keeps exotic (non-JSON) constants printable
+        # instead of failing the whole response.
+        return json.dumps(self.to_dict(), default=str)
+
+    @classmethod
+    def from_dict(cls, data) -> "SessionResponse":
+        if not isinstance(data, dict):
+            raise ProtocolError("response must be a JSON object")
+        version = data.get("version", PROTOCOL_VERSION)
+        if not isinstance(version, int) or version > PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"response speaks protocol {version!r}, this client "
+                f"speaks {PROTOCOL_VERSION}"
+            )
+        op = data.get("op")
+        ok = data.get("ok")
+        if not isinstance(op, str) or not isinstance(ok, bool):
+            raise ProtocolError(
+                "response needs a string 'op' and boolean 'ok'"
+            )
+        return cls(
+            op=op,
+            ok=ok,
+            result=data.get("result"),
+            error=data.get("error"),
+            version=version,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionResponse":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"bad JSON response: {error}") from None
+        return cls.from_dict(data)
+
+
+# -- the legacy text grammar ----------------------------------------------
+
+
+def parse_command(line: str) -> SessionRequest:
+    """One line of the ``repro session`` text grammar, as a request.
+
+    Raises :class:`~repro.errors.ProtocolError` on malformed or unknown
+    commands; blank lines, comments, and ``help`` are transport
+    concerns and never reach this parser.
+    """
+    words = line.split()
+    if not words:
+        raise ProtocolError("empty command")
+    command, rest = words[0].lower(), words[1:]
+
+    def order_of(token: str):
+        if token == "-":
+            return None
+        return tuple(v.strip() for v in token.split(","))
+
+    try:
+        if command in ("quit", "exit"):
+            return SessionRequest(op="quit")
+        if command == "stats":
+            return SessionRequest(op="stats")
+        if command == "plan":
+            prefix = order_of(rest[0]) if rest else None
+            return SessionRequest(op="plan", prefix=prefix)
+        if command == "count":
+            (order_token,) = rest
+            return SessionRequest(
+                op="count", order=order_of(order_token)
+            )
+        if command == "median":
+            (order_token,) = rest
+            return SessionRequest(
+                op="median", order=order_of(order_token)
+            )
+        if command == "access":
+            order_token, *index_tokens = rest
+            if not index_tokens:
+                raise ProtocolError("access needs at least one index")
+            return SessionRequest(
+                op="access",
+                order=order_of(order_token),
+                indices=tuple(int(token) for token in index_tokens),
+            )
+        if command == "page":
+            order_token, number, size = rest
+            return SessionRequest(
+                op="page",
+                order=order_of(order_token),
+                page_number=int(number),
+                page_size=int(size),
+            )
+        if command == "rank":
+            order_token, answer_token = rest
+            return SessionRequest(
+                op="rank",
+                order=order_of(order_token),
+                answer=tuple(
+                    parse_cell(cell)
+                    for cell in answer_token.split(",")
+                ),
+            )
+    except ProtocolError:
+        raise
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
+    raise ProtocolError(f"unknown command {command!r} (try 'help')")
+
+
+# -- the one executor ------------------------------------------------------
+
+
+def execute(
+    connection, request: SessionRequest, default_query=None
+) -> SessionResponse:
+    """Serve ``request`` against a facade ``Connection``.
+
+    Every transport (text CLI, JSON lines, tests) funnels through here.
+    ``default_query`` backs requests that carry no query of their own
+    (the CLI session's bound query).  Library errors come back as
+    ``ok=False`` responses — the serving loop never dies on a bad
+    request.
+    """
+
+    def respond(result) -> SessionResponse:
+        return SessionResponse(op=request.op, ok=True, result=result)
+
+    try:
+        if request.version > PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"request speaks protocol {request.version}, this "
+                f"server speaks {PROTOCOL_VERSION}"
+            )
+        op = request.op
+        if op == "quit":
+            return respond(None)
+        if op == "stats":
+            return respond(connection.stats())
+        query = (
+            request.query if request.query is not None else default_query
+        )
+        if query is None:
+            raise ProtocolError(f"{op} needs a query")
+        if op == "plan":
+            report = connection.plan(query, prefix=request.prefix)
+            return respond(
+                {
+                    "order": list(report.order),
+                    "iota": str(report.iota),
+                }
+            )
+        view = connection.prepare(
+            query, order=request.order, prefix=request.prefix
+        )
+        served = {"order": list(view.order)}
+        if op == "count":
+            return respond(dict(served, count=len(view)))
+        if op == "median":
+            return respond(dict(served, answer=list(view.median())))
+        if op == "access":
+            if not request.indices:
+                raise ProtocolError("access needs at least one index")
+            answers = view.tuples_at(request.indices)
+            return respond(
+                dict(
+                    served,
+                    indices=list(request.indices),
+                    answers=[list(answer) for answer in answers],
+                )
+            )
+        if op == "page":
+            if request.page_number is None or request.page_size is None:
+                raise ProtocolError(
+                    "page needs page_number and page_size"
+                )
+            answers = view.page(request.page_number, request.page_size)
+            return respond(
+                dict(
+                    served,
+                    page_number=request.page_number,
+                    page_size=request.page_size,
+                    answers=[list(answer) for answer in answers],
+                )
+            )
+        if op == "rank":
+            if request.answer is None:
+                raise ProtocolError("rank needs an answer tuple")
+            rank = view.ranks([tuple(request.answer)])[0]
+            return respond(
+                dict(
+                    served,
+                    answer=list(request.answer),
+                    rank=rank,
+                )
+            )
+        raise ProtocolError(f"unknown command {op!r} (try 'help')")
+    except (ReproError, ValueError) as error:
+        return SessionResponse(
+            op=request.op, ok=False, error=str(error)
+        )
+    except TypeError as error:
+        # Order-sensitive structures need a totally ordered domain; a
+        # database mixing incomparable constants in one column surfaces
+        # as a TypeError deep in preprocessing.  A serving loop must
+        # answer that with an error response, not die with a traceback.
+        return SessionResponse(
+            op=request.op,
+            ok=False,
+            error=f"domain not totally ordered: {error}",
+        )
+
+
+__all__ = [
+    "OPS",
+    "PROTOCOL_VERSION",
+    "SessionRequest",
+    "SessionResponse",
+    "execute",
+    "parse_command",
+]

@@ -20,10 +20,22 @@ core:
   whose exponent is within ``cache_slack`` of the optimum, one whose
   decomposition is already cached wins over a marginally cheaper cold
   one.
+
+The session is thread-safe: one reentrant lock serializes planning,
+cache mutation, and stats updates, and :meth:`AccessSession.cache_stats`
+returns an atomic snapshot.  (The served structures themselves are
+immutable after construction — apart from the engine op counters,
+whose increments are internally locked — so concurrent *reads* of a
+returned :class:`DirectAccess` need no coordination.)
+
+This module is the engine room behind the public facade
+(:func:`repro.connect` / :class:`repro.Connection`): prefer the facade
+in application code.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 from fractions import Fraction
 
@@ -86,6 +98,11 @@ class AccessSession:
         self.engine = resolve_engine(engine)
         self.cache_slack = Fraction(cache_slack)
         self.stats = SessionStats()
+        # Reentrant: access() -> plan() -> _ranked() all take it.  Cache
+        # mutation, stats updates, and snapshots are serialized; the
+        # returned DirectAccess structures are immutable and safe to
+        # read concurrently without it.
+        self._lock = threading.RLock()
         self._preprocessing_cache = LRUCache(
             capacity, self.stats.preprocessing
         )
@@ -169,22 +186,23 @@ class AccessSession:
         """
         if prefix is not None:
             prefix = _as_order(prefix)
-        ranked = self._ranked(query, prefix)
-        best = ranked[0]
-        if self.cache_slack < 0:
+        with self._lock:
+            ranked = self._ranked(query, prefix)
+            best = ranked[0]
+            if self.cache_slack < 0:
+                return best
+            signature = query.signature()
+            for report in ranked:
+                if report.iota > best.iota + self.cache_slack:
+                    break
+                key = self._preprocessing_key(
+                    signature, report.decomposition
+                )
+                if key in self._preprocessing_cache:
+                    if report is not best:
+                        self.stats.cache_preferred_orders += 1
+                    return report
             return best
-        signature = query.signature()
-        for report in ranked:
-            if report.iota > best.iota + self.cache_slack:
-                break
-            key = self._preprocessing_key(
-                signature, report.decomposition
-            )
-            if key in self._preprocessing_cache:
-                if report is not best:
-                    self.stats.cache_preferred_orders += 1
-                return report
-        return best
 
     # -- cache keys --------------------------------------------------------
 
@@ -221,7 +239,6 @@ class AccessSession:
         if isinstance(query, str):
             query = parse_query(query)
         projected = frozenset(projected)
-        self.stats.requests += 1
         decomposition: DisruptionFreeDecomposition | None = None
         if prefix is not None:
             prefix = _as_order(prefix)  # normalize once: may be lazy
@@ -233,29 +250,31 @@ class AccessSession:
                     f"order {list(order)} does not start with the "
                     f"requested prefix {wanted}"
                 )
-        else:
-            if projected:
-                raise OrderError(
-                    "projected access needs an explicit order (the "
-                    "planner serves full join queries)"
-                )
-            report = self.plan(query, prefix)
-            order = report.order
-            decomposition = report.decomposition
-        signature = query.signature()
-        access_key = (signature, tuple(order), projected)
-        access = self._access_cache.get(access_key)
-        if access is not None:
-            return access
-        if decomposition is None:
-            decomposition = self._decomposition_for(
-                signature, query, order
+        elif projected:
+            raise OrderError(
+                "projected access needs an explicit order (the "
+                "planner serves full join queries)"
             )
-        access = self._build(
-            query, order, projected, decomposition, signature
-        )
-        self._access_cache.put(access_key, access)
-        return access
+        with self._lock:
+            self.stats.requests += 1
+            if order is None:
+                report = self.plan(query, prefix)
+                order = report.order
+                decomposition = report.decomposition
+            signature = query.signature()
+            access_key = (signature, tuple(order), projected)
+            access = self._access_cache.get(access_key)
+            if access is not None:
+                return access
+            if decomposition is None:
+                decomposition = self._decomposition_for(
+                    signature, query, order
+                )
+            access = self._build(
+                query, order, projected, decomposition, signature
+            )
+            self._access_cache.put(access_key, access)
+            return access
 
     def _build(
         self,
@@ -309,32 +328,43 @@ class AccessSession:
 
     def median(self, query, order=None, prefix=None) -> tuple:
         """The middle answer under the served order."""
-        return tasks.median(self.access(query, order=order, prefix=prefix))
+        return tasks.median_impl(
+            self.access(query, order=order, prefix=prefix)
+        )
 
     def page(
         self, query, page_number: int, page_size: int, order=None,
         prefix=None,
     ) -> list[tuple]:
         """One page of ranked answers (batched access)."""
-        return tasks.page(
+        return tasks.page_impl(
             self.access(query, order=order, prefix=prefix),
             page_number,
             page_size,
         )
 
+    def rank(self, query, row: tuple, order=None, prefix=None):
+        """Inverse access: the index of ``row``, or ``None`` if no answer."""
+        return self.access(
+            query, order=order, prefix=prefix
+        ).rank_of(row)
+
     # -- observability -----------------------------------------------------
 
     def cache_stats(self) -> dict:
-        """A snapshot of all cache and work counters (plain dicts)."""
-        return self.stats.as_dict()
+        """An atomic snapshot of all cache and work counters (plain
+        dicts, safe to read while other threads serve requests)."""
+        with self._lock:
+            return self.stats.as_dict()
 
     def clear(self) -> None:
         """Drop every cached artifact (counters are kept)."""
-        self._preprocessing_cache.clear()
-        self._forest_cache.clear()
-        self._access_cache.clear()
-        self._plans.clear()
-        self._decompositions.clear()
+        with self._lock:
+            self._preprocessing_cache.clear()
+            self._forest_cache.clear()
+            self._access_cache.clear()
+            self._plans.clear()
+            self._decompositions.clear()
 
 
 __all__ = ["AccessSession"]

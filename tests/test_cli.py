@@ -177,3 +177,127 @@ class TestSession:
         assert code == 0
         assert out.count("error:") == 3
         assert "5 answers" in out
+
+
+class TestSessionRank:
+    def test_rank_round_trips_in_text_mode(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import io
+
+        r_file = tmp_path / "r.csv"
+        r_file.write_text("1,2\n3,2\n3,4\n")
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "access x,y 2\n"
+                "rank x,y 3,2\n"
+                "rank x,y 9,9\n"
+                "quit\n"
+            ),
+        )
+        code = main(
+            [
+                "session",
+                "Q(x,y) :- R(x,y)",
+                "--relation",
+                f"R={r_file}",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "answers[2] = (3, 4)" in out
+        assert "rank[(3, 2)] = 1" in out
+        assert "rank[(9, 9)] = not an answer" in out
+
+
+class TestSessionJson:
+    """The --json mode speaks the versioned SessionRequest protocol."""
+
+    def _serve_json(self, tmp_path, monkeypatch, lines):
+        import io
+
+        r_file = tmp_path / "r.csv"
+        r_file.write_text("1,2\n3,2\n3,4\n")
+        s_file = tmp_path / "s.csv"
+        s_file.write_text("2,7\n2,9\n4,1\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(lines)))
+        return main(
+            [
+                "session",
+                "--json",
+                "Q(x,y,z) :- R(x,y), S(y,z)",
+                "--relation",
+                f"R={r_file}",
+                "--relation",
+                f"S={s_file}",
+            ]
+        )
+
+    def test_round_trip(self, tmp_path, monkeypatch, capsys):
+        from repro.session import SessionRequest, SessionResponse
+
+        requests = [
+            SessionRequest(op="count", order=("x", "y", "z")),
+            SessionRequest(
+                op="access", order=("x", "y", "z"), indices=(0, -1)
+            ),
+            SessionRequest(
+                op="rank", order=("x", "y", "z"), answer=(3, 4, 1)
+            ),
+            SessionRequest(op="median"),
+            SessionRequest(op="stats"),
+            SessionRequest(op="quit"),
+        ]
+        code = self._serve_json(
+            tmp_path,
+            monkeypatch,
+            [request.to_json() + "\n" for request in requests],
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        responses = [
+            SessionResponse.from_json(line)
+            for line in out.splitlines()
+            if line.strip()
+        ]
+        assert len(responses) == len(requests)
+        assert all(response.ok for response in responses)
+        by_op = {response.op: response for response in responses}
+        assert by_op["count"].result["count"] == 5
+        assert by_op["access"].result["answers"] == [
+            [1, 2, 7],
+            [3, 4, 1],
+        ]
+        assert by_op["rank"].result["rank"] == 4
+        assert tuple(by_op["median"].result["answer"]) == (3, 2, 7)
+        assert by_op["stats"].result["requests"] >= 3
+
+    def test_errors_are_json_and_do_not_end_the_stream(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        code = self._serve_json(
+            tmp_path,
+            monkeypatch,
+            [
+                "this is not json\n",
+                '{"op": "frobnicate"}\n',
+                '{"op": "count", "version": 99}\n',
+                '{"op": "access", "order": ["x", "y", "z"], '
+                '"indices": [999]}\n',
+                '{"op": "count", "order": ["x", "y", "z"]}\n',
+            ],
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert [line["ok"] for line in lines] == [
+            False,
+            False,
+            False,
+            False,
+            True,
+        ]
+        assert lines[-1]["result"]["count"] == 5

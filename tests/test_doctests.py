@@ -16,3 +16,19 @@ def test_parser_doctest():
     results = doctest.testmod(repro.query.parser, verbose=False)
     assert results.failed == 0
     assert results.attempted >= 1
+
+
+def test_facade_doctest():
+    import repro.facade
+
+    results = doctest.testmod(repro.facade, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_protocol_doctest():
+    import repro.session.protocol
+
+    results = doctest.testmod(repro.session.protocol, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1

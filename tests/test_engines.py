@@ -344,3 +344,84 @@ def test_large_counts_do_not_overflow():
             )
     assert observations["python"][0] == expected_total
     assert observations["python"] == observations["numpy"]
+
+
+# -- AnswerView Sequence / round-trip laws (cross-engine) -----------------
+
+
+class TestSequenceLaws:
+    """Property tests for the facade's Sequence semantics.
+
+    For random queries/databases, on every available engine:
+    ``view[view.rank(t)] == t`` round-trips for all answers,
+    ``list(view[a:b]) == list(view)[a:b]`` for slices including
+    negative indices and steps, ``reversed(view)`` agrees with the
+    sorted answer list, and the engines observe identical views.
+    """
+
+    @staticmethod
+    def slices_for(n: int) -> list[slice]:
+        return [
+            slice(None),
+            slice(1, n),
+            slice(None, None, 2),
+            slice(None, None, -1),
+            slice(-3, None),
+            slice(n, None, -2),
+            slice(2, -1),
+            slice(-1, 0, -3),
+            slice(n + 5, None),
+            slice(None, n // 2),
+        ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_view_laws(self, query_text):
+        import collections.abc
+
+        from repro import NotAnAnswerError, connect
+        from repro.facade import AnswerView
+        from tests.conftest import lex_answers
+
+        query = parse_query(query_text)
+        rng = random.Random(zlib.crc32(b"laws:" + query_text.encode()))
+        database = random_database(query, rng)
+        order = VariableOrder(
+            rng.choice(list(itertools.permutations(query.variables)))
+        )
+        per_engine = {}
+        for engine in available_engines():
+            view = connect(database, engine=engine).prepare(
+                query, order=order
+            )
+            assert isinstance(view, collections.abc.Sequence)
+            full = list(view)
+            n = len(full)
+            # The view is the lexicographically sorted answer list ...
+            assert full == lex_answers(query, database, order)
+            # ... reversal agrees with it ...
+            assert list(reversed(view)) == full[::-1]
+            # ... slices (negative / stepped / nested) are lazy views
+            # observing exactly Python's slice semantics ...
+            for sl in self.slices_for(n):
+                sub = view[sl]
+                assert isinstance(sub, AnswerView)
+                assert list(sub) == full[sl]
+                assert list(reversed(sub)) == full[sl][::-1]
+                half = slice(1, None, 2)
+                assert list(sub[half]) == full[sl][half]
+            # ... ranks round-trip for every answer ...
+            assert view.ranks(full) == list(range(n))
+            for index, answer in enumerate(full):
+                assert view.rank(answer) == index
+                assert view[view.rank(answer)] == answer
+                assert answer in view
+            # ... and non-answers are cleanly rejected.
+            fake = tuple(99 for _ in order)
+            assert fake not in view
+            if n:
+                with pytest.raises(NotAnAnswerError):
+                    view.rank(fake)
+            per_engine[engine] = full
+        reference = per_engine["python"]
+        for engine, full in per_engine.items():
+            assert full == reference, f"{engine} view disagrees"

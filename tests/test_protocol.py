@@ -1,0 +1,339 @@
+"""Tests for the versioned JSON session protocol (one codepath).
+
+Part of the new-API surface: CI runs this module with
+``-W error::DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ProtocolError, connect
+from repro.session.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    SessionRequest,
+    SessionResponse,
+    execute,
+    parse_command,
+)
+
+QUERY = "Q(x, y, z) :- R(x, y), S(y, z)"
+
+
+@pytest.fixture()
+def conn():
+    return connect(
+        {
+            "R": {(1, 2), (3, 2), (3, 4)},
+            "S": {(2, 7), (2, 9), (4, 1)},
+        }
+    )
+
+
+# Sorted by (x, y, z):
+ANSWERS = [
+    (1, 2, 7),
+    (1, 2, 9),
+    (3, 2, 7),
+    (3, 2, 9),
+    (3, 4, 1),
+]
+
+
+class TestRequestWireForm:
+    def test_json_round_trip(self):
+        request = SessionRequest(
+            op="access", order=("x", "y", "z"), indices=(0, -1)
+        )
+        assert SessionRequest.from_json(request.to_json()) == request
+
+    def test_round_trip_all_fields(self):
+        request = SessionRequest(
+            op="page",
+            query=QUERY,
+            order=("x", "y", "z"),
+            prefix=("x",),
+            page_number=2,
+            page_size=10,
+        )
+        assert SessionRequest.from_json(request.to_json()) == request
+        request = SessionRequest(op="rank", answer=(1, "a", 3))
+        assert SessionRequest.from_json(request.to_json()) == request
+
+    def test_defaults_omitted_on_the_wire(self):
+        data = json.loads(SessionRequest(op="stats").to_json())
+        assert data == {"version": PROTOCOL_VERSION, "op": "stats"}
+
+    def test_missing_version_defaults_to_current(self):
+        request = SessionRequest.from_json('{"op": "stats"}')
+        assert request.version == PROTOCOL_VERSION
+
+    def test_newer_version_rejected(self):
+        with pytest.raises(ProtocolError, match="protocol 99"):
+            SessionRequest.from_json('{"op": "stats", "version": 99}')
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="frobnicate"):
+            SessionRequest(op="frobnicate")
+        with pytest.raises(ProtocolError):
+            SessionRequest.from_json('{"op": "frobnicate"}')
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request"):
+            SessionRequest.from_json('{"op": "stats", "bogus": 1}')
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "[]",
+            "42",
+            '{"op": 7}',
+            '{"op": "count", "order": "x,y"}',
+            '{"op": "access", "indices": ["0"]}',
+            '{"op": "access", "indices": [true]}',
+            '{"op": "page", "page_number": "2"}',
+            '{"op": "rank", "answer": 3}',
+            '{"op": "stats", "version": true}',
+            "not json at all",
+        ],
+    )
+    def test_malformed_requests_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            SessionRequest.from_json(payload)
+
+
+class TestResponseWireForm:
+    def test_ok_round_trip(self):
+        response = SessionResponse(
+            op="count", ok=True, result={"count": 5, "order": ["x"]}
+        )
+        assert (
+            SessionResponse.from_json(response.to_json()) == response
+        )
+
+    def test_error_round_trip(self):
+        response = SessionResponse(op="access", ok=False, error="nope")
+        parsed = SessionResponse.from_json(response.to_json())
+        assert parsed == response
+        assert not json.loads(response.to_json()).get("result")
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(ProtocolError):
+            SessionResponse.from_json('{"ok": true}')
+        with pytest.raises(ProtocolError):
+            SessionResponse.from_json('{"op": "count", "ok": "yes"}')
+        with pytest.raises(ProtocolError):
+            SessionResponse.from_json(
+                '{"op": "count", "ok": true, "version": 99}'
+            )
+
+
+class TestLegacyGrammar:
+    """The text grammar parses into the same request dataclass."""
+
+    @pytest.mark.parametrize(
+        "line,expected",
+        [
+            (
+                "access x,y,z 0 -1",
+                SessionRequest(
+                    op="access", order=("x", "y", "z"), indices=(0, -1)
+                ),
+            ),
+            ("median -", SessionRequest(op="median")),
+            (
+                "page x,y 2 10",
+                SessionRequest(
+                    op="page",
+                    order=("x", "y"),
+                    page_number=2,
+                    page_size=10,
+                ),
+            ),
+            ("count x,y", SessionRequest(op="count", order=("x", "y"))),
+            (
+                "rank x,y 3,hello",
+                SessionRequest(
+                    op="rank", order=("x", "y"), answer=(3, "hello")
+                ),
+            ),
+            ("plan", SessionRequest(op="plan")),
+            ("plan x,y", SessionRequest(op="plan", prefix=("x", "y"))),
+            ("stats", SessionRequest(op="stats")),
+            ("quit", SessionRequest(op="quit")),
+            ("exit", SessionRequest(op="quit")),
+            ("QUIT", SessionRequest(op="quit")),
+        ],
+    )
+    def test_parses(self, line, expected):
+        assert parse_command(line) == expected
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "frobnicate",
+            "access x,y",
+            "access x,y zero",
+            "median",
+            "median - extra",
+            "page x,y 1",
+            "page x,y one 2",
+            "rank x,y",
+            "count",
+            "",
+        ],
+    )
+    def test_rejects(self, line):
+        with pytest.raises(ProtocolError):
+            parse_command(line)
+
+
+class TestExecutor:
+    def test_count_access_median_rank(self, conn):
+        order = ("x", "y", "z")
+        response = execute(
+            conn,
+            SessionRequest(op="count", order=order),
+            default_query=QUERY,
+        )
+        assert response.ok and response.result["count"] == 5
+        assert response.result["order"] == ["x", "y", "z"]
+
+        response = execute(
+            conn,
+            SessionRequest(op="access", order=order, indices=(0, -1)),
+            default_query=QUERY,
+        )
+        assert response.result["answers"] == [[1, 2, 7], [3, 4, 1]]
+
+        response = execute(
+            conn,
+            SessionRequest(op="median", order=order),
+            default_query=QUERY,
+        )
+        assert tuple(response.result["answer"]) == ANSWERS[2]
+
+        response = execute(
+            conn,
+            SessionRequest(op="rank", order=order, answer=(3, 2, 9)),
+            default_query=QUERY,
+        )
+        assert response.result["rank"] == 3
+        response = execute(
+            conn,
+            SessionRequest(op="rank", order=order, answer=(9, 9, 9)),
+            default_query=QUERY,
+        )
+        assert response.ok and response.result["rank"] is None
+
+    def test_page_plan_stats_quit(self, conn):
+        response = execute(
+            conn,
+            SessionRequest(
+                op="page",
+                order=("x", "y", "z"),
+                page_number=1,
+                page_size=2,
+            ),
+            default_query=QUERY,
+        )
+        assert response.result["answers"] == [[3, 2, 7], [3, 2, 9]]
+
+        response = execute(
+            conn, SessionRequest(op="plan"), default_query=QUERY
+        )
+        assert response.ok and response.result["order"]
+        assert isinstance(response.result["iota"], str)
+
+        response = execute(
+            conn, SessionRequest(op="stats"), default_query=QUERY
+        )
+        assert response.ok and "requests" in response.result
+
+        response = execute(
+            conn, SessionRequest(op="quit"), default_query=QUERY
+        )
+        assert response.ok and response.result is None
+
+    def test_request_query_overrides_default(self, conn):
+        response = execute(
+            conn,
+            SessionRequest(
+                op="count", query="Q(x, y) :- R(x, y)", order=("x", "y")
+            ),
+            default_query=QUERY,
+        )
+        assert response.ok and response.result["count"] == 3
+
+    def test_library_errors_become_error_responses(self, conn):
+        # Out of bounds, bad order, missing arguments: served, not raised.
+        cases = [
+            SessionRequest(
+                op="access", order=("x", "y", "z"), indices=(99,)
+            ),
+            SessionRequest(op="access", order=("x", "y", "z")),
+            SessionRequest(op="count", order=("x", "nope", "z")),
+            SessionRequest(
+                op="page", order=("x", "y", "z"), page_number=-1,
+                page_size=5,
+            ),
+            SessionRequest(op="page", order=("x", "y", "z")),
+            SessionRequest(op="rank", order=("x", "y", "z")),
+        ]
+        for request in cases:
+            response = execute(conn, request, default_query=QUERY)
+            assert not response.ok and response.error
+        # ... and the session survives to serve the next request.
+        response = execute(
+            conn,
+            SessionRequest(op="count", order=("x", "y", "z")),
+            default_query=QUERY,
+        )
+        assert response.ok
+
+    def test_no_query_anywhere_is_an_error(self, conn):
+        response = execute(conn, SessionRequest(op="count"))
+        assert not response.ok and "query" in response.error
+
+    def test_incomparable_domain_is_served_as_an_error(self):
+        """A mixed int/str column breaks the total-order assumption of
+        the counting structures; the serving loop must answer with an
+        error response, not die on the TypeError."""
+        mixed = connect({"R": {(1, 2), ("foo", "bar")}})
+        request = SessionRequest(op="count", order=("x", "y"))
+        response = execute(
+            mixed, request, default_query="Q(x, y) :- R(x, y)"
+        )
+        assert not response.ok
+        assert "ordered" in response.error
+
+    def test_every_op_is_covered(self, conn):
+        """No op constant without an executor path."""
+        for op in sorted(OPS):
+            request = SessionRequest(
+                op=op,
+                order=("x", "y", "z"),
+                indices=(0,),
+                page_number=0,
+                page_size=1,
+                answer=(1, 2, 7),
+            )
+            response = execute(conn, request, default_query=QUERY)
+            assert response.ok, (op, response.error)
+
+    def test_results_are_json_serializable(self, conn):
+        for op in sorted(OPS):
+            request = SessionRequest(
+                op=op,
+                order=("x", "y", "z"),
+                indices=(0, -1),
+                page_number=0,
+                page_size=2,
+                answer=(1, 2, 7),
+            )
+            response = execute(conn, request, default_query=QUERY)
+            parsed = SessionResponse.from_json(response.to_json())
+            assert parsed.ok == response.ok

@@ -476,3 +476,113 @@ class TestEncodedDatabase:
             query, order=["y", "x", "z"], prefix=iter(["y"])
         )
         assert list(access.order) == ["y", "x", "z"]
+
+
+class TestThreadSafety:
+    """ROADMAP follow-up: cache mutation is guarded by an RLock and
+    SessionStats snapshots are atomic."""
+
+    def test_concurrent_requests_one_preprocessing_pass(self):
+        import threading
+
+        query = parse_query(STAR)
+        session = AccessSession(star_database(), capacity=None)
+        # Sibling orders: same decomposition, one bag-materialization
+        # pass total no matter how the threads interleave.
+        orders = [
+            ["x", "y", "z", "w"],
+            ["x", "w", "z", "y"],
+            ["x", "z", "y", "w"],
+            None,
+        ]
+        errors: list[BaseException] = []
+        counts: list[int] = []
+
+        def worker(order):
+            try:
+                for _ in range(4):
+                    access = session.access(query, order=order)
+                    counts.append(len(access))
+                    snapshot = session.cache_stats()
+                    # Atomic snapshot: work counters can never run
+                    # ahead of the requests that caused them.
+                    assert (
+                        snapshot["bag_materializations"]
+                        <= 4 * snapshot["requests"]
+                    )
+            except BaseException as error:  # noqa: BLE001 (collected)
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(order,))
+            for order in orders * 4
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(set(counts)) == 1
+        stats = session.cache_stats()
+        assert stats["requests"] == 4 * len(threads)
+        # The lock serializes building: the decomposition is shared, so
+        # exactly one preprocessing pass happened (4 bags).
+        assert stats["bag_materializations"] == 4
+
+    def test_snapshot_is_a_plain_copy(self):
+        session = AccessSession(star_database())
+        first = session.cache_stats()
+        session.access(parse_query(STAR), order=["x", "y", "z", "w"])
+        second = session.cache_stats()
+        assert first["requests"] == 0  # unaffected by later mutation
+        assert second["requests"] == 1
+
+    def test_use_engine_scope_does_not_deadlock_with_session_lock(self):
+        """Regression: use_engine is thread-local (lock-free), so a
+        thread serving inside a use_engine scope and a thread serving
+        directly can never deadlock on lock order."""
+        import threading
+
+        from repro import use_engine
+
+        query = parse_query(STAR)
+        session = AccessSession(star_database(), capacity=None)
+        errors: list[BaseException] = []
+        done = threading.Event()
+
+        def scoped():
+            try:
+                for index in range(10):
+                    with use_engine("python"):
+                        order = ["x", "y", "z", "w"]
+                        order[1 + index % 3], order[1] = (
+                            order[1], order[1 + index % 3],
+                        )
+                        session.access(query, order=order)
+            except BaseException as error:  # noqa: BLE001 (collected)
+                errors.append(error)
+
+        def direct():
+            try:
+                for _ in range(10):
+                    session.access(query, order=["x", "y", "z", "w"])
+            except BaseException as error:  # noqa: BLE001 (collected)
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=scoped, daemon=True),
+            threading.Thread(target=direct, daemon=True),
+            threading.Thread(target=scoped, daemon=True),
+            threading.Thread(target=direct, daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+
+        def joiner():
+            for thread in threads:
+                thread.join()
+            done.set()
+
+        threading.Thread(target=joiner, daemon=True).start()
+        assert done.wait(timeout=30), "threads deadlocked"
+        assert not errors

@@ -79,6 +79,17 @@ class TestSamplingAndPagination:
         with pytest.raises(OutOfBoundsError):
             sample_without_repetition(da, len(da) + 1)
 
+    def test_sample_negative_k(self, access):
+        """A negative k is the same caller bug as k > n: the library's
+        OutOfBoundsError, not random.Random.sample's bare ValueError."""
+        da, _ = access
+        with pytest.raises(OutOfBoundsError):
+            sample_without_repetition(da, -1)
+
+    def test_sample_zero_k(self, access):
+        da, _ = access
+        assert sample_without_repetition(da, 0) == []
+
     def test_pagination(self, access):
         da, answers = access
         size = 7
