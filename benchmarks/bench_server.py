@@ -1,0 +1,283 @@
+"""HTTP serving — threaded multi-client round-trips vs local calls.
+
+The serving claim of the `repro serve` layer: N concurrent HTTP
+clients querying different orders of one database all get answers
+identical to a local :class:`~repro.Connection`, the database is
+encoded once, and per-artifact locks keep distinct decompositions
+from serializing behind each other.  Measured here:
+
+* **round-trip latency** — warm single-client `access` requests over
+  HTTP vs the same reads on a local connection (the wire tax);
+* **multi-client throughput** — a thread fleet issuing a mixed
+  access/count/rank workload against the worker pool.
+
+Run under pytest (``pytest benchmarks/bench_server.py``) for the full
+sweep, or standalone (the CI smoke job)::
+
+    python benchmarks/bench_server.py --quick
+
+which boots a server on an ephemeral port, runs the threaded
+round-trip, verifies every remote answer against the local connection,
+and exits non-zero on any mismatch or failed request.  (Timing is
+reported but not gated — correctness gates, noise does not.)
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import report, timed
+
+from repro.data.columnar import numpy_available
+from repro.facade import connect
+from repro.server.http import ReproServer
+
+ROWS = 120
+FANOUT = 2
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 25
+
+QUERY = "Q(x, y, z, w) :- R(x, y), S(x, z), T(x, w)"
+ORDERS = (
+    ["x", "y", "z", "w"],
+    ["x", "w", "z", "y"],
+    ["x", "z", "y", "w"],
+)
+
+
+def star_relations(rows: int, fanout: int) -> dict:
+    pairs = {(m, v) for m in range(fanout) for v in range(rows)}
+    return {"R": set(pairs), "S": set(pairs), "T": set(pairs)}
+
+
+def post_op(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url + "/v1/session",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as reply:
+        return json.loads(reply.read().decode("utf-8"))
+
+
+def client_workload(index: int, size: int) -> list[dict]:
+    """A deterministic mixed request stream for one client."""
+    order = ORDERS[index % len(ORDERS)]
+    ops = []
+    for step in range(size):
+        kind = step % 3
+        if kind == 0:
+            ops.append(
+                {
+                    "op": "access",
+                    "query": QUERY,
+                    "order": order,
+                    "indices": [step % 7, -(step % 5) - 1],
+                }
+            )
+        elif kind == 1:
+            ops.append(
+                {"op": "count", "query": QUERY, "order": order}
+            )
+        else:
+            ops.append(
+                {
+                    "op": "page",
+                    "query": QUERY,
+                    "order": order,
+                    "page_number": step % 4,
+                    "page_size": 5,
+                }
+            )
+    return ops
+
+
+def expected_response(local, request: dict):
+    """What a local connection answers for one protocol request."""
+    view = local.prepare(request["query"], order=request["order"])
+    if request["op"] == "access":
+        return [list(view[i]) for i in request["indices"]]
+    if request["op"] == "count":
+        return len(view)
+    return [
+        list(answer)
+        for answer in view.page(
+            request["page_number"], request["page_size"]
+        )
+    ]
+
+
+def run_fleet(
+    server: ReproServer, clients: int, per_client: int
+) -> tuple[list[dict], list[str], float]:
+    """(responses, mismatches, wall seconds) for a full thread fleet."""
+    local = connect(
+        {
+            name: set(relation.tuples)
+            for name, relation in server.store.database.relations.items()
+        }
+    )
+    responses: list[dict] = []
+    mismatches: list[str] = []
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        for request in client_workload(index, per_client):
+            try:
+                response = post_op(server.url, request)
+            except Exception as error:  # noqa: BLE001 (reported)
+                with lock:
+                    mismatches.append(f"transport: {error}")
+                return
+            expected = expected_response(local, request)
+            got = (
+                response["result"]["count"]
+                if request["op"] == "count"
+                else response["result"]["answers"]
+            ) if response.get("ok") else None
+            with lock:
+                responses.append(response)
+                if not response.get("ok"):
+                    mismatches.append(f"failed: {response}")
+                elif got != expected:
+                    mismatches.append(
+                        f"{request['op']}: {got!r} != {expected!r}"
+                    )
+
+    def fleet() -> None:
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    _, wall = timed(fleet)
+    return responses, mismatches, wall
+
+
+def measure(rows: int, fanout: int, clients: int, per_client: int):
+    """(table rows, mismatches, stats) for one serving sweep."""
+    relations = star_relations(rows, fanout)
+    with ReproServer(relations, workers=4) as server:
+        # Warm single-client latency: HTTP vs local, same reads.
+        warm = {"op": "access", "query": QUERY,
+                "order": ORDERS[0], "indices": [0, -1]}
+        post_op(server.url, warm)  # pay preprocessing once
+        http_latency = min(
+            timed(post_op, server.url, warm)[1] for _ in range(5)
+        )
+        local = connect(relations)
+        view = local.prepare(QUERY, order=ORDERS[0])
+        local_latency = min(
+            timed(view.tuples_at, [0, -1])[1] for _ in range(5)
+        )
+
+        responses, mismatches, wall = run_fleet(
+            server, clients, per_client
+        )
+        stats = server.stats()
+
+    total = clients * per_client
+    table_rows = [
+        [
+            f"|D|={3 * rows * fanout}",
+            f"{clients}x{per_client}",
+            f"{local_latency * 1e6:.0f} us",
+            f"{http_latency * 1e6:.0f} us",
+            f"{wall:.2f} s",
+            f"{total / max(wall, 1e-9):.0f} req/s",
+            str(stats["store"]["database_encodes"]),
+            str(stats["store"]["build_concurrency_peak"]),
+        ]
+    ]
+    assert len(responses) == total, (len(responses), total)
+    return table_rows, mismatches, stats
+
+
+def test_server_round_trip(benchmark):
+    table_rows, mismatches, stats = measure(
+        ROWS, FANOUT, CLIENTS, REQUESTS_PER_CLIENT
+    )
+    report(
+        "server_round_trip",
+        "HTTP serving: threaded multi-client mixed workload "
+        f"({CLIENTS} clients, {len(ORDERS)} sibling orders, "
+        "4 workers)",
+        [
+            "workload",
+            "clients",
+            "local access",
+            "http access",
+            "fleet wall",
+            "throughput",
+            "encodes",
+            "build peak",
+        ],
+        table_rows,
+    )
+    assert not mismatches, mismatches[:5]
+    assert stats["store"]["database_encodes"] == 1
+
+    with ReproServer(
+        star_relations(ROWS, FANOUT), workers=4
+    ) as server:
+        warm = {"op": "access", "query": QUERY,
+                "order": ORDERS[0], "indices": [0, -1]}
+        post_op(server.url, warm)
+        benchmark(post_op, server.url, warm)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (the CI server smoke job)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes; verify every remote answer against a "
+        "local connection and exit non-zero on mismatch",
+    )
+    args = parser.parse_args(argv)
+    rows, clients, per_client = (
+        (40, 6, 8) if args.quick else (ROWS, CLIENTS, REQUESTS_PER_CLIENT)
+    )
+
+    table_rows, mismatches, stats = measure(
+        rows, FANOUT, clients, per_client
+    )
+    (row,) = table_rows
+    print(
+        f"served {clients * per_client} requests from {clients} "
+        f"threaded clients: {row[5]} ({row[4]} wall), "
+        f"http access {row[3]} vs local {row[2]}"
+    )
+    print(
+        f"store: {stats['store']['database_encodes']} database "
+        f"encode(s), build concurrency peak "
+        f"{stats['store']['build_concurrency_peak']}, "
+        f"{stats['store']['artifact_builds']} artifact builds "
+        f"(numpy engine available: {numpy_available()})"
+    )
+    failures = list(mismatches)
+    if stats["store"]["database_encodes"] != 1:
+        failures.append(
+            "database encoded more than once across workers"
+        )
+    for failure in failures[:10]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("server smoke: " + ("FAIL" if failures else "OK"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,7 +68,7 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Pre-facade entry points, kept importable behind a deprecation
 #: warning: name -> (module, attribute, replacement hint).

@@ -16,6 +16,11 @@ Commands:
   ``--json`` mode (one :class:`~repro.session.SessionRequest` object
   per line) both parse into the same request dataclass and run through
   :func:`repro.session.protocol.execute`.
+* ``serve`` — the same protocol over HTTP: a threaded stdlib server
+  with ``--workers`` per-worker sessions over one shared artifact
+  store (``POST /v1/session``, ``GET /healthz``, ``GET /stats``; spec
+  in ``docs/protocol.md``).  Query it with ``curl`` or from Python via
+  ``repro.connect("http://host:port")``.
 
 The global ``--engine {python,numpy}`` flag selects the execution
 engine (default: the ``REPRO_ENGINE`` environment variable, else
@@ -32,6 +37,8 @@ Examples::
     printf '{"op": "count"}\\n{"op": "quit"}\\n' | \\
         python -m repro session --json "Q(x,y) :- R(x,y)" \\
         --relation R=data/r.csv
+    python -m repro serve --port 8080 --workers 8 \\
+        --relation R=data/r.csv --query "Q(x,y) :- R(x,y)"
 """
 
 from __future__ import annotations
@@ -256,11 +263,63 @@ def cmd_session(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve the JSON session protocol over HTTP (``repro serve``)."""
+    from repro.errors import ReproError
+    from repro.server.http import ReproServer
+
+    if args.capacity < 0:
+        raise SystemExit("--capacity must be non-negative")
+    relations = dict(_load_relation(spec) for spec in args.relation)
+    database = Database(relations)
+    try:
+        # Bad worker counts, unparsable/unsatisfiable default queries,
+        # and unavailable engines must die at startup with one clean
+        # line, not one traceback per request.
+        server = ReproServer(
+            database,
+            workers=args.workers,
+            capacity=args.capacity,
+            default_query=args.query,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+        )
+    except (ValueError, ReproError) as error:
+        raise SystemExit(str(error)) from None
+    bound = "" if args.query is None else f"  query: {args.query}"
+    print(
+        f"repro serving on {server.url}  |D|={len(database)}  "
+        f"engine={server.store.engine.name}  "
+        f"workers={server.workers}{bound}",
+        flush=True,
+    )
+    print(
+        f"  POST {server.url}/v1/session   "
+        "(GET /healthz, GET /stats; Ctrl-C stops)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+    from repro.session.protocol import PROTOCOL_VERSION
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Lexicographic direct access on join queries "
         "(Bringmann, Carmeli & Mengel, PODS 2022).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__} (protocol {PROTOCOL_VERSION})",
+        help="print package and protocol versions and exit",
     )
     parser.add_argument(
         "--engine",
@@ -330,6 +389,53 @@ def build_parser() -> argparse.ArgumentParser:
         "input line, one SessionResponse object per output line",
     )
     session.set_defaults(func=cmd_session, commands=None)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the JSON session protocol over HTTP",
+        description="Serve the versioned JSON session protocol "
+        "(docs/protocol.md) at POST /v1/session, with GET /healthz "
+        "and GET /stats, using per-worker sessions over one shared "
+        "artifact store.",
+    )
+    serve.add_argument(
+        "--relation",
+        action="append",
+        default=[],
+        help="NAME=path, repeatable",
+    )
+    serve.add_argument(
+        "--query",
+        default=None,
+        help="bind a default query for requests that carry none",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 picks an ephemeral one)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="per-worker session pool size (default 4)",
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="per-artifact-kind cache capacity (default 64)",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log one line per HTTP request",
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -47,29 +47,57 @@ from repro.session.session import AccessSession
 
 
 def connect(
-    database: Database | Mapping,
+    database: Database | Mapping | str,
     *,
     engine=None,
     cache: int | None = 64,
     cache_slack: Fraction | int | float = 0,
-) -> "Connection":
-    """Open a :class:`Connection` over ``database``.
+    timeout: float = 30.0,
+):
+    """Open a connection over a database — local or served over HTTP.
+
+    With a database (or a plain mapping), this returns an in-process
+    :class:`Connection`; with a URL string, an
+    :class:`~repro.server.client.HTTPConnection` to a ``repro serve``
+    process — same ``prepare`` → view API, so application code does not
+    care where the preprocessing runs:
+
+        >>> import repro
+        >>> conn = repro.connect({"R": {(1, 2)}, "S": {(2, 7)}})
+        >>> conn.prepare("Q(x, y, z) :- R(x, y), S(y, z)",
+        ...              order=["x", "y", "z"])[0]
+        (1, 2, 7)
+        >>> repro.connect("http://127.0.0.1:8080")      # doctest: +SKIP
+        HTTPConnection('http://127.0.0.1:8080', open)
 
     Args:
-        database: a :class:`~repro.data.database.Database` or a plain
-            mapping of relation names to tuple iterables (converted).
+        database: a :class:`~repro.data.database.Database`, a plain
+            mapping of relation names to tuple iterables (converted),
+            or the URL of a running ``repro serve`` (``"http://..."``,
+            ``"https://..."``, or a bare ``"host:port"``).
         engine: execution engine (name, instance, or ``None`` for a
             fresh instance of the process-global active engine's kind);
             pinned for the connection's lifetime.  Passing ``None`` or
             a name gives the connection its own instance — and thus its
             own :class:`~repro.engine.base.OpCounters` — while an
-            explicit instance is shared as given.
-        cache: per-artifact LRU capacity of the connection's caches
+            explicit instance is shared as given.  (Local connections
+            only: a URL's engine was chosen by the server.)
+        cache: per-artifact cache capacity of the connection's store
             (``None`` = unbounded, ``0`` = caching disabled).
         cache_slack: how much preprocessing exponent the planner may
             trade for a warm cache (see
             :class:`~repro.session.AccessSession`).
+        timeout: per-request socket timeout in seconds (URLs only).
     """
+    if isinstance(database, str):
+        from repro.server.client import HTTPConnection
+
+        if engine is not None or cache != 64 or cache_slack != 0:
+            raise ReproError(
+                "engine/cache/cache_slack are server-side settings; "
+                "set them where `repro serve` runs"
+            )
+        return HTTPConnection(database, timeout=timeout)
     if not isinstance(database, Database):
         database = Database(database)
     if engine is None:
@@ -92,10 +120,15 @@ class Connection:
     Wraps the serving layer (:class:`~repro.session.AccessSession`):
     every :meth:`prepare` is cache-aware planning, so repeated or
     sibling-order requests share dictionary encodings, materialized bag
-    relations, and counting forests.  Thread-safe: the underlying
-    session serializes cache mutation behind an ``RLock``.
+    relations, and counting forests.  Thread-safe: artifacts live in a
+    :class:`~repro.session.ArtifactStore` whose builds synchronize per
+    artifact, so concurrent threads never duplicate a preprocessing
+    pass — and never serialize behind an unrelated one.
 
-    Construct through :func:`connect`.
+    Construct through :func:`connect` — with a URL instead of a
+    database, :func:`connect` returns the wire twin of this class
+    (:class:`~repro.server.client.HTTPConnection`) and ``prepare``
+    returns remote views with the same Sequence semantics.
     """
 
     def __init__(self, session: AccessSession):
@@ -190,70 +223,46 @@ class Connection:
         )
 
 
-class AnswerView(Sequence):
-    """The sorted answers of a prepared query, as a lazy ``Sequence``.
+class WindowedAnswers(Sequence):
+    """The window and inverse-access laws every answer view obeys.
 
-    ``view[k]`` is the k-th answer tuple in ``O(ℓ log |D|)``; negative
-    indices count from the end and slices return lazy sub-views (a
-    ``range`` window over the same preprocessed structure — nothing is
-    copied or enumerated).  Inverse access goes the other way:
-    :meth:`rank` maps an answer tuple back to its index by descending
-    the counting forest with one binary search per level, which also
-    powers ``in`` and :meth:`index` without any enumeration, so
-    ``view[view.rank(t)] == t`` round-trips.
-
-    Iteration (and ``reversed``) resolves indices in chunked batches —
-    vectorized level-synchronously under the numpy engine — while
-    staying lazy.  The order-statistics task layer lives here too:
-    :meth:`median`, :meth:`quantile`, :meth:`page`, :meth:`sample`,
-    :meth:`boxplot` all delegate to the batch kernels.
+    Subclasses supply three primitives — :meth:`_resolve` (batch
+    positional fetch of *underlying* indices), :meth:`_rank_underlying`
+    (inverse access in the un-windowed sequence, ``None`` for
+    non-answers), and :meth:`_subview` (rewrap a narrowed ``range``
+    window) — and inherit the whole ``Sequence`` surface: negative
+    indices, lazy slice sub-views (steps included), chunked
+    ``__iter__``/``__reversed__``, :meth:`rank` / ``in`` /
+    :meth:`index` / :meth:`count`, and the order-statistics task layer
+    (:meth:`median`, :meth:`quantile`, :meth:`page`, :meth:`sample`,
+    :meth:`boxplot`).  One implementation keeps the local view
+    (:class:`AnswerView`) and the HTTP view
+    (:class:`~repro.server.client.RemoteAnswerView`) law-identical —
+    the cross-engine Sequence-law suite runs against both.
     """
 
     #: Batch size of ``__iter__``/``__reversed__``.
     ITER_CHUNK = 1024
 
-    __slots__ = ("_access", "_window")
+    __slots__ = ("_window",)
 
-    def __init__(self, access: DirectAccess, window: range | None = None):
-        self._access = access
-        self._window = (
-            range(len(access)) if window is None else window
-        )
+    # -- subclass primitives -----------------------------------------------
 
-    # -- provenance --------------------------------------------------------
+    def _resolve(self, underlying: list[int]) -> list[tuple]:
+        """Answer tuples at the given *underlying* (pre-window) indices."""
+        raise NotImplementedError
+
+    def _rank_underlying(self, row: tuple) -> int | None:
+        """The pre-window rank of ``row``, or ``None`` if no answer."""
+        raise NotImplementedError
+
+    def _subview(self, window: range) -> "WindowedAnswers":
+        """This view narrowed to ``window`` (lazily — nothing copied)."""
+        raise NotImplementedError
 
     @property
     def query(self):
-        return self._access.query
-
-    @property
-    def order(self):
-        """The variable order the answers are sorted by."""
-        return self._access.order
-
-    @property
-    def columns(self) -> tuple[str, ...]:
-        """The variables of each answer tuple, in order position."""
-        return self._access.free_variables
-
-    @property
-    def engine_name(self) -> str:
-        return self._access.engine_name
-
-    def op_counters(self) -> dict[str, int]:
-        """Snapshot of the engine's operation counters (for assertions
-        that a lookup did no enumeration — see
-        :class:`~repro.engine.base.OpCounters`)."""
-        return self._access._engine.counters.snapshot()
-
-    def __repr__(self) -> str:
-        window = self._window
-        full = window == range(len(self._access))
-        span = "" if full else f", window={window!r}"
-        return (
-            f"AnswerView({self.query}, order={list(self.order)}, "
-            f"len={len(self)}{span})"
-        )
+        raise NotImplementedError
 
     # -- Sequence: positional access ---------------------------------------
 
@@ -265,7 +274,7 @@ class AnswerView(Sequence):
 
     def __getitem__(self, item):
         if isinstance(item, slice):
-            return AnswerView(self._access, self._window[item])
+            return self._subview(self._window[item])
         try:
             underlying = self._window[operator.index(item)]
         except IndexError:
@@ -273,14 +282,14 @@ class AnswerView(Sequence):
             raise OutOfBoundsError(
                 f"index {item} out of range [-{n}, {n})"
             ) from None
-        return self._access.tuple_at(underlying)
+        return self._resolve([underlying])[0]
 
     def tuple_at(self, index: int) -> tuple:
         """Positional access (the ``SupportsDirectAccess`` protocol)."""
         return self[index]
 
     def tuples_at(self, indices) -> list[tuple]:
-        """Batch positional access: one engine batch for all ``indices``."""
+        """Batch positional access: one backend batch for ``indices``."""
         window = self._window
         n = len(window)
         underlying = []
@@ -292,13 +301,13 @@ class AnswerView(Sequence):
                 raise OutOfBoundsError(
                     f"index {index} out of range [-{n}, {n})"
                 ) from None
-        return self._access.tuples_at(underlying)
+        return self._resolve(underlying)
 
     def __iter__(self) -> Iterator[tuple]:
         window = self._window
         for start in range(0, len(window), self.ITER_CHUNK):
             chunk = window[start : start + self.ITER_CHUNK]
-            yield from self._access.tuples_at(list(chunk))
+            yield from self._resolve(list(chunk))
 
     def __reversed__(self) -> Iterator[tuple]:
         return iter(self[::-1])
@@ -314,7 +323,7 @@ class AnswerView(Sequence):
         :class:`~repro.errors.NotAnAnswerError` (a ``ValueError``) when
         ``row`` is not an answer, or lies outside this view's window.
         """
-        underlying = self._access.rank_of(row)
+        underlying = self._rank_underlying(row)
         if underlying is None:
             raise NotAnAnswerError(
                 f"{row!r} is not an answer of {self.query}"
@@ -331,13 +340,10 @@ class AnswerView(Sequence):
         """Batch :meth:`rank`: the view index of each row, ``None`` for
         non-answers (and answers outside the window) instead of raising."""
         out = []
-        for underlying in self._access.ranks_of(rows):
-            if underlying is None:
-                out.append(None)
-                continue
+        for row in rows:
             try:
-                out.append(self._window.index(underlying))
-            except ValueError:
+                out.append(self.rank(row))
+            except NotAnAnswerError:
                 out.append(None)
         return out
 
@@ -395,4 +401,95 @@ class AnswerView(Sequence):
         return list(self)
 
 
-__all__ = ["AnswerView", "Connection", "connect"]
+class AnswerView(WindowedAnswers):
+    """The sorted answers of a prepared query, as a lazy ``Sequence``.
+
+    ``view[k]`` is the k-th answer tuple in ``O(ℓ log |D|)``; negative
+    indices count from the end and slices return lazy sub-views (a
+    ``range`` window over the same preprocessed structure — nothing is
+    copied or enumerated).  Inverse access goes the other way:
+    :meth:`rank` maps an answer tuple back to its index by descending
+    the counting forest with one binary search per level, which also
+    powers ``in`` and :meth:`index` without any enumeration, so
+    ``view[view.rank(t)] == t`` round-trips.
+
+    Iteration (and ``reversed``) resolves indices in chunked batches —
+    vectorized level-synchronously under the numpy engine — while
+    staying lazy.  The order-statistics task layer lives here too:
+    :meth:`median`, :meth:`quantile`, :meth:`page`, :meth:`sample`,
+    :meth:`boxplot` all delegate to the batch kernels.  (The window
+    and inverse-access laws themselves live in
+    :class:`WindowedAnswers`, shared with the HTTP client's remote
+    view.)
+    """
+
+    __slots__ = ("_access",)
+
+    def __init__(self, access: DirectAccess, window: range | None = None):
+        self._access = access
+        self._window = (
+            range(len(access)) if window is None else window
+        )
+
+    # -- the windowed-Sequence primitives ----------------------------------
+
+    def _resolve(self, underlying: list[int]) -> list[tuple]:
+        return self._access.tuples_at(underlying)
+
+    def _rank_underlying(self, row: tuple) -> int | None:
+        return self._access.rank_of(row)
+
+    def _subview(self, window: range) -> "AnswerView":
+        return AnswerView(self._access, window)
+
+    def ranks(self, rows) -> list[int | None]:
+        """Batch :meth:`rank` through the engine's vectorized
+        ``ranks_of`` (one batched forest descent, not per-row calls)."""
+        out = []
+        for underlying in self._access.ranks_of(rows):
+            if underlying is None:
+                out.append(None)
+                continue
+            try:
+                out.append(self._window.index(underlying))
+            except ValueError:
+                out.append(None)
+        return out
+
+    # -- provenance --------------------------------------------------------
+
+    @property
+    def query(self):
+        return self._access.query
+
+    @property
+    def order(self):
+        """The variable order the answers are sorted by."""
+        return self._access.order
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The variables of each answer tuple, in order position."""
+        return self._access.free_variables
+
+    @property
+    def engine_name(self) -> str:
+        return self._access.engine_name
+
+    def op_counters(self) -> dict[str, int]:
+        """Snapshot of the engine's operation counters (for assertions
+        that a lookup did no enumeration — see
+        :class:`~repro.engine.base.OpCounters`)."""
+        return self._access._engine.counters.snapshot()
+
+    def __repr__(self) -> str:
+        window = self._window
+        full = window == range(len(self._access))
+        span = "" if full else f", window={window!r}"
+        return (
+            f"AnswerView({self.query}, order={list(self.order)}, "
+            f"len={len(self)}{span})"
+        )
+
+
+__all__ = ["AnswerView", "Connection", "WindowedAnswers", "connect"]

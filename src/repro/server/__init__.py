@@ -1,0 +1,31 @@
+"""HTTP serving for the session protocol: ``repro serve``.
+
+The paper's workload is *many* direct-access requests against one
+preprocessed join query — a serving workload.  This package is the
+transport that matches it: a stdlib-only threaded HTTP server
+(:class:`ReproServer`, :mod:`repro.server.http`) exposing the versioned
+JSON session protocol at ``POST /v1/session`` plus ``GET /healthz`` and
+``GET /stats``, and an HTTP client (:class:`HTTPConnection`,
+:mod:`repro.server.client`) that gives remote callers the same
+``connect → prepare → view`` facade as a local process —
+``repro.connect("http://host:port")`` just works.
+
+Workers are real: each serving thread checks a per-worker
+:class:`~repro.Connection` out of a pool, and all workers share one
+:class:`~repro.session.ArtifactStore`, so the database is encoded once
+and two workers can preprocess *different* decompositions concurrently
+while racing workers build the *same* artifact exactly once.
+
+See ``docs/architecture.md`` for the layer map and
+``docs/protocol.md`` for the wire format.
+"""
+
+from repro.server.client import HTTPConnection, RemoteAnswerView
+from repro.server.http import ReproServer, serve
+
+__all__ = [
+    "HTTPConnection",
+    "RemoteAnswerView",
+    "ReproServer",
+    "serve",
+]

@@ -1,0 +1,334 @@
+"""The HTTP facade client: ``repro.connect("http://host:port")``.
+
+A remote caller wants the same API as a local process — ``connect`` →
+``prepare`` → a view with ``Sequence`` semantics — not a bag of JSON
+requests.  :class:`HTTPConnection` mirrors
+:class:`~repro.facade.Connection` over the wire, and
+:class:`RemoteAnswerView` mirrors :class:`~repro.facade.AnswerView`:
+positional access, lazy slice sub-views, chunked iteration, inverse
+access (:meth:`~RemoteAnswerView.rank` / ``in`` / ``index``), and the
+order-statistics task layer, each resolving to at most a few ``POST
+/v1/session`` round-trips.
+
+    >>> import repro
+    >>> conn = repro.connect("http://127.0.0.1:8080")   # doctest: +SKIP
+    >>> view = conn.prepare("Q(x, y, z) :- R(x, y), S(y, z)",
+    ...                     order=["x", "y", "z"])      # doctest: +SKIP
+    >>> len(view), view[0], view.rank(view[0])          # doctest: +SKIP
+    (4, (1, 2, 7), 0)
+
+Everything rides the versioned JSON session protocol
+(:mod:`repro.session.protocol`, spec in ``docs/protocol.md``): the
+server replays failed requests' exception types (``error_type``), so a
+bad remote request raises the same :mod:`repro.errors` class a local
+call would.  Only the stdlib :mod:`urllib` is used — no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import ProtocolError, ReproError
+from repro.facade import WindowedAnswers
+from repro.server.http import SESSION_ROUTE
+from repro.session.protocol import (
+    PROTOCOL_VERSION,
+    SessionRequest,
+    SessionResponse,
+)
+
+import repro.errors as _errors
+
+
+def normalize_base_url(url: str) -> str:
+    """A base URL with scheme and no trailing slash.
+
+        >>> normalize_base_url("http://localhost:8080/")
+        'http://localhost:8080'
+        >>> normalize_base_url("127.0.0.1:8080")
+        'http://127.0.0.1:8080'
+    """
+    url = url.strip().rstrip("/")
+    if not url.startswith(("http://", "https://")):
+        url = "http://" + url
+    return url
+
+
+def _raise_remote(response: SessionResponse) -> None:
+    """Re-raise a failed response as the exception a local call raises.
+
+    The server sends the library exception's class name in
+    ``error_type``; unknown or missing types degrade to plain
+    :class:`~repro.errors.ReproError`.
+    """
+    message = response.error or "request failed"
+    exc_type = getattr(_errors, response.error_type or "", None)
+    if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+        raise exc_type(message)
+    raise ReproError(message)
+
+
+class HTTPConnection:
+    """A prepared-query handle over a remote ``repro serve`` process.
+
+    The HTTP twin of :class:`~repro.facade.Connection`: construct
+    through :func:`repro.connect` with a URL.  Opening the connection
+    pings ``GET /healthz`` once — a bad address fails fast, and the
+    server's protocol version is checked against ours.
+
+    Args:
+        url: base URL of the server (scheme optional, ``http://``
+            assumed).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self._base = normalize_base_url(url)
+        self._timeout = timeout
+        self._closed = False
+        health = self._get_json("/healthz")
+        remote_protocol = health.get("protocol")
+        if (
+            not isinstance(remote_protocol, int)
+            or remote_protocol > PROTOCOL_VERSION
+        ):
+            raise ProtocolError(
+                f"server at {self._base} speaks protocol "
+                f"{remote_protocol!r}, this client speaks "
+                f"{PROTOCOL_VERSION}"
+            )
+        self._health = health
+
+    # -- transport ---------------------------------------------------------
+
+    def _get_json(self, path: str) -> dict:
+        request = urllib.request.Request(self._base + path)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._timeout
+            ) as reply:
+                body = reply.read().decode("utf-8", errors="replace")
+        except urllib.error.URLError as error:
+            raise ReproError(
+                f"cannot reach repro server at {self._base}: {error}"
+            ) from None
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError:
+            # Some other service answered: fail fast with a clean
+            # error, not a JSON traceback out of connect().
+            raise ProtocolError(
+                f"{self._base}{path} did not answer with JSON — is "
+                "this really a repro server?"
+            ) from None
+
+    def request(self, request: SessionRequest) -> SessionResponse:
+        """One protocol round-trip (the raw, never-raising layer)."""
+        self._check_open()
+        http_request = urllib.request.Request(
+            self._base + SESSION_ROUTE,
+            data=request.to_json().encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                http_request, timeout=self._timeout
+            ) as reply:
+                body = reply.read()
+        except urllib.error.HTTPError as error:
+            # Transport-level rejections (400/404/413/...) carry the
+            # same structured SessionResponse body.
+            body = error.read()
+        except urllib.error.URLError as error:
+            raise ReproError(
+                f"cannot reach repro server at {self._base}: {error}"
+            ) from None
+        return SessionResponse.from_json(body.decode("utf-8"))
+
+    def _call(self, op: str, **fields):
+        """One op; raises the replayed library error on ``ok=False``."""
+        response = self.request(SessionRequest(op=op, **fields))
+        if not response.ok:
+            _raise_remote(response)
+        return response.result
+
+    # -- the one API -------------------------------------------------------
+
+    def prepare(
+        self, query, order=None, prefix=None
+    ) -> "RemoteAnswerView":
+        """Preprocess ``query`` server-side; a remote answer view.
+
+        The server plans (cache-aware) when ``order`` is ``None``,
+        preprocesses, and replies with the served order and answer
+        count; every later read on the view pins that exact order, so
+        the view is stable even while other clients warm other orders.
+        """
+        result = self._call(
+            "count",
+            query=self._query_text(query),
+            order=tuple(order) if order is not None else None,
+            prefix=tuple(prefix) if prefix is not None else None,
+        )
+        return RemoteAnswerView(
+            self,
+            self._query_text(query),
+            tuple(result["order"]),
+            result["count"],
+        )
+
+    def plan(self, query, prefix=None) -> dict:
+        """The order the server would serve with: ``{"order": [...],
+        "iota": "..."}`` (the exponent as an exact fraction string)."""
+        return self._call(
+            "plan",
+            query=self._query_text(query),
+            prefix=tuple(prefix) if prefix is not None else None,
+        )
+
+    @staticmethod
+    def _query_text(query) -> str:
+        return query if isinstance(query, str) else str(query)
+
+    # -- observability / lifecycle -----------------------------------------
+
+    @property
+    def url(self) -> str:
+        return self._base
+
+    @property
+    def engine_name(self) -> str:
+        return self._health["engine"]
+
+    def health(self) -> dict:
+        """A fresh ``GET /healthz`` snapshot."""
+        return self._get_json("/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats``: shared-store, per-worker, and wire counters."""
+        return self._get_json("/stats")
+
+    def close(self) -> None:
+        """Refuse further requests (the server is not affected)."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("connection is closed")
+
+    def __enter__(self) -> "HTTPConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"HTTPConnection({self._base!r}, {state})"
+
+
+class RemoteAnswerView(WindowedAnswers):
+    """Sorted answers of a remotely prepared query, as a lazy Sequence.
+
+    The wire twin of :class:`~repro.facade.AnswerView`: both inherit
+    the window and inverse-access laws from
+    :class:`~repro.facade.WindowedAnswers` (negative indices, lazy
+    slice sub-views with steps, chunked iteration,
+    ``view[view.rank(t)] == t``, the task layer), so the two can never
+    silently diverge.  Here the primitives go over HTTP — each batch
+    of positional reads is one ``access`` request per ``ITER_CHUNK``
+    indices (bounded bodies, arbitrarily large batches) and each rank
+    probe one ``rank`` request.  Bounds are checked client-side
+    against the count captured at :meth:`~HTTPConnection.prepare`
+    time, so out-of-range indices never touch the network and
+    iteration terminates without a round-trip.
+    """
+
+    #: Tuples per ``access`` request (iteration and batch reads).
+    ITER_CHUNK = 512
+
+    __slots__ = ("_connection", "_query", "_order", "_total")
+
+    def __init__(
+        self,
+        connection: HTTPConnection,
+        query: str,
+        order: tuple[str, ...],
+        total: int,
+        window: range | None = None,
+    ):
+        self._connection = connection
+        self._query = query
+        self._order = order
+        self._total = total
+        self._window = range(total) if window is None else window
+
+    # -- the windowed-Sequence primitives ----------------------------------
+
+    def _resolve(self, underlying: list[int]) -> list[tuple]:
+        # Chunked so an arbitrarily large batch (tuples_at over a huge
+        # view, sample(k) with big k) can never outgrow the server's
+        # request-body cap — each chunk is one bounded access op.
+        out: list[tuple] = []
+        for start in range(0, len(underlying), self.ITER_CHUNK):
+            chunk = underlying[start : start + self.ITER_CHUNK]
+            answers = self._connection._call(
+                "access",
+                query=self._query,
+                order=self._order,
+                indices=tuple(chunk),
+            )["answers"]
+            out.extend(tuple(answer) for answer in answers)
+        return out
+
+    def _rank_underlying(self, row: tuple) -> int | None:
+        return self._connection._call(
+            "rank",
+            query=self._query,
+            order=self._order,
+            answer=tuple(row),
+        )["rank"]
+
+    def _subview(self, window: range) -> "RemoteAnswerView":
+        return RemoteAnswerView(
+            self._connection,
+            self._query,
+            self._order,
+            self._total,
+            window,
+        )
+
+    # -- provenance --------------------------------------------------------
+
+    @property
+    def query(self) -> str:
+        return self._query
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """The variable order the answers are sorted by."""
+        return self._order
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The variables of each answer tuple, in order position."""
+        return self._order
+
+    def __repr__(self) -> str:
+        window = self._window
+        full = window == range(self._total)
+        span = "" if full else f", window={window!r}"
+        return (
+            f"RemoteAnswerView({self._query}, "
+            f"order={list(self._order)}, len={len(self)}{span})"
+        )
+
+
+__all__ = ["HTTPConnection", "RemoteAnswerView", "normalize_base_url"]

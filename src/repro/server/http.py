@@ -1,0 +1,441 @@
+"""The threaded HTTP transport for the JSON session protocol.
+
+One server = one database, served by ``--workers`` per-worker
+:class:`~repro.Connection` objects over a shared
+:class:`~repro.session.ArtifactStore`.  The HTTP layer is deliberately
+thin — stdlib :mod:`http.server` with threads, no framework — because
+the protocol work (parsing, validation, execution) already lives in
+:mod:`repro.session.protocol` and is transport-independent.
+
+Routes (full spec in ``docs/protocol.md``):
+
+* ``POST /v1/session`` — body is one
+  :class:`~repro.session.SessionRequest` JSON object; the reply is one
+  :class:`~repro.session.SessionResponse`.  Requests the library
+  rejects (bad index, unknown variable, ...) come back as HTTP 200
+  with ``ok=false`` — the protocol's own error channel; *malformed*
+  bodies (invalid JSON, unknown fields, newer protocol version) are
+  HTTP 400 with the same structured shape, never a traceback.
+* ``GET /healthz`` — liveness: package + protocol versions, engine,
+  worker count.
+* ``GET /stats`` — the shared store's build/cache counters, per-worker
+  session counters, and the transport's own op counters.
+
+Concurrency: :class:`http.server.ThreadingHTTPServer` spawns a thread
+per connection; each request then checks a ``Connection`` out of the
+worker pool (bounded, so ``--workers`` caps concurrent query work
+regardless of open sockets).  Artifact builds synchronize per artifact
+in the store — two clients asking for different decompositions
+preprocess concurrently; two asking for the same one build it once.
+
+Start one from Python (or ``repro serve`` from a shell)::
+
+    import repro
+    from repro.server import ReproServer
+
+    with ReproServer({"R": {(1, 2)}}, workers=4) as server:
+        conn = repro.connect(server.url)       # HTTP facade client
+        view = conn.prepare("Q(x, y) :- R(x, y)", order=["x", "y"])
+        assert view[0] == (1, 2)
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from collections import Counter
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.data.database import Database
+from repro.errors import ProtocolError, ReproError
+from repro.facade import Connection
+from repro.query.parser import parse_query
+from repro.session.artifacts import ArtifactStore
+from repro.session.protocol import (
+    PROTOCOL_VERSION,
+    SessionRequest,
+    SessionResponse,
+    execute,
+)
+from repro.session.session import AccessSession
+
+#: Route of the one serving endpoint (POST).
+SESSION_ROUTE = "/v1/session"
+
+#: Hard cap on request bodies; a session request is a few hundred bytes,
+#: so anything near this is a client bug, answered with HTTP 413.
+MAX_BODY_BYTES = 1 << 20
+
+
+def error_body(message: str, op: str = "?") -> bytes:
+    """The structured JSON body for a transport-level error.
+
+    Same shape as a protocol-level failure — an ``ok=false``
+    :class:`~repro.session.SessionResponse` — so clients parse exactly
+    one error format at every layer:
+
+        >>> import json
+        >>> body = json.loads(error_body("bad JSON request").decode())
+        >>> body["ok"], body["error"]
+        (False, 'bad JSON request')
+    """
+    return (
+        SessionResponse(op=op, ok=False, error=message)
+        .to_json()
+        .encode("utf-8")
+    )
+
+
+class _ServerCounters:
+    """Transport-level op/error counters (the store counts cache work;
+    this counts wire traffic), locked because handler threads race."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.ops: Counter[str] = Counter()
+        self.http_errors: Counter[int] = Counter()
+
+    def count_request(self, op: str) -> None:
+        with self._lock:
+            self.requests += 1
+            self.ops[op] += 1
+
+    def count_error(self, status: int) -> None:
+        with self._lock:
+            self.http_errors[status] += 1
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "ops": dict(self.ops),
+                "http_errors": {
+                    str(status): count
+                    for status, count in self.http_errors.items()
+                },
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the interesting state lives on ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def repro(self) -> "ReproServer":
+        return self.server.repro_server  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.repro.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, body: bytes) -> None:
+        if status >= 400:
+            self.repro.counters.count_error(status)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, status: int, payload: dict) -> None:
+        self._reply(
+            status, json.dumps(payload, default=str).encode("utf-8")
+        )
+
+    # -- GET: observability ------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._reply_json(200, self.repro.health())
+        elif self.path == "/stats":
+            self._reply_json(200, self.repro.stats())
+        elif self.path.rstrip("/") == SESSION_ROUTE.rstrip("/"):
+            self._reply(
+                405,
+                error_body(f"use POST for {SESSION_ROUTE}"),
+            )
+        else:
+            self._reply(
+                404,
+                error_body(
+                    f"unknown path {self.path!r}; serving "
+                    f"POST {SESSION_ROUTE}, GET /healthz, GET /stats"
+                ),
+            )
+
+    # -- POST: the protocol ------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.rstrip("/") != SESSION_ROUTE.rstrip("/"):
+            self._reply(
+                404,
+                error_body(
+                    f"unknown path {self.path!r}; "
+                    f"POST requests go to {SESSION_ROUTE}"
+                ),
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+            if length < 0:
+                raise ValueError(length)
+        except ValueError:
+            # Without a sane length the body framing is unknown (e.g.
+            # chunked encoding), so the connection cannot be reused —
+            # close it rather than parse body bytes as the next
+            # request.  A negative length must not reach rfile.read(),
+            # which would block until client EOF.
+            self.close_connection = True
+            self._reply(
+                411, error_body("request needs a Content-Length")
+            )
+            return
+        if length > MAX_BODY_BYTES:
+            # Drain (bounded) so the client can finish writing and
+            # read the error instead of dying on a broken pipe; truly
+            # absurd lengths just get the connection closed.
+            remaining = min(length, 16 * MAX_BODY_BYTES)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 1 << 16))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            self._reply(
+                413,
+                error_body(
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                ),
+            )
+            return
+        raw = self.rfile.read(length)
+        # Malformed bodies are client errors: a structured 400, never a
+        # 500/traceback (the request may be hostile or just confused).
+        try:
+            request = SessionRequest.from_json(raw.decode("utf-8"))
+        except UnicodeDecodeError:
+            self._reply(400, error_body("request body is not UTF-8"))
+            return
+        except ProtocolError as error:
+            self._reply(400, error_body(str(error)))
+            return
+        self.repro.counters.count_request(request.op)
+        response = self.repro.execute(request)
+        self._reply(200, response.to_json().encode("utf-8"))
+
+
+class ReproServer:
+    """A threaded HTTP server for one database.
+
+    Args:
+        database: the served :class:`~repro.data.database.Database` (or
+            a plain mapping of relation names to tuple iterables).
+        engine: execution engine for the shared store (name, instance,
+            or ``None`` for a fresh instance of the active engine's
+            kind — worker-shared, like :func:`repro.connect`).
+        workers: size of the per-worker ``Connection`` pool: the number
+            of requests doing query work concurrently.
+        capacity: per-kind artifact-cache capacity of the shared store.
+        cache_slack: cache-aware planning slack of every worker session.
+        default_query: a query (text or parsed) backing requests that
+            carry none — the HTTP twin of ``repro session``'s bound
+            query.  ``None`` means every request must name its query.
+        host / port: bind address; ``port=0`` picks an ephemeral port
+            (see :attr:`url`).
+        verbose: log one line per request to stderr.
+
+    Usable as a context manager: ``with ReproServer(db) as server:``
+    starts a background serving thread and shuts it down on exit.  Call
+    :meth:`serve_forever` instead to serve in the foreground (the CLI).
+    """
+
+    def __init__(
+        self,
+        database,
+        engine=None,
+        workers: int = 4,
+        capacity: int | None = 64,
+        cache_slack=0,
+        default_query=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if not isinstance(database, Database):
+            database = Database(database)
+        if isinstance(default_query, str):
+            default_query = parse_query(default_query)
+        if default_query is not None:
+            # Fail at startup, not once per request.
+            database.validate_for(default_query)
+        if engine is None:
+            from repro.engine.registry import get_engine
+
+            engine = get_engine().name
+        self.store = ArtifactStore(
+            database, engine=engine, capacity=capacity
+        )
+        self.default_query = default_query
+        self.verbose = verbose
+        self.workers = workers
+        self.counters = _ServerCounters()
+        self._connections = [
+            Connection(
+                AccessSession(store=self.store, cache_slack=cache_slack)
+            )
+            for _ in range(workers)
+        ]
+        self._pool: queue.Queue[Connection] = queue.Queue()
+        for connection in self._connections:
+            self._pool.put(connection)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.repro_server = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- addresses ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients connect to (``repro.connect(server.url)``)."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- serving -----------------------------------------------------------
+
+    def execute(self, request: SessionRequest) -> SessionResponse:
+        """Serve one protocol request on a pooled worker connection."""
+        connection = self._pool.get()
+        try:
+            return execute(
+                connection, request, default_query=self.default_query
+            )
+        except ReproError as error:
+            # execute() already converts library errors; anything that
+            # still escapes must not kill the worker checkout.
+            return SessionResponse(
+                op=request.op, ok=False, error=str(error)
+            )
+        finally:
+            self._pool.put(connection)
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or KeyboardInterrupt)."""
+        self._httpd.serve_forever()
+
+    def start(self) -> "ReproServer":
+        """Serve on a daemon background thread (tests, benchmarks)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- observability -----------------------------------------------------
+
+    def health(self) -> dict:
+        from repro import __version__
+
+        return {
+            "ok": True,
+            "service": "repro",
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "engine": self.store.engine.name,
+            "workers": self.workers,
+            "default_query": (
+                str(self.default_query)
+                if self.default_query is not None
+                else None
+            ),
+        }
+
+    def stats(self) -> dict:
+        """Store build/cache counters + per-worker sessions + wire ops."""
+        return {
+            "server": self.counters.as_dict(),
+            "store": self.store.cache_stats(),
+            "workers": [
+                connection.session.stats.as_dict()
+                for connection in self._connections
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReproServer({self.url}, engine="
+            f"{self.store.engine.name!r}, workers={self.workers})"
+        )
+
+
+def serve(
+    database,
+    *,
+    engine=None,
+    workers: int = 4,
+    capacity: int | None = 64,
+    cache_slack=0,
+    default_query=None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> ReproServer:
+    """Build a :class:`ReproServer` and serve in the foreground.
+
+    The programmatic twin of ``repro serve``; returns the (stopped)
+    server after :meth:`~ReproServer.shutdown` or Ctrl-C.
+    """
+    server = ReproServer(
+        database,
+        engine=engine,
+        workers=workers,
+        capacity=capacity,
+        cache_slack=cache_slack,
+        default_query=default_query,
+        host=host,
+        port=port,
+        verbose=verbose,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return server
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ReproServer",
+    "SESSION_ROUTE",
+    "error_body",
+    "serve",
+]

@@ -6,14 +6,25 @@ forests between every request that can legally reuse them (same
 decomposition, same engine) — see :mod:`repro.session.session`.  It is
 the engine room behind the public facade (:func:`repro.connect`).
 
+:mod:`repro.session.artifacts` holds the shared read-only
+:class:`ArtifactStore`: encoded database, bag tables, and counting
+forests behind per-artifact build locks, fronted by cheap per-worker
+sessions (the concurrency backbone of ``repro serve``).
+
 :mod:`repro.session.protocol` defines the versioned, JSON-serializable
 request/response shapes (:class:`SessionRequest` /
 :class:`SessionResponse`) that every transport — the ``repro session``
-CLI's text grammar and its ``--json`` mode alike — funnels through one
-executor.
+CLI's text grammar, its ``--json`` mode, and the HTTP server
+(:mod:`repro.server`) alike — funnels through one executor.
 """
 
-from repro.session.cache import CacheStats, LRUCache, SessionStats
+from repro.session.artifacts import ArtifactStore, StoreStats
+from repro.session.cache import (
+    CacheStats,
+    CostAwareCache,
+    LRUCache,
+    SessionStats,
+)
 from repro.session.protocol import (
     PROTOCOL_VERSION,
     SessionRequest,
@@ -23,10 +34,13 @@ from repro.session.session import AccessSession
 
 __all__ = [
     "AccessSession",
+    "ArtifactStore",
     "CacheStats",
+    "CostAwareCache",
     "LRUCache",
     "PROTOCOL_VERSION",
     "SessionRequest",
     "SessionResponse",
     "SessionStats",
+    "StoreStats",
 ]

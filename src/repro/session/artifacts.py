@@ -1,0 +1,320 @@
+"""The shared read-only artifact store behind per-worker sessions.
+
+PR 3 made :class:`~repro.session.AccessSession` thread-safe with one
+reentrant lock — correct, but it serializes *whole requests*: while one
+thread pays an ``O(|D|^ι)`` preprocessing pass, every other thread
+waits, even those asking for artifacts that already exist or for a
+*different* decomposition.  For a serving process (``repro serve``)
+that is the difference between N workers and one.
+
+:class:`ArtifactStore` splits that lock three ways:
+
+* a **registry lock** — held only for dictionary lookups, cache
+  insertion, and stats updates (microseconds, never across tuple
+  work);
+* **per-artifact build locks** — one lock per cache key, created on
+  demand, held across the actual build.  Two workers requesting the
+  *same* cold artifact serialize on its key (the second finds it warm:
+  one preprocessing pass total); two workers requesting *different*
+  decompositions build concurrently;
+* no lock at all for serving — the cached structures
+  (:class:`~repro.core.access.DirectAccess`, counting forests, bag
+  tables) are immutable after construction, so reads need no
+  coordination.
+
+Artifacts are keyed by
+:meth:`~repro.core.decomposition.DisruptionFreeDecomposition.cache_key`
+(canonical across every order inducing the same decomposition) and
+evicted cost-aware: each entry remembers its decomposition exponent
+``ι``, and overflow sacrifices the cheapest-to-rebuild entry first
+(:class:`~repro.session.cache.CostAwareCache`), not the least recent.
+
+One store fronts many cheap :class:`~repro.session.AccessSession`
+objects — one per server worker — each keeping its own request/plan
+counters while the artifact caches, and the once-per-database encoded
+dictionary, are shared:
+
+    >>> from repro.session.artifacts import ArtifactStore
+    >>> store = ArtifactStore({"R": {(1, 2), (3, 2)}, "S": {(2, 7)}})
+    >>> worker_a, worker_b = store.session(), store.session()
+    >>> len(worker_a.access("Q(x, y, z) :- R(x, y), S(y, z)",
+    ...                     order=["x", "y", "z"]))
+    2
+    >>> len(worker_b.access("Q(x, y, z) :- R(x, y), S(y, z)",
+    ...                     order=["x", "z", "y"]))    # warm sibling?
+    2
+    >>> store.stats.database_encodes     # encoded once, not per worker
+    1
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.engine.base import Engine
+from repro.engine.registry import resolve_engine
+from repro.session.cache import CacheStats, CostAwareCache
+
+
+@dataclass
+class StoreStats:
+    """Aggregate counters for one :class:`ArtifactStore`.
+
+    The per-kind :class:`CacheStats` aggregate over *all* attached
+    sessions (each session additionally keeps its own).  The build
+    counters are the serving-layer acceptance evidence:
+
+    * ``database_encodes`` — how many times the engine actually encoded
+      the database; stays 1 no matter how many workers attach;
+    * ``artifact_builds`` — builds that really ran (a worker that waited
+      on another worker's in-flight build does not count);
+    * ``build_waits`` — times a worker blocked on a per-artifact lock
+      and then found the artifact warm (the de-duplication at work);
+    * ``build_concurrency_peak`` — the high-water mark of builds running
+      *simultaneously*; ``>= 2`` proves two artifacts were built under
+      different locks, which a single session-wide lock can never show.
+    """
+
+    preprocessing: CacheStats = field(default_factory=CacheStats)
+    forest: CacheStats = field(default_factory=CacheStats)
+    access: CacheStats = field(default_factory=CacheStats)
+    plans: CacheStats = field(default_factory=CacheStats)
+    decompositions: CacheStats = field(default_factory=CacheStats)
+    database_encodes: int = 0
+    artifact_builds: int = 0
+    build_waits: int = 0
+    build_concurrency_peak: int = 0
+    sessions: int = 0
+
+    def of(self, kind: str) -> CacheStats:
+        return getattr(self, kind)
+
+    def as_dict(self) -> dict:
+        return {
+            "database_encodes": self.database_encodes,
+            "artifact_builds": self.artifact_builds,
+            "build_waits": self.build_waits,
+            "build_concurrency_peak": self.build_concurrency_peak,
+            "sessions": self.sessions,
+            "preprocessing": self.preprocessing.as_dict(),
+            "forest": self.forest.as_dict(),
+            "access": self.access.as_dict(),
+            "plans": self.plans.as_dict(),
+            "decompositions": self.decompositions.as_dict(),
+        }
+
+
+class ArtifactStore:
+    """Shared, read-only-once-built artifacts for one database.
+
+    Args:
+        database: the served database (a :class:`Database` or a plain
+            mapping of relation names to tuple iterables, converted).
+        engine: execution engine (name, instance, or ``None`` for a
+            fresh instance of the process-global active engine's kind);
+            every attached session serves with this engine, so cached
+            artifacts are internally consistent.
+        capacity: per-kind cache capacity (``None`` = unbounded,
+            ``0`` = caching disabled).
+    """
+
+    #: Artifact kinds, one cache each.  ``preprocessing`` holds bag
+    #: tables, ``forest`` counting forests, ``access`` assembled
+    #: DirectAccess structures; ``plans`` and ``decompositions`` hold
+    #: the (data-independent) planner products.
+    KINDS = ("preprocessing", "forest", "access", "plans", "decompositions")
+
+    def __init__(
+        self,
+        database: Database,
+        engine: str | Engine | None = None,
+        capacity: int | None = 64,
+    ):
+        if not isinstance(database, Database):
+            database = Database(database)
+        self.database = database
+        self.engine = resolve_engine(engine)
+        self.stats = StoreStats()
+        # Short-held: protects the cache maps, the build-lock registry,
+        # and stats — never held across a build or an engine call.
+        self._registry_lock = threading.Lock()
+        self._build_locks: dict[tuple, threading.Lock] = {}
+        self._building = 0
+        # Builds nest (an access build runs the preprocessing and
+        # forest builds inside it); concurrency is counted per
+        # *thread*, not per nesting level, so the peak really means
+        # "this many workers were building at the same instant".
+        self._build_depth = threading.local()
+        self._caches = {
+            kind: CostAwareCache(capacity, self.stats.of(kind))
+            for kind in self.KINDS
+        }
+        self._encoded = False
+        self.ensure_encoded()
+
+    # -- sessions ----------------------------------------------------------
+
+    def session(self, cache_slack=0):
+        """A cheap per-worker :class:`~repro.session.AccessSession`
+        attached to this store (own counters, shared artifacts)."""
+        from repro.session.session import AccessSession
+
+        return AccessSession(store=self, cache_slack=cache_slack)
+
+    # -- the build protocol ------------------------------------------------
+
+    #: Build-lock registry is pruned (unheld locks dropped) past this
+    #: size, so a long-lived server's evicted keys cannot leak locks.
+    LOCK_REGISTRY_LIMIT = 1024
+
+    def _build_lock(self, kind: str, key) -> threading.Lock:
+        with self._registry_lock:
+            if len(self._build_locks) > self.LOCK_REGISTRY_LIMIT:
+                # A held lock is always kept: its builder (and anyone
+                # blocked on it) still references that exact object.
+                self._build_locks = {
+                    k: lock
+                    for k, lock in self._build_locks.items()
+                    if lock.locked() or k[0] == "encode"
+                }
+            return self._build_locks.setdefault(
+                (kind, key), threading.Lock()
+            )
+
+    def ensure_encoded(self) -> None:
+        """Encode the database exactly once, no matter how many workers
+        attach (shared-domain dictionary under numpy, warm sort caches
+        under Python)."""
+        if self._encoded:
+            return
+        with self._build_lock("encode", None):
+            if self._encoded:
+                return
+            self.engine.encode_database(self.database)
+            with self._registry_lock:
+                self.stats.database_encodes += 1
+                self._encoded = True
+
+    def get(self, kind: str, key, extra: CacheStats | None = None):
+        """Cached artifact or ``None``; counts a hit/miss in the store
+        aggregate and in the caller's ``extra`` stats."""
+        with self._registry_lock:
+            return self._caches[kind].get(key, extra)
+
+    def put(
+        self, kind: str, key, value, cost=0,
+        extra: CacheStats | None = None,
+    ) -> None:
+        with self._registry_lock:
+            self._caches[kind].put(key, value, cost=cost, extra=extra)
+
+    def contains(self, kind: str, key) -> bool:
+        """Membership without touching counters or recency (the
+        cache-aware planner's warm-order peek)."""
+        with self._registry_lock:
+            return key in self._caches[kind]
+
+    def get_or_build(
+        self,
+        kind: str,
+        key,
+        builder,
+        cost=0,
+        extra: CacheStats | None = None,
+        counted: bool = False,
+    ):
+        """The artifact under ``key``, building it at most once.
+
+        A miss takes the *per-key* build lock, re-checks, and runs
+        ``builder()`` while unrelated keys build concurrently.  ``cost``
+        (the decomposition exponent) steers eviction.  Builder errors
+        propagate and cache nothing, so a failed build does not poison
+        the key.  ``counted=True`` means the caller already recorded
+        this lookup's hit/miss (no double counting).
+        """
+        if counted:
+            with self._registry_lock:
+                value = self._caches[kind].peek(key)
+        else:
+            value = self.get(kind, key, extra)
+        if value is not None:
+            return value
+        while True:
+            lock = self._build_lock(kind, key)
+            with lock:
+                with self._registry_lock:
+                    # The registry may have pruned this lock between
+                    # setdefault and acquire (it was unheld then); a
+                    # stale lock no longer excludes other builders, so
+                    # retake the registered one.
+                    if self._build_locks.get((kind, key)) is not lock:
+                        continue
+                    # Double-check: another worker may have built it
+                    # while we waited on the key lock.  peek() keeps
+                    # the earlier miss honest (this worker did miss;
+                    # it just did not build).
+                    value = self._caches[kind].peek(key)
+                    if value is not None:
+                        self.stats.build_waits += 1
+                        return value
+                    depth = getattr(self._build_depth, "value", 0)
+                    if depth == 0:
+                        self._building += 1
+                        self.stats.build_concurrency_peak = max(
+                            self.stats.build_concurrency_peak,
+                            self._building,
+                        )
+                self._build_depth.value = depth + 1
+                try:
+                    value = builder()
+                finally:
+                    self._build_depth.value = depth
+                    if depth == 0:
+                        with self._registry_lock:
+                            self._building -= 1
+                with self._registry_lock:
+                    self.stats.artifact_builds += 1
+                    self._caches[kind].put(
+                        key, value, cost=cost, extra=extra
+                    )
+                return value
+
+    # -- observability / lifecycle -----------------------------------------
+
+    def cache(self, kind: str) -> CostAwareCache:
+        """The underlying cache for ``kind`` (tests and introspection;
+        not synchronized — take care off the serving path)."""
+        return self._caches[kind]
+
+    def cache_stats(self) -> dict:
+        """A plain-dict snapshot of the store-level counters."""
+        with self._registry_lock:
+            return self.stats.as_dict()
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters and the encoded
+        database are kept)."""
+        with self._registry_lock:
+            for cache in self._caches.values():
+                cache.clear()
+            # Held locks are kept, like the prune path: an in-flight
+            # builder must stay the only builder for its key.
+            self._build_locks = {
+                key: lock
+                for key, lock in self._build_locks.items()
+                if lock.locked() or key[0] == "encode"
+            }
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{kind}={len(self._caches[kind])}" for kind in self.KINDS
+        )
+        return (
+            f"ArtifactStore({self.database!r}, "
+            f"engine={self.engine.name!r}, {sizes})"
+        )
+
+
+__all__ = ["ArtifactStore", "StoreStats"]

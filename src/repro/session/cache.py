@@ -1,8 +1,8 @@
-"""Session-scoped LRU caches and their observability counters.
+"""Session-scoped caches and their observability counters.
 
-The session amortizes three artifacts across requests, each in its own
-LRU (bounded, so a long-lived serving process cannot grow without
-limit):
+The serving layer amortizes its artifacts across requests, each kind in
+its own bounded cache (so a long-lived serving process cannot grow
+without limit):
 
 * materialized bag relations, keyed by the *decomposition* (not the
   order) — shared by every order inducing the same disruption-free
@@ -10,6 +10,17 @@ limit):
 * counting forests, keyed by decomposition + projected set;
 * assembled :class:`~repro.core.access.DirectAccess` structures, keyed
   by the exact (query, order, projected) request.
+
+Two cache flavours live here.  :class:`LRUCache` is the plain
+recency-evicting map.  :class:`CostAwareCache` is what the shared
+:class:`~repro.session.artifacts.ArtifactStore` uses for preprocessing
+artifacts: each entry carries its *rebuild cost* — the decomposition
+exponent ``ι`` of Theorem 44, known exactly before any data is touched
+— and eviction sacrifices the cheapest-to-rebuild entry first (recency
+only breaks ties).  Evicting an ``O(|D|^2)`` counting forest to keep
+three ``O(|D|)`` ones is how a plain LRU thrashes a serving workload;
+the exponent is a better oracle than recency because the paper makes it
+a *certainty*, not a heuristic.
 
 :class:`CacheStats` counts hits/misses/evictions per cache plus the
 tuple-level work actually performed (bag materializations, forest
@@ -21,6 +32,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 
 @dataclass
@@ -126,3 +138,107 @@ class LRUCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+
+class CostAwareCache:
+    """A bounded cache that evicts the cheapest-to-rebuild entry first.
+
+    Each entry carries a ``cost`` — for preprocessing artifacts, the
+    decomposition exponent ``ι``, so re-deriving an evicted entry costs
+    ``O(|D|^cost)``.  Eviction is the classic *GreedyDual* policy: an
+    entry's credit is ``clock + cost`` at insert/hit time, the victim
+    is the entry with the lowest credit (ties to the least recently
+    touched), and the clock advances to the victim's credit.  So an
+    expensive decomposition outlives many cheap ones, but ages out
+    eventually instead of squatting forever, and with uniform costs the
+    policy degenerates to exact LRU.
+
+        >>> stats = CacheStats()
+        >>> cache = CostAwareCache(2, stats)
+        >>> cache.put("path", "forest-1", cost=1)
+        >>> cache.put("triangle", "forest-2", cost=Fraction(3, 2))
+        >>> cache.put("star", "forest-3", cost=1)   # overflow
+        >>> "triangle" in cache    # the ι=3/2 artifact survives ...
+        True
+        >>> "path" in cache        # ... the cheap ι=1 one is evicted
+        False
+        >>> stats.evictions
+        1
+
+    Lookups can attribute hit/miss counters to a *second* per-caller
+    :class:`CacheStats` (``extra``) on top of the cache's own aggregate
+    — this is how per-worker sessions keep their own counters over one
+    shared store.  The class itself is not locked; the owning
+    :class:`~repro.session.artifacts.ArtifactStore` serializes access
+    behind its registry lock.
+    """
+
+    def __init__(self, capacity: int | None, stats: CacheStats):
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"negative cache capacity {capacity}")
+        self.capacity = capacity
+        self.stats = stats
+        self._entries: OrderedDict = OrderedDict()
+        self._credits: dict = {}
+        self._costs: dict = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        """Membership *without* touching recency or hit/miss counters
+        (used by the cache-aware planner to peek at warm orders)."""
+        return key in self._entries
+
+    def peek(self, key):
+        """The cached value without counters or recency (or ``None``)."""
+        return self._entries.get(key)
+
+    def get(self, key, extra: CacheStats | None = None):
+        """The cached value, or ``None`` on a miss (values are never
+        ``None``); counts into the aggregate stats and, if given, the
+        caller's ``extra`` stats."""
+        counters = (self.stats,) if extra is None else (self.stats, extra)
+        try:
+            value = self._entries[key]
+        except KeyError:
+            for stats in counters:
+                stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        # A hit renews the entry's credit at the current clock: recently
+        # useful entries stay ahead of the aging front.
+        self._credits[key] = self._clock + self._costs[key]
+        for stats in counters:
+            stats.hits += 1
+        return value
+
+    def put(self, key, value, cost=0, extra: CacheStats | None = None) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._costs[key] = cost
+        self._credits[key] = self._clock + cost
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._evict_one(extra)
+
+    def _evict_one(self, extra: CacheStats | None) -> None:
+        # Victim: minimum credit; ties go to the least recently used
+        # (OrderedDict iterates oldest first, so the first minimum wins).
+        victim = min(self._entries, key=self._credits.__getitem__)
+        self._clock = self._credits[victim]
+        del self._entries[victim]
+        del self._credits[victim]
+        del self._costs[victim]
+        self.stats.evictions += 1
+        if extra is not None:
+            extra.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._credits.clear()
+        self._costs.clear()
+        self._clock = 0

@@ -36,6 +36,21 @@ OPS = frozenset(
     {"access", "count", "median", "page", "plan", "rank", "stats", "quit"}
 )
 
+#: One-line summary per op — the machine-checkable core of
+#: ``docs/protocol.md`` (the sync test diffs the doc against this and
+#: against :data:`OPS`, so neither can rot).
+OP_SUMMARIES = {
+    "access": "answer tuples at the given indices (batch direct access)",
+    "count": "the number of answers, never enumerated",
+    "median": "the middle answer under the served order",
+    "page": "one page of ranked answers (page_number, page_size)",
+    "plan": "the order the cache-aware advisor would serve with",
+    "rank": "inverse access: the index of an answer tuple, or null",
+    "stats": "per-worker session counters and shared-store stats",
+    "quit": "end an in-band stream (transports decide what follows)",
+}
+assert set(OP_SUMMARIES) == OPS
+
 
 def _string_tuple(value, name: str) -> tuple[str, ...]:
     if not isinstance(value, (list, tuple)) or not all(
@@ -171,14 +186,18 @@ class SessionResponse:
     """The answer to one :class:`SessionRequest`.
 
     ``ok`` distinguishes served results from request errors; a failed
-    request carries the error message in ``error`` and ``result=None``.
-    ``result`` holds only JSON types — answer tuples arrive as lists.
+    request carries the error message in ``error`` and ``result=None``,
+    plus the library's exception class name in ``error_type`` (e.g.
+    ``"OutOfBoundsError"``) so remote clients can re-raise the same
+    exception a local call would have raised.  ``result`` holds only
+    JSON types — answer tuples arrive as lists.
     """
 
     op: str
     ok: bool
     result: object = None
     error: str | None = None
+    error_type: str | None = None
     version: int = PROTOCOL_VERSION
 
     def to_dict(self) -> dict:
@@ -191,6 +210,8 @@ class SessionResponse:
             out["result"] = self.result
         else:
             out["error"] = self.error
+            if self.error_type is not None:
+                out["error_type"] = self.error_type
         return out
 
     def to_json(self) -> str:
@@ -219,6 +240,7 @@ class SessionResponse:
             ok=ok,
             result=data.get("result"),
             error=data.get("error"),
+            error_type=data.get("error_type"),
             version=version,
         )
 
@@ -392,7 +414,10 @@ def execute(
         raise ProtocolError(f"unknown command {op!r} (try 'help')")
     except (ReproError, ValueError) as error:
         return SessionResponse(
-            op=request.op, ok=False, error=str(error)
+            op=request.op,
+            ok=False,
+            error=str(error),
+            error_type=type(error).__name__,
         )
     except TypeError as error:
         # Order-sensitive structures need a totally ordered domain; a
@@ -403,11 +428,13 @@ def execute(
             op=request.op,
             ok=False,
             error=f"domain not totally ordered: {error}",
+            error_type="TypeError",
         )
 
 
 __all__ = [
     "OPS",
+    "OP_SUMMARIES",
     "PROTOCOL_VERSION",
     "SessionRequest",
     "SessionResponse",

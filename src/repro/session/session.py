@@ -21,12 +21,18 @@ core:
   decomposition is already cached wins over a marginally cheaper cold
   one.
 
-The session is thread-safe: one reentrant lock serializes planning,
-cache mutation, and stats updates, and :meth:`AccessSession.cache_stats`
-returns an atomic snapshot.  (The served structures themselves are
-immutable after construction — apart from the engine op counters,
-whose increments are internally locked — so concurrent *reads* of a
-returned :class:`DirectAccess` need no coordination.)
+Concurrency model (since the ``repro serve`` PR): the artifacts live in
+a shared :class:`~repro.session.artifacts.ArtifactStore`, and the
+session itself is a *cheap front* — per-worker counters plus planning
+sugar.  Cache lookups take the store's short registry lock; cold builds
+take a **per-artifact** build lock, so two threads preprocessing
+*different* decompositions proceed concurrently while two threads
+racing for the *same* artifact do the work exactly once.  The served
+structures are immutable after construction, so concurrent reads of a
+returned :class:`DirectAccess` need no coordination.  A session created
+the classic way (``AccessSession(database)``) owns a private store and
+behaves exactly as before; sessions created with
+:meth:`ArtifactStore.session` share one store across workers.
 
 This module is the engine room behind the public facade
 (:func:`repro.connect` / :class:`repro.Connection`): prefer the facade
@@ -50,12 +56,13 @@ from repro.core.preprocessing import Preprocessing
 from repro.core import tasks
 from repro.data.database import Database
 from repro.engine.base import Engine
-from repro.engine.registry import resolve_engine, use_engine
+from repro.engine.registry import use_engine
 from repro.errors import OrderError
 from repro.query.parser import parse_query
 from repro.query.query import JoinQuery
 from repro.query.variable_order import VariableOrder
-from repro.session.cache import LRUCache, SessionStats
+from repro.session.artifacts import ArtifactStore
+from repro.session.cache import SessionStats
 
 
 def _as_order(order) -> VariableOrder:
@@ -68,17 +75,22 @@ class AccessSession:
     """Amortized direct access for repeated requests over one database.
 
     Args:
-        database: the database served; owned by the session for its
-            lifetime (the engine pre-encodes it in place).
+        database: the database served; owned by the session's store for
+            its lifetime (the engine pre-encodes it in place).  Omit it
+            when attaching to an existing ``store``.
         engine: execution engine (name, instance, or ``None`` for the
             process-global active engine); pinned for every request so
             cached artifacts are internally consistent.
-        capacity: per-cache LRU capacity (``None`` = unbounded).
+        capacity: per-cache capacity (``None`` = unbounded).
         cache_slack: how much preprocessing exponent the planner may
             give up for a warm cache: among candidate orders with
             ``ι ≤ ι_min + cache_slack``, an already-cached decomposition
             is preferred.  ``0`` (default) only breaks exact ties
             towards the cache; the asymptotic guarantee is unchanged.
+        store: a shared :class:`~repro.session.artifacts.ArtifactStore`
+            to attach to (per-worker sessions over one store).  With
+            ``store`` given, ``database``/``engine``/``capacity`` must
+            be left at their defaults — the store owns them.
     """
 
     #: Cache-aware planning inspects at most this many slack-window
@@ -89,34 +101,50 @@ class AccessSession:
 
     def __init__(
         self,
-        database: Database,
+        database: Database | None = None,
         engine: str | Engine | None = None,
         capacity: int | None = 64,
         cache_slack: Fraction | int | float = 0,
+        store: ArtifactStore | None = None,
     ):
-        self.database = database
-        self.engine = resolve_engine(engine)
+        if store is None:
+            if database is None:
+                raise ValueError(
+                    "AccessSession needs a database (or a store)"
+                )
+            store = ArtifactStore(
+                database, engine=engine, capacity=capacity
+            )
+            self._owns_store = True
+        else:
+            if database is not None and database is not store.database:
+                raise ValueError(
+                    "a store-attached session serves the store's "
+                    "database; do not pass another one"
+                )
+            if engine is not None and engine is not store.engine:
+                raise ValueError(
+                    "a store-attached session serves with the store's "
+                    "engine; do not pass another one"
+                )
+            self._owns_store = False
+        self.store = store
+        self.database = store.database
+        self.engine = store.engine
         self.cache_slack = Fraction(cache_slack)
         self.stats = SessionStats()
-        # Reentrant: access() -> plan() -> _ranked() all take it.  Cache
-        # mutation, stats updates, and snapshots are serialized; the
-        # returned DirectAccess structures are immutable and safe to
-        # read concurrently without it.
+        # A leaf lock for this session's own counters and snapshots —
+        # held for increments only, never while calling into the store
+        # (whose build locks may in turn briefly take this lock from
+        # another thread).
         self._lock = threading.RLock()
-        self._preprocessing_cache = LRUCache(
-            capacity, self.stats.preprocessing
-        )
-        self._forest_cache = LRUCache(capacity, self.stats.forest)
-        self._access_cache = LRUCache(capacity, self.stats.access)
-        # Plans are trimmed to the slack window plan() inspects, so the
-        # factorial tail of rank_orders is never retained.
-        self._plans = LRUCache(capacity, self.stats.plans)
-        # Decompositions per (query, order): warm requests must not
-        # re-solve the per-bag fractional-cover LPs.
-        self._decompositions = LRUCache(
-            capacity, self.stats.decompositions
-        )
-        self.engine.encode_database(database)
+        with store._registry_lock:
+            store.stats.sessions += 1
+
+    @property
+    def _plans(self):
+        # Back-compat introspection handle (tests peek at ._entries).
+        return self.store.cache("plans")
 
     # -- planning ----------------------------------------------------------
 
@@ -130,9 +158,10 @@ class AccessSession:
             # mutated cache_slack must miss and re-plan.
             self.cache_slack,
         )
-        plan = self._plans.get(key)
-        if plan is None:
-            self.stats.advisor_calls += 1
+
+        def build_plan() -> list[OrderReport]:
+            with self._lock:
+                self.stats.advisor_calls += 1
             # limit streams via heapq.nsmallest: only PLAN_WINDOW
             # reports are ever retained, not the factorial ranking.
             ranked = (
@@ -151,7 +180,7 @@ class AccessSession:
             # factorial ranking itself that is noise, and it keeps the
             # advisor API free of a retain-decompositions mode.
             threshold = ranked[0].iota + max(self.cache_slack, 0)
-            plan = [
+            return [
                 replace(
                     report,
                     decomposition=self._decomposition_for(
@@ -161,18 +190,21 @@ class AccessSession:
                 for report in ranked
                 if report.iota <= threshold
             ]
-            self._plans.put(key, plan)
-        return plan
+
+        return self.store.get_or_build(
+            "plans", key, build_plan, extra=self.stats.plans
+        )
 
     def _decomposition_for(
         self, signature, query: JoinQuery, order: VariableOrder
     ) -> DisruptionFreeDecomposition:
         key = (signature, tuple(order))
-        decomposition = self._decompositions.get(key)
-        if decomposition is None:
-            decomposition = DisruptionFreeDecomposition(query, order)
-            self._decompositions.put(key, decomposition)
-        return decomposition
+        return self.store.get_or_build(
+            "decompositions",
+            key,
+            lambda: DisruptionFreeDecomposition(query, order),
+            extra=self.stats.decompositions,
+        )
 
     def plan(
         self, query: JoinQuery, prefix: VariableOrder | None = None
@@ -186,23 +218,23 @@ class AccessSession:
         """
         if prefix is not None:
             prefix = _as_order(prefix)
-        with self._lock:
-            ranked = self._ranked(query, prefix)
-            best = ranked[0]
-            if self.cache_slack < 0:
-                return best
-            signature = query.signature()
-            for report in ranked:
-                if report.iota > best.iota + self.cache_slack:
-                    break
-                key = self._preprocessing_key(
-                    signature, report.decomposition
-                )
-                if key in self._preprocessing_cache:
-                    if report is not best:
-                        self.stats.cache_preferred_orders += 1
-                    return report
+        ranked = self._ranked(query, prefix)
+        best = ranked[0]
+        if self.cache_slack < 0:
             return best
+        signature = query.signature()
+        for report in ranked:
+            if report.iota > best.iota + self.cache_slack:
+                break
+            key = self._preprocessing_key(
+                signature, report.decomposition
+            )
+            if self.store.contains("preprocessing", key):
+                if report is not best:
+                    with self._lock:
+                        self.stats.cache_preferred_orders += 1
+                return report
+        return best
 
     # -- cache keys --------------------------------------------------------
 
@@ -257,24 +289,32 @@ class AccessSession:
             )
         with self._lock:
             self.stats.requests += 1
-            if order is None:
-                report = self.plan(query, prefix)
-                order = report.order
-                decomposition = report.decomposition
-            signature = query.signature()
-            access_key = (signature, tuple(order), projected)
-            access = self._access_cache.get(access_key)
-            if access is not None:
-                return access
-            if decomposition is None:
-                decomposition = self._decomposition_for(
-                    signature, query, order
-                )
-            access = self._build(
-                query, order, projected, decomposition, signature
-            )
-            self._access_cache.put(access_key, access)
+        if order is None:
+            report = self.plan(query, prefix)
+            order = report.order
+            decomposition = report.decomposition
+        signature = query.signature()
+        access_key = (signature, tuple(order), projected)
+        access = self.store.get(
+            "access", access_key, extra=self.stats.access
+        )
+        if access is not None:
             return access
+        if decomposition is None:
+            decomposition = self._decomposition_for(
+                signature, query, order
+            )
+        iota = decomposition.incompatibility_number
+        return self.store.get_or_build(
+            "access",
+            access_key,
+            lambda: self._build(
+                query, order, projected, decomposition, signature
+            ),
+            cost=iota,
+            extra=self.stats.access,
+            counted=True,  # the get() above recorded this miss
+        )
 
     def _build(
         self,
@@ -288,37 +328,57 @@ class AccessSession:
             signature, decomposition
         )
         forest_key = preprocessing_key + (projected,)
+        iota = decomposition.incompatibility_number
         with use_engine(self.engine):
-            bag_tables = self._preprocessing_cache.get(
-                preprocessing_key
+
+            def build_bags():
+                preprocessing = Preprocessing(
+                    query, order, self.database,
+                    decomposition=decomposition,
+                )
+                with self._lock:
+                    self.stats.bag_materializations += (
+                        preprocessing.materialized_bag_count
+                    )
+                return preprocessing.bag_tables()
+
+            bag_tables = self.store.get_or_build(
+                "preprocessing",
+                preprocessing_key,
+                build_bags,
+                cost=iota,
+                extra=self.stats.preprocessing,
             )
+            # With the tables in hand, re-assembling Preprocessing is a
+            # pointer rewire — zero materializations, any order of the
+            # shared decomposition.
             preprocessing = Preprocessing(
-                query,
-                order,
-                self.database,
+                query, order, self.database,
                 decomposition=decomposition,
                 bag_tables=bag_tables,
             )
-            if bag_tables is None:
-                self.stats.bag_materializations += (
-                    preprocessing.materialized_bag_count
+
+            def build_forest():
+                access = DirectAccess(
+                    query, order, self.database, projected,
+                    preprocessing=preprocessing,
                 )
-                self._preprocessing_cache.put(
-                    preprocessing_key, preprocessing.bag_tables()
-                )
-            forest = self._forest_cache.get(forest_key)
-            access = DirectAccess(
-                query,
-                order,
-                self.database,
-                projected,
+                with self._lock:
+                    self.stats.forest_builds += len(access.forest)
+                return access.forest
+
+            forest = self.store.get_or_build(
+                "forest",
+                forest_key,
+                build_forest,
+                cost=iota,
+                extra=self.stats.forest,
+            )
+            return DirectAccess(
+                query, order, self.database, projected,
                 preprocessing=preprocessing,
                 forest=forest,
             )
-            if forest is None:
-                self.stats.forest_builds += len(access.forest)
-                self._forest_cache.put(forest_key, access.forest)
-        return access
 
     # -- task-layer conveniences ------------------------------------------
 
@@ -352,19 +412,24 @@ class AccessSession:
     # -- observability -----------------------------------------------------
 
     def cache_stats(self) -> dict:
-        """An atomic snapshot of all cache and work counters (plain
-        dicts, safe to read while other threads serve requests)."""
+        """A snapshot of this session's cache and work counters (plain
+        dicts, safe to read while other threads serve requests), plus
+        the shared store's build counters under ``"store"``."""
         with self._lock:
-            return self.stats.as_dict()
+            out = self.stats.as_dict()
+        out["store"] = self.store.cache_stats()
+        return out
 
     def clear(self) -> None:
-        """Drop every cached artifact (counters are kept)."""
-        with self._lock:
-            self._preprocessing_cache.clear()
-            self._forest_cache.clear()
-            self._access_cache.clear()
-            self._plans.clear()
-            self._decompositions.clear()
+        """Drop every cached artifact (counters are kept).
+
+        A session that *owns* its store (the classic
+        ``AccessSession(database)`` construction) clears it; a
+        per-worker session attached to a shared store must not wipe its
+        siblings' artifacts — clear the store itself for that.
+        """
+        if self._owns_store:
+            self.store.clear()
 
 
 __all__ = ["AccessSession"]

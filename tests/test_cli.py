@@ -5,6 +5,115 @@ import pytest
 from repro.cli import main
 
 
+class TestVersion:
+    def test_version_reports_package_and_protocol(self, capsys):
+        import repro
+        from repro.session.protocol import PROTOCOL_VERSION
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert f"repro {repro.__version__}" in out
+        assert f"protocol {PROTOCOL_VERSION}" in out
+
+
+class TestServeCommand:
+    def test_serve_on_ephemeral_port_round_trips(
+        self, tmp_path, capsys
+    ):
+        """`repro serve` boots, prints its URL, and answers HTTP —
+        driven through the real CLI codepath on a background thread."""
+        import json
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        relation = tmp_path / "r.csv"
+        relation.write_text("1,2\n3,2\n3,4\n")
+        thread = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve",
+                    "--port",
+                    "0",
+                    "--workers",
+                    "2",
+                    "--relation",
+                    f"R={relation}",
+                    "--query",
+                    "Q(x,y) :- R(x,y)",
+                ],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        url = None
+        for _ in range(100):
+            match = re.search(
+                r"http://[\d.]+:\d+", capsys.readouterr().out
+            )
+            if match:
+                url = match.group(0)
+                break
+            time.sleep(0.05)
+        assert url, "serve never printed its URL"
+        request = urllib.request.Request(
+            url + "/v1/session",
+            data=b'{"op": "count", "order": ["x", "y"]}',
+            method="POST",
+        )
+        for _ in range(50):  # the socket may lag the banner slightly
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=5
+                ) as reply:
+                    body = json.loads(reply.read().decode())
+                break
+            except OSError:
+                time.sleep(0.05)
+        else:
+            pytest.fail("serve URL never became reachable")
+        assert body["ok"] is True
+        assert body["result"]["count"] == 3
+
+    def test_serve_rejects_bad_relation_spec(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--relation", "busted"])
+
+    def test_serve_rejects_negative_capacity(self, tmp_path):
+        relation = tmp_path / "r.csv"
+        relation.write_text("1,2\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--relation",
+                    f"R={relation}",
+                    "--capacity",
+                    "-1",
+                ]
+            )
+
+    def test_serve_rejects_invalid_default_query(self, tmp_path):
+        relation = tmp_path / "r.csv"
+        relation.write_text("1,2\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--port",
+                    "0",
+                    "--relation",
+                    f"R={relation}",
+                    "--query",
+                    "Q(a,b) :- Missing(a,b)",
+                ]
+            )
+
+
 class TestAnalyze:
     def test_example5(self, capsys):
         code = main(

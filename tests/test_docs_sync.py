@@ -1,0 +1,115 @@
+"""The docs/ tree cannot rot: the protocol spec is diffed against the
+op registry, and the architecture page against the module layout.
+
+``docs/protocol.md`` documents every op under a ``### `op` `` heading
+followed by its one-line summary; this suite fails if an op is added
+to (or removed from, or re-described in) ``repro.session.protocol``
+without the spec following along — the acceptance criterion of the
+``repro serve`` PR.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.session.protocol import OPS, OP_SUMMARIES, PROTOCOL_VERSION
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+@pytest.fixture(scope="module")
+def protocol_doc() -> str:
+    return (DOCS / "protocol.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def architecture_doc() -> str:
+    return (DOCS / "architecture.md").read_text(encoding="utf-8")
+
+
+class TestProtocolSpecSync:
+    def test_documented_ops_match_registry(self, protocol_doc):
+        documented = set(
+            re.findall(r"^### `(\w+)`", protocol_doc, re.MULTILINE)
+        )
+        missing = OPS - documented
+        unknown = documented - OPS
+        assert not missing, (
+            f"ops registered in protocol.py but undocumented in "
+            f"docs/protocol.md: {sorted(missing)}"
+        )
+        assert not unknown, (
+            f"ops documented in docs/protocol.md but not registered "
+            f"in protocol.py: {sorted(unknown)}"
+        )
+
+    def test_documented_summaries_match_registry(self, protocol_doc):
+        # Each op's heading is followed by its registry summary line —
+        # re-describing an op in one place only is also rot.
+        for op, summary in OP_SUMMARIES.items():
+            heading = protocol_doc.find(f"### `{op}`")
+            assert heading != -1, f"op {op!r} has no heading"
+            tail = protocol_doc[heading : heading + 400]
+            assert summary in tail, (
+                f"docs/protocol.md describes {op!r} differently from "
+                f"OP_SUMMARIES ({summary!r} not found near its heading)"
+            )
+
+    def test_documented_version_matches(self, protocol_doc):
+        match = re.search(
+            r"Protocol version: \*\*(\d+)\*\*", protocol_doc
+        )
+        assert match, "docs/protocol.md must state the protocol version"
+        assert int(match.group(1)) == PROTOCOL_VERSION
+
+    def test_documented_http_statuses_are_served(self, protocol_doc):
+        """Every status in the doc's table exists in the server's
+        transport layer (and vice versa for the error paths)."""
+        import inspect
+
+        from repro.server import http as server_http
+
+        table = re.findall(
+            r"^\| (\d{3}) \|", protocol_doc, re.MULTILINE
+        )
+        documented = {int(code) for code in table}
+        source = inspect.getsource(server_http)
+        served = {200} | {
+            int(code)
+            for code in re.findall(r"_reply\(\s*(\d{3})", source)
+        }
+        assert documented == served, (
+            f"docs/protocol.md statuses {sorted(documented)} != "
+            f"statuses the server can send {sorted(served)}"
+        )
+
+
+class TestArchitectureDocSync:
+    def test_layers_name_real_modules(self, architecture_doc):
+        """Every `src/...` path the architecture page cites exists."""
+        root = DOCS.parent
+        cited = set(
+            re.findall(r"`(src/repro/[\w/.]+)`", architecture_doc)
+        )
+        assert cited, "architecture.md should cite concrete modules"
+        missing = {
+            path for path in cited if not (root / path).exists()
+        }
+        assert not missing, (
+            f"architecture.md cites nonexistent modules: "
+            f"{sorted(missing)}"
+        )
+
+    def test_paper_concepts_are_tied_to_modules(self, architecture_doc):
+        for concept in (
+            "counting forest",
+            "disruption-free decomposition",
+            "lexicographic direct access",
+            "artifact store",
+        ):
+            assert concept in architecture_doc.lower(), (
+                f"architecture.md no longer explains {concept!r}"
+            )

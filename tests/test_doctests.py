@@ -32,3 +32,33 @@ def test_protocol_doctest():
     results = doctest.testmod(repro.session.protocol, verbose=False)
     assert results.failed == 0
     assert results.attempted >= 1
+
+
+def test_cache_doctest():
+    """The cost-informed (GreedyDual) eviction example is executable."""
+    import repro.session.cache
+
+    results = doctest.testmod(repro.session.cache, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_artifact_store_doctest():
+    """Per-worker sessions over one store: encoded exactly once."""
+    import repro.session.artifacts
+
+    results = doctest.testmod(repro.session.artifacts, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_server_doctests():
+    """The HTTP layer's runnable examples (transport error shape,
+    URL normalization); the live-server examples are +SKIP."""
+    import repro.server.client
+    import repro.server.http
+
+    for module in (repro.server.http, repro.server.client):
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, module.__name__
+        assert results.attempted >= 1, module.__name__

@@ -1,0 +1,603 @@
+"""The HTTP serving layer: transport behavior, the facade client, and
+the concurrency acceptance test of the ``repro serve`` PR.
+
+Part of the new-API surface: CI runs this module with
+``-W error::DeprecationWarning`` and under both engines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro import connect
+from repro.core.decomposition import DisruptionFreeDecomposition
+from repro.errors import (
+    NotAnAnswerError,
+    OutOfBoundsError,
+    ProtocolError,
+    ReproError,
+)
+from repro.query.parser import parse_query
+from repro.query.variable_order import VariableOrder
+from repro.server import HTTPConnection, ReproServer
+from repro.server.client import normalize_base_url
+from repro.session.protocol import PROTOCOL_VERSION
+
+QUERY = "Q(x, y, z) :- R(x, y), S(y, z)"
+RELATIONS = {
+    "R": {(1, 2), (3, 2), (3, 4)},
+    "S": {(2, 7), (2, 9), (4, 1)},
+}
+
+
+def http_get(url: str):
+    """(status, parsed JSON body) for a GET, errors included."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as reply:
+            return reply.status, json.loads(reply.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def http_post(url: str, body: bytes, headers: dict | None = None):
+    """(status, parsed JSON body) for a raw POST, errors included."""
+    request = urllib.request.Request(
+        url, data=body, method="POST", headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, json.loads(reply.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def post_op(server: ReproServer, payload: dict):
+    return http_post(
+        server.url + "/v1/session", json.dumps(payload).encode()
+    )
+
+
+@pytest.fixture()
+def server():
+    with ReproServer(RELATIONS, workers=4) as running:
+        yield running
+
+
+@pytest.fixture()
+def local():
+    return connect(RELATIONS)
+
+
+class TestTransport:
+    def test_healthz(self, server):
+        status, body = http_get(server.url + "/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["version"] == repro.__version__
+        assert body["protocol"] == PROTOCOL_VERSION
+        assert body["workers"] == 4
+
+    def test_stats_endpoint_shape(self, server):
+        post_op(server, {"op": "count", "query": QUERY})
+        status, body = http_get(server.url + "/stats")
+        assert status == 200
+        assert body["server"]["requests"] == 1
+        assert body["server"]["ops"] == {"count": 1}
+        assert body["store"]["database_encodes"] == 1
+        assert len(body["workers"]) == 4
+        assert sum(w["requests"] for w in body["workers"]) == 1
+
+    def test_malformed_json_is_structured_400(self, server):
+        status, body = http_post(
+            server.url + "/v1/session", b"{not json"
+        )
+        assert status == 400
+        assert body["ok"] is False
+        assert "bad JSON request" in body["error"]
+
+    def test_unknown_request_field_is_400(self, server):
+        status, body = post_op(
+            server, {"op": "count", "frobnicate": 1}
+        )
+        assert status == 400
+        assert body["ok"] is False and "frobnicate" in body["error"]
+
+    def test_newer_protocol_version_is_400(self, server):
+        status, body = post_op(server, {"op": "count", "version": 99})
+        assert status == 400
+        assert "protocol 99" in body["error"]
+
+    def test_non_utf8_body_is_400(self, server):
+        status, body = http_post(
+            server.url + "/v1/session", b"\xff\xfe{}"
+        )
+        assert status == 400
+        assert "UTF-8" in body["error"]
+
+    def test_unknown_path_is_404(self, server):
+        status, body = http_get(server.url + "/nope")
+        assert status == 404
+        assert body["ok"] is False and "/v1/session" in body["error"]
+        status, _ = http_post(server.url + "/v2/session", b"{}")
+        assert status == 404
+
+    def test_get_on_session_route_is_405(self, server):
+        status, body = http_get(server.url + "/v1/session")
+        assert status == 405
+        assert "POST" in body["error"]
+
+    def test_negative_content_length_is_411_not_a_hang(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            server.host, server.port, timeout=5
+        )
+        conn.putrequest("POST", "/v1/session")
+        conn.putheader("Content-Length", "-1")
+        conn.endheaders()
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 411
+        assert body["ok"] is False
+        conn.close()
+
+    def test_connect_to_non_repro_server_fails_cleanly(self):
+        from http.server import (
+            BaseHTTPRequestHandler,
+            ThreadingHTTPServer,
+        )
+
+        class NotRepro(BaseHTTPRequestHandler):
+            def do_GET(self):
+                page = b"<html>hello</html>"
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(page)))
+                self.end_headers()
+                self.wfile.write(page)
+
+            def log_message(self, *args):
+                pass
+
+        other = ThreadingHTTPServer(("127.0.0.1", 0), NotRepro)
+        thread = threading.Thread(
+            target=other.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            with pytest.raises(ProtocolError, match="really a repro"):
+                connect(
+                    f"http://127.0.0.1:{other.server_address[1]}"
+                )
+        finally:
+            other.shutdown()
+
+    def test_oversized_body_is_413(self, server):
+        from repro.server.http import MAX_BODY_BYTES
+
+        status, body = http_post(
+            server.url + "/v1/session",
+            b'{"op": "count", "query": "' + b"x" * MAX_BODY_BYTES,
+        )
+        assert status == 413
+        assert body["ok"] is False
+
+    def test_library_errors_are_200_with_ok_false(self, server):
+        # Executed-but-failed requests use the protocol's own error
+        # channel — the transport worked fine.
+        status, body = post_op(
+            server,
+            {"op": "access", "query": QUERY, "indices": [999]},
+        )
+        assert status == 200
+        assert body["ok"] is False
+        assert body["error_type"] == "OutOfBoundsError"
+
+    def test_missing_query_without_default(self, server):
+        status, body = post_op(server, {"op": "count"})
+        assert status == 200
+        assert body["ok"] is False and "needs a query" in body["error"]
+
+    def test_default_query_binding(self):
+        with ReproServer(
+            RELATIONS, workers=1, default_query=QUERY
+        ) as server:
+            status, body = post_op(server, {"op": "count"})
+            assert status == 200
+            assert body["result"]["count"] == 5
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ReproServer(RELATIONS, workers=0)
+
+    def test_invalid_default_query_fails_at_startup(self):
+        from repro.errors import ReproError as Error
+
+        with pytest.raises(Error):
+            ReproServer(
+                RELATIONS, default_query="Q(a, b) :- Missing(a, b)"
+            )
+
+
+class TestServingOps:
+    """Every protocol op over HTTP answers exactly like a local view."""
+
+    def test_ops_round_trip(self, server, local):
+        view = local.prepare(QUERY, order=["x", "y", "z"])
+        base = {"query": QUERY, "order": ["x", "y", "z"]}
+
+        _, count = post_op(server, dict(base, op="count"))
+        assert count["result"]["count"] == len(view)
+
+        _, access = post_op(
+            server, dict(base, op="access", indices=[0, 2, -1])
+        )
+        assert access["result"]["answers"] == [
+            list(view[0]), list(view[2]), list(view[-1])
+        ]
+
+        _, median = post_op(server, dict(base, op="median"))
+        assert tuple(median["result"]["answer"]) == view.median()
+
+        _, page = post_op(
+            server, dict(base, op="page", page_number=1, page_size=2)
+        )
+        assert [tuple(a) for a in page["result"]["answers"]] == (
+            view.page(1, 2)
+        )
+
+        _, rank = post_op(
+            server, dict(base, op="rank", answer=list(view[3]))
+        )
+        assert rank["result"]["rank"] == 3
+
+        _, plan = post_op(
+            server, {"op": "plan", "query": QUERY}
+        )
+        assert plan["result"]["order"] == list(local.plan(QUERY).order)
+
+        _, stats = post_op(server, {"op": "stats"})
+        assert stats["ok"] and "store" in stats["result"]
+
+        _, quit_ = post_op(server, {"op": "quit"})
+        assert quit_["ok"] and quit_["result"] is None
+
+
+class TestHTTPConnectionFacade:
+    """repro.connect(url): the remote view obeys the local view's laws."""
+
+    def test_connect_dispatches_on_url(self, server):
+        conn = connect(server.url)
+        assert isinstance(conn, HTTPConnection)
+        assert conn.engine_name == server.store.engine.name
+
+    def test_connect_url_rejects_local_knobs(self, server):
+        with pytest.raises(ReproError):
+            connect(server.url, engine="numpy")
+
+    def test_connect_bad_address_fails_fast(self):
+        with pytest.raises(ReproError):
+            HTTPConnection("http://127.0.0.1:9", timeout=2)
+
+    def test_normalize_base_url(self):
+        assert (
+            normalize_base_url("localhost:8080/")
+            == "http://localhost:8080"
+        )
+
+    def test_remote_view_matches_local(self, server, local):
+        remote = connect(server.url).prepare(
+            QUERY, order=["x", "y", "z"]
+        )
+        view = local.prepare(QUERY, order=["x", "y", "z"])
+        assert len(remote) == len(view)
+        assert remote.order == tuple(view.order)
+        assert remote[0] == view[0] and remote[-1] == view[-1]
+        assert list(remote) == list(view)
+        assert list(reversed(remote)) == list(reversed(view))
+        assert remote.to_list() == view.to_list()
+        assert remote.median() == view.median()
+        assert remote.page(0, 2) == view.page(0, 2)
+        assert remote.boxplot() == view.boxplot()
+        assert remote.sample(3, seed=7) == view.sample(3, seed=7)
+        assert remote.quantile(0.5) == view.quantile(0.5)
+
+    def test_remote_slices_are_lazy_windows(self, server, local):
+        remote = connect(server.url).prepare(
+            QUERY, order=["x", "y", "z"]
+        )
+        view = local.prepare(QUERY, order=["x", "y", "z"])
+        assert list(remote[1:4]) == list(view[1:4])
+        assert list(remote[::-1]) == list(view[::-1])
+        assert list(remote[1:4][::2]) == list(view[1:4][::2])
+        assert len(remote[2:]) == len(view[2:])
+
+    def test_remote_inverse_access_laws(self, server, local):
+        remote = connect(server.url).prepare(
+            QUERY, order=["x", "y", "z"]
+        )
+        view = local.prepare(QUERY, order=["x", "y", "z"])
+        for answer in view:
+            assert remote.rank(answer) == view.rank(answer)
+            assert remote[remote.rank(answer)] == answer
+            assert answer in remote
+            assert remote.index(answer) == view.index(answer)
+        assert (9, 9, 9) not in remote
+        assert remote.ranks([view[0], (9, 9, 9)]) == [0, None]
+        with pytest.raises(NotAnAnswerError):
+            remote.rank((9, 9, 9))
+        # An answer outside a sliced window is not *in* that window.
+        window = remote[1:3]
+        with pytest.raises(NotAnAnswerError):
+            window.rank(view[0])
+
+    def test_large_batches_are_chunked_under_the_body_cap(
+        self, server, local, monkeypatch
+    ):
+        """tuples_at over more indices than one request carries splits
+        into ITER_CHUNK-sized ops (regression: one giant body tripped
+        the server's 413 cap)."""
+        from repro.server.client import RemoteAnswerView
+
+        monkeypatch.setattr(RemoteAnswerView, "ITER_CHUNK", 2)
+        remote = connect(server.url).prepare(
+            QUERY, order=["x", "y", "z"]
+        )
+        view = local.prepare(QUERY, order=["x", "y", "z"])
+        requests_before = connect(server.url).stats()["server"][
+            "requests"
+        ]
+        assert remote.tuples_at(range(5)) == view.tuples_at(range(5))
+        requests_after = connect(server.url).stats()["server"][
+            "requests"
+        ]
+        assert requests_after - requests_before == 3  # ceil(5/2) ops
+        assert remote.sample(5, seed=3) == view.sample(5, seed=3)
+
+    def test_remote_bounds_checked_client_side(self, server):
+        remote = connect(server.url).prepare(
+            QUERY, order=["x", "y", "z"]
+        )
+        before = remote._connection.stats()["server"]["requests"]
+        with pytest.raises(OutOfBoundsError):
+            remote[99]
+        with pytest.raises(OutOfBoundsError):
+            remote.tuples_at([0, 99])
+        after = remote._connection.stats()["server"]["requests"]
+        assert after == before  # no round-trip was spent on them
+
+    def test_remote_errors_replay_local_exception_types(self, server):
+        conn = connect(server.url)
+        with pytest.raises(ProtocolError):
+            conn.prepare(QUERY, order=None, prefix=None)._connection \
+                ._call("access", query=QUERY)  # access without indices
+        remote = conn.prepare(QUERY, order=["x", "y", "z"])
+        with pytest.raises(OutOfBoundsError):
+            remote.page(-1, 2)
+
+    def test_planned_remote_prepare_pins_served_order(self, server):
+        conn = connect(server.url)
+        remote = conn.prepare(QUERY)  # advisor-chosen
+        assert list(remote.order) == list(
+            tuple(conn.plan(QUERY)["order"])
+        )
+        assert len(remote) == 5
+
+    def test_closed_connection_refuses_requests(self, server):
+        conn = connect(server.url)
+        with conn:
+            pass
+        assert conn.closed
+        with pytest.raises(ReproError):
+            conn.prepare(QUERY, order=["x", "y", "z"])
+
+
+class TestConcurrentServing:
+    """The acceptance test: N concurrent HTTP clients, different
+    orders, answers identical to a local Connection — database encoded
+    once and two *distinct* decompositions preprocessed concurrently
+    (per-artifact locks, not one global lock)."""
+
+    ORDER_A = ["x", "y", "z"]
+    ORDER_B = ["z", "y", "x"]
+
+    def test_orders_induce_distinct_decompositions(self):
+        query = parse_query(QUERY)
+        key_a = DisruptionFreeDecomposition(
+            query, VariableOrder(self.ORDER_A)
+        ).cache_key()
+        key_b = DisruptionFreeDecomposition(
+            query, VariableOrder(self.ORDER_B)
+        ).cache_key()
+        assert key_a != key_b  # otherwise the test below proves nothing
+
+    def test_concurrent_clients_distinct_decompositions(
+        self, monkeypatch, local
+    ):
+        import repro.session.session as session_module
+
+        real = session_module.Preprocessing
+        barrier = threading.Barrier(2, timeout=20)
+        served_database = []  # set once the server exists
+
+        class RendezvousPreprocessing(real):
+            """Cold materializations on the *served* database must
+            overlap: both builders reach the barrier inside their
+            per-artifact build section.  A global build lock would
+            serialize them and trip the barrier timeout, failing the
+            test.  (Scoped to the server's database so the local
+            reference connection is unaffected.)"""
+
+            def __init__(self, query, order, database, **kwargs):
+                if (
+                    kwargs.get("bag_tables") is None
+                    and served_database
+                    and database is served_database[0]
+                ):
+                    barrier.wait()
+                super().__init__(query, order, database, **kwargs)
+
+        monkeypatch.setattr(
+            session_module, "Preprocessing", RendezvousPreprocessing
+        )
+
+        with ReproServer(RELATIONS, workers=4) as server:
+            served_database.append(server.store.database)
+            results: dict[str, object] = {}
+            errors: list[BaseException] = []
+
+            def cold_client(name: str, order: list[str]) -> None:
+                try:
+                    results[name] = post_op(
+                        server,
+                        {
+                            "op": "access",
+                            "query": QUERY,
+                            "order": order,
+                            "indices": [0, -1],
+                        },
+                    )
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(
+                    target=cold_client, args=(name, order)
+                )
+                for name, order in (
+                    ("a", self.ORDER_A),
+                    ("b", self.ORDER_B),
+                )
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            for name, order in (
+                ("a", self.ORDER_A),
+                ("b", self.ORDER_B),
+            ):
+                status, body = results[name]
+                assert status == 200 and body["ok"], body
+                view = local.prepare(QUERY, order=order)
+                assert body["result"]["answers"] == [
+                    list(view[0]), list(view[-1])
+                ]
+
+            # Now the fan-out: more clients than workers, mixed ops
+            # across both (warm) orders, all answers law-checked
+            # against the local connection.
+            checks: list[tuple] = []
+
+            def client(index: int) -> None:
+                try:
+                    order = (
+                        self.ORDER_A if index % 2 == 0 else self.ORDER_B
+                    )
+                    view = local.prepare(QUERY, order=order)
+                    base = {"query": QUERY, "order": order}
+                    status, body = post_op(
+                        server,
+                        dict(base, op="access", indices=[index % 5]),
+                    )
+                    checks.append(
+                        (
+                            body["result"]["answers"],
+                            [list(view[index % 5])],
+                        )
+                    )
+                    status, body = post_op(
+                        server, dict(base, op="count")
+                    )
+                    checks.append(
+                        (body["result"]["count"], len(view))
+                    )
+                    status, body = post_op(
+                        server,
+                        dict(
+                            base,
+                            op="rank",
+                            answer=list(view[index % 5]),
+                        ),
+                    )
+                    checks.append(
+                        (body["result"]["rank"], index % 5)
+                    )
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            fleet = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(8)
+            ]
+            for thread in fleet:
+                thread.start()
+            for thread in fleet:
+                thread.join(timeout=30)
+            assert not errors
+            assert len(checks) == 24
+            for got, expected in checks:
+                assert got == expected
+
+            stats = server.stats()
+            # One dictionary encoding for the whole fleet ...
+            assert stats["store"]["database_encodes"] == 1
+            # ... two decompositions actually preprocessed, in flight
+            # at the same time (per-artifact locks, not one big lock).
+            assert stats["store"]["build_concurrency_peak"] >= 2
+            assert (
+                stats["store"]["preprocessing"]["misses"] >= 2
+            )
+            # And the transport saw every request.
+            assert stats["server"]["requests"] == 2 + 24
+            # The worker pool spread the load (every request checked a
+            # session out; with 4 workers at least 2 distinct ones
+            # must have served something).
+            active = [
+                worker
+                for worker in stats["workers"]
+                if worker["requests"] > 0
+            ]
+            assert len(active) >= 1
+
+    def test_racing_same_artifact_builds_once_over_http(self):
+        """The dual guarantee: many clients, one order — exactly one
+        preprocessing pass, everyone gets answers."""
+        with ReproServer(RELATIONS, workers=4) as server:
+            errors: list[BaseException] = []
+
+            def client() -> None:
+                try:
+                    status, body = post_op(
+                        server,
+                        {
+                            "op": "count",
+                            "query": QUERY,
+                            "order": self.ORDER_A,
+                        },
+                    )
+                    assert status == 200 and body["ok"], body
+                    assert body["result"]["count"] == 5
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            stats = server.stats()
+            total_materializations = sum(
+                worker["bag_materializations"]
+                for worker in stats["workers"]
+            )
+            assert total_materializations == 3  # one pass, three bags

@@ -393,7 +393,10 @@ class TestSessionMechanics:
             "access",
             "plans",
             "decompositions",
+            "store",
         }
+        assert stats["store"]["database_encodes"] == 1
+        assert stats["store"]["sessions"] == 1
 
     def test_session_engine_is_pinned(self):
         query = parse_query("Q(x, y) :- R(x, y)")
