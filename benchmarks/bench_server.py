@@ -164,6 +164,41 @@ def run_fleet(
     return responses, mismatches, wall
 
 
+def measure_client_efficiency(server: ReproServer) -> list[str]:
+    """Keep-alive + batched-rank checks on the facade HTTP client.
+
+    Returns failure strings (empty = ok).  Two wire-efficiency claims:
+    a warm ``ranks`` batch is ONE wire op however many tuples (the
+    protocol's batched rank form), and the whole conversation rides a
+    handful of kept-alive sockets instead of one TCP handshake per
+    request.
+    """
+    failures: list[str] = []
+    client = connect(server.url)
+    view = client.prepare(QUERY, order=ORDERS[0])
+    answers = view.tuples_at(range(min(len(view), 24)))
+    before = client.stats()["server"]["requests"]
+    ranks = view.ranks(answers)
+    wire_ops = client.stats()["server"]["requests"] - before
+    if ranks != list(range(len(answers))):
+        failures.append(f"batched ranks wrong: {ranks[:5]}...")
+    if wire_ops != 1:
+        failures.append(
+            f"ranks({len(answers)}) cost {wire_ops} wire ops, "
+            "expected 1 (batched rank regression)"
+        )
+    # Socket reuse: everything above (healthz + several POSTs +
+    # stats) over at most the pool's idle cap.
+    if client._pool.opened > client._pool.MAX_IDLE:
+        failures.append(
+            f"keep-alive regression: {client._pool.opened} sockets "
+            f"opened for {client.stats()['server']['requests']} "
+            "requests"
+        )
+    client.close()
+    return failures
+
+
 def measure(rows: int, fanout: int, clients: int, per_client: int):
     """(table rows, mismatches, stats) for one serving sweep."""
     relations = star_relations(rows, fanout)
@@ -184,6 +219,7 @@ def measure(rows: int, fanout: int, clients: int, per_client: int):
         responses, mismatches, wall = run_fleet(
             server, clients, per_client
         )
+        mismatches.extend(measure_client_efficiency(server))
         stats = server.stats()
 
     total = clients * per_client

@@ -40,7 +40,7 @@ from repro.core import (
     incompatibility_number,
     partial_order_access,
 )
-from repro.data import Database, EncodedDatabase, Relation
+from repro.data import Database, Delta, EncodedDatabase, Relation
 from repro.facade import AnswerView, Connection, connect
 from repro.session import (
     AccessSession,
@@ -59,6 +59,7 @@ from repro.errors import (
     OutOfBoundsError,
     ProtocolError,
     ReproError,
+    StaleViewError,
 )
 from repro.query import (
     Atom,
@@ -68,7 +69,7 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Pre-facade entry points, kept importable behind a deprecation
 #: warning: name -> (module, attribute, replacement hint).
@@ -127,6 +128,7 @@ __all__ = [
     "rank_orders",
     "ConjunctiveQuery",
     "Database",
+    "Delta",
     "DisruptionFreeDecomposition",
     "EncodedDatabase",
     "EngineError",
@@ -140,6 +142,7 @@ __all__ = [
     "SelfJoinFreeAccess",
     "SessionRequest",
     "SessionResponse",
+    "StaleViewError",
     "VariableOrder",
     "__version__",
     "available_engines",

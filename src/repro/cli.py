@@ -141,6 +141,9 @@ commands (one per line; order '-' lets the advisor choose):
   count <order|->                           the number of answers
   rank <order|-> <v1,v2,...>                inverse access: answer -> index
   plan [prefix]                             the order the advisor would pick
+  insert <relation> <v1,v2> [...]           add rows (bumps db_version)
+  delete <relation> <v1,v2> [...]           remove rows (bumps db_version)
+  db_version                                the database's current version
   stats                                     cache/work counters
   help                                      this text
   quit                                      end the session
@@ -182,6 +185,14 @@ def _render_text(response) -> list[str]:
         rank = result["rank"]
         found = rank if rank is not None else "not an answer"
         return [f"rank[{tuple(result['answer'])}] = {found}"]
+    if op in ("insert", "delete"):
+        past = "inserted into" if op == "insert" else "deleted from"
+        return [
+            f"{result['rows']} row(s) {past} {result['relation']}; "
+            f"db_version = {result['db_version']}"
+        ]
+    if op == "db_version":
+        return [f"db_version = {result['db_version']}"]
     return []
 
 
@@ -283,6 +294,7 @@ def cmd_serve(args) -> int:
             default_query=args.query,
             host=args.host,
             port=args.port,
+            stats_per_worker=args.stats_per_worker,
             verbose=args.verbose,
         )
     except (ValueError, ReproError) as error:
@@ -429,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="per-artifact-kind cache capacity (default 64)",
+    )
+    serve.add_argument(
+        "--stats-per-worker",
+        action="store_true",
+        help="include a (bounded) per-worker breakdown in GET /stats "
+        "next to the aggregated totals",
     )
     serve.add_argument(
         "--verbose",

@@ -1,6 +1,7 @@
-"""Data substrate: relations, databases, synthetic generators."""
+"""Data substrate: relations, databases, deltas, synthetic generators."""
 
 from repro.data.database import Database, EncodedDatabase
+from repro.data.delta import Delta
 from repro.data.relation import Relation
 
-__all__ = ["Database", "EncodedDatabase", "Relation"]
+__all__ = ["Database", "Delta", "EncodedDatabase", "Relation"]

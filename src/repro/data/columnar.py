@@ -75,6 +75,34 @@ class Dictionary:
     def decode(self, code: int):
         return self.values[code]
 
+    def extend(self, values: Iterable) -> bool:
+        """Grow the domain *in place* without renumbering any code.
+
+        Order preservation pins every code to its value's rank, so new
+        values can only be absorbed code-stably when they all sort
+        *after* the current maximum — then they are appended and every
+        existing code (and every columnar table sharing this
+        dictionary) stays valid.  Returns ``False`` (leaving the
+        dictionary untouched) when a new value lands inside the
+        existing order, or the combined domain stops being totally
+        orderable: the caller must re-encode from scratch.
+        """
+        try:
+            fresh = sorted(
+                {v for v in values if v not in self._code}
+            )
+            if not fresh:
+                return True
+            if self.values and not (self.values[-1] < fresh[0]):
+                return False
+        except TypeError:
+            return False
+        base = len(self.values)
+        self.values.extend(fresh)
+        for offset, value in enumerate(fresh):
+            self._code[value] = base + offset
+        return True
+
     def remap_to(self, other: "Dictionary"):
         """An int64 array mapping this dictionary's codes into ``other``.
 
@@ -218,6 +246,59 @@ def shared_dictionary_encode(relations) -> Dictionary | None:
     for name, rel in relations.items():
         rel._columnar = encoded[name]
     return dictionary
+
+
+def extend_shared_dictionary(relations, touched) -> bool:
+    """Incrementally maintain a shared encoding after a mutation.
+
+    ``relations`` (name -> Relation) is the *post-mutation* content;
+    the relations outside ``touched`` must still carry columnar
+    mirrors over one common dictionary (they are shared, untouched,
+    with the pre-mutation database).  When every genuinely new domain
+    value sorts after the dictionary's current maximum, the shared
+    dictionary is extended in place (:meth:`Dictionary.extend` —
+    existing codes never renumber, so every untouched mirror stays
+    valid) and only the touched relations are re-encoded against it.
+
+    Returns ``False`` — leaving all mirrors as they were — when there
+    is no common encoding to extend, a new value lands inside the
+    existing order, or the domain stops being totally orderable; the
+    caller then falls back to a full :func:`shared_dictionary_encode`.
+    """
+    if _np is None:
+        return False
+    relations = dict(relations)
+    touched = {name for name in touched if name in relations}
+    untouched = [
+        rel for name, rel in relations.items() if name not in touched
+    ]
+    mirrors = [rel._columnar for rel in untouched]
+    if not mirrors or any(m is None for m in mirrors):
+        return False
+    dictionary = mirrors[0].dictionary
+    if any(m.dictionary is not dictionary for m in mirrors):
+        return False
+    try:
+        if not dictionary.extend(
+            value
+            for name in touched
+            for t in relations[name].tuples
+            for value in t
+        ):
+            return False
+        encoded = {
+            name: ColumnarTable.from_rows(
+                relations[name].sorted_tuples(),
+                relations[name].arity,
+                dictionary,
+            )
+            for name in touched
+        }
+    except TypeError:
+        return False
+    for name, mirror in encoded.items():
+        relations[name]._columnar = mirror
+    return True
 
 
 def pack_keys(columns: Sequence, card: int):

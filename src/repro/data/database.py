@@ -70,6 +70,28 @@ class Database:
         merged.update(extra)
         return Database(merged)
 
+    def apply(self, delta) -> "Database":
+        """A new database with ``delta``'s inserts/deletes applied.
+
+        Untouched relations are *shared by object* with this database
+        (their sorted-tuple and columnar caches survive), so applying
+        a small delta costs work proportional to the mutated relations
+        only.  The delta must name existing relations with rows of the
+        right arity (:class:`~repro.errors.DatabaseError` otherwise);
+        within one delta, deletes apply before inserts.
+        """
+        from repro.data.delta import Delta
+
+        delta = Delta.coerce(delta)
+        delta.validate_against(self)
+        merged: dict[str, Relation] = dict(self._relations)
+        for name in delta.touched:
+            old = self._relations[name]
+            merged[name] = Relation(
+                delta.apply_to(name, old.tuples), arity=old.arity
+            )
+        return Database(merged)
+
     def validate_for(self, query: JoinQuery) -> None:
         """Check every query symbol is present with the right arity."""
         for symbol in query.relation_symbols:
@@ -113,6 +135,45 @@ class EncodedDatabase(Database):
             for name, rel in self._relations.items()
         }
         self.shared_dictionary = shared_dictionary_encode(self._relations)
+        #: Whether the last construction step reused an existing
+        #: encoding (True only for databases built by the incremental
+        #: path of :meth:`apply`).
+        self.encoded_incrementally = False
+
+    def apply(self, delta) -> "EncodedDatabase":
+        """A new encoded database with ``delta`` applied, maintaining
+        the shared dictionary incrementally when possible.
+
+        When every new domain value sorts after the dictionary's
+        current maximum, the shared dictionary is *extended in place*
+        — existing codes never renumber, untouched relations keep
+        their columnar mirrors by object identity, and only the
+        mutated relations are re-encoded.  Otherwise (a value lands
+        inside the existing order, or the domain stops being totally
+        orderable) the whole database is re-encoded from scratch,
+        exactly as a fresh construction would.  The result's
+        ``encoded_incrementally`` flag reports which path ran.
+        """
+        from repro.data.columnar import extend_shared_dictionary
+        from repro.data.delta import Delta
+
+        delta = Delta.coerce(delta)
+        delta.validate_against(self)
+        merged: dict[str, Relation] = dict(self._relations)
+        for name in delta.touched:
+            old = self._relations[name]
+            merged[name] = Relation(
+                delta.apply_to(name, old.tuples), arity=old.arity
+            )
+        if self.shared_dictionary is not None and (
+            extend_shared_dictionary(merged, delta.touched)
+        ):
+            out = object.__new__(EncodedDatabase)
+            out._relations = merged
+            out.shared_dictionary = self.shared_dictionary
+            out.encoded_incrementally = True
+            return out
+        return EncodedDatabase(merged)
 
     def extended(
         self, extra: Mapping[str, Relation | Iterable[tuple]]

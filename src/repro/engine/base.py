@@ -243,6 +243,25 @@ class Engine(abc.ABC):
         Must be a pure optimization — observable results never change.
         """
 
+    def apply_delta(self, database, delta):
+        """``(new_database, incremental)`` after applying ``delta``.
+
+        ``new_database`` shares every untouched relation object with
+        ``database`` (:meth:`Database.apply
+        <repro.data.database.Database.apply>` structural sharing), so
+        the old database remains a valid immutable snapshot — sessions
+        that captured it keep serving consistent pre-delta answers.
+        ``incremental`` reports whether the engine maintained its
+        per-database preparation in place (e.g. extended a shared
+        dictionary code-stably) instead of redoing it from scratch.
+
+        The reference path has no cross-relation encoding to maintain,
+        so structural sharing alone is fully incremental.
+        """
+        new_database = database.apply(delta)
+        self.encode_database(new_database)
+        return new_database, True
+
     # -- batch access ------------------------------------------------------
 
     def batch_access(self, access, indices: Sequence[int]) -> list[dict]:

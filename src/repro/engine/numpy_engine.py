@@ -26,6 +26,7 @@ from repro.data.columnar import (
     _MAX_SAFE,
     ColumnarTable,
     Dictionary,
+    extend_shared_dictionary,
     pack_keys,
     pack_pair,
     shared_dictionary_encode,
@@ -482,22 +483,31 @@ class NumpyEngine(Engine):
         n, arity = ct.codes.shape
         k = arity - 1
 
-        # int64 overflow guard: a group total is at most n times the
-        # product of the children's maximal totals.  The Python path uses
-        # arbitrary-precision ints, so fall back there when in doubt.
+        # Weight bound: a group total is at most n times the product of
+        # the children's maximal totals.  Weights that could overflow
+        # int64 switch to an object-dtype column of Python big ints —
+        # the lexsort/cumsum build stays vectorized (arithmetic widens,
+        # structure does not), and the per-call guards in batch access
+        # still route such bags to the scalar walk.
         bound = 1
+        use_object = False
         for child, _positions in child_slots:
             if child.aux is None:
                 return self._fallback.build_bag_index(
                     table, child_slots, projected
                 )
+            # An object-dtype child forces object weights here too:
+            # multiplying its totals into an int64 column is a numpy
+            # casting error, even when this bag's own bound is small
+            # (the child's bound is conservative — a selective join
+            # can leave its exact totals tiny).
+            if child.aux.totals.dtype == np.dtype(object):
+                use_object = True
             bound *= max(child.aux.max_total, 1)
             if bound * max(n, 1) >= _MAX_SAFE:
-                return self._fallback.build_bag_index(
-                    table, child_slots, projected
-                )
+                use_object = True
 
-        weights = np.ones(n, dtype=np.int64)
+        weights = np.ones(n, dtype=object if use_object else np.int64)
         for child, positions in child_slots:
             aux = child.aux
             group_count = aux.group_codes.shape[0]
@@ -606,6 +616,50 @@ class NumpyEngine(Engine):
         keeps working).
         """
         shared_dictionary_encode(database.relations)
+
+    def apply_delta(self, database, delta):
+        """Maintain the shared dictionary incrementally under a delta.
+
+        The new database shares untouched relation objects (and their
+        columnar mirrors) with the old one.  When the delta's new
+        domain values all sort after the shared dictionary's maximum,
+        the dictionary is extended in place — code-stable, so every
+        cached mirror, bag index, and counting forest built against it
+        stays valid — and only the mutated relations are re-encoded.
+        Otherwise the whole database is re-encoded from scratch
+        (``incremental=False``), exactly like a fresh session start.
+        """
+        from repro.data.database import Database
+        from repro.data.delta import Delta
+        from repro.data.relation import Relation
+
+        delta = Delta.coerce(delta)
+        new_database = database.apply(delta)
+        incremental = getattr(
+            new_database, "encoded_incrementally", None
+        )
+        if incremental is not None:
+            # EncodedDatabase.apply already maintained its own shared
+            # encoding (incrementally or via a private full re-encode)
+            # — re-running extension here would redo that work and
+            # misreport the path taken.
+            return new_database, incremental
+        if extend_shared_dictionary(
+            new_database.relations, delta.touched
+        ):
+            return new_database, True
+        # Full re-encode — onto *private* relation copies: the
+        # structurally shared untouched relations still back the old
+        # snapshot, whose mirrors (and dictionary identity) must stay
+        # intact for any in-flight old-version build.
+        private = Database(
+            {
+                name: Relation(rel.tuples, arity=rel.arity)
+                for name, rel in new_database.relations.items()
+            }
+        )
+        shared_dictionary_encode(private.relations)
+        return private, False
 
     # -- batch access ------------------------------------------------------
 

@@ -41,6 +41,16 @@ class NotAnAnswerError(ReproError, ValueError):
     """
 
 
+class StaleViewError(ReproError):
+    """A version-pinned answer view was read after the database mutated.
+
+    Prepared views pin the database version they were preprocessed
+    against; once a delta bumps the version, reading the stale view
+    raises this instead of silently serving pre-mutation answers.
+    Re-prepare the query to get a fresh view.
+    """
+
+
 class ProtocolError(ReproError, ValueError):
     """A malformed or unsupported session request (text or JSON form)."""
 

@@ -41,7 +41,13 @@ from repro.core.access import DirectAccess
 from repro.core.advisor import OrderReport
 from repro.engine.registry import get_engine
 from repro.data.database import Database
-from repro.errors import NotAnAnswerError, OutOfBoundsError, ReproError
+from repro.data.delta import Delta
+from repro.errors import (
+    NotAnAnswerError,
+    OutOfBoundsError,
+    ReproError,
+    StaleViewError,
+)
 from repro.query.parser import parse_query
 from repro.session.session import AccessSession
 
@@ -178,10 +184,11 @@ class Connection:
                 an explicit ``order``).
         """
         self._check_open()
+        access, version = self._session.access_versioned(
+            query, order=order, prefix=prefix, projected=projected
+        )
         return AnswerView(
-            self._session.access(
-                query, order=order, prefix=prefix, projected=projected
-            )
+            access, session=self._session, version=version
         )
 
     def plan(self, query, prefix=None) -> OrderReport:
@@ -190,6 +197,35 @@ class Connection:
         if isinstance(query, str):
             query = parse_query(query)
         return self._session.plan(query, prefix)
+
+    # -- mutations ---------------------------------------------------------
+
+    def apply(self, delta) -> int:
+        """Apply a :class:`~repro.data.delta.Delta` of tuple inserts
+        and deletes; returns the new database version.
+
+        Maintenance is incremental where order-preservation allows
+        (shared dictionary extended in place, untouched relations and
+        their cached artifacts reused); views prepared before the
+        delta become *stale* — reading one raises
+        :class:`~repro.errors.StaleViewError` instead of serving
+        pre-mutation answers.  Re-prepare for a fresh view.
+        """
+        self._check_open()
+        return self._session.apply(delta)
+
+    def insert(self, relation: str, rows) -> int:
+        """Insert ``rows`` into ``relation``; the new database version."""
+        return self.apply(Delta(inserts={relation: rows}))
+
+    def delete(self, relation: str, rows) -> int:
+        """Delete ``rows`` from ``relation``; the new database version."""
+        return self.apply(Delta(deletes={relation: rows}))
+
+    @property
+    def db_version(self) -> int:
+        """The served database's version (bumped by :meth:`apply`)."""
+        return self._session.db_version
 
     # -- observability -----------------------------------------------------
 
@@ -270,7 +306,7 @@ class WindowedAnswers(Sequence):
         return len(self._window)
 
     def __bool__(self) -> bool:
-        return len(self._window) > 0
+        return len(self) > 0
 
     def __getitem__(self, item):
         if isinstance(item, slice):
@@ -423,28 +459,74 @@ class AnswerView(WindowedAnswers):
     view.)
     """
 
-    __slots__ = ("_access",)
+    __slots__ = ("_access", "_session", "_version")
 
-    def __init__(self, access: DirectAccess, window: range | None = None):
+    def __init__(
+        self,
+        access: DirectAccess,
+        window: range | None = None,
+        *,
+        session: AccessSession | None = None,
+        version: int | None = None,
+    ):
         self._access = access
         self._window = (
             range(len(access)) if window is None else window
         )
+        # Version pinning (facade-prepared views): reads compare the
+        # pinned version against the live session and raise
+        # StaleViewError after a mutation.  Unpinned views (direct
+        # construction, e.g. over a standalone DirectAccess) skip the
+        # check — there is no mutable store behind them.
+        self._session = session
+        self._version = version
+
+    def _check_fresh(self) -> None:
+        if (
+            self._session is not None
+            and self._session.db_version != self._version
+        ):
+            raise StaleViewError(
+                f"view was prepared at db_version {self._version}, "
+                f"database is now at {self._session.db_version}; "
+                "re-prepare the query for a fresh view"
+            )
+
+    @property
+    def db_version(self) -> int | None:
+        """The database version this view is pinned to (``None`` for
+        unpinned views built outside a connection)."""
+        return self._version
+
+    def __len__(self) -> int:
+        # A stale count is as misleading as a stale answer: code that
+        # gates on len()/bool() or paginates by it must fail loudly
+        # after a mutation, like every other read.
+        self._check_fresh()
+        return len(self._window)
 
     # -- the windowed-Sequence primitives ----------------------------------
 
     def _resolve(self, underlying: list[int]) -> list[tuple]:
+        self._check_fresh()
         return self._access.tuples_at(underlying)
 
     def _rank_underlying(self, row: tuple) -> int | None:
+        self._check_fresh()
         return self._access.rank_of(row)
 
     def _subview(self, window: range) -> "AnswerView":
-        return AnswerView(self._access, window)
+        return AnswerView(
+            self._access,
+            window,
+            session=self._session,
+            version=self._version,
+        )
 
     def ranks(self, rows) -> list[int | None]:
         """Batch :meth:`rank` through the engine's vectorized
         ``ranks_of`` (one batched forest descent, not per-row calls)."""
+        self._check_fresh()
         out = []
         for underlying in self._access.ranks_of(rows):
             if underlying is None:
@@ -486,9 +568,11 @@ class AnswerView(WindowedAnswers):
         window = self._window
         full = window == range(len(self._access))
         span = "" if full else f", window={window!r}"
+        # Window length directly: repr must stay usable (debuggers,
+        # logs) even on a stale view, where len(self) raises.
         return (
             f"AnswerView({self.query}, order={list(self.order)}, "
-            f"len={len(self)}{span})"
+            f"len={len(window)}{span})"
         )
 
 

@@ -21,16 +21,28 @@ Everything rides the versioned JSON session protocol
 (:mod:`repro.session.protocol`, spec in ``docs/protocol.md``): the
 server replays failed requests' exception types (``error_type``), so a
 bad remote request raises the same :mod:`repro.errors` class a local
-call would.  Only the stdlib :mod:`urllib` is used — no dependencies.
+call would.  Only the stdlib :mod:`http.client` is used — no
+dependencies — over a small **keep-alive pool**: TCP connections are
+reused across requests (and across threads) instead of paying a fresh
+handshake per round-trip, and a connection the server closed under us
+is retried once on a fresh socket.
+
+Remote views are **version-pinned**: ``prepare`` captures the server's
+``db_version`` alongside the answer count, every read echoes it, and a
+mutation on the server (``insert``/``delete``/``apply``) makes stale
+reads raise :class:`~repro.errors.StaleViewError` — the same behavior
+as a local view.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import threading
+import urllib.parse
 
-from repro.errors import ProtocolError, ReproError
+from repro.data.delta import Delta
+from repro.errors import ProtocolError, ReproError, StaleViewError
 from repro.facade import WindowedAnswers
 from repro.server.http import SESSION_ROUTE
 from repro.session.protocol import (
@@ -54,6 +66,116 @@ def normalize_base_url(url: str) -> str:
     if not url.startswith(("http://", "https://")):
         url = "http://" + url
     return url
+
+
+class _KeepAlivePool:
+    """A small pool of reusable :mod:`http.client` connections.
+
+    ``request()`` checks an idle connection out (or opens one), runs
+    one HTTP exchange, and returns the connection to the pool when the
+    server kept it alive.  A reused connection the server has since
+    closed fails the exchange — that one case is retried exactly once
+    on a fresh socket; errors on a *fresh* socket propagate (the
+    server really is unreachable).  Thread-safe; at most
+    :attr:`MAX_IDLE` sockets are parked, extras are closed on release.
+
+    ``opened`` counts sockets ever opened — the keep-alive win is
+    ``opened`` staying flat while request counts grow (asserted by
+    ``benchmarks/bench_server.py --quick``).
+    """
+
+    MAX_IDLE = 4
+
+    def __init__(self, base_url: str, timeout: float):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme == "https":
+            self._factory = http.client.HTTPSConnection
+        else:
+            self._factory = http.client.HTTPConnection
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []
+        self._closed = False
+        self.opened = 0
+
+    def _connect(self) -> http.client.HTTPConnection:
+        connection = self._factory(
+            self._host, self._port, timeout=self._timeout
+        )
+        with self._lock:
+            self.opened += 1
+        return connection
+
+    def _exchange(self, connection, method, path, body, headers):
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        data = response.read()  # drain fully: required before reuse
+        return response, data
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict | None = None,
+        reuse: bool = True,
+    ) -> tuple[int, bytes]:
+        """One round-trip; ``(status, body)`` whatever the status.
+
+        ``reuse=False`` skips the idle pool and opens a fresh socket
+        (still parked afterwards): for non-idempotent requests, a
+        reused socket's stale-close failure is indistinguishable from
+        "the server already applied it", so the silent retry below
+        must never re-send them — a fresh socket's failure is a real
+        transport error and propagates instead.
+        """
+        headers = headers or {}
+        connection = None
+        with self._lock:
+            if self._closed:
+                raise ReproError("connection is closed")
+            if reuse and self._idle:
+                connection = self._idle.pop()
+        reused = connection is not None
+        if connection is None:
+            connection = self._connect()
+        try:
+            response, data = self._exchange(
+                connection, method, path, body, headers
+            )
+        except (http.client.HTTPException, OSError):
+            connection.close()
+            if not reused:
+                raise
+            # The parked socket went stale (server-side close, idle
+            # timeout): one retry on a fresh socket, then give up.
+            connection = self._connect()
+            try:
+                response, data = self._exchange(
+                    connection, method, path, body, headers
+                )
+            except (http.client.HTTPException, OSError):
+                connection.close()
+                raise
+        if response.will_close:
+            connection.close()
+        else:
+            with self._lock:
+                if not self._closed and len(self._idle) < self.MAX_IDLE:
+                    self._idle.append(connection)
+                    connection = None
+            if connection is not None:
+                connection.close()
+        return response.status, data
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
 
 
 def _raise_remote(response: SessionResponse) -> None:
@@ -88,6 +210,7 @@ class HTTPConnection:
         self._base = normalize_base_url(url)
         self._timeout = timeout
         self._closed = False
+        self._pool = _KeepAlivePool(self._base, timeout)
         health = self._get_json("/healthz")
         remote_protocol = health.get("protocol")
         if (
@@ -104,18 +227,14 @@ class HTTPConnection:
     # -- transport ---------------------------------------------------------
 
     def _get_json(self, path: str) -> dict:
-        request = urllib.request.Request(self._base + path)
         try:
-            with urllib.request.urlopen(
-                request, timeout=self._timeout
-            ) as reply:
-                body = reply.read().decode("utf-8", errors="replace")
-        except urllib.error.URLError as error:
+            _status, body = self._pool.request("GET", path)
+        except (OSError, http.client.HTTPException) as error:
             raise ReproError(
                 f"cannot reach repro server at {self._base}: {error}"
             ) from None
         try:
-            return json.loads(body)
+            return json.loads(body.decode("utf-8", errors="replace"))
         except json.JSONDecodeError:
             # Some other service answered: fail fast with a clean
             # error, not a JSON traceback out of connect().
@@ -125,24 +244,25 @@ class HTTPConnection:
             ) from None
 
     def request(self, request: SessionRequest) -> SessionResponse:
-        """One protocol round-trip (the raw, never-raising layer)."""
+        """One protocol round-trip (the raw, never-raising layer).
+
+        Rides the keep-alive pool; transport-level rejections
+        (400/404/413/...) carry the same structured
+        :class:`~repro.session.SessionResponse` body as protocol-level
+        failures, so every status parses the same way.
+        """
         self._check_open()
-        http_request = urllib.request.Request(
-            self._base + SESSION_ROUTE,
-            data=request.to_json().encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
         try:
-            with urllib.request.urlopen(
-                http_request, timeout=self._timeout
-            ) as reply:
-                body = reply.read()
-        except urllib.error.HTTPError as error:
-            # Transport-level rejections (400/404/413/...) carry the
-            # same structured SessionResponse body.
-            body = error.read()
-        except urllib.error.URLError as error:
+            _status, body = self._pool.request(
+                "POST",
+                SESSION_ROUTE,
+                body=request.to_json().encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                # Mutations must never ride a maybe-stale socket: the
+                # pool's silent retry could apply them twice.
+                reuse=request.op not in ("insert", "delete"),
+            )
+        except (OSError, http.client.HTTPException) as error:
             raise ReproError(
                 f"cannot reach repro server at {self._base}: {error}"
             ) from None
@@ -178,6 +298,7 @@ class HTTPConnection:
             self._query_text(query),
             tuple(result["order"]),
             result["count"],
+            version=result.get("db_version"),
         )
 
     def plan(self, query, prefix=None) -> dict:
@@ -192,6 +313,50 @@ class HTTPConnection:
     @staticmethod
     def _query_text(query) -> str:
         return query if isinstance(query, str) else str(query)
+
+    # -- mutations ---------------------------------------------------------
+
+    def apply(self, delta) -> int:
+        """Apply a :class:`~repro.data.delta.Delta` on the server.
+
+        Multi-relation deltas are shipped as one ``delete``/``insert``
+        op per relation (deletes first, matching local semantics), so
+        each op bumps the server's version individually — views
+        prepared before any of them are stale afterwards, exactly as
+        with a local :meth:`~repro.facade.Connection.apply`.  Returns
+        the final database version.
+        """
+        self._check_open()
+        delta = Delta.coerce(delta)
+        version: int | None = None
+        for name in sorted(delta.deletes):
+            version = self._call(
+                "delete",
+                relation=name,
+                rows=tuple(sorted(delta.deletes[name])),
+            )["db_version"]
+        for name in sorted(delta.inserts):
+            version = self._call(
+                "insert",
+                relation=name,
+                rows=tuple(sorted(delta.inserts[name])),
+            )["db_version"]
+        if version is None:  # empty delta: nothing shipped
+            version = self.db_version
+        return version
+
+    def insert(self, relation: str, rows) -> int:
+        """Insert ``rows`` into ``relation``; the new database version."""
+        return self.apply(Delta(inserts={relation: rows}))
+
+    def delete(self, relation: str, rows) -> int:
+        """Delete ``rows`` from ``relation``; the new database version."""
+        return self.apply(Delta(deletes={relation: rows}))
+
+    @property
+    def db_version(self) -> int:
+        """The server's current database version (one round-trip)."""
+        return self._call("db_version")["db_version"]
 
     # -- observability / lifecycle -----------------------------------------
 
@@ -212,8 +377,10 @@ class HTTPConnection:
         return self._get_json("/stats")
 
     def close(self) -> None:
-        """Refuse further requests (the server is not affected)."""
+        """Close the pooled sockets and refuse further requests (the
+        server is not affected)."""
         self._closed = True
+        self._pool.close()
 
     @property
     def closed(self) -> bool:
@@ -249,12 +416,20 @@ class RemoteAnswerView(WindowedAnswers):
     against the count captured at :meth:`~HTTPConnection.prepare`
     time, so out-of-range indices never touch the network and
     iteration terminates without a round-trip.
+
+    Staleness: the view pins the server's ``db_version`` at prepare
+    time and every wire read echoes it, so after a server-side
+    mutation each read raises :class:`~repro.errors.StaleViewError`
+    (replayed from the wire).  ``len()`` alone stays the pinned
+    prepare-time count — it is client-side state and costs no
+    round-trip — but any actual data access on a stale view fails
+    loudly.
     """
 
     #: Tuples per ``access`` request (iteration and batch reads).
     ITER_CHUNK = 512
 
-    __slots__ = ("_connection", "_query", "_order", "_total")
+    __slots__ = ("_connection", "_query", "_order", "_total", "_version")
 
     def __init__(
         self,
@@ -263,12 +438,23 @@ class RemoteAnswerView(WindowedAnswers):
         order: tuple[str, ...],
         total: int,
         window: range | None = None,
+        version: int | None = None,
     ):
         self._connection = connection
         self._query = query
         self._order = order
         self._total = total
         self._window = range(total) if window is None else window
+        # The server's db_version at prepare time; every read echoes
+        # it, so a mutation on the server turns further reads into
+        # StaleViewError (replayed from the wire) instead of silently
+        # mixing pre- and post-mutation answers with the pinned count.
+        self._version = version
+
+    @property
+    def db_version(self) -> int | None:
+        """The server database version this view is pinned to."""
+        return self._version
 
     # -- the windowed-Sequence primitives ----------------------------------
 
@@ -284,6 +470,7 @@ class RemoteAnswerView(WindowedAnswers):
                 query=self._query,
                 order=self._order,
                 indices=tuple(chunk),
+                db_version=self._version,
             )["answers"]
             out.extend(tuple(answer) for answer in answers)
         return out
@@ -294,7 +481,50 @@ class RemoteAnswerView(WindowedAnswers):
             query=self._query,
             order=self._order,
             answer=tuple(row),
+            db_version=self._version,
         )["rank"]
+
+    def ranks(self, rows) -> list[int | None]:
+        """Batch :meth:`rank` in one wire op per :attr:`ITER_CHUNK`
+        tuples (the protocol's batched ``rank`` form) instead of one
+        round-trip per tuple."""
+        rows = list(rows)
+        out: list[int | None] = [None] * len(rows)
+        wired = [
+            (position, tuple(row))
+            for position, row in enumerate(rows)
+            if isinstance(row, (list, tuple))
+        ]  # non-sequences can never be answers: no round-trip spent
+        if not wired and self._version is not None:
+            # Nothing reaches the wire, so no op would carry the
+            # staleness pin — probe explicitly: a stale view must
+            # raise here exactly like the local AnswerView.ranks.
+            current = self._connection._call("db_version")[
+                "db_version"
+            ]
+            if current != self._version:
+                raise StaleViewError(
+                    f"view was prepared at db_version "
+                    f"{self._version}, database is now at {current}; "
+                    "re-prepare the query"
+                )
+        for start in range(0, len(wired), self.ITER_CHUNK):
+            chunk = wired[start : start + self.ITER_CHUNK]
+            ranks = self._connection._call(
+                "rank",
+                query=self._query,
+                order=self._order,
+                answers=tuple(row for _position, row in chunk),
+                db_version=self._version,
+            )["ranks"]
+            for (position, _row), underlying in zip(chunk, ranks):
+                if underlying is None:
+                    continue
+                try:
+                    out[position] = self._window.index(underlying)
+                except ValueError:
+                    pass  # an answer, but outside this view's window
+        return out
 
     def _subview(self, window: range) -> "RemoteAnswerView":
         return RemoteAnswerView(
@@ -303,6 +533,7 @@ class RemoteAnswerView(WindowedAnswers):
             self._order,
             self._total,
             window,
+            version=self._version,
         )
 
     # -- provenance --------------------------------------------------------

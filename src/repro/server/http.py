@@ -18,8 +18,11 @@ Routes (full spec in ``docs/protocol.md``):
   HTTP 400 with the same structured shape, never a traceback.
 * ``GET /healthz`` — liveness: package + protocol versions, engine,
   worker count.
-* ``GET /stats`` — the shared store's build/cache counters, per-worker
-  session counters, and the transport's own op counters.
+* ``GET /stats`` — the shared store's build/cache counters, the
+  transport's own op counters, and the worker sessions' counters
+  *aggregated into totals* (one dict however many workers run;
+  ``stats_per_worker=True`` / ``--stats-per-worker`` adds a per-worker
+  breakdown, capped at :data:`MAX_STATS_WORKERS` entries).
 
 Concurrency: :class:`http.server.ThreadingHTTPServer` spawns a thread
 per connection; each request then checks a ``Connection`` out of the
@@ -66,6 +69,38 @@ SESSION_ROUTE = "/v1/session"
 #: Hard cap on request bodies; a session request is a few hundred bytes,
 #: so anything near this is a client bug, answered with HTTP 413.
 MAX_BODY_BYTES = 1 << 20
+
+#: Cap on the per-worker breakdown in ``GET /stats``: the response must
+#: stay O(1)-ish however large ``--workers`` is, so the opt-in
+#: breakdown lists at most this many workers (a ``truncated`` count
+#: reports the rest).
+MAX_STATS_WORKERS = 64
+
+
+def aggregate_counters(dicts) -> dict:
+    """Sum a list of (possibly nested) counter dicts key-by-key.
+
+    The worker sessions all share one stats shape
+    (:meth:`~repro.session.cache.SessionStats.as_dict`), so ``GET
+    /stats`` can report one totals dict instead of one dict per worker
+    — the response no longer grows with ``--workers``:
+
+        >>> aggregate_counters([{"a": 1, "b": {"c": 2}},
+        ...                     {"a": 3, "b": {"c": 4}}])
+        {'a': 4, 'b': {'c': 6}}
+    """
+    totals: dict = {}
+    for counters in dicts:
+        for key, value in counters.items():
+            if isinstance(value, dict):
+                merged = totals.setdefault(key, {})
+                for inner_key, inner_value in value.items():
+                    merged[inner_key] = (
+                        merged.get(inner_key, 0) + inner_value
+                    )
+            else:
+                totals[key] = totals.get(key, 0) + value
+    return totals
 
 
 def error_body(message: str, op: str = "?") -> bytes:
@@ -248,6 +283,9 @@ class ReproServer:
             query.  ``None`` means every request must name its query.
         host / port: bind address; ``port=0`` picks an ephemeral port
             (see :attr:`url`).
+        stats_per_worker: include a per-worker breakdown (capped at
+            :data:`MAX_STATS_WORKERS` entries) in ``GET /stats`` next
+            to the aggregated totals.
         verbose: log one line per request to stderr.
 
     Usable as a context manager: ``with ReproServer(db) as server:``
@@ -265,10 +303,12 @@ class ReproServer:
         default_query=None,
         host: str = "127.0.0.1",
         port: int = 0,
+        stats_per_worker: bool = False,
         verbose: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        self.stats_per_worker = stats_per_worker
         if not isinstance(database, Database):
             database = Database(database)
         if isinstance(default_query, str):
@@ -380,14 +420,30 @@ class ReproServer:
         }
 
     def stats(self) -> dict:
-        """Store build/cache counters + per-worker sessions + wire ops."""
+        """Store build/cache counters + worker totals + wire ops.
+
+        Worker session counters are aggregated into one ``totals``
+        dict so the response size is independent of ``--workers``; a
+        per-worker breakdown (bounded) appears only when the server
+        was started with ``stats_per_worker=True``.
+        """
+        worker_stats = [
+            connection.session.stats.as_dict()
+            for connection in self._connections
+        ]
+        workers: dict = {
+            "count": len(worker_stats),
+            "totals": aggregate_counters(worker_stats),
+        }
+        if self.stats_per_worker:
+            workers["per_worker"] = worker_stats[:MAX_STATS_WORKERS]
+            truncated = len(worker_stats) - MAX_STATS_WORKERS
+            if truncated > 0:
+                workers["truncated"] = truncated
         return {
             "server": self.counters.as_dict(),
             "store": self.store.cache_stats(),
-            "workers": [
-                connection.session.stats.as_dict()
-                for connection in self._connections
-            ],
+            "workers": workers,
         }
 
     def __repr__(self) -> str:
@@ -407,6 +463,7 @@ def serve(
     default_query=None,
     host: str = "127.0.0.1",
     port: int = 8080,
+    stats_per_worker: bool = False,
     verbose: bool = False,
 ) -> ReproServer:
     """Build a :class:`ReproServer` and serve in the foreground.
@@ -423,6 +480,7 @@ def serve(
         default_query=default_query,
         host=host,
         port=port,
+        stats_per_worker=stats_per_worker,
         verbose=verbose,
     )
     try:
@@ -434,8 +492,10 @@ def serve(
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "MAX_STATS_WORKERS",
     "ReproServer",
     "SESSION_ROUTE",
+    "aggregate_counters",
     "error_body",
     "serve",
 ]

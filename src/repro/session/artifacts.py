@@ -29,6 +29,19 @@ evicted cost-aware: each entry remembers its decomposition exponent
 ``ι``, and overflow sacrifices the cheapest-to-rebuild entry first
 (:class:`~repro.session.cache.CostAwareCache`), not the least recent.
 
+The store is **versioned**: every artifact is registered under
+``(db_version, cache_key)``, and :meth:`ArtifactStore.apply` applies a
+:class:`~repro.data.delta.Delta`, bumps the version, and walks the
+caches once — artifacts whose declared relation dependencies are
+disjoint from the delta's touched relations are *carried* to the new
+version (``artifacts_carried``), the rest are dropped
+(``artifacts_invalidated``).  A decomposition that never touches a
+mutated relation therefore keeps serving from cache across mutations,
+with zero rebuilds — the generation counters in :meth:`cache_stats`
+prove it.  In-flight builds that captured the old version finish
+harmlessly: their artifact lands under the old version's key, is never
+served to new-version readers, and is swept on the next delta.
+
 One store fronts many cheap :class:`~repro.session.AccessSession`
 objects — one per server worker — each keeping its own request/plan
 counters while the artifact caches, and the once-per-database encoded
@@ -57,6 +70,13 @@ from repro.engine.base import Engine
 from repro.engine.registry import resolve_engine
 from repro.session.cache import CacheStats, CostAwareCache
 
+#: Sentinel for "dependencies unknown": artifacts registered without a
+#: ``relations`` declaration are dropped by *every* delta — the safe
+#: default for direct store users.  Pass a ``frozenset`` of relation
+#: names for selective invalidation, or ``None`` for data-independent
+#: artifacts that survive all deltas.
+DEPENDS_ON_ALL = object()
+
 
 @dataclass
 class StoreStats:
@@ -75,6 +95,18 @@ class StoreStats:
     * ``build_concurrency_peak`` — the high-water mark of builds running
       *simultaneously*; ``>= 2`` proves two artifacts were built under
       different locks, which a single session-wide lock can never show.
+
+    The mutation (generation) counters are the incremental-maintenance
+    acceptance evidence:
+
+    * ``deltas_applied`` — database versions minted by :meth:`apply`;
+    * ``incremental_encodes`` / ``full_reencodes`` — whether the
+      engine maintained its database preparation in place (shared
+      dictionary extended code-stably) or had to redo it;
+    * ``artifacts_carried`` — artifacts re-keyed to the new version
+      because their decomposition touches no mutated relation (served
+      warm after the delta, zero rebuilds);
+    * ``artifacts_invalidated`` — artifacts dropped by a delta.
     """
 
     preprocessing: CacheStats = field(default_factory=CacheStats)
@@ -87,6 +119,11 @@ class StoreStats:
     build_waits: int = 0
     build_concurrency_peak: int = 0
     sessions: int = 0
+    deltas_applied: int = 0
+    incremental_encodes: int = 0
+    full_reencodes: int = 0
+    artifacts_carried: int = 0
+    artifacts_invalidated: int = 0
 
     def of(self, kind: str) -> CacheStats:
         return getattr(self, kind)
@@ -98,6 +135,11 @@ class StoreStats:
             "build_waits": self.build_waits,
             "build_concurrency_peak": self.build_concurrency_peak,
             "sessions": self.sessions,
+            "deltas_applied": self.deltas_applied,
+            "incremental_encodes": self.incremental_encodes,
+            "full_reencodes": self.full_reencodes,
+            "artifacts_carried": self.artifacts_carried,
+            "artifacts_invalidated": self.artifacts_invalidated,
             "preprocessing": self.preprocessing.as_dict(),
             "forest": self.forest.as_dict(),
             "access": self.access.as_dict(),
@@ -134,13 +176,22 @@ class ArtifactStore:
     ):
         if not isinstance(database, Database):
             database = Database(database)
-        self.database = database
+        self._database = database
+        self._db_version = 0
         self.engine = resolve_engine(engine)
         self.stats = StoreStats()
         # Short-held: protects the cache maps, the build-lock registry,
         # and stats — never held across a build or an engine call.
         self._registry_lock = threading.Lock()
+        # Serializes whole mutations (the engine's delta application
+        # runs outside the registry lock; two racing deltas must not
+        # interleave their encode work).
+        self._mutation_lock = threading.Lock()
         self._build_locks: dict[tuple, threading.Lock] = {}
+        # (kind, version, key) -> the relation names the artifact was
+        # built from (``None`` = data-independent, always carried;
+        # ``DEPENDS_ON_ALL`` = unknown, dropped by every delta).
+        self._deps: dict[tuple, object] = {}
         self._building = 0
         # Builds nest (an access build runs the preprocessing and
         # forest builds inside it); concurrency is counted per
@@ -153,6 +204,28 @@ class ArtifactStore:
         }
         self._encoded = False
         self.ensure_encoded()
+
+    # -- the live database -------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The currently served database (the newest version)."""
+        return self._database
+
+    @property
+    def db_version(self) -> int:
+        """Monotonic version, bumped by every :meth:`apply`."""
+        return self._db_version
+
+    def current(self) -> tuple[int, Database]:
+        """An atomic ``(db_version, database)`` snapshot.
+
+        Requests capture this pair once so a delta landing mid-request
+        cannot mix versions: the build reads the snapshot database and
+        registers its artifacts under the snapshot version.
+        """
+        with self._registry_lock:
+            return self._db_version, self._database
 
     # -- sessions ----------------------------------------------------------
 
@@ -197,24 +270,72 @@ class ArtifactStore:
                 self.stats.database_encodes += 1
                 self._encoded = True
 
-    def get(self, kind: str, key, extra: CacheStats | None = None):
+    #: Dependency-registry prune threshold (mirrors the build-lock
+    #: registry): entries for evicted artifacts are dropped lazily.
+    DEPS_REGISTRY_LIMIT = 4096
+
+    def _record_deps(self, kind: str, version: int, key, relations) -> None:
+        # Registry lock held by the caller.
+        self._deps[(kind, version, key)] = relations
+        if len(self._deps) > self.DEPS_REGISTRY_LIMIT:
+            live = {
+                (kind_, vkey[0], vkey[1])
+                for kind_ in self.KINDS
+                for vkey in self._caches[kind_].keys()
+            }
+            self._deps = {
+                dep: value
+                for dep, value in self._deps.items()
+                if dep in live
+            }
+
+    def get(
+        self,
+        kind: str,
+        key,
+        extra: CacheStats | None = None,
+        version: int | None = None,
+    ):
         """Cached artifact or ``None``; counts a hit/miss in the store
-        aggregate and in the caller's ``extra`` stats."""
+        aggregate and in the caller's ``extra`` stats.  ``version``
+        defaults to the current database version."""
         with self._registry_lock:
-            return self._caches[kind].get(key, extra)
+            if version is None:
+                version = self._db_version
+            return self._caches[kind].get((version, key), extra)
 
     def put(
         self, kind: str, key, value, cost=0,
         extra: CacheStats | None = None,
+        version: int | None = None,
+        relations=DEPENDS_ON_ALL,
     ) -> None:
-        with self._registry_lock:
-            self._caches[kind].put(key, value, cost=cost, extra=extra)
+        """Register an artifact under the given (or current) version.
 
-    def contains(self, kind: str, key) -> bool:
+        ``relations`` declares which relation names the artifact was
+        built from, steering delta invalidation: a ``frozenset`` is
+        invalidated only by deltas touching one of its members,
+        ``None`` marks a data-independent artifact (plans,
+        decompositions — carried across every delta), and the default
+        :data:`DEPENDS_ON_ALL` is dropped by any delta.
+        """
+        with self._registry_lock:
+            if version is None:
+                version = self._db_version
+            self._caches[kind].put(
+                (version, key), value, cost=cost, extra=extra
+            )
+            self._record_deps(kind, version, key, relations)
+
+    def contains(
+        self, kind: str, key, version: int | None = None
+    ) -> bool:
         """Membership without touching counters or recency (the
         cache-aware planner's warm-order peek)."""
         with self._registry_lock:
-            return key in self._caches[kind]
+            if version is None:
+                version = self._db_version
+            return (version, key) in self._caches[kind]
 
     def get_or_build(
         self,
@@ -224,6 +345,8 @@ class ArtifactStore:
         cost=0,
         extra: CacheStats | None = None,
         counted: bool = False,
+        version: int | None = None,
+        relations=DEPENDS_ON_ALL,
     ):
         """The artifact under ``key``, building it at most once.
 
@@ -232,30 +355,36 @@ class ArtifactStore:
         (the decomposition exponent) steers eviction.  Builder errors
         propagate and cache nothing, so a failed build does not poison
         the key.  ``counted=True`` means the caller already recorded
-        this lookup's hit/miss (no double counting).
+        this lookup's hit/miss (no double counting).  ``version`` pins
+        the database version the artifact belongs to (default: the
+        current one, resolved once at entry); ``relations`` declares
+        its delta-invalidation dependencies as in :meth:`put`.
         """
-        if counted:
-            with self._registry_lock:
-                value = self._caches[kind].peek(key)
-        else:
-            value = self.get(kind, key, extra)
+        with self._registry_lock:
+            if version is None:
+                version = self._db_version
+            vkey = (version, key)
+            if counted:
+                value = self._caches[kind].peek(vkey)
+            else:
+                value = self._caches[kind].get(vkey, extra)
         if value is not None:
             return value
         while True:
-            lock = self._build_lock(kind, key)
+            lock = self._build_lock(kind, vkey)
             with lock:
                 with self._registry_lock:
                     # The registry may have pruned this lock between
                     # setdefault and acquire (it was unheld then); a
                     # stale lock no longer excludes other builders, so
                     # retake the registered one.
-                    if self._build_locks.get((kind, key)) is not lock:
+                    if self._build_locks.get((kind, vkey)) is not lock:
                         continue
                     # Double-check: another worker may have built it
                     # while we waited on the key lock.  peek() keeps
                     # the earlier miss honest (this worker did miss;
                     # it just did not build).
-                    value = self._caches[kind].peek(key)
+                    value = self._caches[kind].peek(vkey)
                     if value is not None:
                         self.stats.build_waits += 1
                         return value
@@ -277,9 +406,75 @@ class ArtifactStore:
                 with self._registry_lock:
                     self.stats.artifact_builds += 1
                     self._caches[kind].put(
-                        key, value, cost=cost, extra=extra
+                        vkey, value, cost=cost, extra=extra
                     )
+                    self._record_deps(kind, version, key, relations)
                 return value
+
+    # -- mutations ---------------------------------------------------------
+
+    def apply(self, delta) -> int:
+        """Apply ``delta``, bump the version, invalidate selectively.
+
+        The engine maintains its database preparation
+        (:meth:`~repro.engine.base.Engine.apply_delta` — the numpy
+        engine extends the shared dictionary in place when
+        order-preservation allows, re-encoding only mutated
+        relations), then one pass over the caches re-keys every
+        artifact whose declared relations are disjoint from the
+        delta's touched set to the new version (``artifacts_carried``)
+        and drops the rest (``artifacts_invalidated``).  Returns the
+        new database version.  An *empty* delta is a no-op: the
+        current version comes back unbumped and nothing is
+        invalidated (matching the HTTP client, which ships no op for
+        it).  Raises :class:`~repro.errors.DatabaseError` for unknown
+        relations or wrong-arity rows (validated inside
+        ``Database.apply``, before any state changes) — in that case
+        nothing changes.
+        """
+        from repro.data.delta import Delta
+
+        delta = Delta.coerce(delta)
+        if delta.is_empty:
+            return self.db_version
+        with self._mutation_lock:
+            database = self._database
+            new_database, incremental = self.engine.apply_delta(
+                database, delta
+            )
+            touched = delta.touched
+            with self._registry_lock:
+                old = self._db_version
+                new = old + 1
+                self._database = new_database
+                self._db_version = new
+                self.stats.deltas_applied += 1
+                if incremental:
+                    self.stats.incremental_encodes += 1
+                else:
+                    self.stats.full_reencodes += 1
+                for kind in self.KINDS:
+                    cache = self._caches[kind]
+                    for vkey in cache.keys():
+                        version, key = vkey
+                        deps = self._deps.pop(
+                            (kind, version, key), DEPENDS_ON_ALL
+                        )
+                        value, cost = cache.pop(vkey)
+                        survives = version == old and (
+                            deps is None
+                            or (
+                                deps is not DEPENDS_ON_ALL
+                                and not (deps & touched)
+                            )
+                        )
+                        if survives:
+                            cache.put((new, key), value, cost=cost)
+                            self._deps[(kind, new, key)] = deps
+                            self.stats.artifacts_carried += 1
+                        else:
+                            self.stats.artifacts_invalidated += 1
+            return new
 
     # -- observability / lifecycle -----------------------------------------
 
@@ -291,7 +486,9 @@ class ArtifactStore:
     def cache_stats(self) -> dict:
         """A plain-dict snapshot of the store-level counters."""
         with self._registry_lock:
-            return self.stats.as_dict()
+            out = self.stats.as_dict()
+            out["db_version"] = self._db_version
+            return out
 
     def clear(self) -> None:
         """Drop every cached artifact (counters and the encoded
@@ -299,6 +496,7 @@ class ArtifactStore:
         with self._registry_lock:
             for cache in self._caches.values():
                 cache.clear()
+            self._deps.clear()
             # Held locks are kept, like the prune path: an in-flight
             # builder must stay the only builder for its key.
             self._build_locks = {
@@ -317,4 +515,4 @@ class ArtifactStore:
         )
 
 
-__all__ = ["ArtifactStore", "StoreStats"]
+__all__ = ["ArtifactStore", "DEPENDS_ON_ALL", "StoreStats"]

@@ -195,6 +195,22 @@ class CostAwareCache:
         """The cached value without counters or recency (or ``None``)."""
         return self._entries.get(key)
 
+    def keys(self) -> list:
+        """A snapshot of the cached keys (insertion/recency order)."""
+        return list(self._entries)
+
+    def pop(self, key):
+        """Remove ``key`` and return ``(value, cost)``.
+
+        Not an eviction (no counters move): this is the store's
+        carry-forward surgery when a delta re-keys surviving artifacts
+        to the new database version.  ``KeyError`` when absent.
+        """
+        value = self._entries.pop(key)
+        self._credits.pop(key, None)
+        cost = self._costs.pop(key, 0)
+        return value, cost
+
     def get(self, key, extra: CacheStats | None = None):
         """The cached value, or ``None`` on a miss (values are never
         ``None``); counts into the aggregate stats and, if given, the

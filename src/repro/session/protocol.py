@@ -25,16 +25,35 @@ import json
 from dataclasses import dataclass, fields
 
 from repro.data.io import parse_cell
-from repro.errors import ProtocolError, ReproError
+from repro.errors import ProtocolError, ReproError, StaleViewError
 
 #: Version of the request/response shapes this module speaks.
-PROTOCOL_VERSION = 1
+#: Version 2 added live mutations (``insert`` / ``delete`` /
+#: ``db_version`` ops, the ``db_version`` staleness pin on read ops)
+#: and batched inverse access (``answers`` on ``rank``).
+PROTOCOL_VERSION = 2
 
 #: Operations a server understands.  ``quit`` is included so clients can
 #: end a stream in-band; transports decide what to do after its ack.
 OPS = frozenset(
-    {"access", "count", "median", "page", "plan", "rank", "stats", "quit"}
+    {
+        "access",
+        "count",
+        "db_version",
+        "delete",
+        "insert",
+        "median",
+        "page",
+        "plan",
+        "rank",
+        "stats",
+        "quit",
+    }
 )
+
+#: Ops that serve a prepared view and therefore honour the request's
+#: ``db_version`` staleness pin.
+VIEW_OPS = frozenset({"access", "count", "median", "page", "rank"})
 
 #: One-line summary per op — the machine-checkable core of
 #: ``docs/protocol.md`` (the sync test diffs the doc against this and
@@ -42,6 +61,9 @@ OPS = frozenset(
 OP_SUMMARIES = {
     "access": "answer tuples at the given indices (batch direct access)",
     "count": "the number of answers, never enumerated",
+    "db_version": "the served database's current version",
+    "delete": "remove rows from one relation (bumps db_version)",
+    "insert": "add rows to one relation (bumps db_version)",
     "median": "the middle answer under the served order",
     "page": "one page of ranked answers (page_number, page_size)",
     "plan": "the order the cache-aware advisor would serve with",
@@ -77,6 +99,10 @@ class SessionRequest:
     page_number: int | None = None
     page_size: int | None = None
     answer: tuple | None = None
+    answers: tuple[tuple, ...] | None = None
+    relation: str | None = None
+    rows: tuple[tuple, ...] | None = None
+    db_version: int | None = None
     version: int = PROTOCOL_VERSION
 
     def __post_init__(self):
@@ -104,6 +130,14 @@ class SessionRequest:
             out["page_size"] = self.page_size
         if self.answer is not None:
             out["answer"] = list(self.answer)
+        if self.answers is not None:
+            out["answers"] = [list(row) for row in self.answers]
+        if self.relation is not None:
+            out["relation"] = self.relation
+        if self.rows is not None:
+            out["rows"] = [list(row) for row in self.rows]
+        if self.db_version is not None:
+            out["db_version"] = self.db_version
         return out
 
     def to_json(self) -> str:
@@ -150,11 +184,31 @@ class SessionRequest:
             if not isinstance(answer, (list, tuple)):
                 raise ProtocolError("answer must be a list of values")
             answer = tuple(answer)
+
+        def row_batch(name: str):
+            value = data.get(name)
+            if value is None:
+                return None
+            if not isinstance(value, (list, tuple)) or not all(
+                isinstance(row, (list, tuple)) for row in value
+            ):
+                raise ProtocolError(
+                    f"{name} must be a list of rows (lists of values)"
+                )
+            return tuple(tuple(row) for row in value)
+
+        answers = row_batch("answers")
+        rows = row_batch("rows")
+        relation = data.get("relation")
+        if relation is not None and not isinstance(relation, str):
+            raise ProtocolError("relation must be a string")
         page_number = data.get("page_number")
         page_size = data.get("page_size")
+        db_version = data.get("db_version")
         for name, value in (
             ("page_number", page_number),
             ("page_size", page_size),
+            ("db_version", db_version),
         ):
             if value is not None and (
                 not isinstance(value, int) or isinstance(value, bool)
@@ -169,6 +223,10 @@ class SessionRequest:
             page_number=page_number,
             page_size=page_size,
             answer=answer,
+            answers=answers,
+            relation=relation,
+            rows=rows,
+            db_version=db_version,
             version=version,
         )
 
@@ -273,11 +331,28 @@ def parse_command(line: str) -> SessionRequest:
             return None
         return tuple(v.strip() for v in token.split(","))
 
+    def rows_of(tokens) -> tuple[tuple, ...]:
+        if not tokens:
+            raise ProtocolError("need at least one row (v1,v2,...)")
+        return tuple(
+            tuple(parse_cell(cell) for cell in token.split(","))
+            for token in tokens
+        )
+
     try:
         if command in ("quit", "exit"):
             return SessionRequest(op="quit")
         if command == "stats":
             return SessionRequest(op="stats")
+        if command == "db_version":
+            return SessionRequest(op="db_version")
+        if command in ("insert", "delete"):
+            relation, *row_tokens = rest
+            return SessionRequest(
+                op=command,
+                relation=relation,
+                rows=rows_of(row_tokens),
+            )
         if command == "plan":
             prefix = order_of(rest[0]) if rest else None
             return SessionRequest(op="plan", prefix=prefix)
@@ -354,6 +429,25 @@ def execute(
             return respond(None)
         if op == "stats":
             return respond(connection.stats())
+        if op == "db_version":
+            return respond({"db_version": connection.db_version})
+        if op in ("insert", "delete"):
+            if request.relation is None or request.rows is None:
+                raise ProtocolError(
+                    f"{op} needs a relation and a list of rows"
+                )
+            from repro.data.delta import Delta
+
+            side = "inserts" if op == "insert" else "deletes"
+            delta = Delta(**{side: {request.relation: request.rows}})
+            new_version = connection.apply(delta)
+            return respond(
+                {
+                    "relation": request.relation,
+                    "rows": len(request.rows),
+                    "db_version": new_version,
+                }
+            )
         query = (
             request.query if request.query is not None else default_query
         )
@@ -367,10 +461,27 @@ def execute(
                     "iota": str(report.iota),
                 }
             )
+        if (
+            op in VIEW_OPS
+            and request.db_version is not None
+            and connection.db_version != request.db_version
+        ):
+            # The client's view pinned an older database version:
+            # answer with the same structured staleness error a local
+            # stale view raises (before paying any preprocessing),
+            # instead of silently serving post-mutation answers
+            # against a pre-mutation pin.
+            raise StaleViewError(
+                f"view was prepared at db_version "
+                f"{request.db_version}, database is now at "
+                f"{connection.db_version}; re-prepare the query"
+            )
         view = connection.prepare(
             query, order=request.order, prefix=request.prefix
         )
         served = {"order": list(view.order)}
+        if view.db_version is not None:
+            served["db_version"] = view.db_version
         if op == "count":
             return respond(dict(served, count=len(view)))
         if op == "median":
@@ -401,6 +512,19 @@ def execute(
                 )
             )
         if op == "rank":
+            if request.answers is not None:
+                # Batch form: one wire op ranks many tuples (the HTTP
+                # client's RemoteAnswerView.ranks rides this).
+                ranks = view.ranks(
+                    [tuple(row) for row in request.answers]
+                )
+                return respond(
+                    dict(
+                        served,
+                        answers=[list(row) for row in request.answers],
+                        ranks=ranks,
+                    )
+                )
             if request.answer is None:
                 raise ProtocolError("rank needs an answer tuple")
             rank = view.ranks([tuple(request.answer)])[0]
@@ -436,6 +560,7 @@ __all__ = [
     "OPS",
     "OP_SUMMARIES",
     "PROTOCOL_VERSION",
+    "VIEW_OPS",
     "SessionRequest",
     "SessionResponse",
     "execute",

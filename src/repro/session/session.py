@@ -129,7 +129,6 @@ class AccessSession:
                 )
             self._owns_store = False
         self.store = store
-        self.database = store.database
         self.engine = store.engine
         self.cache_slack = Fraction(cache_slack)
         self.stats = SessionStats()
@@ -142,14 +141,42 @@ class AccessSession:
             store.stats.sessions += 1
 
     @property
+    def database(self) -> Database:
+        """The currently served database (the store's newest version)."""
+        return self.store.database
+
+    @property
+    def db_version(self) -> int:
+        """The store's database version (bumped by :meth:`apply`)."""
+        return self.store.db_version
+
+    @property
     def _plans(self):
         # Back-compat introspection handle (tests peek at ._entries).
         return self.store.cache("plans")
 
+    # -- mutations ---------------------------------------------------------
+
+    def apply(self, delta) -> int:
+        """Apply a :class:`~repro.data.delta.Delta` to the served
+        database and return the new version.
+
+        The store maintains the shared encoding incrementally when
+        order-preservation allows and invalidates exactly the cached
+        artifacts whose decomposition touches a mutated relation;
+        everything else keeps serving warm (see
+        :meth:`~repro.session.artifacts.ArtifactStore.apply`).  Shared
+        stores propagate the new version to every attached worker.
+        """
+        return self.store.apply(delta)
+
     # -- planning ----------------------------------------------------------
 
     def _ranked(
-        self, query: JoinQuery, prefix: VariableOrder | None
+        self,
+        query: JoinQuery,
+        prefix: VariableOrder | None,
+        version: int | None = None,
     ) -> list[OrderReport]:
         key = (
             query.signature(),
@@ -184,19 +211,26 @@ class AccessSession:
                 replace(
                     report,
                     decomposition=self._decomposition_for(
-                        key[0], query, report.order
+                        key[0], query, report.order, version
                     ),
                 )
                 for report in ranked
                 if report.iota <= threshold
             ]
 
+        # Plans are data-independent (``relations=None``): a delta
+        # carries them to the new version instead of invalidating.
         return self.store.get_or_build(
-            "plans", key, build_plan, extra=self.stats.plans
+            "plans", key, build_plan, extra=self.stats.plans,
+            version=version, relations=None,
         )
 
     def _decomposition_for(
-        self, signature, query: JoinQuery, order: VariableOrder
+        self,
+        signature,
+        query: JoinQuery,
+        order: VariableOrder,
+        version: int | None = None,
     ) -> DisruptionFreeDecomposition:
         key = (signature, tuple(order))
         return self.store.get_or_build(
@@ -204,10 +238,15 @@ class AccessSession:
             key,
             lambda: DisruptionFreeDecomposition(query, order),
             extra=self.stats.decompositions,
+            version=version,
+            relations=None,
         )
 
     def plan(
-        self, query: JoinQuery, prefix: VariableOrder | None = None
+        self,
+        query: JoinQuery,
+        prefix: VariableOrder | None = None,
+        version: int | None = None,
     ) -> OrderReport:
         """The order the session would serve ``query`` with.
 
@@ -218,7 +257,7 @@ class AccessSession:
         """
         if prefix is not None:
             prefix = _as_order(prefix)
-        ranked = self._ranked(query, prefix)
+        ranked = self._ranked(query, prefix, version)
         best = ranked[0]
         if self.cache_slack < 0:
             return best
@@ -229,7 +268,9 @@ class AccessSession:
             key = self._preprocessing_key(
                 signature, report.decomposition
             )
-            if self.store.contains("preprocessing", key):
+            if self.store.contains(
+                "preprocessing", key, version=version
+            ):
                 if report is not best:
                     with self._lock:
                         self.stats.cache_preferred_orders += 1
@@ -268,6 +309,26 @@ class AccessSession:
                 ``order`` (explicit orders only — the planner currently
                 serves full join queries).
         """
+        return self.access_versioned(
+            query, order=order, prefix=prefix, projected=projected
+        )[0]
+
+    def access_versioned(
+        self,
+        query: JoinQuery | str,
+        order=None,
+        prefix=None,
+        projected: frozenset[str] | set[str] = frozenset(),
+    ) -> tuple[DirectAccess, int]:
+        """:meth:`access` plus the database version it was served at.
+
+        The ``(db_version, database)`` pair is snapshotted once at
+        request start, so a delta applied mid-request cannot mix
+        versions: the returned structure consistently reflects the
+        snapshot, and the version lets callers (the facade's
+        :class:`~repro.facade.AnswerView`) pin it for staleness
+        detection.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         projected = frozenset(projected)
@@ -289,32 +350,39 @@ class AccessSession:
             )
         with self._lock:
             self.stats.requests += 1
+        version, database = self.store.current()
         if order is None:
-            report = self.plan(query, prefix)
+            report = self.plan(query, prefix, version)
             order = report.order
             decomposition = report.decomposition
         signature = query.signature()
+        relations = frozenset(query.relation_symbols)
         access_key = (signature, tuple(order), projected)
         access = self.store.get(
-            "access", access_key, extra=self.stats.access
+            "access", access_key, extra=self.stats.access,
+            version=version,
         )
         if access is not None:
-            return access
+            return access, version
         if decomposition is None:
             decomposition = self._decomposition_for(
-                signature, query, order
+                signature, query, order, version
             )
         iota = decomposition.incompatibility_number
-        return self.store.get_or_build(
+        access = self.store.get_or_build(
             "access",
             access_key,
             lambda: self._build(
-                query, order, projected, decomposition, signature
+                query, order, projected, decomposition, signature,
+                database, version, relations,
             ),
             cost=iota,
             extra=self.stats.access,
             counted=True,  # the get() above recorded this miss
+            version=version,
+            relations=relations,
         )
+        return access, version
 
     def _build(
         self,
@@ -323,6 +391,9 @@ class AccessSession:
         projected: frozenset[str],
         decomposition: DisruptionFreeDecomposition,
         signature,
+        database: Database,
+        version: int,
+        relations: frozenset[str],
     ) -> DirectAccess:
         preprocessing_key = self._preprocessing_key(
             signature, decomposition
@@ -333,7 +404,7 @@ class AccessSession:
 
             def build_bags():
                 preprocessing = Preprocessing(
-                    query, order, self.database,
+                    query, order, database,
                     decomposition=decomposition,
                 )
                 with self._lock:
@@ -348,19 +419,21 @@ class AccessSession:
                 build_bags,
                 cost=iota,
                 extra=self.stats.preprocessing,
+                version=version,
+                relations=relations,
             )
             # With the tables in hand, re-assembling Preprocessing is a
             # pointer rewire — zero materializations, any order of the
             # shared decomposition.
             preprocessing = Preprocessing(
-                query, order, self.database,
+                query, order, database,
                 decomposition=decomposition,
                 bag_tables=bag_tables,
             )
 
             def build_forest():
                 access = DirectAccess(
-                    query, order, self.database, projected,
+                    query, order, database, projected,
                     preprocessing=preprocessing,
                 )
                 with self._lock:
@@ -373,9 +446,11 @@ class AccessSession:
                 build_forest,
                 cost=iota,
                 extra=self.stats.forest,
+                version=version,
+                relations=relations,
             )
             return DirectAccess(
-                query, order, self.database, projected,
+                query, order, database, projected,
                 preprocessing=preprocessing,
                 forest=forest,
             )

@@ -58,6 +58,12 @@ class TestProtocolSpecSync:
                 f"OP_SUMMARIES ({summary!r} not found near its heading)"
             )
 
+    def test_staleness_semantics_documented(self, protocol_doc):
+        """The mutation ops ship with staleness semantics: the spec
+        must explain the db_version pin and StaleViewError replay."""
+        assert "StaleViewError" in protocol_doc
+        assert "db_version" in protocol_doc
+
     def test_documented_version_matches(self, protocol_doc):
         match = re.search(
             r"Protocol version: \*\*(\d+)\*\*", protocol_doc
@@ -109,6 +115,8 @@ class TestArchitectureDocSync:
             "disruption-free decomposition",
             "lexicographic direct access",
             "artifact store",
+            "db_version",
+            "staleviewerror",
         ):
             assert concept in architecture_doc.lower(), (
                 f"architecture.md no longer explains {concept!r}"

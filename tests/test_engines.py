@@ -314,11 +314,11 @@ def test_direct_access_reports_engine_name():
 
 @needs_numpy
 def test_large_counts_do_not_overflow():
-    """Weights beyond int64 must fall back to Python big ints, not wrap."""
+    """Weights beyond int64 must widen to Python big ints, not wrap."""
     # A cross product of unary relations: 500**7 ≈ 7.8e18 answers sits
     # between the engine's 2**62 overflow guard and the 2**63 - 1 cap of
-    # the ``len`` protocol, so the numpy engine must hand the affected
-    # bags (and the batch access) to the Python path.
+    # the ``len`` protocol, so the numpy engine must widen the affected
+    # bags' weight columns (batch access still walks via Python).
     variables = [f"v{i}" for i in range(7)]
     atoms = ", ".join(f"R{i}({v})" for i, v in enumerate(variables))
     query = parse_query(f"Q({', '.join(variables)}) :- {atoms}")
@@ -344,6 +344,200 @@ def test_large_counts_do_not_overflow():
             )
     assert observations["python"][0] == expected_total
     assert observations["python"] == observations["numpy"]
+
+
+@needs_numpy
+def test_overflow_weights_stay_vectorized():
+    """Regression pin just above the int64 overflow threshold: the
+    counting-forest build must widen its weight column (object dtype)
+    instead of silently dropping to the per-bag Python fallback —
+    every bag of the numpy-built forest keeps its columnar mirror."""
+    import numpy as np
+
+    # A complete-bipartite path: subtree totals multiply level by
+    # level (m, m**2, ..., m**6), so the top bags' weight bounds cross
+    # the 2**62 ≈ 4.6e18 guard while the total, 500**7 ≈ 7.8e18,
+    # stays below the 2**63 - 1 cap of the ``len`` protocol.  Unlike
+    # the cross-product test above, the bags *nest*, which is what
+    # makes the per-bag weight arithmetic itself overflow-prone.
+    m, levels = 500, 7
+    variables = [f"v{i}" for i in range(levels)]
+    atoms = ", ".join(
+        f"R{i}({variables[i]}, {variables[i + 1]})"
+        for i in range(levels - 1)
+    )
+    query = parse_query(f"Q({', '.join(variables)}) :- {atoms}")
+    pairs = {(a, b) for a in range(m) for b in range(m)}
+    database = Database(
+        {
+            f"R{i}": Relation(set(pairs), arity=2)
+            for i in range(levels - 1)
+        }
+    )
+    with use_engine("numpy"):
+        access = DirectAccess(
+            query, VariableOrder(variables), database
+        )
+    total = m**levels
+    assert total > 2**62  # really sits above the overflow guard
+    assert len(access) == total
+    # The pin: no bag fell back to the Python build (a fallback leaves
+    # aux=None), and the widened bags really are object-dtype.
+    auxes = [index.aux for index in access._indexes]
+    assert all(aux is not None for aux in auxes)
+    assert any(
+        aux.weights_flat.dtype == np.dtype(object) for aux in auxes
+    )
+    # ... and the arithmetic is exact at both ends.
+    top = tuple([m - 1] * levels)
+    assert access.tuple_at(0) == tuple([0] * levels)
+    assert access.tuple_at(total - 1) == top
+    assert access.rank_of(top) == total - 1
+
+
+@needs_numpy
+def test_object_dtype_child_propagates_to_int64_parent():
+    """Regression: a parent bag whose own bound fits int64 must widen
+    anyway when a child's totals are object dtype — multiplying object
+    totals into an int64 weight column is a numpy casting error."""
+    import numpy as np
+
+    from repro.engine.numpy_engine import NumpyEngine
+    from repro.joins.operators import Table
+
+    engine = NumpyEngine()
+    child_table = Table(("y", "z"), {(1, 2), (1, 3), (2, 2)})
+    child = engine.build_bag_index(child_table, [], False)
+    # Simulate a child built under the overflow guard (its bound is
+    # conservative; after a selective join its exact totals can be
+    # small while the dtype stays object).
+    child.aux.weights_flat = child.aux.weights_flat.astype(object)
+    child.aux.totals = child.aux.totals.astype(object)
+    child.aux.cum_before = child.aux.cum_before.astype(object)
+    parent_table = Table(("x", "y"), {(0, 1), (0, 2), (5, 1)})
+    parent = engine.build_bag_index(parent_table, [(child, [1])], False)
+    assert parent.aux is not None
+    assert parent.aux.weights_flat.dtype == np.dtype(object)
+    assert parent.totals[(0,)] == 3  # y=1 weighs 2, y=2 weighs 1
+    assert parent.totals[(5,)] == 2
+
+
+# -- live mutations (cross-engine differential) ---------------------------
+
+
+def random_delta(rng, database, max_value=9):
+    """A random per-relation insert/delete workload step."""
+    from repro import Delta
+
+    inserts: dict = {}
+    deletes: dict = {}
+    for name, relation in database.relations.items():
+        if rng.random() < 0.4:
+            continue
+        inserts[name] = {
+            tuple(
+                rng.randint(0, max_value)
+                for _ in range(relation.arity)
+            )
+            for _ in range(rng.randint(0, 3))
+        }
+        existing = sorted(relation.tuples)
+        if existing and rng.random() < 0.5:
+            deletes[name] = set(
+                rng.sample(
+                    existing,
+                    rng.randint(1, min(3, len(existing))),
+                )
+            )
+    return Delta(inserts=inserts, deletes=deletes)
+
+
+@needs_numpy
+@pytest.mark.parametrize("query_text", QUERIES[:5])
+def test_mutation_differential(query_text):
+    """Random insert/delete workloads: the incremental path must equal
+    a from-scratch database, per engine and across engines."""
+    from repro import connect
+
+    query = parse_query(query_text)
+    rng = random.Random(zlib.crc32(b"delta:" + query_text.encode()))
+    base = random_database(query, rng)
+    order = VariableOrder(
+        rng.choice(list(itertools.permutations(query.variables)))
+    )
+    connections = {
+        engine: connect(
+            Database(
+                {
+                    name: set(rel.tuples)
+                    for name, rel in base.relations.items()
+                }
+            ),
+            engine=engine,
+        )
+        for engine in ("python", "numpy")
+    }
+    database = base
+    for step in range(6):
+        delta = random_delta(rng, database, max_value=9 + step)
+        database = database.apply(delta)
+        observed = {}
+        for engine, conn in connections.items():
+            conn.apply(delta)
+            observed[engine] = list(conn.prepare(query, order=order))
+        with use_engine("python"):
+            scratch = list(
+                DirectAccess(query, order, database).answers_at(
+                    range(
+                        len(DirectAccess(query, order, database))
+                    )
+                )
+            )
+        scratch_rows = [
+            tuple(answer[v] for v in order) for answer in scratch
+        ]
+        assert observed["python"] == scratch_rows, (
+            f"incremental != rebuild on {query_text} step {step}"
+        )
+        assert observed["python"] == observed["numpy"], (
+            f"engines disagree on {query_text} step {step}"
+        )
+
+
+@needs_numpy
+def test_dictionary_extension_never_renumbers_existing_codes():
+    """Property: however a random append-only workload grows the
+    domain, the shared dictionary's existing codes are stable and the
+    mirrors keep sharing it by identity."""
+    from repro import Delta, EncodedDatabase
+
+    rng = random.Random(99)
+    database = EncodedDatabase(
+        {"R": {(1, 2), (3, 2)}, "S": {(2, 7)}}
+    )
+    ceiling = 10  # new values always above everything seen: appendable
+    for _ in range(15):
+        ceiling += rng.randint(1, 5)
+        name = rng.choice(["R", "S"])
+        arity = database[name].arity
+        rows = {
+            tuple(
+                rng.randint(ceiling - 1, ceiling)
+                for _ in range(arity)
+            )
+            for _ in range(rng.randint(1, 2))
+        }
+        snapshot = dict(database.shared_dictionary._code)
+        out = database.apply(Delta(inserts={name: rows}))
+        assert out.encoded_incrementally
+        assert out.shared_dictionary is database.shared_dictionary
+        for value, code in snapshot.items():
+            assert out.shared_dictionary._code[value] == code
+        for rel in out.relations.values():
+            assert (
+                rel._columnar.dictionary is out.shared_dictionary
+            )
+        database = out
 
 
 # -- AnswerView Sequence / round-trip laws (cross-engine) -----------------

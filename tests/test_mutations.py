@@ -1,0 +1,563 @@
+"""Incremental maintenance under live inserts/deletes.
+
+The acceptance surface of the live-updates PR, bottom-up:
+
+* :class:`~repro.data.delta.Delta` — normalization and validation;
+* ``Database.apply`` / ``EncodedDatabase.apply`` — structural sharing
+  and code-stable in-place dictionary extension (full re-encode only
+  when order-preservation forces it);
+* the versioned :class:`~repro.session.ArtifactStore` — a delta
+  invalidates exactly the artifacts whose decomposition touches a
+  mutated relation; untouched decompositions are *carried* and served
+  warm (generation counters prove zero rebuilds);
+* the facade — ``Connection.apply`` bumps ``db_version`` and
+  version-pinned views raise :class:`~repro.errors.StaleViewError`;
+* the wire — ``insert`` / ``delete`` / ``db_version`` ops, remote
+  staleness replay, batched ranks, and the keep-alive client pool.
+
+Part of the new-API surface: CI runs this module with
+``-W error::DeprecationWarning`` and under both engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro import (
+    Database,
+    Delta,
+    EncodedDatabase,
+    Relation,
+    StaleViewError,
+    connect,
+    parse_query,
+)
+from repro.data.columnar import numpy_available
+from repro.errors import DatabaseError
+from repro.session import AccessSession, ArtifactStore
+from repro.session.protocol import SessionRequest, execute
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+PATH = "Q(x, y, z) :- R(x, y), S(y, z)"
+DISJOINT = "P(u, v, w) :- T(u, v), U(v, w)"
+RELATIONS = {
+    "R": {(1, 2), (3, 2), (3, 4)},
+    "S": {(2, 7), (2, 9), (4, 1)},
+    "T": {(1, 1), (2, 1)},
+    "U": {(1, 5)},
+}
+
+
+def fresh_database() -> Database:
+    return Database({name: set(rows) for name, rows in RELATIONS.items()})
+
+
+class TestDelta:
+    def test_normalization_and_touched(self):
+        delta = Delta(
+            inserts={"R": [[1, 2], (3, 9)], "S": []},
+            deletes={"T": {(1, 1)}},
+        )
+        assert delta.inserts == {"R": frozenset({(1, 2), (3, 9)})}
+        assert delta.deletes == {"T": frozenset({(1, 1)})}
+        assert delta.touched == {"R", "T"}
+        assert delta.size() == 3
+        assert not delta.is_empty
+        assert Delta().is_empty
+
+    def test_delete_then_insert_within_one_delta(self):
+        delta = Delta(inserts={"R": {(1, 2)}}, deletes={"R": {(1, 2)}})
+        assert delta.apply_to("R", {(1, 2), (5, 5)}) == {
+            (1, 2),
+            (5, 5),
+        }
+
+    def test_coerce_accepts_mapping_spelling(self):
+        delta = Delta.coerce({"inserts": {"R": {(7, 7)}}})
+        assert delta.inserts == {"R": frozenset({(7, 7)})}
+        with pytest.raises(DatabaseError):
+            Delta.coerce({"R": {(7, 7)}})
+
+    def test_validate_unknown_relation_and_arity(self):
+        database = fresh_database()
+        with pytest.raises(DatabaseError):
+            Delta(inserts={"Nope": {(1,)}}).validate_against(database)
+        with pytest.raises(DatabaseError):
+            Delta(inserts={"R": {(1, 2, 3)}}).validate_against(database)
+
+    def test_equality_and_repr(self):
+        assert Delta(inserts={"R": {(1, 2)}}) == Delta(
+            inserts={"R": [(1, 2)]}
+        )
+        assert "inserts" in repr(Delta(inserts={"R": {(1, 2)}}))
+        assert "empty" in repr(Delta())
+
+
+class TestDatabaseApply:
+    def test_untouched_relations_shared_by_object(self):
+        database = fresh_database()
+        out = database.apply(Delta(inserts={"R": {(9, 9)}}))
+        assert out["S"] is database["S"]
+        assert out["R"] is not database["R"]
+        assert (9, 9) in out["R"].tuples
+        assert (9, 9) not in database["R"].tuples  # snapshot intact
+
+    def test_apply_can_empty_a_relation(self):
+        database = Database({"R": {(1, 2)}})
+        out = database.apply(Delta(deletes={"R": {(1, 2)}}))
+        assert len(out["R"]) == 0 and out["R"].arity == 2
+
+    def test_apply_rejects_bad_deltas_without_side_effects(self):
+        database = fresh_database()
+        with pytest.raises(DatabaseError):
+            database.apply(Delta(inserts={"R": {(1,)}}))
+        assert len(database["R"]) == 3
+
+
+@needs_numpy
+class TestEncodedDatabaseApply:
+    def test_append_only_values_extend_in_place(self):
+        database = EncodedDatabase(
+            {"R": {(1, 2), (3, 2)}, "S": {(2, 7)}}
+        )
+        dictionary = database.shared_dictionary
+        codes_before = dict(dictionary._code)
+        out = database.apply(Delta(inserts={"R": {(8, 9)}}))
+        assert out.encoded_incrementally
+        assert out.shared_dictionary is dictionary
+        # Code-stable: no existing value was renumbered.
+        for value, code in codes_before.items():
+            assert out.shared_dictionary._code[value] == code
+        # Untouched relations keep their mirrors by identity.
+        assert out["S"]._columnar is database["S"]._columnar
+        assert out["R"]._columnar.dictionary is dictionary
+
+    def test_mid_order_value_forces_full_reencode(self):
+        database = EncodedDatabase({"R": {(10, 20)}, "S": {(20, 30)}})
+        out = database.apply(Delta(inserts={"R": {(15, 20)}}))
+        assert not out.encoded_incrementally
+        assert out.shared_dictionary is not database.shared_dictionary
+        assert sorted(out["R"].tuples) == [(10, 20), (15, 20)]
+        # The original database's encoding is untouched.
+        assert database.shared_dictionary.code(15) == -1
+
+    def test_deletes_are_always_incremental(self):
+        database = EncodedDatabase({"R": {(1, 2), (3, 4)}, "S": {(2, 7)}})
+        out = database.apply(Delta(deletes={"R": {(3, 4)}}))
+        assert out.encoded_incrementally
+        assert out.shared_dictionary is database.shared_dictionary
+        assert sorted(out["R"].tuples) == [(1, 2)]
+
+    def test_incremental_answers_equal_fresh_encode(self):
+        query = parse_query(PATH)
+        rng = random.Random(20260729)
+        database = EncodedDatabase(
+            {"R": {(1, 2), (3, 2)}, "S": {(2, 7), (2, 9)}}
+        )
+        for step in range(12):
+            delta = random_delta(rng, database, max_value=40 + step)
+            database = database.apply(delta)
+            fresh = EncodedDatabase(
+                {
+                    name: set(rel.tuples)
+                    for name, rel in database.relations.items()
+                }
+            )
+            with repro.use_engine("numpy"):
+                incremental = connect(database).prepare(
+                    query, order=["x", "y", "z"]
+                )
+                rebuilt = connect(fresh).prepare(
+                    query, order=["x", "y", "z"]
+                )
+            assert list(incremental) == list(rebuilt)
+
+
+def random_delta(rng, database, max_value=40) -> Delta:
+    inserts: dict = {}
+    deletes: dict = {}
+    for name, relation in database.relations.items():
+        if rng.random() < 0.5:
+            continue
+        inserts[name] = {
+            tuple(
+                rng.randint(0, max_value)
+                for _ in range(relation.arity)
+            )
+            for _ in range(rng.randint(0, 3))
+        }
+        existing = sorted(relation.tuples)
+        if existing and rng.random() < 0.6:
+            deletes[name] = set(
+                rng.sample(existing, rng.randint(1, len(existing)))
+            )
+    return Delta(inserts=inserts, deletes=deletes)
+
+
+class TestVersionedStore:
+    def test_apply_bumps_version_and_counts(self):
+        store = ArtifactStore(fresh_database())
+        assert store.db_version == 0
+        version = store.apply(Delta(inserts={"R": {(9, 9)}}))
+        assert version == 1 and store.db_version == 1
+        stats = store.cache_stats()
+        assert stats["deltas_applied"] == 1
+        assert stats["db_version"] == 1
+        assert (
+            stats["incremental_encodes"] + stats["full_reencodes"] == 1
+        )
+
+    def test_untouched_decomposition_survives_with_zero_rebuilds(self):
+        """The acceptance criterion: after a delta touching R, the
+        artifacts of a query over T/U are served from cache — the
+        generation counters prove no rebuild happened."""
+        store = ArtifactStore(fresh_database())
+        session = store.session()
+        session.access(PATH, order=["x", "y", "z"])
+        session.access(DISJOINT, order=["u", "v", "w"])
+        builds_before = store.stats.artifact_builds
+        store.apply(Delta(inserts={"R": {(90, 2)}}))
+        stats = store.cache_stats()
+        # The T/U artifacts (access + forest + preprocessing) plus the
+        # data-independent plans/decompositions were carried ...
+        assert stats["artifacts_carried"] >= 3
+        # ... while the R-touching artifacts were invalidated.
+        assert stats["artifacts_invalidated"] >= 3
+        # Warm re-access of the untouched decomposition: zero builds.
+        warm = store.session()
+        warm.access(DISJOINT, order=["u", "v", "w"])
+        assert store.stats.artifact_builds == builds_before
+        assert warm.stats.bag_materializations == 0
+        assert warm.stats.access.hits == 1
+        # The touched query rebuilds against the new database.
+        touched = store.session()
+        access = touched.access(PATH, order=["x", "y", "z"])
+        assert store.stats.artifact_builds > builds_before
+        assert (90, 2, 7) in iter_rows(access)
+
+    def test_plans_are_carried_across_versions(self):
+        store = ArtifactStore(fresh_database())
+        session = store.session()
+        session.plan(parse_query(PATH))
+        store.apply(Delta(inserts={"R": {(50, 51)}}))
+        session.plan(parse_query(PATH))
+        assert session.stats.advisor_calls == 1  # no re-plan
+
+    def test_old_version_artifacts_are_not_served(self):
+        store = ArtifactStore(fresh_database())
+        session = store.session()
+        before = session.access(PATH, order=["x", "y", "z"])
+        store.apply(Delta(deletes={"R": {(1, 2)}}))
+        after = session.access(PATH, order=["x", "y", "z"])
+        assert len(after) == len(before) - 2  # (1,2,7) and (1,2,9)
+        # The pre-delta structure still answers from its snapshot.
+        assert len(before) == 5
+
+    def test_direct_put_without_deps_is_invalidated(self):
+        store = ArtifactStore(fresh_database())
+        store.put("access", "opaque", "value")
+        store.apply(Delta(inserts={"R": {(9, 9)}}))
+        assert store.get("access", "opaque") is None
+
+    def test_data_independent_put_is_carried(self):
+        store = ArtifactStore(fresh_database())
+        store.put("plans", "thing", "value", relations=None)
+        store.apply(Delta(inserts={"R": {(9, 9)}}))
+        assert store.get("plans", "thing") == "value"
+
+    @needs_numpy
+    def test_full_reencode_leaves_old_snapshot_mirrors_intact(self):
+        """Regression: when a mid-order value forces the full
+        re-encode fallback, the new encoding must land on private
+        relation copies — the old snapshot's shared relations keep
+        their mirrors (and dictionary identity) for in-flight
+        old-version builds."""
+        store = ArtifactStore(
+            {"R": {(10, 20)}, "S": {(20, 30)}}, engine="numpy"
+        )
+        old_database = store.database
+        old_mirrors = {
+            name: rel._columnar
+            for name, rel in old_database.relations.items()
+        }
+        assert all(m is not None for m in old_mirrors.values())
+        store.apply(Delta(inserts={"R": {(15, 20)}}))  # mid-order
+        assert store.cache_stats()["full_reencodes"] == 1
+        for name, rel in old_database.relations.items():
+            assert rel._columnar is old_mirrors[name]
+        new_relations = store.database.relations
+        assert new_relations["S"] is not old_database.relations["S"]
+        assert (
+            new_relations["R"]._columnar.dictionary
+            is new_relations["S"]._columnar.dictionary
+        )
+
+    def test_validation_failure_leaves_version_alone(self):
+        store = ArtifactStore(fresh_database())
+        with pytest.raises(DatabaseError):
+            store.apply(Delta(inserts={"Nope": {(1, 2)}}))
+        assert store.db_version == 0
+
+    def test_empty_delta_is_a_no_op(self):
+        """An empty delta must not bump the version or invalidate
+        anything (the HTTP client ships no op for it, so local and
+        remote apply must agree)."""
+        store = ArtifactStore(fresh_database())
+        session = store.session()
+        session.access(PATH, order=["x", "y", "z"])
+        assert store.apply(Delta()) == 0
+        stats = store.cache_stats()
+        assert stats["deltas_applied"] == 0
+        assert stats["artifacts_invalidated"] == 0
+        conn = connect(fresh_database())
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        assert conn.apply(Delta()) == 0
+        assert view[0] == (1, 2, 7)  # still fresh
+
+    @needs_numpy
+    def test_encoded_database_store_counts_the_real_path(self):
+        """A store over an EncodedDatabase must not double-encode nor
+        misreport: a mid-order delta is one full re-encode, an
+        append-only delta one incremental encode."""
+        store = ArtifactStore(
+            EncodedDatabase({"R": {(10, 20)}, "S": {(20, 30)}}),
+            engine="numpy",
+        )
+        store.apply(Delta(inserts={"R": {(15, 20)}}))  # mid-order
+        stats = store.cache_stats()
+        assert stats["full_reencodes"] == 1
+        assert stats["incremental_encodes"] == 0
+        assert store.database.encoded_incrementally is False
+        store.apply(Delta(inserts={"R": {(40, 41)}}))  # append-only
+        stats = store.cache_stats()
+        assert stats["incremental_encodes"] == 1
+        assert store.database.encoded_incrementally is True
+
+
+def iter_rows(access) -> list[tuple]:
+    return [access.tuple_at(i) for i in range(len(access))]
+
+
+class TestFacadeStaleness:
+    def test_stale_view_raises_on_every_read_path(self):
+        conn = connect(fresh_database())
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        sub = view[1:4]
+        assert view.db_version == 0
+        version = conn.apply(Delta(inserts={"R": {(9, 9)}}))
+        assert version == 1 and conn.db_version == 1
+        for read in (
+            lambda: view[0],
+            lambda: list(view),
+            lambda: view.rank((1, 2, 7)),
+            lambda: view.ranks([(1, 2, 7)]),
+            lambda: view.median(),
+            lambda: len(view),   # a stale count misleads pagination
+            lambda: bool(view),  # ... and emptiness gates
+            lambda: sub[0],  # windows inherit the pin
+        ):
+            with pytest.raises(StaleViewError):
+                read()
+        assert "AnswerView" in repr(view)  # repr stays usable
+
+    def test_fresh_prepare_serves_post_delta_answers(self):
+        conn = connect(fresh_database())
+        before = conn.prepare(PATH, order=["x", "y", "z"])
+        n = len(before)
+        conn.insert("S", [(4, 2)])
+        after = conn.prepare(PATH, order=["x", "y", "z"])
+        assert after.db_version == 1
+        assert len(after) == n + 1
+        assert (3, 4, 2) in after
+        conn.delete("S", [(4, 2)])
+        final = conn.prepare(PATH, order=["x", "y", "z"])
+        assert len(final) == n
+
+    def test_incremental_equals_rebuild_per_engine(self):
+        """The differential law at the facade: after a random
+        insert/delete workload, an incrementally maintained connection
+        answers identically to a from-scratch one, on every engine."""
+        rng = random.Random(5)
+        for engine in repro.available_engines():
+            conn = connect(fresh_database(), engine=engine)
+            database = fresh_database()
+            for _step in range(8):
+                delta = random_delta(rng, database)
+                database = database.apply(delta)
+                conn.apply(delta)
+                live = conn.prepare(PATH, order=["x", "y", "z"])
+                rebuilt = connect(database, engine=engine).prepare(
+                    PATH, order=["x", "y", "z"]
+                )
+                assert list(live) == list(rebuilt), engine
+                assert live.db_version == conn.db_version
+
+
+class TestProtocolMutations:
+    @pytest.fixture()
+    def conn(self):
+        return connect(fresh_database())
+
+    def run(self, conn, **fields):
+        return execute(
+            conn, SessionRequest(**fields), default_query=PATH
+        )
+
+    def test_insert_delete_db_version_round_trip(self, conn):
+        response = self.run(conn, op="db_version")
+        assert response.ok and response.result == {"db_version": 0}
+        response = self.run(
+            conn, op="insert", relation="R", rows=((9, 9),)
+        )
+        assert response.ok
+        assert response.result == {
+            "relation": "R",
+            "rows": 1,
+            "db_version": 1,
+        }
+        response = self.run(
+            conn, op="delete", relation="R", rows=((9, 9),)
+        )
+        assert response.ok and response.result["db_version"] == 2
+
+    def test_mutation_ops_validate_their_fields(self, conn):
+        response = self.run(conn, op="insert", relation="R")
+        assert not response.ok and "rows" in response.error
+        response = self.run(
+            conn, op="insert", relation="Nope", rows=((1, 2),)
+        )
+        assert not response.ok
+        assert response.error_type == "DatabaseError"
+
+    def test_served_responses_carry_db_version(self, conn):
+        response = self.run(conn, op="count", order=("x", "y", "z"))
+        assert response.ok and response.result["db_version"] == 0
+
+    def test_stale_pin_is_replayed_as_staleviewerror(self, conn):
+        fresh = self.run(
+            conn, op="count", order=("x", "y", "z"), db_version=0
+        )
+        assert fresh.ok
+        self.run(conn, op="insert", relation="R", rows=((9, 9),))
+        stale = self.run(
+            conn, op="count", order=("x", "y", "z"), db_version=0
+        )
+        assert not stale.ok
+        assert stale.error_type == "StaleViewError"
+        unpinned = self.run(conn, op="count", order=("x", "y", "z"))
+        assert unpinned.ok and unpinned.result["db_version"] == 1
+
+    def test_batched_rank_op(self, conn):
+        response = self.run(
+            conn,
+            op="rank",
+            order=("x", "y", "z"),
+            answers=((1, 2, 7), (9, 9, 9), (3, 4, 1)),
+        )
+        assert response.ok
+        assert response.result["ranks"] == [0, None, 4]
+
+    def test_text_grammar_mutations(self):
+        from repro.session.protocol import parse_command
+
+        request = parse_command("insert R 9,9 10,10")
+        assert request.op == "insert" and request.relation == "R"
+        assert request.rows == ((9, 9), (10, 10))
+        request = parse_command("delete R 1,2")
+        assert request.op == "delete" and request.rows == ((1, 2),)
+        assert parse_command("db_version").op == "db_version"
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            parse_command("insert R")
+
+
+class TestOverTheWire:
+    """Mutations, staleness, and client efficiency over real HTTP."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.server import ReproServer
+
+        with ReproServer(fresh_database(), workers=2) as running:
+            yield running
+
+    def test_remote_mutations_and_staleness(self, server):
+        conn = connect(server.url)
+        assert conn.db_version == 0
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        assert view.db_version == 0
+        n = len(view)
+        version = conn.insert("R", [(9, 2)])
+        assert version == 1
+        with pytest.raises(StaleViewError):
+            view[0]
+        with pytest.raises(StaleViewError):
+            view.ranks([(1, 2, 7)])
+        fresh = conn.prepare(PATH, order=["x", "y", "z"])
+        assert fresh.db_version == 1
+        assert len(fresh) == n + 2  # (9,2,7) and (9,2,9)
+        assert (9, 2, 7) in fresh
+        assert conn.delete("R", [(9, 2)]) == 2
+
+    def test_remote_apply_multi_relation_delta(self, server):
+        conn = connect(server.url)
+        version = conn.apply(
+            Delta(
+                inserts={"R": {(9, 2)}, "S": {(2, 99)}},
+                deletes={"T": {(1, 1)}},
+            )
+        )
+        assert version == 3  # one op per touched relation
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        assert (9, 2, 99) in view
+
+    def test_batched_ranks_is_one_wire_op_per_chunk(self, server):
+        conn = connect(server.url)
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        answers = list(view)
+        before = conn.stats()["server"]["requests"]
+        ranks = view.ranks(answers + [(99, 99, 99), "junk"])
+        after = conn.stats()["server"]["requests"]
+        assert ranks == list(range(len(answers))) + [None, None]
+        assert after - before == 1  # one batch op, not one per tuple
+
+    def test_keep_alive_pool_reuses_sockets(self, server):
+        conn = connect(server.url)
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        for _ in range(5):
+            list(view)
+        assert conn.stats()["server"]["requests"] >= 6
+        # All of it (healthz + stats + every POST) rode a handful of
+        # kept-alive sockets, not one socket per request.
+        assert conn._pool.opened <= conn._pool.MAX_IDLE
+        conn.close()
+        assert conn._pool._closed
+
+    def test_stale_window_over_the_wire(self, server):
+        conn = connect(server.url)
+        window = conn.prepare(PATH, order=["x", "y", "z"])[1:3]
+        conn.insert("R", [(42, 2)])
+        with pytest.raises(StaleViewError):
+            window.to_list()
+
+    def test_stale_ranks_raise_even_without_a_wire_row(self, server):
+        """ranks([]) and ranks of non-sequence rows send nothing, so
+        no op carries the pin — the client must probe and still raise
+        on a stale view, like the local AnswerView.ranks."""
+        conn = connect(server.url)
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        conn.insert("R", [(43, 2)])
+        with pytest.raises(StaleViewError):
+            view.ranks([])
+        with pytest.raises(StaleViewError):
+            view.ranks([42])  # non-sequence: never reaches the wire
+        fresh = conn.prepare(PATH, order=["x", "y", "z"])
+        assert fresh.ranks([]) == []
+        assert fresh.ranks([42]) == [None]

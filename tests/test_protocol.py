@@ -320,6 +320,8 @@ class TestExecutor:
                 page_number=0,
                 page_size=1,
                 answer=(1, 2, 7),
+                relation="R",
+                rows=((1, 2),),
             )
             response = execute(conn, request, default_query=QUERY)
             assert response.ok, (op, response.error)
@@ -333,6 +335,8 @@ class TestExecutor:
                 page_number=0,
                 page_size=2,
                 answer=(1, 2, 7),
+                relation="R",
+                rows=((1, 2),),
             )
             response = execute(conn, request, default_query=QUERY)
             parsed = SessionResponse.from_json(response.to_json())
