@@ -1,0 +1,298 @@
+"""Process-parallel serving — latency percentiles and saturation.
+
+The perf claim of the process tier: with the shared-memory artifact
+plane, ``--procs N`` serving scales saturation throughput with CPU
+cores while aggregate worker RSS grows *sub-linearly* in worker count
+(the encoded database and counting forests exist once, every worker
+maps them).  Measured here, per serving mode (threads / procs /
+sharded):
+
+* **latency percentiles** — p50/p95/p99 of warm single-client
+  ``access`` round-trips;
+* **saturation throughput** — a client-count ladder; the best rung is
+  the saturation point (on a 1-CPU host the ladder is flat and the
+  recorded numbers say so — the *record* is honest, the 2x claim needs
+  cores);
+* **zero-copy evidence** — plane segment/attach counters and per-pid
+  RSS, showing one physical copy however many workers attach.
+
+Every run appends a record to the repo-root ``BENCH_serving.json``
+trajectory (:func:`harness.record_serving`), so serving regressions
+stay visible across re-anchors.  Correctness gates: every mode's
+answers are verified against a local connection before timing counts.
+
+Run standalone (the CI multi-process smoke job)::
+
+    python benchmarks/bench_procs.py --quick
+
+or under pytest (``pytest benchmarks/bench_procs.py``) for the
+pytest-benchmark timing of the warm procs-mode round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_server import (
+    ORDERS,
+    QUERY,
+    client_workload,
+    expected_response,
+    post_op,
+    star_relations,
+)
+from harness import percentiles, record_serving, timed
+
+from repro.facade import connect
+from repro.server.http import ReproServer
+
+ROWS = 120
+FANOUT = 2
+LATENCY_SAMPLES = 60
+PER_CLIENT = 20
+LADDER = (2, 4, 8)
+
+
+def rss_kb(pid: int) -> int | None:
+    try:
+        with open(f"/proc/{pid}/status") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def verify_mode(server: ReproServer, local) -> list[str]:
+    """Spot-check every op family against the local connection."""
+    failures = []
+    for request in client_workload(0, 6):
+        response = post_op(server.url, request)
+        if not response.get("ok"):
+            failures.append(f"failed: {response}")
+            continue
+        got = (
+            response["result"]["count"]
+            if request["op"] == "count"
+            else response["result"]["answers"]
+        )
+        expected = expected_response(local, request)
+        if got != expected:
+            failures.append(
+                f"{request['op']}: {got!r} != {expected!r}"
+            )
+    return failures
+
+
+def measure_latency(server: ReproServer) -> dict:
+    warm = {
+        "op": "access",
+        "query": QUERY,
+        "order": list(ORDERS[0]),
+        "indices": [0, -1],
+    }
+    post_op(server.url, warm)  # pay preprocessing once
+    samples = [
+        timed(post_op, server.url, warm)[1]
+        for _ in range(LATENCY_SAMPLES)
+    ]
+    return percentiles(samples)
+
+
+def run_fleet(
+    server: ReproServer, clients: int, per_client: int
+) -> tuple[float, int]:
+    """(wall seconds, failed request count) for one fleet rung."""
+    failures = [0]
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        for request in client_workload(index, per_client):
+            try:
+                response = post_op(server.url, request)
+                ok = bool(response.get("ok"))
+            except Exception:  # noqa: BLE001 (counted, gated below)
+                ok = False
+            if not ok:
+                with lock:
+                    failures[0] += 1
+
+    def fleet() -> None:
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    _, wall = timed(fleet)
+    return wall, failures[0]
+
+
+def measure_mode(
+    label: str,
+    relations: dict,
+    ladder: tuple[int, ...],
+    per_client: int,
+    **server_kwargs,
+) -> tuple[dict, list[str]]:
+    """One serving mode: verify, then latency + throughput ladder."""
+    local = connect(relations)
+    with ReproServer(relations, **server_kwargs) as server:
+        failures = verify_mode(server, local)
+        latency = measure_latency(server)
+        rungs = []
+        for clients in ladder:
+            wall, failed = run_fleet(server, clients, per_client)
+            if failed:
+                failures.append(
+                    f"{label}: {failed} failed requests at "
+                    f"{clients} clients"
+                )
+            rungs.append(
+                {
+                    "clients": clients,
+                    "requests": clients * per_client,
+                    "wall_s": round(wall, 3),
+                    "rps": round(
+                        clients * per_client / max(wall, 1e-9)
+                    ),
+                }
+            )
+        entry = {
+            "mode": label,
+            "workers": server.workers,
+            "database_rows": sum(
+                len(r) for r in relations.values()
+            ),
+            "latency": latency,
+            "ladder": rungs,
+            "saturation_rps": max(r["rps"] for r in rungs),
+            "rss_kb": {"primary": rss_kb(os.getpid())},
+        }
+        backend = getattr(server, "_backend", None)
+        if backend is not None:
+            entry["rss_kb"]["workers"] = [
+                rss_kb(pid) for pid in backend.pool.worker_pids()
+            ]
+            plane = backend.plane.counters.as_dict()
+            entry["plane"] = {
+                "segments_created": plane["segments_created"],
+                "bytes_published": plane["bytes_published"],
+                "attaches": plane["attaches"],
+                "unlinks": plane["unlinks"],
+            }
+            entry["pool"] = backend.pool.counters()
+    if server.clean_shutdown is False:
+        failures.append(f"{label}: unclean drain")
+    return entry, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (the CI multi-process smoke job)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, short ladder; verify answers in every "
+        "mode and exit non-zero on any mismatch or unclean drain",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="worker process count (default: 2 quick, 4 full)",
+    )
+    args = parser.parse_args(argv)
+    rows, per_client, ladder = (
+        (40, 8, (2, 4)) if args.quick else (ROWS, PER_CLIENT, LADDER)
+    )
+    procs = args.procs or (2 if args.quick else 4)
+    relations = star_relations(rows, FANOUT)
+
+    modes = [
+        ("threads", {"workers": 4}),
+        ("procs", {"procs": procs, "default_query": QUERY}),
+        # The workload's orders all lead with x, so partition on x
+        # (the default would be the advisor's preferred leading
+        # variable, which need not match the client workload).
+        (
+            "sharded",
+            {
+                "shards": 2,
+                "default_query": QUERY,
+                "shard_variable": "x",
+            },
+        ),
+    ]
+    entries, failures = [], []
+    for label, kwargs in modes:
+        entry, mode_failures = measure_mode(
+            label, relations, ladder, per_client, **kwargs
+        )
+        entries.append(entry)
+        failures.extend(mode_failures)
+        workers = entry.get("rss_kb", {}).get("workers")
+        extra = (
+            f"  worker RSS: {workers} kB"
+            if workers
+            else ""
+        )
+        print(
+            f"{label:8s} workers={entry['workers']} "
+            f"p50={entry['latency']['p50_us']} us "
+            f"p99={entry['latency']['p99_us']} us "
+            f"saturation={entry['saturation_rps']} req/s{extra}"
+        )
+
+    record_serving(
+        {
+            "bench": "bench_procs",
+            "quick": bool(args.quick),
+            "modes": entries,
+        }
+    )
+    by_mode = {entry["mode"]: entry for entry in entries}
+    speedup = by_mode["procs"]["saturation_rps"] / max(
+        by_mode["threads"]["saturation_rps"], 1
+    )
+    print(
+        f"procs/threads saturation ratio: {speedup:.2f}x "
+        f"({os.cpu_count()} cpu(s) on this host)"
+    )
+    for failure in failures[:10]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("multi-process smoke: " + ("FAIL" if failures else "OK"))
+    return 1 if failures else 0
+
+
+def test_procs_round_trip(benchmark):
+    relations = star_relations(40, FANOUT)
+    local = connect(relations)
+    with ReproServer(
+        relations, procs=2, default_query=QUERY
+    ) as server:
+        assert verify_mode(server, local) == []
+        warm = {
+            "op": "access",
+            "query": QUERY,
+            "order": list(ORDERS[0]),
+            "indices": [0, -1],
+        }
+        post_op(server.url, warm)
+        benchmark(post_op, server.url, warm)
+    assert server.clean_shutdown is True
+
+
+if __name__ == "__main__":
+    sys.exit(main())

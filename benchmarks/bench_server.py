@@ -32,7 +32,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import report, timed
+from harness import percentiles, record_serving, report, timed
 
 from repro.data.columnar import numpy_available
 from repro.facade import connect
@@ -207,9 +207,10 @@ def measure(rows: int, fanout: int, clients: int, per_client: int):
         warm = {"op": "access", "query": QUERY,
                 "order": ORDERS[0], "indices": [0, -1]}
         post_op(server.url, warm)  # pay preprocessing once
-        http_latency = min(
-            timed(post_op, server.url, warm)[1] for _ in range(5)
-        )
+        samples = [
+            timed(post_op, server.url, warm)[1] for _ in range(30)
+        ]
+        http_latency = min(samples)
         local = connect(relations)
         view = local.prepare(QUERY, order=ORDERS[0])
         local_latency = min(
@@ -221,6 +222,7 @@ def measure(rows: int, fanout: int, clients: int, per_client: int):
         )
         mismatches.extend(measure_client_efficiency(server))
         stats = server.stats()
+        stats["latency_percentiles"] = percentiles(samples)
 
     total = clients * per_client
     table_rows = [
@@ -309,6 +311,29 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             "database encoded more than once across workers"
         )
+    # One point on the serving-performance trajectory: threaded mode's
+    # warm latency percentiles and fleet throughput.
+    record_serving(
+        {
+            "bench": "bench_server",
+            "quick": bool(args.quick),
+            "modes": [
+                {
+                    "mode": "threads",
+                    "workers": 4,
+                    "latency": stats["latency_percentiles"],
+                    "ladder": [
+                        {
+                            "clients": clients,
+                            "requests": clients * per_client,
+                            "rps": int(row[5].split()[0]),
+                        }
+                    ],
+                    "saturation_rps": int(row[5].split()[0]),
+                }
+            ],
+        }
+    )
     for failure in failures[:10]:
         print(f"FAIL: {failure}", file=sys.stderr)
     print("server smoke: " + ("FAIL" if failures else "OK"))

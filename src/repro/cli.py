@@ -276,6 +276,8 @@ def cmd_session(args) -> int:
 
 def cmd_serve(args) -> int:
     """Serve the JSON session protocol over HTTP (``repro serve``)."""
+    import signal
+
     from repro.errors import ReproError
     from repro.server.http import ReproServer
 
@@ -296,25 +298,56 @@ def cmd_serve(args) -> int:
             port=args.port,
             stats_per_worker=args.stats_per_worker,
             verbose=args.verbose,
+            procs=args.procs,
+            shards=args.shards,
+            read_only=args.read_only,
+            shard_relation=args.shard_relation,
+            shard_variable=args.shard_variable,
         )
     except (ValueError, ReproError) as error:
         raise SystemExit(str(error)) from None
+    mode = server.health()["mode"]
     bound = "" if args.query is None else f"  query: {args.query}"
+    flags = "  read-only" if server.read_only else ""
     print(
         f"repro serving on {server.url}  |D|={len(database)}  "
-        f"engine={server.store.engine.name}  "
-        f"workers={server.workers}{bound}",
+        f"engine={server.store.engine.name}  mode={mode}  "
+        f"workers={server.workers}{flags}{bound}",
         flush=True,
     )
     print(
         f"  POST {server.url}/v1/session   "
-        "(GET /healthz, GET /stats; Ctrl-C stops)",
+        "(GET /healthz, GET /stats; SIGTERM/Ctrl-C drains)",
         flush=True,
     )
+
+    # SIGTERM must drain exactly like Ctrl-C: stop accepting, let
+    # in-flight requests finish, detach and unlink every shared-memory
+    # segment.  httpd.shutdown() *blocks* until serve_forever (below,
+    # on this same main thread) exits, so the handler must hand it to
+    # another thread or the process deadlocks.  Installing a handler
+    # is only legal on the main thread — embedded callers (tests drive
+    # main() on a thread) rely on their own shutdown path instead.
+    import threading
+
+    def _drain(*_signal_args) -> None:
+        threading.Thread(
+            target=server._httpd.shutdown, daemon=True
+        ).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        pass
+    finally:
         server.shutdown()
+    if server.clean_shutdown is False:
+        print("unclean drain: a worker had to be terminated", flush=True)
+        return 1
     return 0
 
 
@@ -441,6 +474,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="per-artifact-kind cache capacity (default 64)",
+    )
+    serve.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="serve with N worker processes attached zero-copy to "
+        "one shared-memory database (default: in-process threads)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve with one process per range shard of the "
+        "partitioned relation (read-only; needs --query)",
+    )
+    serve.add_argument(
+        "--shard-relation",
+        default=None,
+        help="partition this relation (default: largest candidate)",
+    )
+    serve.add_argument(
+        "--shard-variable",
+        default=None,
+        help="shard on this leading variable (default: the advisor's "
+        "preferred order decides)",
+    )
+    serve.add_argument(
+        "--read-only",
+        action="store_true",
+        help="refuse insert/delete with a structured HTTP 403",
     )
     serve.add_argument(
         "--stats-per-worker",

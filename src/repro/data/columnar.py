@@ -62,6 +62,20 @@ class Dictionary:
         self.values: list = sorted(set(values))
         self._code: dict = {v: i for i, v in enumerate(self.values)}
 
+    @classmethod
+    def from_sorted(cls, values: list) -> "Dictionary":
+        """Wrap an *already sorted, duplicate-free* value list.
+
+        The shared-memory attach path reconstructs dictionaries from a
+        published value blob that the primary sorted once; re-sorting
+        (and re-deduplicating) per worker would cost O(n log n) per
+        attach for nothing.  The caller owns the invariant.
+        """
+        self = object.__new__(cls)
+        self.values = values
+        self._code = {v: i for i, v in enumerate(values)}
+        return self
+
     def __len__(self) -> int:
         return len(self.values)
 

@@ -67,6 +67,13 @@ class Delta:
     def __setattr__(self, name, value):
         raise AttributeError("Delta is immutable")
 
+    def __reduce__(self):
+        # __slots__ plus the raising __setattr__ above breaks default
+        # unpickling (it restores state attribute-by-attribute), and
+        # deltas must travel to worker processes; rebuild through
+        # __init__ instead.
+        return (self.__class__, (self.inserts, self.deletes))
+
     @classmethod
     def coerce(cls, value) -> "Delta":
         """``value`` as a :class:`Delta` (accepts a mapping with

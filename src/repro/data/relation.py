@@ -38,39 +38,65 @@ class Relation:
         # Dictionary-encoded mirror, filled lazily by the numpy engine.
         self._columnar = None
 
+    @classmethod
+    def from_columnar(cls, mirror) -> "Relation":
+        """A relation backed by a dictionary-encoded mirror.
+
+        The tuple set is *not* materialized here: worker processes that
+        attach a shared-memory code matrix serve most requests straight
+        off the codes, and decoding every row per worker would defeat
+        the one-physical-copy design.  Python-object views
+        (``tuples``, ``sorted_tuples``) decode on first use; mirror
+        rows are stored in sorted order, so the decode *is* the sorted
+        view.
+        """
+        self = object.__new__(cls)
+        self._tuples = None
+        self._arity = mirror.arity
+        self._sorted = None
+        self._columnar = mirror
+        return self
+
     @property
     def arity(self) -> int:
         return self._arity
 
     @property
     def tuples(self) -> frozenset[tuple]:
+        if self._tuples is None:
+            self._tuples = frozenset(self.sorted_tuples())
         return self._tuples
 
     def sorted_tuples(self) -> list[tuple]:
         """Tuples in lexicographic order (cached)."""
         if self._sorted is None:
-            self._sorted = sorted(self._tuples)
+            if self._tuples is None:
+                self._sorted = self._columnar.to_rows()
+            else:
+                self._sorted = sorted(self._tuples)
         return self._sorted
 
     def __len__(self) -> int:
+        if self._tuples is None:
+            return self._columnar.nrows
         return len(self._tuples)
 
     def __iter__(self):
         return iter(self.sorted_tuples())
 
     def __contains__(self, item) -> bool:
-        return tuple(item) in self._tuples
+        return tuple(item) in self.tuples
 
     def __eq__(self, other) -> bool:
         if isinstance(other, Relation):
             return (
                 self._arity == other._arity
-                and self._tuples == other._tuples
+                and self.tuples == other.tuples
             )
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash((self._arity, self._tuples))
+        return hash((self._arity, self.tuples))
 
     def __repr__(self) -> str:
         preview = ", ".join(map(str, self.sorted_tuples()[:4]))
@@ -79,7 +105,7 @@ class Relation:
 
     def active_domain(self) -> set:
         """All constants appearing in some tuple."""
-        return {value for t in self._tuples for value in t}
+        return {value for t in self.tuples for value in t}
 
     def project(self, columns: Iterable[int]) -> "Relation":
         """Project onto the given column indices (in the given order)."""
@@ -88,12 +114,12 @@ class Relation:
             if not 0 <= c < self._arity:
                 raise DatabaseError(f"column {c} out of range")
         return Relation(
-            {tuple(t[c] for c in cols) for t in self._tuples},
+            {tuple(t[c] for c in cols) for t in self.tuples},
             arity=len(cols),
         )
 
     def filtered(self, predicate) -> "Relation":
         """Keep tuples for which ``predicate(tuple)`` is true."""
         return Relation(
-            {t for t in self._tuples if predicate(t)}, arity=self._arity
+            {t for t in self.tuples if predicate(t)}, arity=self._arity
         )

@@ -156,6 +156,29 @@ class _BagAux:
         return self._val_shifted
 
 
+def bag_index_from_aux(aux: "_BagAux") -> BagIndex:
+    """Rebuild a full :class:`BagIndex` from its CSR mirror.
+
+    Totals are decoded eagerly (needed by parent builds and any
+    Python-path fallback); the per-group candidate lists are
+    materialized lazily from the CSR mirror with exactly the structure
+    the Python engine builds.  Shared by the in-process build tail and
+    the shared-memory attach path, which reconstructs indexes from
+    published mirror arrays instead of re-running the lexsort build.
+    """
+    index = BagIndex()
+    index.aux = aux
+    domain = aux.dictionary.values
+    group_of: dict[tuple, int] = {}
+    totals_list = aux.totals.tolist()
+    for g, key_codes in enumerate(aux.group_codes.tolist()):
+        interface = tuple(domain[c] for c in key_codes)
+        group_of[interface] = g
+        index.totals[interface] = totals_list[g]
+    index.groups = _LazyGroups(aux, group_of)
+    return index
+
+
 class _LazyGroups(dict):
     """``BagIndex.groups`` decoded from the CSR mirror on demand.
 
@@ -538,18 +561,18 @@ class NumpyEngine(Engine):
         codes = ct.codes[keep]
         weights = weights[keep]
         m = codes.shape[0]
-        index = BagIndex()
         if m == 0:
-            index.aux = _BagAux(
-                ct.dictionary,
-                np.empty((0, k), dtype=np.int64),
-                np.zeros(1, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
+            return bag_index_from_aux(
+                _BagAux(
+                    ct.dictionary,
+                    np.empty((0, k), dtype=np.int64),
+                    np.zeros(1, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
             )
-            return index
 
         # Group by interface, order by bag-variable code: one lexsort
         # (codes are order-preserving, so this is the value order), then
@@ -577,30 +600,17 @@ class NumpyEngine(Engine):
         totals = csum[offsets[1:] - 1] - base
         if projected:
             totals = np.ones_like(totals)
-        aux = _BagAux(
-            ct.dictionary,
-            np.ascontiguousarray(codes[starts][:, :k]),
-            offsets,
-            np.ascontiguousarray(codes[:, k]),
-            weights,
-            cum_before,
-            totals,
+        return bag_index_from_aux(
+            _BagAux(
+                ct.dictionary,
+                np.ascontiguousarray(codes[starts][:, :k]),
+                offsets,
+                np.ascontiguousarray(codes[:, k]),
+                weights,
+                cum_before,
+                totals,
+            )
         )
-        index.aux = aux
-
-        # Totals are decoded eagerly (needed by parent builds and any
-        # Python-path fallback); the per-group candidate lists are
-        # materialized lazily from the CSR mirror with exactly the
-        # structure the Python engine builds.
-        domain = ct.dictionary.values
-        group_of: dict[tuple, int] = {}
-        totals_list = totals.tolist()
-        for g, key_codes in enumerate(aux.group_codes.tolist()):
-            interface = tuple(domain[c] for c in key_codes)
-            group_of[interface] = g
-            index.totals[interface] = totals_list[g]
-        index.groups = _LazyGroups(aux, group_of)
-        return index
 
     # -- database preparation ----------------------------------------------
 

@@ -59,6 +59,24 @@ class EngineError(ReproError):
     """An execution engine is unknown or unavailable in this environment."""
 
 
+class ReadOnlyError(ReproError):
+    """A mutation was sent to a server running with ``--read-only``.
+
+    The server answers with HTTP 403 carrying this error type, so the
+    HTTP client re-raises it like any other library error.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A serving worker process died while handling the request.
+
+    The supervisor respawns the worker and re-attaches it to the
+    shared-memory artifact plane; the in-flight request that rode the
+    crash gets this error instead of hanging.  Retrying is safe for
+    read ops (they are idempotent).
+    """
+
+
 class InfeasibleError(ReproError):
     """A linear program has no feasible solution."""
 

@@ -16,16 +16,34 @@ Workers are real: each serving thread checks a per-worker
 and two workers can preprocess *different* decompositions concurrently
 while racing workers build the *same* artifact exactly once.
 
+Process-parallel serving (``procs=N`` / ``shards=N``) swaps the
+in-process pool for real worker *processes* supervised by a
+:class:`~repro.server.pool.WorkerPool`: the encoded database (and
+numpy-engine counting forests) live once in named shared-memory
+segments (:class:`~repro.server.shm.SharedArtifactPlane`,
+:mod:`repro.data.flatbuf`) and every worker attaches zero-copy.
+Sharded mode additionally range-partitions one relation and merges
+per-shard answers by prefix counts
+(:mod:`repro.session.sharding`) — bit-identical to unsharded serving.
+The wire protocol is the same in every mode.
+
 See ``docs/architecture.md`` for the layer map and
 ``docs/protocol.md`` for the wire format.
 """
 
 from repro.server.client import HTTPConnection, RemoteAnswerView
 from repro.server.http import ReproServer, serve
+from repro.server.pool import WorkerPool
+from repro.server.shm import Publication, SharedArtifactPlane
+from repro.server.worker import WorkerSpec
 
 __all__ = [
     "HTTPConnection",
+    "Publication",
     "RemoteAnswerView",
     "ReproServer",
+    "SharedArtifactPlane",
+    "WorkerPool",
+    "WorkerSpec",
     "serve",
 ]

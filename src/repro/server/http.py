@@ -262,7 +262,15 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self.repro.counters.count_request(request.op)
         response = self.repro.execute(request)
-        self._reply(200, response.to_json().encode("utf-8"))
+        body = response.to_json().encode("utf-8")
+        if not response.ok and response.error_type == "ReadOnlyError":
+            # Mutations on a --read-only server are a *policy* refusal,
+            # not a protocol failure: HTTP 403 with the same structured
+            # body, so clients re-raise ReadOnlyError like any library
+            # error.
+            self._reply(403, body)
+        else:
+            self._reply(200, body)
 
 
 class ReproServer:
@@ -287,6 +295,23 @@ class ReproServer:
             :data:`MAX_STATS_WORKERS` entries) in ``GET /stats`` next
             to the aggregated totals.
         verbose: log one line per request to stderr.
+        procs: serve with ``procs`` worker *processes* instead of the
+            in-process connection pool — the database is published
+            once into shared memory and every worker attaches
+            zero-copy (:mod:`repro.server.router`); ``workers`` is
+            ignored.  Wire protocol unchanged.
+        shards: serve with one process per *range shard* of the
+            partitioned relation; implies ``read_only``, requires
+            ``default_query``, and every request's order must lead
+            with the shard variable.  Exclusive with ``procs``.
+        read_only: refuse ``insert``/``delete`` with a structured
+            HTTP 403 (:class:`~repro.errors.ReadOnlyError`).
+        shard_relation / shard_variable: pin the shard plan's
+            partitioned relation / leading variable (default: the
+            advisor's preferred order decides the variable, the
+            largest candidate relation is partitioned).
+        start_method: multiprocessing start method for worker
+            processes (tests override; keep ``spawn`` in production).
 
     Usable as a context manager: ``with ReproServer(db) as server:``
     starts a background serving thread and shuts it down on exit.  Call
@@ -305,12 +330,32 @@ class ReproServer:
         port: int = 0,
         stats_per_worker: bool = False,
         verbose: bool = False,
+        procs: int | None = None,
+        shards: int | None = None,
+        read_only: bool = False,
+        shard_relation: str | None = None,
+        shard_variable: str | None = None,
+        start_method: str = "spawn",
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if procs is not None and shards is not None:
+            raise ValueError(
+                "procs and shards are exclusive: sharded serving "
+                "already runs one process per shard"
+            )
         self.stats_per_worker = stats_per_worker
         if not isinstance(database, Database):
             database = Database(database)
+        if procs is not None or shards is not None:
+            # The artifact plane ships flat buffers of the *shared*
+            # encoding; realize it up front so publication is
+            # zero-conversion (a plain Database would fall back to
+            # pickling whole databases into every worker).
+            from repro.data.database import EncodedDatabase
+
+            if not isinstance(database, EncodedDatabase):
+                database = EncodedDatabase(database.relations)
         if isinstance(default_query, str):
             default_query = parse_query(default_query)
         if default_query is not None:
@@ -325,14 +370,52 @@ class ReproServer:
         )
         self.default_query = default_query
         self.verbose = verbose
-        self.workers = workers
         self.counters = _ServerCounters()
-        self._connections = [
-            Connection(
-                AccessSession(store=self.store, cache_slack=cache_slack)
+        self.read_only = bool(read_only) or shards is not None
+        self.clean_shutdown: bool | None = None
+        query_text = (
+            str(default_query) if default_query is not None else None
+        )
+        self._backend = None
+        self._connections: list[Connection] = []
+        if shards is not None:
+            from repro.server.router import ShardBackend
+
+            self._backend = ShardBackend(
+                database,
+                shards,
+                engine_name=self.store.engine.name,
+                capacity=capacity,
+                cache_slack=cache_slack,
+                default_query=default_query,
+                shard_relation=shard_relation,
+                shard_variable=shard_variable,
+                start_method=start_method,
             )
-            for _ in range(workers)
-        ]
+            self.workers = self._backend.plan.shards
+        elif procs is not None:
+            from repro.server.router import ProcessBackend
+
+            self._backend = ProcessBackend(
+                self.store,
+                procs,
+                engine_name=self.store.engine.name,
+                capacity=capacity,
+                cache_slack=cache_slack,
+                default_query_text=query_text,
+                start_method=start_method,
+            )
+            self.workers = procs
+        else:
+            self.workers = workers
+            self._connections = [
+                Connection(
+                    AccessSession(
+                        store=self.store, cache_slack=cache_slack
+                    )
+                )
+                for _ in range(workers)
+            ]
         self._pool: queue.Queue[Connection] = queue.Queue()
         for connection in self._connections:
             self._pool.put(connection)
@@ -359,7 +442,25 @@ class ReproServer:
     # -- serving -----------------------------------------------------------
 
     def execute(self, request: SessionRequest) -> SessionResponse:
-        """Serve one protocol request on a pooled worker connection."""
+        """Serve one protocol request (pooled connection, worker
+        process, or sharded fan-out — same wire shapes in all modes)."""
+        if self.read_only and request.op in ("insert", "delete"):
+            from repro.errors import ReadOnlyError
+
+            return SessionResponse(
+                op=request.op,
+                ok=False,
+                error=(
+                    "server is read-only: mutations are disabled"
+                    if self._backend is None
+                    or self._backend.mode != "sharded"
+                    else "sharded serving is read-only: a delta could "
+                    "move tuples across shard boundaries"
+                ),
+                error_type=ReadOnlyError.__name__,
+            )
+        if self._backend is not None:
+            return self._backend.execute(request)
         connection = self._pool.get()
         try:
             return execute(
@@ -387,12 +488,30 @@ class ReproServer:
             self._thread.start()
         return self
 
-    def shutdown(self) -> None:
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop accepting, drain workers, unlink shared memory.
+
+        Sets :attr:`clean_shutdown`: ``True`` when every worker
+        finished its in-flight request and exited on drain (always
+        ``True`` in threaded mode), ``False`` when one had to be
+        terminated — the CLI exits nonzero on an unclean drain.
+        Idempotent.
+        """
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
+        if self._backend is not None:
+            clean = self._backend.close(timeout=timeout)
+            if self.clean_shutdown is None:
+                self.clean_shutdown = clean
+        elif self.clean_shutdown is None:
+            self.clean_shutdown = True
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Alias for :meth:`shutdown` (symmetry with the pool/plane)."""
+        self.shutdown(timeout=timeout)
 
     def __enter__(self) -> "ReproServer":
         return self.start()
@@ -412,6 +531,12 @@ class ReproServer:
             "protocol": PROTOCOL_VERSION,
             "engine": self.store.engine.name,
             "workers": self.workers,
+            "mode": (
+                self._backend.mode
+                if self._backend is not None
+                else "threads"
+            ),
+            "read_only": self.read_only,
             "default_query": (
                 str(self.default_query)
                 if self.default_query is not None
@@ -427,10 +552,18 @@ class ReproServer:
         per-worker breakdown (bounded) appears only when the server
         was started with ``stats_per_worker=True``.
         """
-        worker_stats = [
-            connection.session.stats.as_dict()
-            for connection in self._connections
-        ]
+        if self._backend is not None:
+            backend_stats = self._backend.stats()
+            worker_stats = [
+                stats.get("session", {})
+                for stats in backend_stats.pop("per_worker")
+            ]
+        else:
+            backend_stats = None
+            worker_stats = [
+                connection.session.stats.as_dict()
+                for connection in self._connections
+            ]
         workers: dict = {
             "count": len(worker_stats),
             "totals": aggregate_counters(worker_stats),
@@ -440,11 +573,14 @@ class ReproServer:
             truncated = len(worker_stats) - MAX_STATS_WORKERS
             if truncated > 0:
                 workers["truncated"] = truncated
-        return {
+        out = {
             "server": self.counters.as_dict(),
             "store": self.store.cache_stats(),
             "workers": workers,
         }
+        if backend_stats is not None:
+            out["backend"] = backend_stats
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -465,6 +601,11 @@ def serve(
     port: int = 8080,
     stats_per_worker: bool = False,
     verbose: bool = False,
+    procs: int | None = None,
+    shards: int | None = None,
+    read_only: bool = False,
+    shard_relation: str | None = None,
+    shard_variable: str | None = None,
 ) -> ReproServer:
     """Build a :class:`ReproServer` and serve in the foreground.
 
@@ -482,10 +623,17 @@ def serve(
         port=port,
         stats_per_worker=stats_per_worker,
         verbose=verbose,
+        procs=procs,
+        shards=shards,
+        read_only=read_only,
+        shard_relation=shard_relation,
+        shard_variable=shard_variable,
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        pass
+    finally:
         server.shutdown()
     return server
 

@@ -1,0 +1,457 @@
+"""The shared-memory artifact plane: one physical copy per artifact.
+
+The primary (supervisor) process publishes flat-buffer artifacts
+(:mod:`repro.data.flatbuf`) into named
+:mod:`multiprocessing.shared_memory` segments; worker processes attach
+numpy views zero-copy, so an :class:`~repro.data.database.EncodedDatabase`
+or a counting forest exists **once** in physical memory no matter how
+many workers serve it.
+
+Ownership and lifetime are supervisor-side and explicit — nothing here
+relies on garbage collection across processes:
+
+* every publication is a set of segments plus a picklable manifest,
+  registered under a logical *token* (e.g. ``db:3`` for database
+  version 3);
+* the plane tracks, per publication, which *holders* (worker names)
+  attached it; a publication is unlinked when it has been *retired*
+  (superseded by a newer version) **and** its last holder released —
+  exactly the "old segments are refcounted and unlinked when the last
+  worker detaches" contract;
+* worker crash or respawn releases everything that worker held
+  (:meth:`SharedArtifactPlane.release_holder`);
+* :meth:`SharedArtifactPlane.close` unlinks every live segment
+  unconditionally — after it, ``/dev/shm`` holds nothing of this
+  server's.
+
+Workers may also *publish* (a forest they were first to build): they
+create the segments, hand the names to the supervisor over the control
+pipe, and the plane adopts them — re-registering them with the
+primary's resource tracker so a primary crash still reclaims them.
+
+Resource-tracker note (Python 3.11): every ``SharedMemory`` attach
+registers the name with the process's resource tracker — but spawn
+children *share the primary's tracker process* (the tracker fd rides
+the spawn preparation data), and the tracker's cache is a **set**.  So
+a worker attach is an idempotent re-add of a name the primary already
+registered at create, and the primary's eventual ``unlink()`` is the
+single balancing unregister.  Nothing here may call
+``resource_tracker.unregister`` for a plane segment: one extra remove
+from the shared set makes the *next* legitimate unregister raise
+``KeyError`` inside the tracker process.  (CPython 3.13 later added
+``track=False`` for the genuinely-foreign-process case; we never need
+it because all attachers are spawn children of the publishing
+primary.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import secrets
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+#: Segment names stay well under the POSIX 255-byte limit; the prefix
+#: carries the primary's pid so leaked segments are attributable.
+_NAME_BYTES = 4
+
+
+def plane_prefix() -> str:
+    return f"repro_{os.getpid()}_{secrets.token_hex(_NAME_BYTES)}"
+
+
+def stable_token(key) -> str:
+    """A short process-independent digest of an artifact cache key.
+
+    Workers compute the same token for the same key regardless of hash
+    randomization: unordered collections are canonicalized by sorted
+    repr before digesting.  Keys are the store's artifact keys —
+    tuples of strings, ints, tuples, and frozensets of strings.
+    """
+    return hashlib.sha1(_canonical(key).encode("utf-8")).hexdigest()[:16]
+
+
+def _canonical(value) -> str:
+    if isinstance(value, (frozenset, set)):
+        return "{" + ",".join(sorted(_canonical(v) for v in value)) + "}"
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(_canonical(v) for v in value) + ")"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _raw(array) -> memoryview:
+    """A flat byte view of ``array``, copy-free when possible.
+
+    ``memoryview.cast`` rejects zero-length and non-C-contiguous
+    views; both are rare (empty bags, sliced columns) and small enough
+    that a byte copy is the right fallback.
+    """
+    view = memoryview(array)
+    if view.nbytes == 0:
+        return memoryview(b"")
+    if not view.c_contiguous:
+        view = memoryview(view.tobytes())
+    return view.cast("B")
+
+
+def _track(name: str) -> None:
+    try:
+        resource_tracker.register(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+@dataclass(frozen=True)
+class Publication:
+    """One published artifact: manifest + named segments.
+
+    ``segments`` maps the manifest's buffer names to shared-memory
+    segment names.  The whole object is picklable and travels over
+    control pipes; the bulk data never does.
+    """
+
+    token: str
+    manifest: object
+    segments: tuple[tuple[str, str], ...]
+    nbytes: int
+
+
+class PlaneCounters:
+    """Zero-copy evidence: segment and byte accounting for one plane."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.segments_created = 0
+        self.bytes_published = 0
+        self.publications = 0
+        self.attaches = 0
+        self.releases = 0
+        self.unlinks = 0
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "segments_created": self.segments_created,
+                "bytes_published": self.bytes_published,
+                "publications": self.publications,
+                "attaches": self.attaches,
+                "releases": self.releases,
+                "unlinks": self.unlinks,
+            }
+
+
+class _Entry:
+    __slots__ = ("publication", "shms", "holders", "retired")
+
+    def __init__(self, publication, shms):
+        self.publication = publication
+        self.shms = shms  # name -> SharedMemory (None for adopted)
+        self.holders: set[str] = set()
+        self.retired = False
+
+
+class SharedArtifactPlane:
+    """Supervisor-side registry of published segments and their holders.
+
+    All bookkeeping is plain dicts under one lock in the primary
+    process — workers never mutate refcounts directly, they report
+    attach/detach over their control pipe and the supervisor calls
+    :meth:`acquire` / :meth:`release_holder` on their behalf.  That
+    keeps the refcounts crash-consistent: a worker that dies without
+    a goodbye still gets its references dropped by the supervisor's
+    crash detection.
+    """
+
+    def __init__(self, prefix: str | None = None):
+        self.prefix = prefix or plane_prefix()
+        self.counters = PlaneCounters()
+        self._lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+        self._sequence = 0
+        self._closed = False
+
+    # -- publishing --------------------------------------------------------
+
+    def _next_name(self) -> str:
+        self._sequence += 1
+        return f"{self.prefix}_{self._sequence}"
+
+    def publish(self, token: str, manifest, buffers) -> Publication:
+        """Copy ``buffers`` (name -> ndarray) into fresh segments.
+
+        The one physical copy happens here; every later attach is a
+        mapping.  Re-publishing an existing token returns the existing
+        publication (idempotent — two callers racing to publish the
+        same artifact is the build-dedup path's job to prevent, but
+        must not corrupt the plane).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("artifact plane is closed")
+            existing = self._entries.get(token)
+            if existing is not None:
+                return existing.publication
+            names: list[tuple[str, str]] = []
+            shms: dict[str, shared_memory.SharedMemory] = {}
+            total = 0
+            try:
+                for buffer_name, array in buffers.items():
+                    data = _raw(array)
+                    segment = shared_memory.SharedMemory(
+                        create=True,
+                        name=self._next_name(),
+                        size=max(data.nbytes, 1),
+                    )
+                    segment.buf[: data.nbytes] = data
+                    names.append((buffer_name, segment.name))
+                    shms[segment.name] = segment
+                    total += data.nbytes
+            except BaseException:
+                for segment in shms.values():
+                    segment.close()
+                    segment.unlink()
+                raise
+            publication = Publication(
+                token=token,
+                manifest=manifest,
+                segments=tuple(names),
+                nbytes=total,
+            )
+            self._entries[token] = _Entry(publication, shms)
+            with self.counters._lock:
+                self.counters.segments_created += len(shms)
+                self.counters.bytes_published += total
+                self.counters.publications += 1
+            return publication
+
+    def adopt(self, publication: Publication, holder: str) -> bool:
+        """Register segments a *worker* created (and untracked), with
+        ``holder`` as their first reference.
+
+        The supervisor re-tracks them so a primary crash reclaims
+        them.  Returns ``False`` when the token already exists (the
+        racing worker keeps serving from its private copy; the plane
+        keeps exactly one canonical publication per token) or the
+        plane is closed — the caller should then unlink its segments.
+        """
+        with self._lock:
+            if self._closed or publication.token in self._entries:
+                return False
+            entry = _Entry(publication, shms={})
+            entry.holders.add(holder)
+            self._entries[publication.token] = entry
+            for _buffer_name, segment_name in publication.segments:
+                _track(segment_name)
+            with self.counters._lock:
+                self.counters.segments_created += len(
+                    publication.segments
+                )
+                self.counters.bytes_published += publication.nbytes
+                self.counters.publications += 1
+                self.counters.attaches += 1
+            return True
+
+    # -- refcounts ---------------------------------------------------------
+
+    def acquire(self, token: str, holder: str) -> Publication | None:
+        """Look up a publication and record ``holder``'s reference."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None or entry.retired:
+                return None
+            entry.holders.add(holder)
+            with self.counters._lock:
+                self.counters.attaches += 1
+            return entry.publication
+
+    def holders_of(self, token: str) -> set[str]:
+        with self._lock:
+            entry = self._entries.get(token)
+            return set(entry.holders) if entry else set()
+
+    def release(self, token: str, holder: str) -> None:
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None or holder not in entry.holders:
+                return
+            entry.holders.discard(holder)
+            with self.counters._lock:
+                self.counters.releases += 1
+            self._maybe_unlink(token, entry)
+
+    def release_holder(self, holder: str) -> None:
+        """Drop every reference ``holder`` had (worker exit, crash,
+        respawn) and unlink whatever that strands."""
+        with self._lock:
+            for token, entry in list(self._entries.items()):
+                if holder in entry.holders:
+                    entry.holders.discard(holder)
+                    with self.counters._lock:
+                        self.counters.releases += 1
+                    self._maybe_unlink(token, entry)
+
+    def retire(self, token: str) -> None:
+        """Supersede a publication: the supervisor stops handing it
+        out; its segments live on until the last holder releases."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None:
+                return
+            entry.retired = True
+            self._maybe_unlink(token, entry)
+
+    def _maybe_unlink(self, token: str, entry: _Entry) -> None:
+        # Lock held by caller.
+        if entry.retired and not entry.holders:
+            self._unlink_entry(token, entry)
+
+    def _unlink_entry(self, token: str, entry: _Entry) -> None:
+        self._entries.pop(token, None)
+        for _buffer_name, segment_name in entry.publication.segments:
+            segment = entry.shms.get(segment_name)
+            try:
+                if segment is None:
+                    # Attaching registers with the resource tracker
+                    # (3.11 behavior) and unlink() unregisters — one
+                    # add, one remove; adding an _untrack here would
+                    # double-remove and KeyError the tracker process.
+                    segment = shared_memory.SharedMemory(
+                        name=segment_name
+                    )
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            with self.counters._lock:
+                self.counters.unlinks += 1
+
+    # -- introspection / lifecycle -----------------------------------------
+
+    def lookup(self, token: str) -> Publication | None:
+        """The publication under ``token`` (no refcount change)."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None or entry.retired:
+                return None
+            return entry.publication
+
+    def tokens(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def live_segments(self) -> list[str]:
+        """Every segment name currently backed by shared memory."""
+        with self._lock:
+            return sorted(
+                segment_name
+                for entry in self._entries.values()
+                for _buffer, segment_name in entry.publication.segments
+            )
+
+    def close(self) -> None:
+        """Unlink everything, holders or not (server shutdown)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for token, entry in list(self._entries.items()):
+                self._unlink_entry(token, entry)
+
+
+class AttachedSegments:
+    """Worker-side handle over one publication's mapped segments.
+
+    Keeps the :class:`SharedMemory` objects alive for as long as numpy
+    views reference their buffers; :meth:`close` unmaps (never
+    unlinks — lifetime is the supervisor's call).
+    """
+
+    def __init__(self, publication: Publication):
+        self.publication = publication
+        self._shms: list[shared_memory.SharedMemory] = []
+        self.views: dict[str, memoryview] = {}
+        try:
+            for buffer_name, segment_name in publication.segments:
+                segment = shared_memory.SharedMemory(name=segment_name)
+                self._shms.append(segment)
+                self.views[buffer_name] = segment.buf
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        self.views = {}
+        for segment in self._shms:
+            try:
+                segment.close()
+            except BufferError:
+                # numpy views still reference the mapping.  Abandon
+                # it — the pages live until process exit anyway — and
+                # neuter the handle so ``__del__`` does not retry the
+                # close at interpreter shutdown and spray "Exception
+                # ignored" tracebacks on stderr.
+                segment._buf = None
+                segment._mmap = None
+        self._shms = []
+
+
+def publish_from_worker(
+    prefix: str, token: str, manifest, buffers
+) -> Publication:
+    """Create segments for a worker-built artifact (to be adopted).
+
+    The create registers the names with the shared resource tracker
+    (see module docstring); the balancing unregister is whoever
+    eventually unlinks — the plane after :meth:`adopt`, or the worker
+    itself via :func:`unlink_publication` when adoption fails.
+    """
+    names: list[tuple[str, str]] = []
+    total = 0
+    # Only [A-Za-z0-9_] reaches the segment name: the resource
+    # tracker's wire format is colon-delimited, so a ':' from the
+    # token would corrupt every register line for the segment.
+    tag = "".join(c for c in token if c.isalnum() or c == "_")[-16:]
+    for position, (buffer_name, array) in enumerate(buffers.items()):
+        data = _raw(array)
+        segment = shared_memory.SharedMemory(
+            create=True,
+            name=f"{prefix}_w{os.getpid()}_{tag}_{position}",
+            size=max(data.nbytes, 1),
+        )
+        segment.buf[: data.nbytes] = data
+        names.append((buffer_name, segment.name))
+        total += data.nbytes
+        segment.close()
+    return Publication(
+        token=token, manifest=manifest, segments=tuple(names),
+        nbytes=total,
+    )
+
+
+def unlink_publication(publication: Publication) -> None:
+    """Best-effort unlink of a publication's segments (the not-adopted
+    error path of :func:`publish_from_worker`)."""
+    for _buffer_name, segment_name in publication.segments:
+        try:
+            # Attach registers, unlink unregisters: balanced, no
+            # explicit _untrack (the tracker cache is a set — a
+            # second remove raises in the tracker process).
+            segment = shared_memory.SharedMemory(name=segment_name)
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+__all__ = [
+    "AttachedSegments",
+    "PlaneCounters",
+    "Publication",
+    "SharedArtifactPlane",
+    "plane_prefix",
+    "publish_from_worker",
+    "stable_token",
+    "unlink_publication",
+]

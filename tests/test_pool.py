@@ -1,0 +1,207 @@
+"""Process-parallel serving: the worker pool and the serving modes.
+
+Spawned worker processes are slow to boot relative to the rest of the
+suite, so each test does one boot and checks several laws against it:
+identical answers across workers and against an in-process reference,
+forest reuse over the plane, crash → respawn → identical answers,
+clean drain, and no leaked shared-memory segments afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+from multiprocessing import shared_memory
+
+import pytest
+
+import repro
+from repro.data.database import EncodedDatabase
+from repro.data.delta import Delta
+from repro.data.flatbuf import database_to_buffers
+from repro.errors import ReadOnlyError
+from repro.server import ReproServer, WorkerPool, WorkerSpec
+from repro.server.shm import SharedArtifactPlane
+from repro.session.protocol import SessionRequest
+
+QUERY = "Q(x, y, z) :- R(x, y), S(y, z)"
+RELATIONS = {
+    "R": {(i, i % 7) for i in range(50)},
+    "S": {(j, j * 2) for j in range(7)},
+}
+
+
+def segment_exists(name: str) -> bool:
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    handle.close()
+    return True
+
+
+def drive(connection):
+    """A fixed read workload; the tuple must be mode-independent."""
+    view = connection.prepare(QUERY, order=["x", "y", "z"])
+    sample = [tuple(view[i]) for i in (0, 5, -1)]
+    ranks = view.ranks([view[3], (999, 0, 0)])
+    return len(view), sample, ranks, view.median()
+
+
+class TestWorkerPool:
+    def test_pool_lifecycle(self):
+        """Boot → serve → share forests → crash → respawn → drain."""
+        database = EncodedDatabase(RELATIONS)
+        flat = database_to_buffers(database)
+        assert flat is not None, "database must be flat-buffer encodable"
+        manifest, buffers = flat
+        plane = SharedArtifactPlane()
+        publication = plane.publish("db:0", manifest, buffers)
+
+        def spec_factory(name, index):
+            return WorkerSpec(
+                name=name,
+                plane_prefix=plane.prefix,
+                engine="numpy",
+                database=publication,
+                default_query=QUERY,
+            )
+
+        pool = WorkerPool(
+            2, spec_factory, plane=plane, health_interval=0
+        )
+        try:
+            request = SessionRequest(
+                op="access",
+                order=("x", "y", "z"),
+                indices=(0, 1, 2, -1),
+            ).to_json()
+            first = json.loads(pool.execute_json(request, affinity=0))
+            second = json.loads(pool.execute_json(request, affinity=1))
+            assert first == second
+
+            reference = repro.connect(RELATIONS, engine="numpy")
+            view = reference.prepare(QUERY, order=["x", "y", "z"])
+            expected = [
+                list(view[i]) for i in (0, 1, 2, len(view) - 1)
+            ]
+            assert first["result"]["answers"] == expected
+
+            count = json.loads(
+                pool.execute_json(
+                    SessionRequest(
+                        op="count", order=("x", "y", "z")
+                    ).to_json(),
+                    affinity=0,
+                )
+            )
+            assert count["result"]["count"] == len(view)
+
+            # Exactly one worker built the counting forest; the other
+            # attached the publication instead of rebuilding.
+            stats = pool.stats()
+            publishes = sum(
+                s["plane"]["forest_publishes"] for s in stats
+            )
+            fetches = sum(s["plane"]["forest_fetches"] for s in stats)
+            assert publishes >= 1
+            assert fetches >= 1
+
+            # Kill a worker outright: the supervisor must respawn it,
+            # the respawn must re-attach, and answers must not change.
+            victim = pool._workers[0]
+            victim.process.kill()  # workers ignore SIGTERM by design
+            victim.process.join()
+            after = json.loads(pool.execute_json(request, affinity=0))
+            assert after == first
+            assert pool.respawns >= 1
+        finally:
+            clean = pool.close()
+            plane.close()
+        assert clean is True
+        assert not any(
+            segment_exists(s)
+            for _b, s in publication.segments
+        )
+
+
+class TestServingModes:
+    def test_procs_mode_end_to_end(self):
+        """procs=N serves the same answers over HTTP, applies deltas
+        through the broadcast path, and leaks nothing on close."""
+        expected = drive(repro.connect(RELATIONS, engine="numpy"))
+        with ReproServer(
+            RELATIONS, engine="numpy", procs=2, default_query=QUERY
+        ) as server:
+            prefix = server._backend.plane.prefix
+            live = server._backend.plane.live_segments()
+            connection = repro.connect(server.url)
+            assert drive(connection) == expected
+            health = server.health()
+            assert health["mode"] == "procs"
+            assert health["read_only"] is False
+
+            version = connection.apply(
+                Delta(inserts={"R": {(500, 1)}})
+            )
+            assert version == 1
+            view = connection.prepare(QUERY, order=["x", "y", "z"])
+            assert tuple(view[-1]) == (500, 1, 2)
+
+            stats = server.stats()
+            pool_stats = stats["backend"]["pool"]
+            assert pool_stats["crashes"] == 0
+            assert pool_stats["respawns"] == 0
+            connection.close()
+        assert server.clean_shutdown is True
+        assert not any(
+            segment_exists(s) for s in live if s.startswith(prefix)
+        )
+
+    def test_read_only_refuses_mutations_with_403(self):
+        with ReproServer(
+            RELATIONS, workers=2, default_query=QUERY, read_only=True
+        ) as server:
+            assert server.health()["read_only"] is True
+            connection = repro.connect(server.url)
+            sample = drive(connection)  # reads still work
+            assert sample[0] > 0
+            with pytest.raises(ReadOnlyError):
+                connection.apply(Delta(inserts={"R": {(1000, 1)}}))
+            connection.close()
+
+            # The wire shape: a structured 403, not a 200 error body.
+            import urllib.error
+            import urllib.request
+
+            body = json.dumps(
+                {"op": "insert", "relation": "R", "rows": [[1000, 1]]}
+            ).encode()
+            request = urllib.request.Request(
+                server.url + "/v1/session", data=body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=10)
+            assert caught.value.code == 403
+            payload = json.loads(caught.value.read().decode())
+            assert payload["error_type"] == "ReadOnlyError"
+
+    def test_sharded_mode_end_to_end(self):
+        """shards=N is bit-identical on reads and refuses writes."""
+        expected = drive(repro.connect(RELATIONS, engine="numpy"))
+        with ReproServer(
+            RELATIONS, engine="numpy", shards=2, default_query=QUERY
+        ) as server:
+            prefix = server._backend.plane.prefix
+            live = server._backend.plane.live_segments()
+            connection = repro.connect(server.url)
+            assert drive(connection) == expected
+            health = server.health()
+            assert health["mode"] == "sharded"
+            assert health["read_only"] is True  # by construction
+            with pytest.raises(ReadOnlyError):
+                connection.apply(Delta(inserts={"R": {(1000, 1)}}))
+            connection.close()
+        assert server.clean_shutdown is True
+        assert not any(
+            segment_exists(s) for s in live if s.startswith(prefix)
+        )

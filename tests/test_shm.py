@@ -1,0 +1,241 @@
+"""The shared-memory artifact plane (:mod:`repro.server.shm`).
+
+Lifecycle law under test: a publication's segments exist from
+``publish`` until it is *retired* **and** its last holder released —
+then they are unlinked, and ``SharedArtifactPlane.close()`` unlinks
+everything unconditionally.  All checks attach by name instead of
+listing ``/dev/shm`` so they hold on any POSIX shm backend.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.data.database import EncodedDatabase
+from repro.data.flatbuf import database_from_buffers, database_to_buffers
+from repro.server.shm import (
+    AttachedSegments,
+    SharedArtifactPlane,
+    _raw,
+    plane_prefix,
+    publish_from_worker,
+    stable_token,
+    unlink_publication,
+)
+
+
+def segment_exists(name: str) -> bool:
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    handle.close()
+    return True
+
+
+def segments_of(publication) -> list[str]:
+    return [segment for _buffer, segment in publication.segments]
+
+
+@pytest.fixture()
+def plane():
+    plane = SharedArtifactPlane()
+    yield plane
+    plane.close()
+
+
+BUFFERS = {
+    "ints": np.arange(64, dtype=np.int64),
+    "bytes": np.frombuffer(b"hello shm", dtype=np.uint8).copy(),
+    "empty": np.empty(0, dtype=np.int64),
+}
+
+
+class TestTokens:
+    def test_stable_token_is_short_hex(self):
+        token = stable_token(("forest", ("R", "S"), 3))
+        assert len(token) == 16
+        assert all(c in "0123456789abcdef" for c in token)
+
+    def test_stable_token_ignores_set_iteration_order(self):
+        # frozensets are canonicalized by sorted repr, so the digest
+        # is identical across processes with different hash seeds.
+        a = stable_token(("k", frozenset({"x", "y", "z"})))
+        b = stable_token(("k", frozenset({"z", "y", "x"})))
+        assert a == b
+
+    def test_stable_token_separates_keys(self):
+        assert stable_token(("k", 1)) != stable_token(("k", 2))
+        assert stable_token("1") != stable_token(1)
+
+    def test_plane_prefix_is_tracker_safe(self):
+        # The resource tracker's wire format is colon-delimited;
+        # names must stay in [A-Za-z0-9_].
+        prefix = plane_prefix()
+        assert all(c.isalnum() or c == "_" for c in prefix)
+
+
+class TestRaw:
+    def test_plain_array_is_zero_copy(self):
+        array = np.arange(8, dtype=np.int32)
+        view = _raw(array)
+        assert view.nbytes == array.nbytes
+        assert bytes(view) == array.tobytes()
+
+    def test_empty_array(self):
+        assert _raw(np.empty(0, dtype=np.int64)).nbytes == 0
+
+    def test_non_contiguous_array_copies(self):
+        array = np.arange(10, dtype=np.int64)[::2]
+        assert not array.flags["C_CONTIGUOUS"] or array.base is not None
+        assert bytes(_raw(array)) == array.tobytes()
+
+
+class TestPublishAttach:
+    def test_attach_sees_published_bytes(self, plane):
+        publication = plane.publish("db:0", {"m": True}, BUFFERS)
+        assert publication.nbytes == sum(
+            a.nbytes for a in BUFFERS.values()
+        )
+        attached = AttachedSegments(publication)
+        try:
+            for name, array in BUFFERS.items():
+                got = np.frombuffer(
+                    attached.views[name], dtype=array.dtype,
+                    count=len(array),
+                )
+                assert np.array_equal(got, array)
+        finally:
+            attached.close()
+
+    def test_publish_is_idempotent_per_token(self, plane):
+        first = plane.publish("db:0", None, BUFFERS)
+        second = plane.publish("db:0", None, BUFFERS)
+        assert second is first
+        assert plane.counters.as_dict()["publications"] == 1
+
+    def test_attach_close_does_not_unlink(self, plane):
+        publication = plane.publish("db:0", None, BUFFERS)
+        AttachedSegments(publication).close()
+        assert all(segment_exists(s) for s in segments_of(publication))
+
+    def test_closed_plane_refuses_publish(self):
+        plane = SharedArtifactPlane()
+        plane.close()
+        with pytest.raises(RuntimeError):
+            plane.publish("db:0", None, BUFFERS)
+
+
+class TestRefcounts:
+    def test_unlink_waits_for_retire_and_last_release(self, plane):
+        publication = plane.publish("db:0", None, BUFFERS)
+        names = segments_of(publication)
+        assert plane.acquire("db:0", "w0") is publication
+        assert plane.acquire("db:0", "w1") is publication
+
+        plane.retire("db:0")  # superseded, but two holders remain
+        assert all(segment_exists(s) for s in names)
+        assert plane.lookup("db:0") is None  # no longer handed out
+        assert plane.acquire("db:0", "w2") is None
+
+        plane.release("db:0", "w0")
+        assert all(segment_exists(s) for s in names)
+        plane.release("db:0", "w1")  # last holder out -> unlink
+        assert not any(segment_exists(s) for s in names)
+        assert plane.counters.as_dict()["unlinks"] == len(names)
+
+    def test_release_without_retire_keeps_segments(self, plane):
+        publication = plane.publish("db:0", None, BUFFERS)
+        plane.acquire("db:0", "w0")
+        plane.release("db:0", "w0")
+        assert all(segment_exists(s) for s in segments_of(publication))
+
+    def test_release_holder_drops_every_reference(self, plane):
+        one = plane.publish("db:0", None, BUFFERS)
+        two = plane.publish("forest:0:abc", None, BUFFERS)
+        plane.acquire("db:0", "w0")
+        plane.acquire("forest:0:abc", "w0")
+        plane.retire("db:0")
+        plane.retire("forest:0:abc")
+        plane.release_holder("w0")  # crash/respawn path
+        for publication in (one, two):
+            assert not any(
+                segment_exists(s) for s in segments_of(publication)
+            )
+        assert plane.tokens() == []
+
+    def test_close_unlinks_despite_holders(self):
+        plane = SharedArtifactPlane()
+        publication = plane.publish("db:0", None, BUFFERS)
+        plane.acquire("db:0", "w0")
+        plane.close()
+        assert not any(
+            segment_exists(s) for s in segments_of(publication)
+        )
+        assert plane.live_segments() == []
+
+
+class TestWorkerPublications:
+    def test_names_are_tracker_safe(self, plane):
+        # Worker tokens contain ':'; none of it may reach the name.
+        publication = publish_from_worker(
+            plane.prefix, "forest:s1:3:deadbeef", None, BUFFERS
+        )
+        try:
+            for segment in segments_of(publication):
+                assert all(c.isalnum() or c == "_" for c in segment)
+        finally:
+            unlink_publication(publication)
+
+    def test_adopt_registers_and_close_unlinks(self, plane):
+        publication = publish_from_worker(
+            plane.prefix, "forest:0:aa", None, BUFFERS
+        )
+        assert plane.adopt(publication, holder="w0") is True
+        assert plane.lookup("forest:0:aa") is publication
+        assert plane.acquire("forest:0:aa", "w1") is publication
+        plane.close()
+        assert not any(
+            segment_exists(s) for s in segments_of(publication)
+        )
+
+    def test_adopt_race_loser_unlinks_its_copy(self, plane):
+        winner = publish_from_worker(
+            plane.prefix, "forest:0:aa", None, BUFFERS
+        )
+        # Racing workers are distinct processes; distinct prefixes
+        # stand in for their distinct pids in the segment names.
+        loser = publish_from_worker(
+            plane.prefix + "_b", "forest:0:aa", None, BUFFERS
+        )
+        assert plane.adopt(winner, holder="w0") is True
+        assert plane.adopt(loser, holder="w1") is False
+        unlink_publication(loser)  # the contract on a False return
+        assert not any(segment_exists(s) for s in segments_of(loser))
+        assert all(segment_exists(s) for s in segments_of(winner))
+
+
+class TestDatabaseRoundtrip:
+    def test_database_survives_the_plane(self, plane):
+        database = EncodedDatabase(
+            {
+                "R": {(1, 2), (3, 2), (3, 4)},
+                "S": {(2, 7), (2, 9), (4, 1)},
+            }
+        )
+        flat = database_to_buffers(database)
+        assert flat is not None
+        manifest, buffers = flat
+        publication = plane.publish("db:0", manifest, buffers)
+        attached = AttachedSegments(publication)
+        try:
+            rebuilt = database_from_buffers(manifest, attached.views)
+            for name in ("R", "S"):
+                assert sorted(rebuilt[name].sorted_tuples()) == sorted(
+                    database[name].sorted_tuples()
+                )
+        finally:
+            attached.close()
