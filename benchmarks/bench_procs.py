@@ -14,7 +14,13 @@ sharded):
   recorded numbers say so — the *record* is honest, the 2x claim needs
   cores);
 * **zero-copy evidence** — plane segment/attach counters and per-pid
-  RSS, showing one physical copy however many workers attach.
+  RSS, showing one physical copy however many workers attach;
+* **front sweep** — an open-loop concurrent keep-alive connection
+  ladder over the threaded and async fronts at equal workers and
+  queue depth (per-rung p50/p95/p99 + throughput), with the async
+  ladder running 4x higher than the threaded one — the `--async`
+  claim that one event loop multiplexes what would otherwise cost a
+  thread per connection.
 
 Every run appends a record to the repo-root ``BENCH_serving.json``
 trajectory (:func:`harness.record_serving`), so serving regressions
@@ -31,9 +37,12 @@ pytest-benchmark timing of the warm procs-mode round-trip.
 
 from __future__ import annotations
 
+import http.client
+import json
 import os
 import sys
 import threading
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
@@ -49,6 +58,7 @@ from bench_server import (
 from harness import percentiles, record_serving, timed
 
 from repro.facade import connect
+from repro.server.aio import AsyncReproServer
 from repro.server.http import ReproServer
 
 ROWS = 120
@@ -56,6 +66,7 @@ FANOUT = 2
 LATENCY_SAMPLES = 60
 PER_CLIENT = 20
 LADDER = (2, 4, 8)
+FRONT_WORKERS = 4
 
 
 def rss_kb(pid: int) -> int | None:
@@ -196,6 +207,188 @@ def measure_mode(
     return entry, failures
 
 
+def run_front_rung(server, connections: int, per_connection: int) -> dict:
+    """One open-loop rung: N concurrent keep-alive connections, each
+    issuing its workload sequentially over one reused socket."""
+    samples: list[float] = []
+    failures = [0]
+    lock = threading.Lock()
+
+    def connection_client(index: int) -> None:
+        conn = http.client.HTTPConnection(
+            server.host, server.port, timeout=30
+        )
+        mine: list[float] = []
+        failed = 0
+        try:
+            for request in client_workload(index, per_connection):
+                body = json.dumps(request).encode("utf-8")
+                begin = time.perf_counter()
+                try:
+                    conn.request(
+                        "POST",
+                        "/v1/session",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    reply = conn.getresponse()
+                    payload = json.loads(reply.read().decode("utf-8"))
+                    ok = reply.status == 200 and bool(payload.get("ok"))
+                except Exception:  # noqa: BLE001 (counted, gated below)
+                    ok = False
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        server.host, server.port, timeout=30
+                    )
+                if ok:
+                    mine.append(time.perf_counter() - begin)
+                else:
+                    failed += 1
+        finally:
+            conn.close()
+        with lock:
+            samples.extend(mine)
+            failures[0] += failed
+
+    def fleet() -> None:
+        threads = [
+            threading.Thread(target=connection_client, args=(index,))
+            for index in range(connections)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    _, wall = timed(fleet)
+    total = connections * per_connection
+    rung = {
+        "connections": connections,
+        "requests": total,
+        "wall_s": round(wall, 3),
+        "rps": round((total - failures[0]) / max(wall, 1e-9)),
+        "failures": failures[0],
+    }
+    rung.update(
+        percentiles(samples)
+        if samples
+        else {"p50_us": None, "p95_us": None, "p99_us": None}
+    )
+    return rung
+
+
+def measure_front(
+    label: str,
+    factory,
+    relations: dict,
+    ladder: tuple[int, ...],
+    per_connection: int,
+) -> tuple[dict, list[str]]:
+    """One serving front at fixed workers: verify answers, then sweep
+    concurrent keep-alive connections (the async front's ladder runs
+    4x higher than the threaded one — the claim under test)."""
+    local = connect(relations)
+    server = factory().start()
+    failures: list[str] = []
+    try:
+        failures.extend(verify_mode(server, local))
+        rungs = []
+        for connections in ladder:
+            rung = run_front_rung(server, connections, per_connection)
+            if rung["failures"]:
+                failures.append(
+                    f"front {label}: {rung['failures']} failed "
+                    f"requests at {connections} connections"
+                )
+            rungs.append(rung)
+        entry = {
+            "front": label,
+            "workers": server.workers,
+            "ladder": rungs,
+            "saturation_rps": max(r["rps"] for r in rungs),
+            "max_clean_connections": max(
+                (
+                    r["connections"]
+                    for r in rungs
+                    if not r["failures"]
+                ),
+                default=0,
+            ),
+        }
+    finally:
+        server.shutdown()
+    if server.clean_shutdown is False:
+        failures.append(f"front {label}: unclean drain")
+    return entry, failures
+
+
+def measure_fronts(
+    relations: dict, quick: bool
+) -> tuple[list[dict], list[str]]:
+    """Threaded vs async front at equal workers and queue depth."""
+    threaded_ladder, async_ladder, per_connection = (
+        ((2, 4, 8), (2, 4, 8, 16, 32), 5)
+        if quick
+        else ((8, 16, 32), (8, 16, 32, 64, 128), PER_CLIENT)
+    )
+    # Size admission so the top async rung fits: the sweep measures
+    # connection multiplexing, not 503 backpressure (bench_server and
+    # tests/test_aio.py cover the overload path).
+    queue_depth = max(16, async_ladder[-1] // FRONT_WORKERS)
+    fronts_spec = (
+        (
+            "threads",
+            threaded_ladder,
+            lambda: ReproServer(
+                relations,
+                workers=FRONT_WORKERS,
+                queue_depth=queue_depth,
+            ),
+        ),
+        (
+            "async",
+            async_ladder,
+            lambda: AsyncReproServer(
+                relations,
+                workers=FRONT_WORKERS,
+                queue_depth=queue_depth,
+                max_connections=async_ladder[-1] + 8,
+            ),
+        ),
+    )
+    entries, failures = [], []
+    for label, ladder, factory in fronts_spec:
+        entry, front_failures = measure_front(
+            label, factory, relations, ladder, per_connection
+        )
+        entries.append(entry)
+        failures.extend(front_failures)
+        top = entry["ladder"][-1]
+        print(
+            f"front {label:8s} workers={entry['workers']} "
+            f"top rung: {top['connections']} keep-alive conns "
+            f"p50={top['p50_us']} us p99={top['p99_us']} us "
+            f"{top['rps']} req/s "
+            f"saturation={entry['saturation_rps']} req/s"
+        )
+    sustained = {
+        e["front"]: e["max_clean_connections"] for e in entries
+    }
+    if sustained["async"] < 4 * sustained["threads"]:
+        failures.append(
+            f"async front sustained {sustained['async']} keep-alive "
+            f"connections, < 4x the threaded front's "
+            f"{sustained['threads']}"
+        )
+    else:
+        print(
+            f"async/threads sustained keep-alive connections: "
+            f"{sustained['async']}/{sustained['threads']} "
+            f"({sustained['async'] / max(sustained['threads'], 1):.1f}x)"
+        )
+    return entries, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     """Standalone entry point (the CI multi-process smoke job)."""
     import argparse
@@ -255,11 +448,17 @@ def main(argv: list[str] | None = None) -> int:
             f"saturation={entry['saturation_rps']} req/s{extra}"
         )
 
+    front_entries, front_failures = measure_fronts(
+        relations, bool(args.quick)
+    )
+    failures.extend(front_failures)
+
     record_serving(
         {
             "bench": "bench_procs",
             "quick": bool(args.quick),
             "modes": entries,
+            "fronts": front_entries,
         }
     )
     by_mode = {entry["mode"]: entry for entry in entries}

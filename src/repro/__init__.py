@@ -69,7 +69,7 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Pre-facade entry points, kept importable behind a deprecation
 #: warning: name -> (module, attribute, replacement hint).

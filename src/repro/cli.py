@@ -16,11 +16,13 @@ Commands:
   ``--json`` mode (one :class:`~repro.session.SessionRequest` object
   per line) both parse into the same request dataclass and run through
   :func:`repro.session.protocol.execute`.
-* ``serve`` — the same protocol over HTTP: a threaded stdlib server
-  with ``--workers`` per-worker sessions over one shared artifact
-  store (``POST /v1/session``, ``GET /healthz``, ``GET /stats``; spec
-  in ``docs/protocol.md``).  Query it with ``curl`` or from Python via
-  ``repro.connect("http://host:port")``.
+* ``serve`` — the same protocol over HTTP: ``--workers`` per-worker
+  sessions over one shared artifact store (``POST /v1/session``,
+  ``GET /healthz``, ``GET /stats``; spec in ``docs/protocol.md``),
+  behind either the threaded stdlib front or, with ``--async``, an
+  asyncio event loop multiplexing thousands of keep-alive connections
+  onto the same bounded worker queues.  Query it with ``curl`` or from
+  Python via ``repro.connect("http://host:port")``.
 
 The global ``--engine {python,numpy}`` flag selects the execution
 engine (default: the ``REPRO_ENGINE`` environment variable, else
@@ -279,7 +281,6 @@ def cmd_serve(args) -> int:
     import signal
 
     from repro.errors import ReproError
-    from repro.server.http import ReproServer
 
     if args.capacity < 0:
         raise SystemExit("--capacity must be non-negative")
@@ -289,8 +290,7 @@ def cmd_serve(args) -> int:
         # Bad worker counts, unparsable/unsatisfiable default queries,
         # and unavailable engines must die at startup with one clean
         # line, not one traceback per request.
-        server = ReproServer(
-            database,
+        common = dict(
             workers=args.workers,
             capacity=args.capacity,
             default_query=args.query,
@@ -303,15 +303,60 @@ def cmd_serve(args) -> int:
             read_only=args.read_only,
             shard_relation=args.shard_relation,
             shard_variable=args.shard_variable,
+            queue_depth=args.queue_depth,
+            shard_backends=args.shard_backend or None,
+            request_timeout=args.request_timeout,
         )
+        if args.async_front:
+            from repro.server.aio import AsyncReproServer
+
+            server = AsyncReproServer(
+                database,
+                max_connections=args.max_connections,
+                **common,
+            )
+        else:
+            from repro.server.http import ReproServer
+
+            server = ReproServer(database, **common)
     except (ValueError, ReproError) as error:
         raise SystemExit(str(error)) from None
+    # SIGTERM must drain exactly like Ctrl-C: stop accepting, let
+    # in-flight requests finish, detach and unlink every shared-memory
+    # segment.  Both fronts expose request_shutdown() because the
+    # blocking shutdown path cannot run on this main thread — the
+    # threaded front's httpd.shutdown() *blocks* until serve_forever
+    # (below, on this same thread) exits, and the async front's stop
+    # event lives on the loop thread.  Installing a handler is only
+    # legal on the main thread — embedded callers (tests drive main()
+    # on a thread) rely on their own shutdown path instead.  Installed
+    # *before* the server answers its first request: the async front
+    # serves as soon as start() returns, so a supervisor that probes
+    # /healthz and immediately signals must not beat the handler.
+
+    def _drain(*_signal_args) -> None:
+        server.request_shutdown()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        pass
+    if args.async_front:
+        # The async front binds on start (the threaded one binds in
+        # its constructor); bind now so the banner prints the real
+        # port — and a taken port dies here with one clean line.
+        try:
+            server.start()
+        except OSError as error:
+            raise SystemExit(str(error)) from None
     mode = server.health()["mode"]
+    front = "async" if args.async_front else "threads"
     bound = "" if args.query is None else f"  query: {args.query}"
     flags = "  read-only" if server.read_only else ""
     print(
         f"repro serving on {server.url}  |D|={len(database)}  "
         f"engine={server.store.engine.name}  mode={mode}  "
+        f"front={front}  "
         f"workers={server.workers}{flags}{bound}",
         flush=True,
     )
@@ -321,24 +366,6 @@ def cmd_serve(args) -> int:
         flush=True,
     )
 
-    # SIGTERM must drain exactly like Ctrl-C: stop accepting, let
-    # in-flight requests finish, detach and unlink every shared-memory
-    # segment.  httpd.shutdown() *blocks* until serve_forever (below,
-    # on this same main thread) exits, so the handler must hand it to
-    # another thread or the process deadlocks.  Installing a handler
-    # is only legal on the main thread — embedded callers (tests drive
-    # main() on a thread) rely on their own shutdown path instead.
-    import threading
-
-    def _drain(*_signal_args) -> None:
-        threading.Thread(
-            target=server._httpd.shutdown, daemon=True
-        ).start()
-
-    try:
-        signal.signal(signal.SIGTERM, _drain)
-    except ValueError:
-        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -474,6 +501,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="per-artifact-kind cache capacity (default 64)",
+    )
+    serve.add_argument(
+        "--async",
+        dest="async_front",
+        action="store_true",
+        help="serve with the asyncio front: one event loop "
+        "multiplexes all connections onto the worker pool "
+        "(same wire protocol; combines with every mode)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="bound on each worker's pending-request queue "
+        "(default 16); a full fleet answers 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=1024,
+        help="async front only: ceiling on open connections "
+        "(default 1024); excess connections get a structured 503",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="socket read/write timeout in seconds (default 30); "
+        "stalled clients lose the connection, not a worker",
+    )
+    serve.add_argument(
+        "--shard-backend",
+        action="append",
+        default=[],
+        metavar="URL",
+        help="serve by fanning reads out to this remote repro-serve "
+        "replica (repeatable, one per range shard, in shard order; "
+        "read-only, needs --query)",
     )
     serve.add_argument(
         "--procs",

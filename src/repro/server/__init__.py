@@ -24,24 +24,44 @@ segments (:class:`~repro.server.shm.SharedArtifactPlane`,
 :mod:`repro.data.flatbuf`) and every worker attaches zero-copy.
 Sharded mode additionally range-partitions one relation and merges
 per-shard answers by prefix counts
-(:mod:`repro.session.sharding`) — bit-identical to unsharded serving.
-The wire protocol is the same in every mode.
+(:mod:`repro.session.sharding`) — bit-identical to unsharded serving,
+whether the shards are local worker processes or remote ``repro
+serve`` replicas reached through :class:`HTTPShardExecutor`
+(``shard_backends=[url, ...]``).  The wire protocol is the same in
+every mode.
+
+Both fronts wrap one transport-independent :class:`ServingCore`:
+the threaded :class:`ReproServer` and the asyncio
+:class:`AsyncReproServer` (``repro serve --async``,
+:mod:`repro.server.aio`), which multiplexes all connections onto one
+event loop and dispatches onto *bounded* per-worker queues — full
+fleet → structured HTTP 503 + ``Retry-After``
+(:class:`~repro.errors.OverloadedError`).
 
 See ``docs/architecture.md`` for the layer map and
 ``docs/protocol.md`` for the wire format.
 """
 
-from repro.server.client import HTTPConnection, RemoteAnswerView
-from repro.server.http import ReproServer, serve
-from repro.server.pool import WorkerPool
+from repro.server.aio import AsyncReproServer
+from repro.server.client import (
+    HTTPConnection,
+    HTTPShardExecutor,
+    RemoteAnswerView,
+)
+from repro.server.http import ReproServer, ServingCore, serve
+from repro.server.pool import LocalDispatcher, WorkerPool
 from repro.server.shm import Publication, SharedArtifactPlane
 from repro.server.worker import WorkerSpec
 
 __all__ = [
+    "AsyncReproServer",
     "HTTPConnection",
+    "HTTPShardExecutor",
+    "LocalDispatcher",
     "Publication",
     "RemoteAnswerView",
     "ReproServer",
+    "ServingCore",
     "SharedArtifactPlane",
     "WorkerPool",
     "WorkerSpec",

@@ -1,4 +1,4 @@
-"""The threaded HTTP transport for the JSON session protocol.
+"""The serving core and its threaded HTTP transport.
 
 One server = one database, served by ``--workers`` per-worker
 :class:`~repro.Connection` objects over a shared
@@ -6,6 +6,14 @@ One server = one database, served by ``--workers`` per-worker
 thin — stdlib :mod:`http.server` with threads, no framework — because
 the protocol work (parsing, validation, execution) already lives in
 :mod:`repro.session.protocol` and is transport-independent.
+
+The serving state itself is transport-independent too:
+:class:`ServingCore` owns the store, the worker backend (in-process
+connections, worker processes, range shards, or remote shard
+replicas), depth-aware dispatch, and the health/stats views.  Two
+fronts wrap one core — :class:`ReproServer` (threads, this module) and
+:class:`~repro.server.aio.AsyncReproServer` (``repro serve --async``,
+an asyncio event loop) — and answer byte-identical wire shapes.
 
 Routes (full spec in ``docs/protocol.md``):
 
@@ -15,21 +23,27 @@ Routes (full spec in ``docs/protocol.md``):
   rejects (bad index, unknown variable, ...) come back as HTTP 200
   with ``ok=false`` — the protocol's own error channel; *malformed*
   bodies (invalid JSON, unknown fields, newer protocol version) are
-  HTTP 400 with the same structured shape, never a traceback.
+  HTTP 400 with the same structured shape, never a traceback.  When
+  every worker queue is full, admission fails fast: HTTP 503 with a
+  ``Retry-After`` header and ``error_type`` ``OverloadedError``.
 * ``GET /healthz`` — liveness: package + protocol versions, engine,
-  worker count.
+  worker count, front and mode.
 * ``GET /stats`` — the shared store's build/cache counters, the
-  transport's own op counters, and the worker sessions' counters
-  *aggregated into totals* (one dict however many workers run;
-  ``stats_per_worker=True`` / ``--stats-per-worker`` adds a per-worker
-  breakdown, capped at :data:`MAX_STATS_WORKERS` entries).
+  transport's own op counters, dispatch-queue depths, and the worker
+  sessions' counters *aggregated into totals* (one dict however many
+  workers run; ``stats_per_worker=True`` / ``--stats-per-worker`` adds
+  a per-worker breakdown, capped at :data:`MAX_STATS_WORKERS`).
 
 Concurrency: :class:`http.server.ThreadingHTTPServer` spawns a thread
-per connection; each request then checks a ``Connection`` out of the
-worker pool (bounded, so ``--workers`` caps concurrent query work
-regardless of open sockets).  Artifact builds synchronize per artifact
-in the store — two clients asking for different decompositions
-preprocess concurrently; two asking for the same one build it once.
+per connection; each request is then admitted onto a *bounded*
+per-worker queue (:class:`~repro.server.pool.LocalDispatcher`), so
+``--workers`` caps concurrent query work and ``--queue-depth`` caps
+how much work may wait, regardless of open sockets.  Sockets carry a
+read/write timeout (``request_timeout``), so a stalled client cannot
+pin a serving thread forever.  Artifact builds synchronize per
+artifact in the store — two clients asking for different
+decompositions preprocess concurrently; two asking for the same one
+build it once.
 
 Start one from Python (or ``repro serve`` from a shell)::
 
@@ -45,15 +59,15 @@ Start one from Python (or ``repro serve`` from a shell)::
 from __future__ import annotations
 
 import json
-import queue
 import threading
 from collections import Counter
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.data.database import Database
-from repro.errors import ProtocolError, ReproError
+from repro.errors import OverloadedError, ProtocolError, ReproError
 from repro.facade import Connection
 from repro.query.parser import parse_query
+from repro.server.pool import DEFAULT_QUEUE_DEPTH, LocalDispatcher
 from repro.session.artifacts import ArtifactStore
 from repro.session.protocol import (
     PROTOCOL_VERSION,
@@ -75,6 +89,15 @@ MAX_BODY_BYTES = 1 << 20
 #: breakdown lists at most this many workers (a ``truncated`` count
 #: reports the rest).
 MAX_STATS_WORKERS = 64
+
+#: Socket read/write timeout of the threaded front, seconds.  A client
+#: that stalls mid-body (or never drains its response) trips the
+#: timeout and loses the connection instead of pinning a thread.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: The ``Retry-After`` value sent with every 503: overload is bursty
+#: by construction (bounded queues), so clients should retry shortly.
+RETRY_AFTER_SECONDS = 1
 
 
 def aggregate_counters(dicts) -> dict:
@@ -103,12 +126,16 @@ def aggregate_counters(dicts) -> dict:
     return totals
 
 
-def error_body(message: str, op: str = "?") -> bytes:
+def error_body(
+    message: str, op: str = "?", error_type: str | None = None
+) -> bytes:
     """The structured JSON body for a transport-level error.
 
     Same shape as a protocol-level failure — an ``ok=false``
     :class:`~repro.session.SessionResponse` — so clients parse exactly
-    one error format at every layer:
+    one error format at every layer.  ``error_type`` names the
+    :mod:`repro.errors` class the client should re-raise (e.g.
+    ``OverloadedError`` on a 503):
 
         >>> import json
         >>> body = json.loads(error_body("bad JSON request").decode())
@@ -116,7 +143,9 @@ def error_body(message: str, op: str = "?") -> bytes:
         (False, 'bad JSON request')
     """
     return (
-        SessionResponse(op=op, ok=False, error=message)
+        SessionResponse(
+            op=op, ok=False, error=message, error_type=error_type
+        )
         .to_json()
         .encode("utf-8")
     )
@@ -153,6 +182,308 @@ class _ServerCounters:
             }
 
 
+class ServingCore:
+    """Transport-independent serving state behind every HTTP front.
+
+    Owns the shared :class:`~repro.session.ArtifactStore`, the worker
+    backend (threads / procs / shards / remote shard replicas),
+    depth-aware bounded dispatch, and the health/stats views.  The
+    threaded :class:`ReproServer` and the asyncio
+    :class:`~repro.server.aio.AsyncReproServer` each wrap one core and
+    add only connection handling — which is why ``--async`` changes
+    nothing on the wire.
+
+    Args:
+        database: the served :class:`~repro.data.database.Database`
+            (or a plain mapping of relation names to tuple iterables).
+        engine: execution engine for the shared store (name, instance,
+            or ``None`` for the active engine's kind).
+        workers: size of the in-process ``Connection`` pool (ignored
+            when ``procs``/``shards``/``shard_backends`` is given).
+        capacity: per-kind artifact-cache capacity of the shared store.
+        cache_slack: cache-aware planning slack of worker sessions.
+        default_query: a query (text or parsed) backing requests that
+            carry none; ``None`` means every request must name its
+            query.
+        stats_per_worker: include a bounded per-worker breakdown in
+            ``stats()``.
+        procs / shards / read_only / shard_relation / shard_variable /
+            start_method: as on :class:`ReproServer`.
+        queue_depth: bound on each worker's pending-request queue
+            (``None`` → :data:`~repro.server.pool.DEFAULT_QUEUE_DEPTH`);
+            a fleet with every queue full rejects admission with
+            :class:`~repro.errors.OverloadedError` (HTTP 503).
+        shard_backends: base URLs of remote ``repro serve`` replicas,
+            one per range shard — reads fan out over HTTP and merge by
+            prefix counts (read-only; needs ``default_query``).
+            Exclusive with ``procs`` and ``shards``.
+    """
+
+    def __init__(
+        self,
+        database,
+        engine=None,
+        workers: int = 4,
+        capacity: int | None = 64,
+        cache_slack=0,
+        default_query=None,
+        stats_per_worker: bool = False,
+        procs: int | None = None,
+        shards: int | None = None,
+        read_only: bool = False,
+        shard_relation: str | None = None,
+        shard_variable: str | None = None,
+        start_method: str = "spawn",
+        queue_depth: int | None = None,
+        shard_backends: list[str] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if procs is not None and shards is not None:
+            raise ValueError(
+                "procs and shards are exclusive: sharded serving "
+                "already runs one process per shard"
+            )
+        if shard_backends is not None and (
+            procs is not None or shards is not None
+        ):
+            raise ValueError(
+                "shard_backends is exclusive with procs/shards: the "
+                "shards already live on the remote replicas"
+            )
+        self.queue_depth = (
+            DEFAULT_QUEUE_DEPTH if queue_depth is None else queue_depth
+        )
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"need a queue depth of at least one, got "
+                f"{self.queue_depth}"
+            )
+        self.stats_per_worker = stats_per_worker
+        if not isinstance(database, Database):
+            database = Database(database)
+        if procs is not None or shards is not None:
+            # The artifact plane ships flat buffers of the *shared*
+            # encoding; realize it up front so publication is
+            # zero-conversion (a plain Database would fall back to
+            # pickling whole databases into every worker).
+            from repro.data.database import EncodedDatabase
+
+            if not isinstance(database, EncodedDatabase):
+                database = EncodedDatabase(database.relations)
+        if isinstance(default_query, str):
+            default_query = parse_query(default_query)
+        if default_query is not None:
+            # Fail at startup, not once per request.
+            database.validate_for(default_query)
+        if engine is None:
+            from repro.engine.registry import get_engine
+
+            engine = get_engine().name
+        self.store = ArtifactStore(
+            database, engine=engine, capacity=capacity
+        )
+        self.default_query = default_query
+        self.read_only = bool(read_only) or shards is not None or (
+            shard_backends is not None
+        )
+        query_text = (
+            str(default_query) if default_query is not None else None
+        )
+        self._backend = None
+        self._connections: list[Connection] = []
+        self._dispatcher: LocalDispatcher | None = None
+        if shard_backends is not None:
+            from repro.server.router import RemoteShardBackend
+
+            self._backend = RemoteShardBackend(
+                database,
+                shard_backends,
+                engine_name=self.store.engine.name,
+                default_query=default_query,
+                shard_relation=shard_relation,
+                shard_variable=shard_variable,
+            )
+            self.workers = self._backend.plan.shards
+        elif shards is not None:
+            from repro.server.router import ShardBackend
+
+            self._backend = ShardBackend(
+                database,
+                shards,
+                engine_name=self.store.engine.name,
+                capacity=capacity,
+                cache_slack=cache_slack,
+                default_query=default_query,
+                shard_relation=shard_relation,
+                shard_variable=shard_variable,
+                start_method=start_method,
+                queue_depth=self.queue_depth,
+            )
+            self.workers = self._backend.plan.shards
+        elif procs is not None:
+            from repro.server.router import ProcessBackend
+
+            self._backend = ProcessBackend(
+                self.store,
+                procs,
+                engine_name=self.store.engine.name,
+                capacity=capacity,
+                cache_slack=cache_slack,
+                default_query_text=query_text,
+                start_method=start_method,
+                queue_depth=self.queue_depth,
+                read_only=self.read_only,
+            )
+            self.workers = procs
+        else:
+            self.workers = workers
+            self._connections = [
+                Connection(
+                    AccessSession(
+                        store=self.store, cache_slack=cache_slack
+                    )
+                )
+                for _ in range(workers)
+            ]
+            self._dispatcher = LocalDispatcher(
+                self._connections, max_queue_depth=self.queue_depth
+            )
+
+    @property
+    def dispatch_capacity(self) -> int:
+        """How many requests may be admitted at once fleet-wide (the
+        async front sizes its executor to this bound)."""
+        return self.workers * self.queue_depth
+
+    @property
+    def mode(self) -> str:
+        return (
+            self._backend.mode
+            if self._backend is not None
+            else "threads"
+        )
+
+    # -- serving -----------------------------------------------------------
+
+    def execute(self, request: SessionRequest) -> SessionResponse:
+        """Serve one protocol request (pooled connection, worker
+        process, or sharded fan-out — same wire shapes in all modes).
+
+        Raises :class:`~repro.errors.OverloadedError` when bounded
+        admission refuses the request; the transport answers 503 with
+        ``Retry-After`` instead of queueing unboundedly.
+        """
+        if self.read_only and request.op in ("insert", "delete"):
+            from repro.errors import ReadOnlyError
+
+            return SessionResponse(
+                op=request.op,
+                ok=False,
+                error=(
+                    "server is read-only: mutations are disabled"
+                    if self._backend is None
+                    or not self._backend.mode.startswith("sharded")
+                    else "sharded serving is read-only: a delta could "
+                    "move tuples across shard boundaries"
+                ),
+                error_type=ReadOnlyError.__name__,
+            )
+        if self._backend is not None:
+            return self._backend.execute(request)
+        # In-process workers share one store (and its caches), so
+        # election needs no affinity: the shallowest queue wins.
+        index = self._dispatcher.admit()
+        try:
+            connection = self._dispatcher.acquire(index)
+            try:
+                return execute(
+                    connection,
+                    request,
+                    default_query=self.default_query,
+                )
+            except ReproError as error:
+                # execute() already converts library errors; anything
+                # that still escapes must not kill the worker slot.
+                return SessionResponse(
+                    op=request.op, ok=False, error=str(error)
+                )
+        finally:
+            self._dispatcher.release(index)
+
+    def close(self, timeout: float = 10.0) -> bool:
+        """Close the backend; ``True`` when the worker drain was clean
+        (in-process serving always drains clean)."""
+        if self._backend is not None:
+            return self._backend.close(timeout=timeout)
+        return True
+
+    # -- observability -----------------------------------------------------
+
+    def health(self, front: str) -> dict:
+        from repro import __version__
+
+        return {
+            "ok": True,
+            "service": "repro",
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "engine": self.store.engine.name,
+            "workers": self.workers,
+            "front": front,
+            "mode": self.mode,
+            "read_only": self.read_only,
+            "default_query": (
+                str(self.default_query)
+                if self.default_query is not None
+                else None
+            ),
+        }
+
+    def stats(self, server_counters: dict) -> dict:
+        """Store build/cache counters + worker totals + wire ops.
+
+        Worker session counters are aggregated into one ``totals``
+        dict so the response size is independent of ``--workers``; a
+        per-worker breakdown (bounded) appears only with
+        ``stats_per_worker=True``.  ``dispatch`` carries the bounded
+        admission view in threaded/async in-process mode (queue depths
+        and rejections); process modes report the same through
+        ``backend.pool``.
+        """
+        if self._backend is not None:
+            backend_stats = self._backend.stats()
+            worker_stats = [
+                stats.get("session", {})
+                for stats in backend_stats.pop("per_worker")
+            ]
+        else:
+            backend_stats = None
+            worker_stats = [
+                connection.session.stats.as_dict()
+                for connection in self._connections
+            ]
+        workers: dict = {
+            "count": len(worker_stats),
+            "totals": aggregate_counters(worker_stats),
+        }
+        if self.stats_per_worker:
+            workers["per_worker"] = worker_stats[:MAX_STATS_WORKERS]
+            truncated = len(worker_stats) - MAX_STATS_WORKERS
+            if truncated > 0:
+                workers["truncated"] = truncated
+        out = {
+            "server": server_counters,
+            "store": self.store.cache_stats(),
+            "workers": workers,
+        }
+        if self._dispatcher is not None:
+            out["dispatch"] = self._dispatcher.counters()
+        if backend_stats is not None:
+            out["backend"] = backend_stats
+        return out
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One request; the interesting state lives on ``self.server``."""
 
@@ -164,16 +495,29 @@ class _Handler(BaseHTTPRequestHandler):
     def repro(self) -> "ReproServer":
         return self.server.repro_server  # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        # The socket timeout must be set before StreamRequestHandler
+        # wraps it in rfile/wfile: a client stalling mid-body (or
+        # never draining its response) then trips TimeoutError, which
+        # handle_one_request turns into close_connection — freeing the
+        # serving thread instead of pinning it forever.
+        self.timeout = self.repro.request_timeout
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.repro.verbose:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, body: bytes) -> None:
+    def _reply(
+        self, status: int, body: bytes, headers: dict | None = None
+    ) -> None:
         if status >= 400:
             self.repro.counters.count_error(status)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -261,7 +605,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, error_body(str(error)))
             return
         self.repro.counters.count_request(request.op)
-        response = self.repro.execute(request)
+        try:
+            response = self.repro.execute(request)
+        except OverloadedError as error:
+            # Bounded admission refused the request: it was never
+            # started, so retrying after a short backoff is safe.
+            self._reply(
+                503,
+                error_body(
+                    str(error),
+                    request.op,
+                    OverloadedError.__name__,
+                ),
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+            return
         body = response.to_json().encode("utf-8")
         if not response.ok and response.error_type == "ReadOnlyError":
             # Mutations on a --read-only server are a *policy* refusal,
@@ -312,6 +670,14 @@ class ReproServer:
             largest candidate relation is partitioned).
         start_method: multiprocessing start method for worker
             processes (tests override; keep ``spawn`` in production).
+        queue_depth: bound on each worker's pending-request queue;
+            full fleet → HTTP 503 + ``Retry-After``
+            (:class:`~repro.errors.OverloadedError`).
+        shard_backends: base URLs of remote ``repro serve`` replicas,
+            one per range shard (read-only; needs ``default_query``).
+        request_timeout: socket read/write timeout per connection,
+            seconds — stalled clients lose the connection instead of
+            pinning a serving thread.
 
     Usable as a context manager: ``with ReproServer(db) as server:``
     starts a background serving thread and shuts it down on exit.  Call
@@ -336,93 +702,61 @@ class ReproServer:
         shard_relation: str | None = None,
         shard_variable: str | None = None,
         start_method: str = "spawn",
+        queue_depth: int | None = None,
+        shard_backends: list[str] | None = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ):
-        if workers < 1:
-            raise ValueError(f"need at least one worker, got {workers}")
-        if procs is not None and shards is not None:
-            raise ValueError(
-                "procs and shards are exclusive: sharded serving "
-                "already runs one process per shard"
-            )
-        self.stats_per_worker = stats_per_worker
-        if not isinstance(database, Database):
-            database = Database(database)
-        if procs is not None or shards is not None:
-            # The artifact plane ships flat buffers of the *shared*
-            # encoding; realize it up front so publication is
-            # zero-conversion (a plain Database would fall back to
-            # pickling whole databases into every worker).
-            from repro.data.database import EncodedDatabase
-
-            if not isinstance(database, EncodedDatabase):
-                database = EncodedDatabase(database.relations)
-        if isinstance(default_query, str):
-            default_query = parse_query(default_query)
-        if default_query is not None:
-            # Fail at startup, not once per request.
-            database.validate_for(default_query)
-        if engine is None:
-            from repro.engine.registry import get_engine
-
-            engine = get_engine().name
-        self.store = ArtifactStore(
-            database, engine=engine, capacity=capacity
+        self.core = ServingCore(
+            database,
+            engine=engine,
+            workers=workers,
+            capacity=capacity,
+            cache_slack=cache_slack,
+            default_query=default_query,
+            stats_per_worker=stats_per_worker,
+            procs=procs,
+            shards=shards,
+            read_only=read_only,
+            shard_relation=shard_relation,
+            shard_variable=shard_variable,
+            start_method=start_method,
+            queue_depth=queue_depth,
+            shard_backends=shard_backends,
         )
-        self.default_query = default_query
         self.verbose = verbose
         self.counters = _ServerCounters()
-        self.read_only = bool(read_only) or shards is not None
+        self.request_timeout = request_timeout
         self.clean_shutdown: bool | None = None
-        query_text = (
-            str(default_query) if default_query is not None else None
-        )
-        self._backend = None
-        self._connections: list[Connection] = []
-        if shards is not None:
-            from repro.server.router import ShardBackend
-
-            self._backend = ShardBackend(
-                database,
-                shards,
-                engine_name=self.store.engine.name,
-                capacity=capacity,
-                cache_slack=cache_slack,
-                default_query=default_query,
-                shard_relation=shard_relation,
-                shard_variable=shard_variable,
-                start_method=start_method,
-            )
-            self.workers = self._backend.plan.shards
-        elif procs is not None:
-            from repro.server.router import ProcessBackend
-
-            self._backend = ProcessBackend(
-                self.store,
-                procs,
-                engine_name=self.store.engine.name,
-                capacity=capacity,
-                cache_slack=cache_slack,
-                default_query_text=query_text,
-                start_method=start_method,
-            )
-            self.workers = procs
-        else:
-            self.workers = workers
-            self._connections = [
-                Connection(
-                    AccessSession(
-                        store=self.store, cache_slack=cache_slack
-                    )
-                )
-                for _ in range(workers)
-            ]
-        self._pool: queue.Queue[Connection] = queue.Queue()
-        for connection in self._connections:
-            self._pool.put(connection)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.repro_server = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+
+    # -- the wrapped core --------------------------------------------------
+
+    @property
+    def store(self):
+        return self.core.store
+
+    @property
+    def workers(self) -> int:
+        return self.core.workers
+
+    @property
+    def default_query(self):
+        return self.core.default_query
+
+    @property
+    def read_only(self) -> bool:
+        return self.core.read_only
+
+    @property
+    def stats_per_worker(self) -> bool:
+        return self.core.stats_per_worker
+
+    @property
+    def _backend(self):
+        return self.core._backend
 
     # -- addresses ---------------------------------------------------------
 
@@ -442,38 +776,10 @@ class ReproServer:
     # -- serving -----------------------------------------------------------
 
     def execute(self, request: SessionRequest) -> SessionResponse:
-        """Serve one protocol request (pooled connection, worker
-        process, or sharded fan-out — same wire shapes in all modes)."""
-        if self.read_only and request.op in ("insert", "delete"):
-            from repro.errors import ReadOnlyError
-
-            return SessionResponse(
-                op=request.op,
-                ok=False,
-                error=(
-                    "server is read-only: mutations are disabled"
-                    if self._backend is None
-                    or self._backend.mode != "sharded"
-                    else "sharded serving is read-only: a delta could "
-                    "move tuples across shard boundaries"
-                ),
-                error_type=ReadOnlyError.__name__,
-            )
-        if self._backend is not None:
-            return self._backend.execute(request)
-        connection = self._pool.get()
-        try:
-            return execute(
-                connection, request, default_query=self.default_query
-            )
-        except ReproError as error:
-            # execute() already converts library errors; anything that
-            # still escapes must not kill the worker checkout.
-            return SessionResponse(
-                op=request.op, ok=False, error=str(error)
-            )
-        finally:
-            self._pool.put(connection)
+        """Serve one protocol request through the core (may raise
+        :class:`~repro.errors.OverloadedError` — the handler answers
+        503)."""
+        return self.core.execute(request)
 
     def serve_forever(self) -> None:
         """Serve until :meth:`shutdown` (or KeyboardInterrupt)."""
@@ -487,6 +793,17 @@ class ReproServer:
             )
             self._thread.start()
         return self
+
+    def request_shutdown(self) -> None:
+        """Begin shutdown without blocking (signal-handler-safe).
+
+        ``httpd.shutdown()`` blocks until ``serve_forever`` exits, so a
+        SIGTERM handler running on the serving thread's process must
+        hand it off; the caller then runs :meth:`shutdown` to finish.
+        """
+        threading.Thread(
+            target=self._httpd.shutdown, daemon=True
+        ).start()
 
     def shutdown(self, timeout: float = 10.0) -> None:
         """Stop accepting, drain workers, unlink shared memory.
@@ -502,12 +819,9 @@ class ReproServer:
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
-        if self._backend is not None:
-            clean = self._backend.close(timeout=timeout)
-            if self.clean_shutdown is None:
-                self.clean_shutdown = clean
-        elif self.clean_shutdown is None:
-            self.clean_shutdown = True
+        clean = self.core.close(timeout=timeout)
+        if self.clean_shutdown is None:
+            self.clean_shutdown = clean
 
     def close(self, timeout: float = 10.0) -> None:
         """Alias for :meth:`shutdown` (symmetry with the pool/plane)."""
@@ -522,65 +836,12 @@ class ReproServer:
     # -- observability -----------------------------------------------------
 
     def health(self) -> dict:
-        from repro import __version__
-
-        return {
-            "ok": True,
-            "service": "repro",
-            "version": __version__,
-            "protocol": PROTOCOL_VERSION,
-            "engine": self.store.engine.name,
-            "workers": self.workers,
-            "mode": (
-                self._backend.mode
-                if self._backend is not None
-                else "threads"
-            ),
-            "read_only": self.read_only,
-            "default_query": (
-                str(self.default_query)
-                if self.default_query is not None
-                else None
-            ),
-        }
+        return self.core.health(front="threads")
 
     def stats(self) -> dict:
-        """Store build/cache counters + worker totals + wire ops.
-
-        Worker session counters are aggregated into one ``totals``
-        dict so the response size is independent of ``--workers``; a
-        per-worker breakdown (bounded) appears only when the server
-        was started with ``stats_per_worker=True``.
-        """
-        if self._backend is not None:
-            backend_stats = self._backend.stats()
-            worker_stats = [
-                stats.get("session", {})
-                for stats in backend_stats.pop("per_worker")
-            ]
-        else:
-            backend_stats = None
-            worker_stats = [
-                connection.session.stats.as_dict()
-                for connection in self._connections
-            ]
-        workers: dict = {
-            "count": len(worker_stats),
-            "totals": aggregate_counters(worker_stats),
-        }
-        if self.stats_per_worker:
-            workers["per_worker"] = worker_stats[:MAX_STATS_WORKERS]
-            truncated = len(worker_stats) - MAX_STATS_WORKERS
-            if truncated > 0:
-                workers["truncated"] = truncated
-        out = {
-            "server": self.counters.as_dict(),
-            "store": self.store.cache_stats(),
-            "workers": workers,
-        }
-        if backend_stats is not None:
-            out["backend"] = backend_stats
-        return out
+        """Store build/cache counters + worker totals + wire ops (see
+        :meth:`ServingCore.stats`)."""
+        return self.core.stats(self.counters.as_dict())
 
     def __repr__(self) -> str:
         return (
@@ -606,6 +867,9 @@ def serve(
     read_only: bool = False,
     shard_relation: str | None = None,
     shard_variable: str | None = None,
+    queue_depth: int | None = None,
+    shard_backends: list[str] | None = None,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> ReproServer:
     """Build a :class:`ReproServer` and serve in the foreground.
 
@@ -628,6 +892,9 @@ def serve(
         read_only=read_only,
         shard_relation=shard_relation,
         shard_variable=shard_variable,
+        queue_depth=queue_depth,
+        shard_backends=shard_backends,
+        request_timeout=request_timeout,
     )
     try:
         server.serve_forever()
@@ -639,10 +906,13 @@ def serve(
 
 
 __all__ = [
+    "DEFAULT_REQUEST_TIMEOUT",
     "MAX_BODY_BYTES",
     "MAX_STATS_WORKERS",
+    "RETRY_AFTER_SECONDS",
     "ReproServer",
     "SESSION_ROUTE",
+    "ServingCore",
     "aggregate_counters",
     "error_body",
     "serve",

@@ -10,11 +10,16 @@ requested.  Responsibilities:
   :class:`~repro.server.worker.WorkerSpec` (built by a caller-supplied
   factory, so respawns always attach the *latest* database
   publication) and wait for its ``ready`` handshake;
-* **dispatch** — one interaction per worker at a time, with
-  best-effort *session affinity*: requests carrying the same
-  ``(query, order)`` hash to the same worker, so its private artifact
-  cache stays hot (``affinity_hits`` / ``affinity_spills`` count how
-  often that worked out);
+* **dispatch** — one interaction per worker at a time, over
+  *bounded per-worker pending queues* with depth-aware election
+  (:func:`elect_slot`): requests carrying the same ``(query, order)``
+  hash to the same worker, so its private artifact cache stays hot,
+  but a read against a read-only store spills to the shallowest queue
+  instead of stacking behind its affinity worker
+  (``affinity_hits`` / ``affinity_spills`` count how that played out);
+  when every queue is at ``max_queue_depth`` the request is rejected
+  with :class:`~repro.errors.OverloadedError` — the transport answers
+  HTTP 503 — rather than piling up unboundedly;
 * **plane traffic** — while a worker handles a request it may ask for
   or publish shared-memory artifacts; the pool answers on the
   supervisor side, where the refcounts live;
@@ -36,7 +41,7 @@ import multiprocessing
 import threading
 import time
 
-from repro.errors import WorkerCrashError
+from repro.errors import OverloadedError, WorkerCrashError
 from repro.server.shm import SharedArtifactPlane
 
 #: How long a spawned worker gets to attach + build before the pool
@@ -46,6 +51,51 @@ BOOT_TIMEOUT = 60.0
 
 #: Default seconds between background health sweeps.
 HEALTH_INTERVAL = 2.0
+
+#: Default bound on each worker's pending-request queue.  When every
+#: queue is at the bound, admission fails with
+#: :class:`~repro.errors.OverloadedError` (HTTP 503 on the wire) —
+#: overload surfaces as immediate, retryable rejection instead of
+#: unbounded queueing.
+DEFAULT_QUEUE_DEPTH = 16
+
+
+def elect_slot(
+    depths: list[int],
+    capacity: int,
+    affinity: int | None = None,
+    spill: bool = False,
+) -> tuple[int, str]:
+    """Depth-aware worker election over pending-queue ``depths``.
+
+    Returns ``(index, outcome)`` where ``outcome`` is ``"plain"`` (no
+    affinity given), ``"hit"`` (the affinity worker was elected), or
+    ``"spill"`` (a shallower sibling was).  Raises
+    :class:`~repro.errors.OverloadedError` when every queue is at
+    ``capacity`` — admission is bounded.
+
+    Policy: without affinity the shallowest queue wins.  With
+    affinity, the preferred worker (``affinity % len(depths)``) wins
+    while its queue has room — except under ``spill=True`` (the store
+    is read-only, so every worker's cache can serve every read), where
+    it must also be tied for shallowest.  A *full* preferred queue
+    always spills to the shallowest sibling rather than rejecting
+    while the fleet has room.
+    """
+    shallowest = min(range(len(depths)), key=depths.__getitem__)
+    if depths[shallowest] >= capacity:
+        raise OverloadedError(
+            f"all {len(depths)} worker queues are full "
+            f"({capacity} pending each); retry shortly"
+        )
+    if affinity is None:
+        return shallowest, "plain"
+    preferred = affinity % len(depths)
+    if depths[preferred] < capacity and (
+        not spill or depths[preferred] <= depths[shallowest]
+    ):
+        return preferred, "hit"
+    return shallowest, "spill"
 
 
 class _PoolWorker:
@@ -82,6 +132,9 @@ class WorkerPool:
         health_interval: seconds between background liveness sweeps
             (``0`` disables the thread; checkout still detects corpses
             opportunistically).
+        max_queue_depth: bound on each worker's pending-request queue;
+            a fleet with every queue at the bound rejects admission
+            with :class:`~repro.errors.OverloadedError`.
     """
 
     def __init__(
@@ -91,9 +144,15 @@ class WorkerPool:
         plane: SharedArtifactPlane | None = None,
         start_method: str = "spawn",
         health_interval: float = HEALTH_INTERVAL,
+        max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
     ):
         if count < 1:
             raise ValueError(f"need at least one worker, got {count}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"need a queue depth of at least one, got "
+                f"{max_queue_depth}"
+            )
         self._ctx = multiprocessing.get_context(start_method)
         self._spec_factory = spec_factory
         self.plane = plane
@@ -104,8 +163,13 @@ class WorkerPool:
         self._mutation_lock = threading.Lock()
         self.respawns = 0
         self.crashes = 0
-        self.affinity_hits = 0
-        self.affinity_spills = 0
+        self.rejections = 0
+        self.max_queue_depth = max_queue_depth
+        # Per-slot dispatch state; slots survive respawns, so depth
+        # accounting is indexed by position, not by worker object.
+        self._pending = [0] * count
+        self._affinity_hits = [0] * count
+        self._affinity_spills = [0] * count
         try:
             for index in range(count):
                 self._workers.append(self._spawn(index))
@@ -199,39 +263,50 @@ class WorkerPool:
 
     # -- checkout / dispatch -----------------------------------------------
 
-    def _checkout(self, affinity: int | None = None) -> _PoolWorker:
+    @property
+    def affinity_hits(self) -> int:
+        return sum(self._affinity_hits)
+
+    @property
+    def affinity_spills(self) -> int:
+        return sum(self._affinity_spills)
+
+    def admit(
+        self, affinity: int | None = None, spill: bool = False
+    ) -> int:
+        """Elect a worker slot and reserve one unit of queue depth.
+
+        Non-blocking: either returns the elected slot index
+        immediately or raises :class:`~repro.errors.OverloadedError`
+        when every queue is at :attr:`max_queue_depth` (counted in
+        ``rejections``).  The caller *must* pair a successful ``admit``
+        with :meth:`release`.
+        """
         with self._cond:
-            while True:
-                if self._closed:
-                    raise WorkerCrashError("worker pool is closed")
-                # Opportunistic health: replace corpses found idle.
-                for index, worker in enumerate(self._workers):
-                    if (
-                        not worker.busy
-                        and not worker.crashed
-                        and not worker.process.is_alive()
-                    ):
-                        self.crashes += 1
-                        self._respawn_locked(index)
-                idle = [
-                    w
-                    for w in self._workers
-                    if not w.busy and not w.crashed
-                ]
-                if idle:
-                    pick = idle[0]
-                    if affinity is not None:
-                        preferred = self._workers[
-                            affinity % len(self._workers)
-                        ]
-                        if preferred in idle:
-                            pick = preferred
-                            self.affinity_hits += 1
-                        else:
-                            self.affinity_spills += 1
-                    pick.busy = True
-                    return pick
-                self._cond.wait(timeout=1.0)
+            if self._closed:
+                raise WorkerCrashError("worker pool is closed")
+            try:
+                index, outcome = elect_slot(
+                    self._pending,
+                    self.max_queue_depth,
+                    affinity=affinity,
+                    spill=spill,
+                )
+            except OverloadedError:
+                self.rejections += 1
+                raise
+            if outcome == "hit":
+                self._affinity_hits[index] += 1
+            elif outcome == "spill":
+                self._affinity_spills[index] += 1
+            self._pending[index] += 1
+            return index
+
+    def release(self, index: int) -> None:
+        """Return the queue-depth unit reserved by :meth:`admit`."""
+        with self._cond:
+            self._pending[index] -= 1
+            self._cond.notify_all()
 
     def _checkin(self, worker: _PoolWorker) -> None:
         with self._cond:
@@ -287,23 +362,50 @@ class WorkerPool:
             ) from None
 
     def execute_json(
-        self, request_json: str, affinity: int | None = None
+        self,
+        request_json: str,
+        affinity: int | None = None,
+        spill: bool = False,
     ) -> str:
-        """Serve one protocol request; returns the response JSON."""
-        worker = self._checkout(affinity)
+        """Serve one protocol request; returns the response JSON.
+
+        Dispatch is depth-aware (:func:`elect_slot`): admission
+        reserves a slot on the elected worker's bounded queue — or
+        raises :class:`~repro.errors.OverloadedError` when the fleet is
+        full — and only then waits for that worker to come free.
+        ``spill=True`` (read-only store) lets affinity requests drift
+        to shallower siblings instead of stacking up behind one hot
+        worker.
+        """
+        index = self.admit(affinity=affinity, spill=spill)
         try:
-            return self._interact(worker, ("request", request_json))
+            worker = self._checkout_index(index)
+            try:
+                return self._interact(
+                    worker, ("request", request_json)
+                )
+            finally:
+                self._checkin(worker)
         finally:
-            self._checkin(worker)
+            self.release(index)
 
     def execute_on(self, index: int, request_json: str) -> str:
         """Serve on worker ``index`` specifically (sharded serving —
-        each worker holds a different shard database)."""
-        worker = self._checkout_index(index)
+        each worker holds a different shard database).  Tracked in the
+        queue depths for observability, but never rejected: a sharded
+        fan-out must reach every shard."""
+        with self._cond:
+            self._pending[index] += 1
         try:
-            return self._interact(worker, ("request", request_json))
+            worker = self._checkout_index(index)
+            try:
+                return self._interact(
+                    worker, ("request", request_json)
+                )
+            finally:
+                self._checkin(worker)
         finally:
-            self._checkin(worker)
+            self.release(index)
 
     def _checkout_index(self, index: int) -> _PoolWorker:
         with self._cond:
@@ -485,8 +587,23 @@ class WorkerPool:
                 "workers": len(self._workers),
                 "crashes": self.crashes,
                 "respawns": self.respawns,
-                "affinity_hits": self.affinity_hits,
-                "affinity_spills": self.affinity_spills,
+                "affinity_hits": sum(self._affinity_hits),
+                "affinity_spills": sum(self._affinity_spills),
+                "rejections": self.rejections,
+                "queue_capacity": self.max_queue_depth,
+                "queue_depths": list(self._pending),
+                "per_worker": [
+                    {
+                        "queue_depth": depth,
+                        "affinity_hits": hits,
+                        "affinity_spills": spills,
+                    }
+                    for depth, hits, spills in zip(
+                        self._pending,
+                        self._affinity_hits,
+                        self._affinity_spills,
+                    )
+                ],
             }
 
     def worker_pids(self) -> list[int]:
@@ -500,4 +617,92 @@ class WorkerPool:
             ]
 
 
-__all__ = ["BOOT_TIMEOUT", "HEALTH_INTERVAL", "WorkerPool"]
+class LocalDispatcher:
+    """Depth-aware dispatch over in-process worker slots.
+
+    The in-process twin of the pool's admission logic, used by the
+    threaded and async HTTP fronts when serving from per-worker
+    :class:`~repro.facade.Connection` objects: each slot carries a
+    bounded pending queue, :meth:`admit` is non-blocking (a full fleet
+    raises :class:`~repro.errors.OverloadedError`), and only
+    :meth:`acquire` waits — for the elected slot specifically.
+
+    In-process workers share one
+    :class:`~repro.session.ArtifactStore`, so there is no per-worker
+    cache locality to protect; callers normally omit ``affinity`` and
+    election just picks the shallowest queue.
+    """
+
+    def __init__(
+        self, slots, max_queue_depth: int = DEFAULT_QUEUE_DEPTH
+    ):
+        self._slots = list(slots)
+        if not self._slots:
+            raise ValueError("need at least one worker slot")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"need a queue depth of at least one, got "
+                f"{max_queue_depth}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.rejections = 0
+        self._busy = [False] * len(self._slots)
+        self._pending = [0] * len(self._slots)
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def admit(
+        self, affinity: int | None = None, spill: bool = False
+    ) -> int:
+        """Reserve a queue-depth unit on the elected slot (or raise
+        :class:`~repro.errors.OverloadedError`); pair with
+        :meth:`release`."""
+        with self._cond:
+            try:
+                index, _outcome = elect_slot(
+                    self._pending,
+                    self.max_queue_depth,
+                    affinity=affinity,
+                    spill=spill,
+                )
+            except OverloadedError:
+                self.rejections += 1
+                raise
+            self._pending[index] += 1
+            return index
+
+    def acquire(self, index: int):
+        """Wait for slot ``index`` and return its worker object."""
+        with self._cond:
+            while self._busy[index]:
+                self._cond.wait(timeout=1.0)
+            self._busy[index] = True
+            return self._slots[index]
+
+    def release(self, index: int) -> None:
+        """Free the slot and its reserved queue-depth unit."""
+        with self._cond:
+            self._busy[index] = False
+            self._pending[index] -= 1
+            self._cond.notify_all()
+
+    def counters(self) -> dict:
+        with self._cond:
+            return {
+                "workers": len(self._slots),
+                "rejections": self.rejections,
+                "queue_capacity": self.max_queue_depth,
+                "queue_depths": list(self._pending),
+            }
+
+
+__all__ = [
+    "BOOT_TIMEOUT",
+    "DEFAULT_QUEUE_DEPTH",
+    "HEALTH_INTERVAL",
+    "LocalDispatcher",
+    "WorkerPool",
+    "elect_slot",
+]

@@ -19,7 +19,15 @@ shared-memory artifact plane (:mod:`repro.server.shm`):
   by prefix counts, bit-identical to unsharded serving.  Sharded
   serving is read-only by construction.
 
-The wire protocol is unchanged in both modes: workers produce the
+A third backend, :class:`RemoteShardBackend` (``shard_backends=
+[url, ...]``), keeps the same contract but owns no processes at all:
+each shard lives on a *remote* ``repro serve`` replica, reached
+through the keep-alive pooled HTTP client
+(:class:`~repro.server.client.HTTPShardExecutor`) and merged by the
+identical prefix-count math — the single-host/multi-host distinction
+collapses into which executor the :class:`ShardedExecutor` is given.
+
+The wire protocol is unchanged in all modes: workers produce the
 exact response JSON the threaded server would, and the HTTP layer
 forwards it byte-for-byte.
 """
@@ -31,8 +39,8 @@ import threading
 
 from repro.data.database import EncodedDatabase
 from repro.data.flatbuf import database_to_buffers
-from repro.errors import ProtocolError, ReproError
-from repro.server.pool import WorkerPool
+from repro.errors import OverloadedError, ProtocolError, ReproError
+from repro.server.pool import DEFAULT_QUEUE_DEPTH, WorkerPool
 from repro.server.shm import SharedArtifactPlane
 from repro.server.worker import WorkerSpec
 from repro.session.protocol import SessionRequest, SessionResponse
@@ -58,6 +66,17 @@ def _error_response(request: SessionRequest, error) -> SessionResponse:
     )
 
 
+def _advised_shard_variable(
+    database, query_text: str, engine_name: str
+) -> str:
+    """The advisor's preferred order for the bound query leads with
+    the variable most orders will lead with — shard on it."""
+    from repro.facade import connect
+
+    advisor = connect(database.relations, engine=engine_name, cache=0)
+    return advisor.plan(query_text).order[0]
+
+
 class ProcessBackend:
     """N identical worker processes over one published database."""
 
@@ -72,12 +91,15 @@ class ProcessBackend:
         cache_slack,
         default_query_text: str | None,
         start_method: str = "spawn",
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        read_only: bool = False,
     ):
         self.store = store
         self._capacity = capacity
         self._cache_slack = cache_slack
         self._default_query_text = default_query_text
         self._engine_name = engine_name
+        self._read_only = bool(read_only)
         self.plane = SharedArtifactPlane()
         self._mutation_lock = threading.Lock()
         self._current = self._publish(store.database, store.db_version)
@@ -86,6 +108,7 @@ class ProcessBackend:
             self._spec_factory,
             plane=self.plane,
             start_method=start_method,
+            max_queue_depth=queue_depth,
         )
 
     def _publish(self, database, version: int):
@@ -122,9 +145,19 @@ class ProcessBackend:
         if request.op in ("insert", "delete"):
             return self._mutate(request)
         try:
+            # Each worker process caches artifacts privately, so the
+            # same (query, order) prefers the same worker; a read-only
+            # fleet never invalidates, so locality is cheap to rebuild
+            # and dispatch may spill to the shallowest queue instead.
             affinity = hash((request.query, request.order))
-            raw = self.pool.execute_json(request.to_json(), affinity)
+            raw = self.pool.execute_json(
+                request.to_json(), affinity, spill=self._read_only
+            )
             return SessionResponse.from_json(raw)
+        except OverloadedError:
+            # Admission failures must reach the transport as 503, not
+            # collapse into a 200 error body like library errors.
+            raise
         except ReproError as error:
             return _error_response(request, error)
 
@@ -200,6 +233,7 @@ class ShardBackend:
         shard_relation: str | None = None,
         shard_variable: str | None = None,
         start_method: str = "spawn",
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
     ):
         if default_query is None:
             raise ProtocolError(
@@ -208,14 +242,9 @@ class ShardBackend:
             )
         query_text = str(default_query)
         if shard_variable is None:
-            # The advisor's preferred order for the bound query leads
-            # with the variable most orders will lead with.
-            from repro.facade import connect
-
-            advisor = connect(
-                database.relations, engine=engine_name, cache=0
+            shard_variable = _advised_shard_variable(
+                database, query_text, engine_name
             )
-            shard_variable = advisor.plan(query_text).order[0]
         self.plan = plan_shards(
             database,
             default_query,
@@ -257,6 +286,7 @@ class ShardBackend:
             self._spec_factory,
             plane=self.plane,
             start_method=start_method,
+            max_queue_depth=queue_depth,
         )
         self._executor = ShardedExecutor(
             self.plan, self._execute_shard, default_query=query_text
@@ -310,4 +340,88 @@ class ShardBackend:
         return clean
 
 
-__all__ = ["ProcessBackend", "ShardBackend"]
+class RemoteShardBackend:
+    """One *remote* ``repro serve`` replica per range-shard.
+
+    The same shard plan and prefix-count merge as
+    :class:`ShardBackend`, but the executor fans out over HTTP
+    (:class:`~repro.server.client.HTTPShardExecutor`) instead of
+    worker-process pipes — replica ``i`` must serve exactly the
+    database that ``shard_databases(database, plan)[i]`` describes
+    (the differential suite proves the two transports bit-identical).
+    Owns no processes and no shared memory; read-only by construction,
+    like all sharded serving.
+    """
+
+    mode = "sharded-remote"
+
+    def __init__(
+        self,
+        database,
+        urls,
+        engine_name: str,
+        default_query,
+        shard_relation: str | None = None,
+        shard_variable: str | None = None,
+        timeout: float = 30.0,
+    ):
+        if default_query is None:
+            raise ProtocolError(
+                "sharded serving needs a default query: the shard "
+                "plan fixes the partitioned relation at startup"
+            )
+        urls = list(urls)
+        if not urls:
+            raise ProtocolError(
+                "remote sharded serving needs at least one replica URL"
+            )
+        query_text = str(default_query)
+        if shard_variable is None:
+            shard_variable = _advised_shard_variable(
+                database, query_text, engine_name
+            )
+        self.plan = plan_shards(
+            database,
+            default_query,
+            len(urls),
+            variable=shard_variable,
+            relation=shard_relation,
+        )
+        from repro.server.client import HTTPShardExecutor
+
+        self.transport = HTTPShardExecutor(urls, timeout=timeout)
+        self._executor = ShardedExecutor(
+            self.plan, self.transport, default_query=query_text
+        )
+
+    # -- serving -----------------------------------------------------------
+
+    def execute(self, request: SessionRequest) -> SessionResponse:
+        try:
+            return SessionResponse.from_dict(
+                self._executor.execute(request)
+            )
+        except ReproError as error:
+            return _error_response(request, error)
+
+    # -- observability / lifecycle -----------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "shard_plan": self.plan.describe(),
+            "replicas": list(self.transport.replicas),
+            # No local worker sessions: the replicas keep their own
+            # /stats.  The empty list keeps the front's aggregation
+            # shape identical across backends.
+            "per_worker": [],
+        }
+
+    def ping(self) -> int:
+        return len(self.transport.replicas)
+
+    def close(self, timeout: float = 10.0) -> bool:
+        self.transport.close()
+        return True
+
+
+__all__ = ["ProcessBackend", "RemoteShardBackend", "ShardBackend"]

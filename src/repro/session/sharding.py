@@ -25,9 +25,14 @@ serves its local answers in that order.
 :class:`ShardedExecutor` is transport-agnostic — it fans out
 :class:`~repro.session.protocol.SessionRequest` objects through a
 ``(shard_index, request) -> response dict`` callable, so the same
-merge code runs over in-process connections (tests) and over the
-worker pool's shard-pinned processes
-(:class:`~repro.server.router.ShardBackend`).
+merge code runs over in-process connections
+(:class:`LocalShardExecutor`, the differential-suite reference), over
+the worker pool's shard-pinned processes
+(:class:`~repro.server.router.ShardBackend`), and over remote
+``repro serve`` replicas on other hosts
+(:class:`~repro.server.client.HTTPShardExecutor`).  The
+:class:`ShardExecutor` base class names that seam: subclass it (or
+pass any bare callable) to put shards wherever you like.
 """
 
 from __future__ import annotations
@@ -498,24 +503,69 @@ class _ShardFailure(Exception):
         self.reply = dict(reply, op=op)
 
 
-def local_shard_executor(databases: list[dict], engine: str):
+class ShardExecutor:
+    """The transport seam of sharded serving.
+
+    One method: :meth:`execute` takes ``(shard_index, request)`` and
+    returns the shard's :class:`~repro.session.SessionResponse` *as a
+    dict* — exactly what single-node
+    :func:`~repro.session.protocol.execute` would produce for that
+    shard's database.  Where the shard lives (an in-process
+    connection, a worker process, a server on another host) is the
+    subclass's business; the merge math in :class:`ShardedExecutor`
+    never changes.  Instances are callable, so plain
+    ``execute_fn(index, request)`` functions and executor objects are
+    interchangeable.
+    """
+
+    def execute(self, index: int, request: SessionRequest) -> dict:
+        raise NotImplementedError
+
+    def __call__(self, index: int, request: SessionRequest) -> dict:
+        return self.execute(index, request)
+
+    def close(self) -> None:
+        """Release transport resources (sockets, connections)."""
+
+
+class LocalShardExecutor(ShardExecutor):
+    """In-process shards: one :func:`repro.connect` per shard mapping.
+
+    The reference executor the differential suite compares every other
+    transport against — whatever answers these connections give *is*
+    the specification of sharded serving.
+    """
+
+    def __init__(self, databases: list[dict], engine: str):
+        from repro.facade import connect
+
+        self._connections = [
+            connect(mapping, engine=engine) for mapping in databases
+        ]
+
+    def execute(self, index: int, request: SessionRequest) -> dict:
+        from repro.session.protocol import execute
+
+        return execute(self._connections[index], request).to_dict()
+
+    def close(self) -> None:
+        self._connections = []
+
+
+def local_shard_executor(
+    databases: list[dict], engine: str
+) -> LocalShardExecutor:
     """An in-process ``execute_fn`` over per-shard connections — the
-    reference the differential suite compares the router against."""
-    from repro.facade import connect
-    from repro.session.protocol import execute
-
-    connections = [
-        connect(mapping, engine=engine) for mapping in databases
-    ]
-
-    def execute_fn(index: int, request: SessionRequest) -> dict:
-        return execute(connections[index], request).to_dict()
-
-    return execute_fn
+    reference the differential suite compares the router against.
+    (Kept as a function for existing callers; the returned executor is
+    callable like the closure it used to be.)"""
+    return LocalShardExecutor(databases, engine)
 
 
 __all__ = [
     "SHARDABLE_OPS",
+    "LocalShardExecutor",
+    "ShardExecutor",
     "ShardPlan",
     "ShardedExecutor",
     "local_shard_executor",

@@ -73,24 +73,48 @@ class TestProtocolSpecSync:
 
     def test_documented_http_statuses_are_served(self, protocol_doc):
         """Every status in the doc's table exists in the server's
-        transport layer (and vice versa for the error paths)."""
+        transport layer (and vice versa for the error paths) — on
+        *both* fronts: the threaded handler and the asyncio one must
+        stay wire-identical, status for status."""
         import inspect
 
+        from repro.server import aio as server_aio
         from repro.server import http as server_http
 
         table = re.findall(
             r"^\| (\d{3}) \|", protocol_doc, re.MULTILINE
         )
         documented = {int(code) for code in table}
-        source = inspect.getsource(server_http)
-        served = {200} | {
+        threaded = {200} | {
             int(code)
-            for code in re.findall(r"_reply\(\s*(\d{3})", source)
+            for code in re.findall(
+                r"_reply\(\s*(\d{3})",
+                inspect.getsource(server_http),
+            )
         }
-        assert documented == served, (
+        asynced = {
+            int(code)
+            for code in re.findall(
+                r"_send\(\s*\n?\s*writer,\s*\n?\s*(\d{3})",
+                inspect.getsource(server_aio),
+            )
+        }
+        assert documented == threaded, (
             f"docs/protocol.md statuses {sorted(documented)} != "
-            f"statuses the server can send {sorted(served)}"
+            f"statuses the threaded front can send {sorted(threaded)}"
         )
+        assert documented == asynced, (
+            f"docs/protocol.md statuses {sorted(documented)} != "
+            f"statuses the async front can send {sorted(asynced)}"
+        )
+
+    def test_overload_contract_documented(self, protocol_doc):
+        """503 + Retry-After is a protocol promise clients build
+        backoff against: the spec must state it, and state that
+        --async changes no wire shapes."""
+        assert "Retry-After" in protocol_doc
+        assert "OverloadedError" in protocol_doc
+        assert "--async" in protocol_doc
 
 
 class TestArchitectureDocSync:

@@ -18,8 +18,9 @@ import repro
 from repro.data.database import EncodedDatabase
 from repro.data.delta import Delta
 from repro.data.flatbuf import database_to_buffers
-from repro.errors import ReadOnlyError
+from repro.errors import OverloadedError, ReadOnlyError
 from repro.server import ReproServer, WorkerPool, WorkerSpec
+from repro.server.pool import LocalDispatcher, elect_slot
 from repro.server.shm import SharedArtifactPlane
 from repro.session.protocol import SessionRequest
 
@@ -45,6 +46,65 @@ def drive(connection):
     sample = [tuple(view[i]) for i in (0, 5, -1)]
     ranks = view.ranks([view[3], (999, 0, 0)])
     return len(view), sample, ranks, view.median()
+
+
+class TestDepthAwareDispatch:
+    """The election policy, without booting any processes."""
+
+    def test_no_affinity_picks_shallowest(self):
+        assert elect_slot([3, 1, 2], capacity=4) == (1, "plain")
+
+    def test_affinity_preferred_while_it_has_room(self):
+        # Deeper than a sibling, but not full: locality wins.
+        assert elect_slot([0, 3], capacity=4, affinity=1) == (1, "hit")
+
+    def test_full_affinity_spills_to_shallowest(self):
+        # The old _checkout would have blocked here; depth-aware
+        # dispatch hands the request to an idle sibling instead.
+        assert elect_slot([0, 4], capacity=4, affinity=1) == (
+            0,
+            "spill",
+        )
+
+    def test_read_only_spill_prefers_tied_shallowest(self):
+        # spill=True: locality only while the preferred queue is as
+        # shallow as any — a read-only store makes cache locality
+        # cheap to rebuild, so latency wins over affinity.
+        assert elect_slot(
+            [0, 2], capacity=4, affinity=1, spill=True
+        ) == (0, "spill")
+        assert elect_slot(
+            [2, 2], capacity=4, affinity=1, spill=True
+        ) == (1, "hit")
+
+    def test_affinity_wraps_modulo_worker_count(self):
+        assert elect_slot([1, 0, 0], capacity=4, affinity=-3) == (
+            0,
+            "hit",
+        )
+
+    def test_full_fleet_rejects(self):
+        with pytest.raises(OverloadedError):
+            elect_slot([2, 2], capacity=2)
+        with pytest.raises(OverloadedError):
+            elect_slot([2, 2], capacity=2, affinity=0, spill=True)
+
+    def test_local_dispatcher_bounds_and_counts(self):
+        slots = ["a", "b"]
+        dispatcher = LocalDispatcher(slots, max_queue_depth=1)
+        first = dispatcher.admit()
+        second = dispatcher.admit()
+        assert {first, second} == {0, 1}
+        with pytest.raises(OverloadedError):
+            dispatcher.admit()
+        counters = dispatcher.counters()
+        assert counters["rejections"] == 1
+        assert counters["queue_depths"] == [1, 1]
+        assert dispatcher.acquire(first) == slots[first]
+        dispatcher.release(first)
+        dispatcher.release(second)
+        assert dispatcher.counters()["queue_depths"] == [0, 0]
+        assert dispatcher.admit() in (0, 1)
 
 
 class TestWorkerPool:

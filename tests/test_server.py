@@ -608,3 +608,46 @@ class TestConcurrentServing:
                 "bag_materializations"
             ]
             assert total_materializations == 3  # one pass, three bags
+
+
+class TestSlowClientRobustness:
+    """A stalled client must cost a socket, never a serving thread."""
+
+    def test_half_sent_body_times_out_and_frees_the_thread(self):
+        import socket
+        import time
+
+        with ReproServer(
+            RELATIONS,
+            workers=1,
+            default_query=QUERY,
+            request_timeout=0.5,
+        ) as server:
+            stalled = socket.create_connection(
+                (server.host, server.port), timeout=10
+            )
+            try:
+                # Promise 50 body bytes, deliver 5, then stall: the
+                # socket timeout must close the connection instead of
+                # pinning the handler thread on rfile.read().
+                stalled.sendall(
+                    b"POST /v1/session HTTP/1.1\r\n"
+                    b"Host: t\r\n"
+                    b"Content-Length: 50\r\n"
+                    b"\r\n"
+                    b'{"op"'
+                )
+                deadline = time.monotonic() + 10
+                closed = b"x"
+                while closed and time.monotonic() < deadline:
+                    closed = stalled.recv(4096)
+                assert closed == b"", (
+                    "server never closed the stalled connection"
+                )
+            finally:
+                stalled.close()
+            # The (single) worker is free: a healthy request succeeds.
+            status, body = post_op(
+                server, {"op": "count", "query": QUERY}
+            )
+            assert status == 200 and body["ok"]

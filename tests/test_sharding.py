@@ -7,6 +7,12 @@ result values, same error types, same error messages — under both
 engines.  Divergences exist only where sharding is read-only by
 construction (mutations) or structurally constrained (orders must
 start with the partitioned variable), and those are pinned too.
+
+The same law extends across the transport seam: an
+:class:`~repro.server.client.HTTPShardExecutor` fanning the identical
+requests out to real ``repro serve`` replicas must merge to the same
+bits as the in-process :func:`local_shard_executor` — proving shard
+backends can live on other hosts without changing a single answer.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ from repro.data.database import Database
 from repro.errors import QueryError
 from repro.facade import connect
 from repro.query.parser import parse_query
+from repro.server.client import HTTPShardExecutor
+from repro.server.http import ReproServer
 from repro.session.protocol import SessionRequest, execute
 from repro.session.sharding import (
     ShardedExecutor,
@@ -187,6 +195,91 @@ class TestDifferentialLaw:
             assert executor.execute(case) == execute(
                 connection, case
             ).to_dict()
+
+
+@pytest.fixture(scope="module", params=["python", "numpy"])
+def http_sharding(request):
+    """Three real ``repro serve`` replicas, one per shard, plus the
+    in-process reference executors over the same plan.  Module-scoped:
+    one boot serves the whole differential matrix."""
+    engine = request.param
+    database = Database(RELATIONS)
+    plan = plan_shards(database, QUERY, shards=3, variable="x")
+    databases = shard_databases(database, plan)
+    servers = [
+        ReproServer(
+            mapping, engine=engine, workers=2, default_query=QUERY
+        ).start()
+        for mapping in databases
+    ]
+    transport = HTTPShardExecutor([s.url for s in servers])
+    local = ShardedExecutor(
+        plan, local_shard_executor(databases, engine)
+    )
+    remote = ShardedExecutor(plan, transport)
+    connection = connect(RELATIONS, engine=engine)
+    yield {
+        "local": local,
+        "remote": remote,
+        "reference": lambda req: execute(connection, req).to_dict(),
+        "urls": [s.url for s in servers],
+        "engine": engine,
+    }
+    transport.close()
+    for server in servers:
+        server.shutdown()
+
+
+class TestHTTPShardExecutor:
+    """The executor-protocol seam: shard backends over the network
+    answer the same bits as shard connections in this process."""
+
+    @pytest.mark.parametrize(
+        "case", TestDifferentialLaw.CASES, ids=lambda c: f"{c.op}"
+    )
+    def test_http_transport_is_bit_identical(self, case, http_sharding):
+        over_http = http_sharding["remote"].execute(case)
+        assert over_http == http_sharding["reference"](case)
+        assert over_http == http_sharding["local"].execute(case)
+
+    def test_mutations_are_refused_over_http(self, http_sharding):
+        reply = http_sharding["remote"].execute(
+            request("insert", relation="R", rows=((9, 9),))
+        )
+        assert reply["ok"] is False
+        assert reply["error_type"] == "ReadOnlyError"
+
+    def test_remote_shard_backend_end_to_end(self, http_sharding):
+        """A front server whose shards are the replicas: the facade
+        client reads through two HTTP hops and still matches a local
+        connection exactly."""
+        import repro
+
+        engine = http_sharding["engine"]
+        reference = connect(RELATIONS, engine=engine)
+        expected = reference.prepare(QUERY, order=["x", "y", "z"])
+        front = ReproServer(
+            RELATIONS,
+            engine=engine,
+            shard_backends=http_sharding["urls"],
+            default_query=QUERY,
+            shard_variable="x",
+        ).start()
+        try:
+            assert front.health()["mode"] == "sharded-remote"
+            assert front.read_only is True
+            client = repro.connect(front.url)
+            view = client.prepare(QUERY, order=["x", "y", "z"])
+            assert len(view) == len(expected)
+            for index in (0, 17, 63, -1):
+                assert tuple(view[index]) == tuple(expected[index])
+            assert view.median() == expected.median()
+            assert view.rank(expected[42]) == 42
+            stats = front.stats()
+            assert stats["backend"]["replicas"] == http_sharding["urls"]
+            client.close()
+        finally:
+            front.shutdown()
 
 
 class TestDivergencesByDesign:
