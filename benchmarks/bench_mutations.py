@@ -26,19 +26,26 @@ full sweep, or standalone (the CI mutation-smoke job)::
 which exercises both available engines and exits non-zero on any law
 violation or on a delta that rebuilt an untouched artifact.  (Timing
 is reported but not gated — correctness gates, noise does not.)
+
+``--wal`` adds the durability sweep (the CI wal-smoke job): per-apply
+latency with the write-ahead log attached vs plain (p50/p95), plus
+the warm-restart recovery time (reopen + replay + store boot), with
+the replayed answers law-checked against the live store's.  Results
+append to the repo-root ``BENCH_serving.json`` trajectory.
 """
 
 from __future__ import annotations
 
 import random
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import report, timed
+from harness import percentiles, record_serving, report, timed
 
-from repro import Delta
+from repro import Delta, WriteAheadLog
 from repro.engine import available_engines, use_engine
 from repro.session import ArtifactStore
 
@@ -161,6 +168,110 @@ def run_engine(engine: str, rows: int, deltas: int, delta_rows: int):
     return table_row, failures, stats
 
 
+def run_wal_engine(
+    engine: str,
+    rows: int,
+    deltas: int,
+    delta_rows: int,
+    wal_dir: Path,
+):
+    """One engine's durability sweep: apply latency with and without
+    the WAL, warm-restart recovery time, and the replay law."""
+    failures: list[str] = []
+    relations = make_relations(rows)
+    stream = list(delta_stream(rows, deltas, delta_rows))
+    with use_engine(engine):
+        plain = ArtifactStore(
+            {name: set(tuples) for name, tuples in relations.items()},
+            engine=engine,
+        )
+        answers(plain, TOUCHED_QUERY)
+        plain_samples = [timed(plain.apply, d)[1] for d in stream]
+
+        wal_path = wal_dir / f"bench_{engine}.wal"
+        wal = WriteAheadLog(wal_path)
+        database, version = wal.recover(
+            {name: set(tuples) for name, tuples in relations.items()},
+            seed=True,
+        )
+        walled = ArtifactStore(
+            database, engine=engine, db_version=version, wal=wal
+        )
+        answers(walled, TOUCHED_QUERY)
+        wal_samples = [timed(walled.apply, d)[1] for d in stream]
+        live = answers(walled, TOUCHED_QUERY)
+        live_version = walled.db_version
+        wal_records = wal.last_seq
+        wal.close()
+
+        def recover() -> ArtifactStore:
+            reopened = WriteAheadLog(wal_path)
+            state, state_version = reopened.recover()
+            recovered = ArtifactStore(
+                state,
+                engine=engine,
+                db_version=state_version,
+                wal=reopened,
+            )
+            reopened.close()
+            return recovered
+
+        recovered, recovery_seconds = timed(recover)
+        if recovered.db_version != live_version:
+            failures.append(
+                f"{engine}: recovery landed at db_version "
+                f"{recovered.db_version}, live store at {live_version}"
+            )
+        if answers(recovered, TOUCHED_QUERY) != live:
+            failures.append(
+                f"{engine}: replayed answers differ from the live "
+                "store's"
+            )
+    plain_stats = percentiles(plain_samples)
+    wal_stats = percentiles(wal_samples)
+    entry = {
+        "benchmark": "wal_mutations",
+        "engine": engine,
+        "database_rows": 4 * rows,
+        "deltas": deltas,
+        "delta_rows": delta_rows,
+        "apply_plain": plain_stats,
+        "apply_wal": wal_stats,
+        "wal_overhead_p50_us": wal_stats["p50_us"]
+        - plain_stats["p50_us"],
+        "recovery_ms": round(recovery_seconds * 1e3, 2),
+        "wal_records": wal_records,
+    }
+    table_row = [
+        engine,
+        f"|D|={4 * rows}",
+        f"{deltas}x{delta_rows}",
+        f"{plain_stats['p50_us']} / {plain_stats['p95_us']} us",
+        f"{wal_stats['p50_us']} / {wal_stats['p95_us']} us",
+        f"{entry['wal_overhead_p50_us']} us",
+        f"{entry['recovery_ms']} ms",
+        str(wal_records),
+    ]
+    return table_row, failures, entry
+
+
+def run_wal(rows: int, deltas: int, delta_rows: int):
+    """The durability sweep over every engine; records each engine's
+    measurement into the BENCH_serving.json trajectory."""
+    table_rows = []
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-wal-bench-") as tmp:
+        for engine in available_engines():
+            row, engine_failures, entry = run_wal_engine(
+                engine, rows, deltas, delta_rows, Path(tmp)
+            )
+            table_rows.append(row)
+            failures.extend(engine_failures)
+            if not engine_failures:
+                record_serving(entry)
+    return table_rows, failures
+
+
 def run(rows: int, deltas: int, delta_rows: int):
     table_rows = []
     failures: list[str] = []
@@ -212,6 +323,13 @@ def main(argv: list[str] | None = None) -> int:
         help="small sizes; law-check incremental vs rebuild on both "
         "engines and exit non-zero on any violation",
     )
+    parser.add_argument(
+        "--wal",
+        action="store_true",
+        help="also run the durability sweep: apply latency with the "
+        "write-ahead log vs plain, warm-restart recovery time, and "
+        "the replay law (appends to BENCH_serving.json)",
+    )
     args = parser.parse_args(argv)
     rows, deltas, delta_rows = (
         (600, 4, 8) if args.quick else (ROWS, DELTAS, DELTA_ROWS)
@@ -225,6 +343,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{row[7]} incremental encode(s), {row[8]} carried / "
             f"{row[9]} invalidated"
         )
+    if args.wal:
+        wal_rows, wal_failures = run_wal(rows, deltas, delta_rows)
+        failures.extend(wal_failures)
+        for row in wal_rows:
+            print(
+                f"{row[0]}: apply p50/p95 {row[3]} plain vs "
+                f"{row[4]} with wal ({row[5]} overhead at p50), "
+                f"warm restart {row[6]}, {row[7]} wal record(s)"
+            )
     for failure in failures[:10]:
         print(f"FAIL: {failure}", file=sys.stderr)
     print("mutation smoke: " + ("FAIL" if failures else "OK"))

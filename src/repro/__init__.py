@@ -40,7 +40,13 @@ from repro.core import (
     incompatibility_number,
     partial_order_access,
 )
-from repro.data import Database, Delta, EncodedDatabase, Relation
+from repro.data import (
+    Database,
+    Delta,
+    EncodedDatabase,
+    Relation,
+    WriteAheadLog,
+)
 from repro.facade import AnswerView, Connection, connect
 from repro.session import (
     AccessSession,
@@ -69,7 +75,7 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: Pre-facade entry points, kept importable behind a deprecation
 #: warning: name -> (module, attribute, replacement hint).
@@ -144,6 +150,7 @@ __all__ = [
     "SessionResponse",
     "StaleViewError",
     "VariableOrder",
+    "WriteAheadLog",
     "__version__",
     "available_engines",
     "fractional_hypertree_width",

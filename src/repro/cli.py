@@ -21,8 +21,14 @@ Commands:
   ``GET /healthz``, ``GET /stats``; spec in ``docs/protocol.md``),
   behind either the threaded stdlib front or, with ``--async``, an
   asyncio event loop multiplexing thousands of keep-alive connections
-  onto the same bounded worker queues.  Query it with ``curl`` or from
-  Python via ``repro.connect("http://host:port")``.
+  onto the same bounded worker queues.  ``--wal PATH`` makes serving
+  durable: every applied delta is logged before it runs, and a
+  restarted server replays the log back to the pre-crash version.
+  Query it with ``curl`` or from Python via
+  ``repro.connect("http://host:port")``.
+* ``wal`` — inspect, truncate, or compact a write-ahead log produced
+  by ``serve --wal`` (compaction folds the whole history into one
+  snapshot record).
 
 The global ``--engine {python,numpy}`` flag selects the execution
 engine (default: the ``REPRO_ENGINE`` environment variable, else
@@ -305,6 +311,9 @@ def cmd_serve(args) -> int:
             shard_variable=args.shard_variable,
             queue_depth=args.queue_depth,
             shard_backends=args.shard_backend or None,
+            wal=args.wal,
+            retain_versions=args.retain_versions,
+            strict_views=args.strict_views,
             request_timeout=args.request_timeout,
         )
         if args.async_front:
@@ -365,6 +374,12 @@ def cmd_serve(args) -> int:
         "(GET /healthz, GET /stats; SIGTERM/Ctrl-C drains)",
         flush=True,
     )
+    if args.wal is not None:
+        print(
+            f"  wal: {args.wal}  recovered db_version="
+            f"{server.store.db_version}",
+            flush=True,
+        )
 
     try:
         server.serve_forever()
@@ -378,8 +393,73 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_wal(args) -> int:
+    """Inspect / truncate / compact a ``serve --wal`` log."""
+    from repro.data.wal import WriteAheadLog
+    from repro.errors import WalError
+
+    try:
+        wal = WriteAheadLog(args.path)
+    except WalError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        if args.wal_command == "truncate":
+            dropped = wal.truncate(args.keep_through)
+            print(
+                f"dropped {dropped} record(s) after seq "
+                f"{args.keep_through}; last_seq = {wal.last_seq}, "
+                f"db_version = {wal.last_db_version}"
+            )
+            return 0
+        if args.wal_command == "compact":
+            subsumed = wal.compact()
+            print(
+                f"compacted {subsumed} record(s) into one snapshot; "
+                f"last_seq = {wal.last_seq}, "
+                f"db_version = {wal.last_db_version}"
+            )
+            return 0
+        # inspect (the default)
+        stats = wal.wal_stats()
+        records = wal.records()
+        print(
+            f"wal {args.path}: format {stats['format']}, "
+            f"{len(records)} record(s), last_seq = {stats['last_seq']}, "
+            f"db_version = {stats['last_db_version']}"
+        )
+        if stats["torn_tail_dropped"]:
+            print(
+                f"  (dropped {stats['torn_tail_dropped']} torn "
+                "record(s) at the tail)"
+            )
+        for record in records:
+            if record.kind == "snapshot":
+                rows = sum(
+                    len(side) for side in record.relations.values()
+                )
+                print(
+                    f"  seq {record.seq}: snapshot @ db_version "
+                    f"{record.db_version} "
+                    f"({len(record.relations)} relation(s), "
+                    f"{rows} row(s))"
+                )
+            else:
+                print(
+                    f"  seq {record.seq}: delta -> db_version "
+                    f"{record.db_version} "
+                    f"({record.delta.size()} row(s) across "
+                    f"{sorted(record.delta.touched)})"
+                )
+        return 0
+    except WalError as error:
+        raise SystemExit(str(error)) from None
+    finally:
+        wal.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
+    from repro.data.wal import WAL_FORMAT_VERSION
     from repro.session.protocol import PROTOCOL_VERSION
 
     parser = argparse.ArgumentParser(
@@ -390,8 +470,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version",
         action="version",
-        version=f"repro {__version__} (protocol {PROTOCOL_VERSION})",
-        help="print package and protocol versions and exit",
+        version=(
+            f"repro {__version__} (protocol {PROTOCOL_VERSION}, "
+            f"wal format {WAL_FORMAT_VERSION})"
+        ),
+        help="print package, protocol, and wal-format versions "
+        "and exit",
     )
     parser.add_argument(
         "--engine",
@@ -566,9 +650,30 @@ def build_parser() -> argparse.ArgumentParser:
         "preferred order decides)",
     )
     serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead log: replayed at startup (crash recovery), "
+        "appended before every applied delta (durable mutations); "
+        "inspect with 'repro wal'",
+    )
+    serve.add_argument(
+        "--retain-versions",
+        type=int,
+        default=None,
+        help="MVCC snapshot window: how many database versions "
+        "pinned views can keep reading (default 4)",
+    )
+    serve.add_argument(
+        "--strict-views",
+        action="store_true",
+        help="restore the strict staleness contract: any pinned read "
+        "after a mutation fails with StaleViewError",
+    )
+    serve.add_argument(
         "--read-only",
         action="store_true",
-        help="refuse insert/delete with a structured HTTP 403",
+        help="refuse insert/delete/apply with a structured HTTP 403",
     )
     serve.add_argument(
         "--stats-per-worker",
@@ -582,6 +687,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="log one line per HTTP request",
     )
     serve.set_defaults(func=cmd_serve)
+
+    wal = commands.add_parser(
+        "wal",
+        help="inspect, truncate, or compact a serve --wal log",
+        description="Operate on a write-ahead log produced by "
+        "'repro serve --wal': 'inspect' lists every durable record, "
+        "'truncate' drops records after a sequence number, and "
+        "'compact' folds the whole history into one snapshot record "
+        "(same recovered state, shortest possible replay).",
+    )
+    wal_commands = wal.add_subparsers(
+        dest="wal_command", required=True
+    )
+    wal_inspect = wal_commands.add_parser(
+        "inspect", help="list the log's records and position"
+    )
+    wal_inspect.add_argument("path", help="path of the log file")
+    wal_truncate = wal_commands.add_parser(
+        "truncate", help="drop records after --keep-through"
+    )
+    wal_truncate.add_argument("path", help="path of the log file")
+    wal_truncate.add_argument(
+        "--keep-through",
+        type=int,
+        required=True,
+        metavar="SEQ",
+        help="keep records with seq <= SEQ, drop the rest",
+    )
+    wal_compact = wal_commands.add_parser(
+        "compact",
+        help="fold the whole history into one snapshot record",
+    )
+    wal_compact.add_argument("path", help="path of the log file")
+    wal.set_defaults(func=cmd_wal)
     return parser
 
 

@@ -1,7 +1,15 @@
-"""Data substrate: relations, databases, deltas, synthetic generators."""
+"""Data substrate: relations, databases, deltas, the write-ahead log,
+and synthetic generators."""
 
 from repro.data.database import Database, EncodedDatabase
 from repro.data.delta import Delta
 from repro.data.relation import Relation
+from repro.data.wal import WriteAheadLog
 
-__all__ = ["Database", "Delta", "EncodedDatabase", "Relation"]
+__all__ = [
+    "Database",
+    "Delta",
+    "EncodedDatabase",
+    "Relation",
+    "WriteAheadLog",
+]

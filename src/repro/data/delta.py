@@ -137,6 +137,44 @@ class Delta:
                             f"arity {relation.arity}"
                         )
 
+    def effective_against(self, database) -> "Delta":
+        """This delta minimized against ``database``: inserts of rows
+        already present and deletes of rows already absent are dropped
+        (per relation, the canonical ``new - old`` / ``old - new``
+        form).  An *effectively* empty delta therefore comes back as
+        ``Delta()`` — the store uses that to make no-op applies skip
+        the version bump instead of invalidating pinned views."""
+        inserts: dict[str, frozenset[tuple]] = {}
+        deletes: dict[str, frozenset[tuple]] = {}
+        for name in self.touched:
+            old = frozenset(database[name].tuples)
+            new = self.apply_to(name, old)
+            if new - old:
+                inserts[name] = new - old
+            if old - new:
+                deletes[name] = old - new
+        return Delta(inserts=inserts, deletes=deletes)
+
+    # -- wire / log form ---------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """A JSON-ready spelling (rows as sorted lists), the inverse of
+        :meth:`coerce` — used by the wire ``apply`` op and the WAL."""
+        def side(rows_by_relation):
+            return {
+                name: sorted(
+                    (list(row) for row in rows), key=repr
+                )
+                for name, rows in sorted(rows_by_relation.items())
+            }
+
+        out: dict = {}
+        if self.inserts:
+            out["inserts"] = side(self.inserts)
+        if self.deletes:
+            out["deletes"] = side(self.deletes)
+        return out
+
     # -- plumbing ----------------------------------------------------------
 
     def __eq__(self, other) -> bool:

@@ -42,11 +42,14 @@ class NotAnAnswerError(ReproError, ValueError):
 
 
 class StaleViewError(ReproError):
-    """A version-pinned answer view was read after the database mutated.
+    """A version-pinned answer view lost its snapshot.
 
     Prepared views pin the database version they were preprocessed
-    against; once a delta bumps the version, reading the stale view
-    raises this instead of silently serving pre-mutation answers.
+    against.  Under MVCC (the default) a pinned view keeps serving its
+    snapshot across later mutations; this error is the fallback for the
+    two cases where that is impossible — the snapshot was evicted from
+    the store's retention window, or the store runs in opt-in *strict*
+    mode where any read of a non-head version must fail loudly.
     Re-prepare the query to get a fresh view.
     """
 
@@ -86,6 +89,17 @@ class WorkerCrashError(ReproError):
     shared-memory artifact plane; the in-flight request that rode the
     crash gets this error instead of hanging.  Retrying is safe for
     read ops (they are idempotent).
+    """
+
+
+class WalError(ReproError):
+    """A write-ahead log file is unreadable, corrupt, or inconsistent.
+
+    Torn tails (a crash mid-append) are *not* errors — the reader drops
+    the incomplete record and recovery proceeds from the last durable
+    one.  This error means the log cannot be trusted at all: a bad
+    header, a checksum failure before the tail, or a replay that needs
+    a base database no caller supplied.
     """
 
 

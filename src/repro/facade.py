@@ -33,6 +33,7 @@ round-trips and membership over answer sets of any size is cheap.
 from __future__ import annotations
 
 import operator
+import weakref
 from collections.abc import Iterator, Mapping, Sequence
 from fractions import Fraction
 
@@ -59,6 +60,8 @@ def connect(
     cache: int | None = 64,
     cache_slack: Fraction | int | float = 0,
     timeout: float = 30.0,
+    retain_versions: int | None = None,
+    strict_views: bool = False,
 ):
     """Open a connection over a database — local or served over HTTP.
 
@@ -94,14 +97,29 @@ def connect(
             trade for a warm cache (see
             :class:`~repro.session.AccessSession`).
         timeout: per-request socket timeout in seconds (URLs only).
+        retain_versions: how many MVCC database snapshots the store
+            keeps, so views prepared before a mutation keep serving
+            (see :class:`~repro.session.mvcc.SnapshotPlane`; local
+            connections only).
+        strict_views: opt-in strict staleness — any read of a view
+            pinned to a non-head version raises
+            :class:`~repro.errors.StaleViewError` (the pre-MVCC
+            contract; local connections only).
     """
     if isinstance(database, str):
         from repro.server.client import HTTPConnection
 
-        if engine is not None or cache != 64 or cache_slack != 0:
+        if (
+            engine is not None
+            or cache != 64
+            or cache_slack != 0
+            or retain_versions is not None
+            or strict_views
+        ):
             raise ReproError(
-                "engine/cache/cache_slack are server-side settings; "
-                "set them where `repro serve` runs"
+                "engine/cache/cache_slack/retain_versions/strict_views "
+                "are server-side settings; set them where `repro "
+                "serve` runs"
             )
         return HTTPConnection(database, timeout=timeout)
     if not isinstance(database, Database):
@@ -116,6 +134,8 @@ def connect(
             engine=engine,
             capacity=cache,
             cache_slack=cache_slack,
+            retain_versions=retain_versions,
+            strict_views=strict_views,
         )
     )
 
@@ -171,6 +191,7 @@ class Connection:
         order=None,
         prefix=None,
         projected: frozenset[str] | set[str] = frozenset(),
+        at_version: int | None = None,
     ) -> "AnswerView":
         """Preprocess ``query`` and return its sorted answers as a view.
 
@@ -182,10 +203,18 @@ class Connection:
                 planner picks the cheapest completion (Definition 49).
             projected: variables to project away (must form a suffix of
                 an explicit ``order``).
+            at_version: pin the view to a retained MVCC snapshot
+                instead of the current head; raises
+                :class:`~repro.errors.StaleViewError` when that
+                version is no longer retained.
         """
         self._check_open()
         access, version = self._session.access_versioned(
-            query, order=order, prefix=prefix, projected=projected
+            query,
+            order=order,
+            prefix=prefix,
+            projected=projected,
+            at_version=at_version,
         )
         return AnswerView(
             access, session=self._session, version=version
@@ -206,10 +235,13 @@ class Connection:
 
         Maintenance is incremental where order-preservation allows
         (shared dictionary extended in place, untouched relations and
-        their cached artifacts reused); views prepared before the
-        delta become *stale* — reading one raises
-        :class:`~repro.errors.StaleViewError` instead of serving
-        pre-mutation answers.  Re-prepare for a fresh view.
+        their cached artifacts reused).  Views prepared before the
+        delta keep serving their MVCC snapshot while it stays
+        retained; :class:`~repro.errors.StaleViewError` is raised
+        only once the snapshot is evicted (or always, under
+        ``strict_views``).  A delta that changes nothing *effective*
+        (every insert already present, every delete already absent)
+        is a no-op: no version bump, current version returned.
         """
         self._check_open()
         return self._session.apply(delta)
@@ -459,7 +491,13 @@ class AnswerView(WindowedAnswers):
     view.)
     """
 
-    __slots__ = ("_access", "_session", "_version")
+    __slots__ = (
+        "_access",
+        "_session",
+        "_version",
+        "_finalizer",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -473,24 +511,55 @@ class AnswerView(WindowedAnswers):
         self._window = (
             range(len(access)) if window is None else window
         )
-        # Version pinning (facade-prepared views): reads compare the
-        # pinned version against the live session and raise
-        # StaleViewError after a mutation.  Unpinned views (direct
-        # construction, e.g. over a standalone DirectAccess) skip the
-        # check — there is no mutable store behind them.
+        # MVCC version pinning (facade-prepared views): the view takes
+        # a reference on its snapshot in the store's SnapshotPlane, so
+        # it keeps serving across later mutations; the last close (or
+        # GC, via the finalizer) lets the store drop the snapshot and
+        # its artifacts.  Unpinned views (direct construction over a
+        # standalone DirectAccess) skip all of it — there is no
+        # mutable store behind them.
         self._session = session
         self._version = version
+        self._finalizer = None
+        if session is not None and version is not None:
+            if session.store.pin_version(version):
+                self._finalizer = weakref.finalize(
+                    self, session.store.release_version, version
+                )
 
     def _check_fresh(self) -> None:
-        if (
-            self._session is not None
-            and self._session.db_version != self._version
-        ):
+        if self._session is None:
+            return
+        if not self._session.store.is_readable(self._version):
             raise StaleViewError(
                 f"view was prepared at db_version {self._version}, "
-                f"database is now at {self._session.db_version}; "
-                "re-prepare the query for a fresh view"
+                f"database is now at {self._session.db_version} and "
+                "the snapshot is no longer retained; re-prepare the "
+                "query for a fresh view"
             )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this view's snapshot pin (idempotent).
+
+        Closing the last view of an out-of-retention-window version
+        lets the store drop that snapshot and garbage-collect its
+        cached artifacts; further reads on this view raise
+        :class:`~repro.errors.StaleViewError` once the snapshot is
+        gone.  Views are also released automatically when
+        garbage-collected — ``close`` just makes the release (and the
+        store-side GC) deterministic.
+        """
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+
+    def __enter__(self) -> "AnswerView":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def db_version(self) -> int | None:
@@ -499,9 +568,9 @@ class AnswerView(WindowedAnswers):
         return self._version
 
     def __len__(self) -> int:
-        # A stale count is as misleading as a stale answer: code that
-        # gates on len()/bool() or paginates by it must fail loudly
-        # after a mutation, like every other read.
+        # Counts obey the same snapshot contract as answers: served
+        # from the pinned version while it is retained, loud
+        # StaleViewError once it is gone.
         self._check_fresh()
         return len(self._window)
 

@@ -125,6 +125,9 @@ class AsyncReproServer:
         start_method: str = "spawn",
         queue_depth: int | None = None,
         shard_backends: list[str] | None = None,
+        wal: str | None = None,
+        retain_versions: int | None = None,
+        strict_views: bool = False,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         max_connections: int = DEFAULT_MAX_CONNECTIONS,
         drain_timeout: float = 10.0,
@@ -150,6 +153,9 @@ class AsyncReproServer:
             start_method=start_method,
             queue_depth=queue_depth,
             shard_backends=shard_backends,
+            wal=wal,
+            retain_versions=retain_versions,
+            strict_views=strict_views,
         )
         self.verbose = verbose
         self.counters = _ServerCounters()

@@ -28,10 +28,12 @@ handshake per round-trip, and a connection the server closed under us
 is retried once on a fresh socket.
 
 Remote views are **version-pinned**: ``prepare`` captures the server's
-``db_version`` alongside the answer count, every read echoes it, and a
-mutation on the server (``insert``/``delete``/``apply``) makes stale
-reads raise :class:`~repro.errors.StaleViewError` — the same behavior
-as a local view.
+``db_version`` alongside the answer count and every read echoes it, so
+the server serves the view's MVCC snapshot — a view keeps answering
+across later mutations (``insert``/``delete``/``apply``) while its
+version stays retained, and reads raise
+:class:`~repro.errors.StaleViewError` (replayed from the wire) only
+once the snapshot is evicted — the same behavior as a local view.
 """
 
 from __future__ import annotations
@@ -42,10 +44,11 @@ import threading
 import urllib.parse
 
 from repro.data.delta import Delta
-from repro.errors import ProtocolError, ReproError, StaleViewError
+from repro.errors import ProtocolError, ReproError
 from repro.facade import WindowedAnswers
 from repro.server.http import SESSION_ROUTE
 from repro.session.protocol import (
+    MUTATION_OPS,
     PROTOCOL_VERSION,
     SessionRequest,
     SessionResponse,
@@ -327,7 +330,7 @@ class HTTPConnection:
                 headers={"Content-Type": "application/json"},
                 # Mutations must never ride a maybe-stale socket: the
                 # pool's silent retry could apply them twice.
-                reuse=request.op not in ("insert", "delete"),
+                reuse=request.op not in MUTATION_OPS,
             )
         except (OSError, http.client.HTTPException) as error:
             raise ReproError(
@@ -386,31 +389,31 @@ class HTTPConnection:
     def apply(self, delta) -> int:
         """Apply a :class:`~repro.data.delta.Delta` on the server.
 
-        Multi-relation deltas are shipped as one ``delete``/``insert``
-        op per relation (deletes first, matching local semantics), so
-        each op bumps the server's version individually — views
-        prepared before any of them are stale afterwards, exactly as
-        with a local :meth:`~repro.facade.Connection.apply`.  Returns
-        the final database version.
+        Ships the whole delta as **one atomic ``apply`` op**: however
+        many relations it touches, the server applies it in a single
+        step and bumps ``db_version`` exactly once — no client ever
+        observes a state where only some relations have changed,
+        matching a local :meth:`~repro.facade.Connection.apply`.
+        Returns the new database version (an effectively-empty delta
+        is a server-side no-op: current version, no bump).
         """
         self._check_open()
         delta = Delta.coerce(delta)
-        version: int | None = None
-        for name in sorted(delta.deletes):
-            version = self._call(
-                "delete",
-                relation=name,
-                rows=tuple(sorted(delta.deletes[name])),
-            )["db_version"]
-        for name in sorted(delta.inserts):
-            version = self._call(
-                "insert",
-                relation=name,
-                rows=tuple(sorted(delta.inserts[name])),
-            )["db_version"]
-        if version is None:  # empty delta: nothing shipped
-            version = self.db_version
-        return version
+        if delta.is_empty:  # nothing to ship
+            return self.db_version
+        return self._call(
+            "apply",
+            inserts={
+                name: tuple(sorted(delta.inserts[name]))
+                for name in sorted(delta.inserts)
+            }
+            or None,
+            deletes={
+                name: tuple(sorted(delta.deletes[name]))
+                for name in sorted(delta.deletes)
+            }
+            or None,
+        )["db_version"]
 
     def insert(self, relation: str, rows) -> int:
         """Insert ``rows`` into ``relation``; the new database version."""
@@ -485,12 +488,13 @@ class RemoteAnswerView(WindowedAnswers):
     iteration terminates without a round-trip.
 
     Staleness: the view pins the server's ``db_version`` at prepare
-    time and every wire read echoes it, so after a server-side
-    mutation each read raises :class:`~repro.errors.StaleViewError`
-    (replayed from the wire).  ``len()`` alone stays the pinned
-    prepare-time count — it is client-side state and costs no
-    round-trip — but any actual data access on a stale view fails
-    loudly.
+    time and every wire read echoes it, so the server serves reads
+    from that MVCC snapshot — the view keeps answering across later
+    server-side mutations while its version stays retained, and reads
+    raise :class:`~repro.errors.StaleViewError` (replayed from the
+    wire) only once the snapshot is evicted.  ``len()`` stays the
+    pinned prepare-time count — client-side state, no round-trip —
+    and is exactly the snapshot's count.
     """
 
     #: Tuples per ``access`` request (iteration and batch reads).
@@ -564,17 +568,16 @@ class RemoteAnswerView(WindowedAnswers):
         ]  # non-sequences can never be answers: no round-trip spent
         if not wired and self._version is not None:
             # Nothing reaches the wire, so no op would carry the
-            # staleness pin — probe explicitly: a stale view must
-            # raise here exactly like the local AnswerView.ranks.
-            current = self._connection._call("db_version")[
-                "db_version"
-            ]
-            if current != self._version:
-                raise StaleViewError(
-                    f"view was prepared at db_version "
-                    f"{self._version}, database is now at {current}; "
-                    "re-prepare the query"
-                )
+            # version pin — probe with a pinned count: the server
+            # applies the same MVCC retention rules as any real read
+            # (StaleViewError iff the snapshot is gone), exactly like
+            # the local AnswerView.ranks.
+            self._connection._call(
+                "count",
+                query=self._query,
+                order=self._order,
+                db_version=self._version,
+            )
         for start in range(0, len(wired), self.ITER_CHUNK):
             chunk = wired[start : start + self.ITER_CHUNK]
             ranks = self._connection._call(

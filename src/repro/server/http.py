@@ -70,6 +70,7 @@ from repro.query.parser import parse_query
 from repro.server.pool import DEFAULT_QUEUE_DEPTH, LocalDispatcher
 from repro.session.artifacts import ArtifactStore
 from repro.session.protocol import (
+    MUTATION_OPS,
     PROTOCOL_VERSION,
     SessionRequest,
     SessionResponse,
@@ -217,6 +218,17 @@ class ServingCore:
             one per range shard — reads fan out over HTTP and merge by
             prefix counts (read-only; needs ``default_query``).
             Exclusive with ``procs`` and ``shards``.
+        wal: path of a :class:`~repro.data.wal.WriteAheadLog` — the
+            log is replayed over ``database`` at boot (crash
+            recovery), then every applied delta is appended *before*
+            it touches the store, so a crash mid-apply replays to the
+            exact pre-crash version.  Exclusive with
+            ``shards``/``shard_backends`` (sharded serving is
+            read-only).
+        retain_versions: MVCC snapshot window of the shared store
+            (``None`` → :data:`repro.session.mvcc.DEFAULT_RETAIN`).
+        strict_views: restore the fail-on-any-mutation staleness
+            contract for pinned reads.
     """
 
     def __init__(
@@ -236,6 +248,9 @@ class ServingCore:
         start_method: str = "spawn",
         queue_depth: int | None = None,
         shard_backends: list[str] | None = None,
+        wal: str | None = None,
+        retain_versions: int | None = None,
+        strict_views: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -259,9 +274,30 @@ class ServingCore:
                 f"need a queue depth of at least one, got "
                 f"{self.queue_depth}"
             )
+        if wal is not None and (
+            shards is not None or shard_backends is not None
+        ):
+            raise ValueError(
+                "wal is exclusive with shards/shard_backends: sharded "
+                "serving is read-only, there are no deltas to log"
+            )
         self.stats_per_worker = stats_per_worker
         if not isinstance(database, Database):
             database = Database(database)
+        self.wal = None
+        db_version = 0
+        if wal is not None:
+            # Recovery before anything is built: replay the log over
+            # the boot database (seeding a fresh log with a version-0
+            # snapshot so it is self-contained), so the store — and
+            # every worker attaching to it — starts at the exact
+            # pre-crash version.
+            from repro.data.wal import WriteAheadLog
+
+            self.wal = WriteAheadLog(wal)
+            database, db_version = self.wal.recover(
+                database, seed=True
+            )
         if procs is not None or shards is not None:
             # The artifact plane ships flat buffers of the *shared*
             # encoding; realize it up front so publication is
@@ -281,7 +317,13 @@ class ServingCore:
 
             engine = get_engine().name
         self.store = ArtifactStore(
-            database, engine=engine, capacity=capacity
+            database,
+            engine=engine,
+            capacity=capacity,
+            db_version=db_version,
+            retain_versions=retain_versions,
+            strict_views=strict_views,
+            wal=self.wal,
         )
         self.default_query = default_query
         self.read_only = bool(read_only) or shards is not None or (
@@ -374,7 +416,7 @@ class ServingCore:
         admission refuses the request; the transport answers 503 with
         ``Retry-After`` instead of queueing unboundedly.
         """
-        if self.read_only and request.op in ("insert", "delete"):
+        if self.read_only and request.op in MUTATION_OPS:
             from repro.errors import ReadOnlyError
 
             return SessionResponse(
@@ -412,11 +454,15 @@ class ServingCore:
             self._dispatcher.release(index)
 
     def close(self, timeout: float = 10.0) -> bool:
-        """Close the backend; ``True`` when the worker drain was clean
-        (in-process serving always drains clean)."""
+        """Close the backend (and sync/close the WAL); ``True`` when
+        the worker drain was clean (in-process serving always drains
+        clean)."""
+        clean = True
         if self._backend is not None:
-            return self._backend.close(timeout=timeout)
-        return True
+            clean = self._backend.close(timeout=timeout)
+        if self.wal is not None:
+            self.wal.close()
+        return clean
 
     # -- observability -----------------------------------------------------
 
@@ -433,6 +479,8 @@ class ServingCore:
             "front": front,
             "mode": self.mode,
             "read_only": self.read_only,
+            "db_version": self.store.db_version,
+            "durable": self.wal is not None,
             "default_query": (
                 str(self.default_query)
                 if self.default_query is not None
@@ -472,10 +520,24 @@ class ServingCore:
             truncated = len(worker_stats) - MAX_STATS_WORKERS
             if truncated > 0:
                 workers["truncated"] = truncated
+        store_stats = self.store.cache_stats()
         out = {
             "server": server_counters,
-            "store": self.store.cache_stats(),
+            "store": store_stats,
             "workers": workers,
+            # The at-a-glance durability view (satellite of the WAL
+            # work): current version, how many MVCC snapshots pinned
+            # views can still read, and the WAL high-water mark
+            # (``None`` = serving without a log).
+            "durability": {
+                "db_version": self.store.db_version,
+                "snapshots_retained": store_stats.get("mvcc", {}).get(
+                    "retained", 0
+                ),
+                "wal_seq": (
+                    self.wal.last_seq if self.wal is not None else None
+                ),
+            },
         }
         if self._dispatcher is not None:
             out["dispatch"] = self._dispatcher.counters()
@@ -675,6 +737,10 @@ class ReproServer:
             (:class:`~repro.errors.OverloadedError`).
         shard_backends: base URLs of remote ``repro serve`` replicas,
             one per range shard (read-only; needs ``default_query``).
+        wal: write-ahead-log path — replayed at boot, appended before
+            every apply (see :class:`ServingCore`).
+        retain_versions / strict_views: MVCC snapshot window / strict
+            staleness of the shared store (see :class:`ServingCore`).
         request_timeout: socket read/write timeout per connection,
             seconds — stalled clients lose the connection instead of
             pinning a serving thread.
@@ -704,6 +770,9 @@ class ReproServer:
         start_method: str = "spawn",
         queue_depth: int | None = None,
         shard_backends: list[str] | None = None,
+        wal: str | None = None,
+        retain_versions: int | None = None,
+        strict_views: bool = False,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ):
         self.core = ServingCore(
@@ -722,6 +791,9 @@ class ReproServer:
             start_method=start_method,
             queue_depth=queue_depth,
             shard_backends=shard_backends,
+            wal=wal,
+            retain_versions=retain_versions,
+            strict_views=strict_views,
         )
         self.verbose = verbose
         self.counters = _ServerCounters()
@@ -869,6 +941,9 @@ def serve(
     shard_variable: str | None = None,
     queue_depth: int | None = None,
     shard_backends: list[str] | None = None,
+    wal: str | None = None,
+    retain_versions: int | None = None,
+    strict_views: bool = False,
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> ReproServer:
     """Build a :class:`ReproServer` and serve in the foreground.
@@ -894,6 +969,9 @@ def serve(
         shard_variable=shard_variable,
         queue_depth=queue_depth,
         shard_backends=shard_backends,
+        wal=wal,
+        retain_versions=retain_versions,
+        strict_views=strict_views,
         request_timeout=request_timeout,
     )
     try:

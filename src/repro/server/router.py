@@ -43,7 +43,13 @@ from repro.errors import OverloadedError, ProtocolError, ReproError
 from repro.server.pool import DEFAULT_QUEUE_DEPTH, WorkerPool
 from repro.server.shm import SharedArtifactPlane
 from repro.server.worker import WorkerSpec
-from repro.session.protocol import SessionRequest, SessionResponse
+from repro.session.protocol import (
+    MUTATION_OPS,
+    SessionRequest,
+    SessionResponse,
+    delta_from_request,
+    mutation_result,
+)
 from repro.session.sharding import (
     ShardedExecutor,
     plan_shards,
@@ -137,12 +143,17 @@ class ProcessBackend:
             capacity=self._capacity,
             cache_slack=self._cache_slack,
             default_query=self._default_query_text,
+            # Workers mirror the supervisor's MVCC policy so pinned
+            # reads behave identically wherever they land; the WAL
+            # stays supervisor-only (one log, one appender).
+            retain_versions=self.store.snapshots.retain,
+            strict_views=self.store.strict_views,
         )
 
     # -- serving -----------------------------------------------------------
 
     def execute(self, request: SessionRequest) -> SessionResponse:
-        if request.op in ("insert", "delete"):
+        if request.op in MUTATION_OPS:
             return self._mutate(request)
         try:
             # Each worker process caches artifacts privately, so the
@@ -162,17 +173,12 @@ class ProcessBackend:
             return _error_response(request, error)
 
     def _mutate(self, request: SessionRequest) -> SessionResponse:
-        from repro.data.delta import Delta
-
         try:
-            if request.relation is None or request.rows is None:
-                raise ProtocolError(
-                    f"{request.op} needs a relation and a list of rows"
-                )
-            side = (
-                "inserts" if request.op == "insert" else "deletes"
-            )
-            delta = Delta(**{side: {request.relation: request.rows}})
+            # The shared request→Delta path (insert / delete / atomic
+            # multi-relation apply): the supervisor's authoritative
+            # store validates and applies — and, when serving with a
+            # WAL, logs the record before the engine touches anything.
+            delta = delta_from_request(request)
             with self._mutation_lock:
                 old_publication, _fallback, old_version = self._current
                 new_version = self.store.apply(delta)
@@ -180,7 +186,9 @@ class ProcessBackend:
                     # Republish first, then broadcast: a worker that
                     # crashes mid-delta respawns from the *new*
                     # publication, so the fleet always converges on
-                    # the primary's version.
+                    # the primary's version.  An effectively-empty
+                    # delta never reaches this branch — no version
+                    # bump, nothing to publish.
                     self._current = self._publish(
                         self.store.database, new_version
                     )
@@ -190,11 +198,7 @@ class ProcessBackend:
             return SessionResponse(
                 op=request.op,
                 ok=True,
-                result={
-                    "relation": request.relation,
-                    "rows": len(request.rows),
-                    "db_version": new_version,
-                },
+                result=mutation_result(request, delta, new_version),
             )
         except (ReproError, ValueError) as error:
             return _error_response(request, error)

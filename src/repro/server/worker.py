@@ -71,6 +71,11 @@ class WorkerSpec:
     cache_slack: float = 0
     default_query: str | None = None
     shard_index: int | None = None
+    #: MVCC policy mirrored from the supervisor's store, so pinned
+    #: reads behave the same on whichever worker they land.  Workers
+    #: never carry a WAL — the supervisor's store is the one appender.
+    retain_versions: int | None = None
+    strict_views: bool = False
 
 
 @dataclass
@@ -184,6 +189,8 @@ def _boot(spec: WorkerSpec, pipe):
         engine=spec.engine,
         capacity=spec.capacity,
         db_version=spec.db_version,
+        retain_versions=spec.retain_versions,
+        strict_views=spec.strict_views,
     )
     plane = PlaneClient(
         pipe=pipe,

@@ -25,6 +25,7 @@ from repro.session.cache import (
     LRUCache,
     SessionStats,
 )
+from repro.session.mvcc import DEFAULT_RETAIN, SnapshotPlane
 from repro.session.protocol import (
     PROTOCOL_VERSION,
     SessionRequest,
@@ -37,10 +38,12 @@ __all__ = [
     "ArtifactStore",
     "CacheStats",
     "CostAwareCache",
+    "DEFAULT_RETAIN",
     "LRUCache",
     "PROTOCOL_VERSION",
     "SessionRequest",
     "SessionResponse",
     "SessionStats",
+    "SnapshotPlane",
     "StoreStats",
 ]

@@ -29,18 +29,41 @@ evicted cost-aware: each entry remembers its decomposition exponent
 ``ι``, and overflow sacrifices the cheapest-to-rebuild entry first
 (:class:`~repro.session.cache.CostAwareCache`), not the least recent.
 
-The store is **versioned**: every artifact is registered under
-``(db_version, cache_key)``, and :meth:`ArtifactStore.apply` applies a
+The store is **versioned and multi-version** (MVCC): every artifact is
+registered under ``(db_version, cache_key)``, and
+:meth:`ArtifactStore.apply` applies a
 :class:`~repro.data.delta.Delta`, bumps the version, and walks the
 caches once — artifacts whose declared relation dependencies are
 disjoint from the delta's touched relations are *carried* to the new
-version (``artifacts_carried``), the rest are dropped
+version (``artifacts_carried``), the rest stop serving the head
 (``artifacts_invalidated``).  A decomposition that never touches a
 mutated relation therefore keeps serving from cache across mutations,
 with zero rebuilds — the generation counters in :meth:`cache_stats`
 prove it.  In-flight builds that captured the old version finish
 harmlessly: their artifact lands under the old version's key, is never
-served to new-version readers, and is swept on the next delta.
+served to new-version readers, and is garbage-collected with that
+version.
+
+History does not vanish on apply: a
+:class:`~repro.session.mvcc.SnapshotPlane` retains the last K
+``(db_version, database)`` snapshots with per-version refcounts, so a
+version-pinned view **keeps serving its snapshot** while new requests
+see the head (:meth:`database_at` resolves any retained version, and
+reads at it rebuild against the retained database when needed).
+Head-invalidated artifacts are kept under their old version while that
+version has open views (``artifacts_retained``) and garbage-collected
+when its last view closes or the version leaves the window
+(``artifacts_gcd``).  :class:`~repro.errors.StaleViewError` survives
+only as the opt-in ``strict_views`` mode plus the fallback for reads
+of an *evicted* snapshot.
+
+With a :class:`~repro.data.wal.WriteAheadLog` attached (``wal=``),
+every effective delta is appended — checksummed and fsynced — *before*
+the in-memory apply, so a crash between append and apply is repaired
+by replay-on-boot, and ``repro serve --wal`` restarts warm and
+current.  An *effectively empty* delta (every insert already present,
+every delete already absent) is a no-op: no version bump, no log
+record, no invalidation (``noop_deltas``).
 
 One store fronts many cheap :class:`~repro.session.AccessSession`
 objects — one per server worker — each keeping its own request/plan
@@ -63,12 +86,15 @@ dictionary, are shared:
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.data.database import Database
 from repro.engine.base import Engine
 from repro.engine.registry import resolve_engine
+from repro.errors import StaleViewError
 from repro.session.cache import CacheStats, CostAwareCache
+from repro.session.mvcc import DEFAULT_RETAIN, SnapshotPlane
 
 #: Sentinel for "dependencies unknown": artifacts registered without a
 #: ``relations`` declaration are dropped by *every* delta — the safe
@@ -100,13 +126,21 @@ class StoreStats:
     acceptance evidence:
 
     * ``deltas_applied`` — database versions minted by :meth:`apply`;
+    * ``noop_deltas`` — applies that turned out effectively empty
+      (validated, then skipped: no version bump, no invalidation);
     * ``incremental_encodes`` / ``full_reencodes`` — whether the
       engine maintained its database preparation in place (shared
       dictionary extended code-stably) or had to redo it;
     * ``artifacts_carried`` — artifacts re-keyed to the new version
       because their decomposition touches no mutated relation (served
       warm after the delta, zero rebuilds);
-    * ``artifacts_invalidated`` — artifacts dropped by a delta.
+    * ``artifacts_invalidated`` — artifacts a delta stopped serving at
+      the head;
+    * ``artifacts_retained`` — of those, the ones kept under their old
+      version because that version still has open views (MVCC);
+    * ``artifacts_gcd`` — old-version artifacts garbage-collected when
+      their version's last view closed or the version left the
+      snapshot window.
     """
 
     preprocessing: CacheStats = field(default_factory=CacheStats)
@@ -120,10 +154,13 @@ class StoreStats:
     build_concurrency_peak: int = 0
     sessions: int = 0
     deltas_applied: int = 0
+    noop_deltas: int = 0
     incremental_encodes: int = 0
     full_reencodes: int = 0
     artifacts_carried: int = 0
     artifacts_invalidated: int = 0
+    artifacts_retained: int = 0
+    artifacts_gcd: int = 0
 
     def of(self, kind: str) -> CacheStats:
         return getattr(self, kind)
@@ -136,10 +173,13 @@ class StoreStats:
             "build_concurrency_peak": self.build_concurrency_peak,
             "sessions": self.sessions,
             "deltas_applied": self.deltas_applied,
+            "noop_deltas": self.noop_deltas,
             "incremental_encodes": self.incremental_encodes,
             "full_reencodes": self.full_reencodes,
             "artifacts_carried": self.artifacts_carried,
             "artifacts_invalidated": self.artifacts_invalidated,
+            "artifacts_retained": self.artifacts_retained,
+            "artifacts_gcd": self.artifacts_gcd,
             "preprocessing": self.preprocessing.as_dict(),
             "forest": self.forest.as_dict(),
             "access": self.access.as_dict(),
@@ -160,6 +200,17 @@ class ArtifactStore:
             artifacts are internally consistent.
         capacity: per-kind cache capacity (``None`` = unbounded,
             ``0`` = caching disabled).
+        retain_versions: how many ``(db_version, database)`` snapshots
+            the MVCC plane keeps (default
+            :data:`~repro.session.mvcc.DEFAULT_RETAIN`); open views
+            extend a version's lifetime beyond the window until their
+            last close.
+        strict_views: opt-in strict mode — any read of a non-head
+            version raises :class:`~repro.errors.StaleViewError`
+            (the pre-MVCC contract).
+        wal: an optional :class:`~repro.data.wal.WriteAheadLog`;
+            :meth:`apply` appends every effective delta to it *before*
+            the in-memory apply.
     """
 
     #: Artifact kinds, one cache each.  ``preprocessing`` holds bag
@@ -174,6 +225,9 @@ class ArtifactStore:
         engine: str | Engine | None = None,
         capacity: int | None = 64,
         db_version: int = 0,
+        retain_versions: int | None = None,
+        strict_views: bool = False,
+        wal=None,
     ):
         if not isinstance(database, Database):
             database = Database(database)
@@ -182,6 +236,17 @@ class ArtifactStore:
         # start at the supervisor's current version or clients' pinned
         # views would cross wires (default 0 = a brand-new database).
         self._db_version = db_version
+        self.strict_views = bool(strict_views)
+        self.wal = wal
+        self.snapshots = SnapshotPlane(
+            DEFAULT_RETAIN if retain_versions is None else retain_versions
+        )
+        self.snapshots.record(db_version, database)
+        # Version releases arrive from AnswerView weakref finalizers,
+        # which can fire at any allocation point — including while this
+        # thread already holds the registry lock.  They enqueue here
+        # (deque.append is atomic) and drain at the next safe entry.
+        self._pending_releases: deque[int] = deque()
         #: Optional cross-process artifact plane (worker processes set
         #: this to a :class:`repro.server.worker.PlaneClient`): builds
         #: consult it before running and offer their results after, so
@@ -236,6 +301,82 @@ class ArtifactStore:
         """
         with self._registry_lock:
             return self._db_version, self._database
+
+    # -- MVCC: retained versions and view pins -----------------------------
+
+    def database_at(self, version: int) -> Database:
+        """The retained database for ``version`` — the head, or an
+        MVCC snapshot.  Raises :class:`~repro.errors.StaleViewError`
+        when the snapshot was evicted, or (for non-head versions) when
+        the store runs in ``strict_views`` mode."""
+        self._drain_releases()
+        with self._registry_lock:
+            if version == self._db_version:
+                return self._database
+            if self.strict_views:
+                raise StaleViewError(
+                    f"db_version {version} is not the head "
+                    f"({self._db_version}) and this store runs in "
+                    "strict mode; re-prepare the query"
+                )
+            database = self.snapshots.get(version)
+            if database is None:
+                raise StaleViewError(
+                    f"db_version {version} was evicted (head is "
+                    f"{self._db_version}, retained: "
+                    f"{list(self.snapshots.versions())}); re-prepare "
+                    "the query for a fresh view"
+                )
+            return database
+
+    def is_readable(self, version: int) -> bool:
+        """Whether a view pinned at ``version`` may still serve: the
+        head, or a retained snapshot outside strict mode."""
+        self._drain_releases()
+        with self._registry_lock:
+            if version == self._db_version:
+                return True
+            if self.strict_views:
+                return False
+            return version in self.snapshots
+
+    def pin_version(self, version: int) -> bool:
+        """Take a view reference on ``version`` (``False`` when it is
+        no longer retained — the view is born already stale)."""
+        self._drain_releases()
+        with self._registry_lock:
+            return self.snapshots.pin(version)
+
+    def release_version(self, version: int) -> None:
+        """Drop a view reference.  Safe to call from ``weakref``
+        finalizers: the release is queued (lock-free) and processed at
+        the next store entry, so a garbage-collection cycle triggered
+        while this thread holds the registry lock cannot deadlock."""
+        self._pending_releases.append(version)
+
+    def _drain_releases(self) -> None:
+        if not self._pending_releases:
+            return
+        with self._registry_lock:
+            while True:
+                try:
+                    version = self._pending_releases.popleft()
+                except IndexError:
+                    break
+                last = self.snapshots.release(version)
+                if last and version != self._db_version:
+                    self._purge_versions({version})
+
+    def _purge_versions(self, versions: set[int]) -> None:
+        # Registry lock held by the caller: drop every artifact cached
+        # under a no-longer-retained version.
+        for kind in self.KINDS:
+            cache = self._caches[kind]
+            for vkey in cache.keys():
+                if vkey[0] in versions:
+                    cache.pop(vkey)
+                    self._deps.pop((kind, vkey[0], vkey[1]), None)
+                    self.stats.artifacts_gcd += 1
 
     # -- sessions ----------------------------------------------------------
 
@@ -436,29 +577,48 @@ class ArtifactStore:
     def apply(self, delta) -> int:
         """Apply ``delta``, bump the version, invalidate selectively.
 
-        The engine maintains its database preparation
+        The delta is validated, minimized against the live database
+        (:meth:`~repro.data.delta.Delta.effective_against`), appended
+        to the write-ahead log when one is attached (*before* any
+        in-memory change — the durability contract), and then applied:
+        the engine maintains its database preparation
         (:meth:`~repro.engine.base.Engine.apply_delta` — the numpy
         engine extends the shared dictionary in place when
         order-preservation allows, re-encoding only mutated
-        relations), then one pass over the caches re-keys every
+        relations), and one pass over the caches re-keys every
         artifact whose declared relations are disjoint from the
-        delta's touched set to the new version (``artifacts_carried``)
-        and drops the rest (``artifacts_invalidated``).  Returns the
-        new database version.  An *empty* delta is a no-op: the
-        current version comes back unbumped and nothing is
-        invalidated (matching the HTTP client, which ships no op for
-        it).  Raises :class:`~repro.errors.DatabaseError` for unknown
-        relations or wrong-arity rows (validated inside
-        ``Database.apply``, before any state changes) — in that case
-        nothing changes.
+        delta's touched set to the new version (``artifacts_carried``).
+        The rest stop serving the head (``artifacts_invalidated``):
+        they are kept under the old version while that version has
+        open views (``artifacts_retained``), dropped otherwise.  The
+        old database itself is retained in the MVCC snapshot plane.
+        Returns the new database version.
+
+        An empty — or *effectively* empty, e.g. deleting absent rows —
+        delta is a no-op: the current version comes back unbumped,
+        nothing is logged or invalidated, and pinned views stay
+        untouched (``noop_deltas`` counts it).  Raises
+        :class:`~repro.errors.DatabaseError` for unknown relations or
+        wrong-arity rows, before any state changes.
         """
         from repro.data.delta import Delta
 
         delta = Delta.coerce(delta)
         if delta.is_empty:
             return self.db_version
+        self._drain_releases()
         with self._mutation_lock:
             database = self._database
+            delta.validate_against(database)
+            delta = delta.effective_against(database)
+            if delta.is_empty:
+                with self._registry_lock:
+                    self.stats.noop_deltas += 1
+                return self._db_version
+            if self.wal is not None:
+                # Append-before-apply: a crash from here on is repaired
+                # by replay-on-boot, which re-applies this record.
+                self.wal.append_delta(delta, self._db_version + 1)
             new_database, incremental = self.engine.apply_delta(
                 database, delta
             )
@@ -473,26 +633,45 @@ class ArtifactStore:
                     self.stats.incremental_encodes += 1
                 else:
                     self.stats.full_reencodes += 1
+                keep_old = self.snapshots.refs(old) > 0
+                evicted = set(self.snapshots.record(new, new_database))
                 for kind in self.KINDS:
                     cache = self._caches[kind]
                     for vkey in cache.keys():
                         version, key = vkey
-                        deps = self._deps.pop(
+                        if version != old:
+                            # An older retained version's artifact:
+                            # keep serving its pinned views, unless
+                            # the window just evicted the version.
+                            if version in evicted:
+                                cache.pop(vkey)
+                                self._deps.pop(
+                                    (kind, version, key), None
+                                )
+                                self.stats.artifacts_gcd += 1
+                            continue
+                        deps = self._deps.get(
                             (kind, version, key), DEPENDS_ON_ALL
                         )
-                        value, cost = cache.pop(vkey)
-                        survives = version == old and (
-                            deps is None
-                            or (
-                                deps is not DEPENDS_ON_ALL
-                                and not (deps & touched)
-                            )
+                        survives = deps is None or (
+                            deps is not DEPENDS_ON_ALL
+                            and not (deps & touched)
                         )
                         if survives:
+                            value, cost = cache.pop(vkey)
+                            self._deps.pop((kind, version, key), None)
                             cache.put((new, key), value, cost=cost)
                             self._deps[(kind, new, key)] = deps
                             self.stats.artifacts_carried += 1
+                        elif keep_old:
+                            # Invalidated at the head but the old
+                            # version has open views: retain it for
+                            # them, GC'd when the last view closes.
+                            self.stats.artifacts_invalidated += 1
+                            self.stats.artifacts_retained += 1
                         else:
+                            cache.pop(vkey)
+                            self._deps.pop((kind, version, key), None)
                             self.stats.artifacts_invalidated += 1
             return new
 
@@ -504,11 +683,16 @@ class ArtifactStore:
         return self._caches[kind]
 
     def cache_stats(self) -> dict:
-        """A plain-dict snapshot of the store-level counters."""
+        """A plain-dict snapshot of the store-level counters (plus the
+        MVCC plane's, and the WAL's when one is attached)."""
+        self._drain_releases()
         with self._registry_lock:
             out = self.stats.as_dict()
             out["db_version"] = self._db_version
-            return out
+            out["mvcc"] = self.snapshots.counters()
+        if self.wal is not None:
+            out["wal"] = self.wal.wal_stats()
+        return out
 
     def clear(self) -> None:
         """Drop every cached artifact (counters and the encoded

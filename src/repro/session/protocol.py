@@ -25,19 +25,25 @@ import json
 from dataclasses import dataclass, fields
 
 from repro.data.io import parse_cell
-from repro.errors import ProtocolError, ReproError, StaleViewError
+from repro.errors import ProtocolError, ReproError
 
 #: Version of the request/response shapes this module speaks.
 #: Version 2 added live mutations (``insert`` / ``delete`` /
 #: ``db_version`` ops, the ``db_version`` staleness pin on read ops)
-#: and batched inverse access (``answers`` on ``rank``).
-PROTOCOL_VERSION = 2
+#: and batched inverse access (``answers`` on ``rank``).  Version 3
+#: added the atomic multi-relation ``apply`` op (``inserts`` /
+#: ``deletes`` request fields, one version bump for the whole delta)
+#: and MVCC pin semantics: a read op pinned to a retained
+#: ``db_version`` is *served from that snapshot* instead of raising
+#: ``StaleViewError`` — the error remains for evicted versions.
+PROTOCOL_VERSION = 3
 
 #: Operations a server understands.  ``quit`` is included so clients can
 #: end a stream in-band; transports decide what to do after its ack.
 OPS = frozenset(
     {
         "access",
+        "apply",
         "count",
         "db_version",
         "delete",
@@ -52,14 +58,19 @@ OPS = frozenset(
 )
 
 #: Ops that serve a prepared view and therefore honour the request's
-#: ``db_version`` staleness pin.
+#: ``db_version`` pin (served from that MVCC snapshot while retained).
 VIEW_OPS = frozenset({"access", "count", "median", "page", "rank"})
+
+#: Ops that mutate the served database (refused on read-only servers;
+#: routed to the supervisor under process sharding).
+MUTATION_OPS = frozenset({"apply", "delete", "insert"})
 
 #: One-line summary per op — the machine-checkable core of
 #: ``docs/protocol.md`` (the sync test diffs the doc against this and
 #: against :data:`OPS`, so neither can rot).
 OP_SUMMARIES = {
     "access": "answer tuples at the given indices (batch direct access)",
+    "apply": "apply a multi-relation delta atomically (one version bump)",
     "count": "the number of answers, never enumerated",
     "db_version": "the served database's current version",
     "delete": "remove rows from one relation (bumps db_version)",
@@ -102,6 +113,8 @@ class SessionRequest:
     answers: tuple[tuple, ...] | None = None
     relation: str | None = None
     rows: tuple[tuple, ...] | None = None
+    inserts: dict | None = None
+    deletes: dict | None = None
     db_version: int | None = None
     version: int = PROTOCOL_VERSION
 
@@ -136,6 +149,15 @@ class SessionRequest:
             out["relation"] = self.relation
         if self.rows is not None:
             out["rows"] = [list(row) for row in self.rows]
+        for name, side in (
+            ("inserts", self.inserts),
+            ("deletes", self.deletes),
+        ):
+            if side is not None:
+                out[name] = {
+                    relation: [list(row) for row in rows]
+                    for relation, rows in side.items()
+                }
         if self.db_version is not None:
             out["db_version"] = self.db_version
         return out
@@ -199,6 +221,29 @@ class SessionRequest:
 
         answers = row_batch("answers")
         rows = row_batch("rows")
+
+        def delta_side(name: str):
+            value = data.get(name)
+            if value is None:
+                return None
+            if not isinstance(value, dict) or not all(
+                isinstance(relation, str)
+                and isinstance(side_rows, (list, tuple))
+                and all(
+                    isinstance(row, (list, tuple)) for row in side_rows
+                )
+                for relation, side_rows in value.items()
+            ):
+                raise ProtocolError(
+                    f"{name} must map relation names to lists of rows"
+                )
+            return {
+                relation: tuple(tuple(row) for row in side_rows)
+                for relation, side_rows in value.items()
+            }
+
+        inserts = delta_side("inserts")
+        deletes = delta_side("deletes")
         relation = data.get("relation")
         if relation is not None and not isinstance(relation, str):
             raise ProtocolError("relation must be a string")
@@ -226,6 +271,8 @@ class SessionRequest:
             answers=answers,
             relation=relation,
             rows=rows,
+            inserts=inserts,
+            deletes=deletes,
             db_version=db_version,
             version=version,
         )
@@ -403,6 +450,55 @@ def parse_command(line: str) -> SessionRequest:
 # -- the one executor ------------------------------------------------------
 
 
+def delta_from_request(request: SessionRequest):
+    """The :class:`~repro.data.delta.Delta` a mutation request names.
+
+    Shared by :func:`execute` and the process-sharding router so both
+    transports validate (and apply) exactly the same delta.  Raises
+    :class:`~repro.errors.ProtocolError` on malformed requests.
+    """
+    from repro.data.delta import Delta
+
+    op = request.op
+    if op in ("insert", "delete"):
+        if request.relation is None or request.rows is None:
+            raise ProtocolError(
+                f"{op} needs a relation and a list of rows"
+            )
+        side = "inserts" if op == "insert" else "deletes"
+        return Delta(**{side: {request.relation: request.rows}})
+    if op == "apply":
+        if request.inserts is None and request.deletes is None:
+            raise ProtocolError(
+                "apply needs inserts and/or deletes "
+                "(relation -> rows mappings)"
+            )
+        return Delta(
+            inserts=request.inserts or {},
+            deletes=request.deletes or {},
+        )
+    raise ProtocolError(f"{op!r} is not a mutation op")
+
+
+def mutation_result(
+    request: SessionRequest, delta, db_version: int
+) -> dict:
+    """The wire result for a served mutation (shape depends on op:
+    single-relation ops keep their v2 ``relation``/``rows`` form,
+    ``apply`` reports every touched relation and the delta size)."""
+    if request.op in ("insert", "delete"):
+        return {
+            "relation": request.relation,
+            "rows": len(request.rows),
+            "db_version": db_version,
+        }
+    return {
+        "relations": sorted(delta.touched),
+        "rows": delta.size(),
+        "db_version": db_version,
+    }
+
+
 def execute(
     connection, request: SessionRequest, default_query=None
 ) -> SessionResponse:
@@ -431,22 +527,11 @@ def execute(
             return respond(connection.stats())
         if op == "db_version":
             return respond({"db_version": connection.db_version})
-        if op in ("insert", "delete"):
-            if request.relation is None or request.rows is None:
-                raise ProtocolError(
-                    f"{op} needs a relation and a list of rows"
-                )
-            from repro.data.delta import Delta
-
-            side = "inserts" if op == "insert" else "deletes"
-            delta = Delta(**{side: {request.relation: request.rows}})
+        if op in MUTATION_OPS:
+            delta = delta_from_request(request)
             new_version = connection.apply(delta)
             return respond(
-                {
-                    "relation": request.relation,
-                    "rows": len(request.rows),
-                    "db_version": new_version,
-                }
+                mutation_result(request, delta, new_version)
             )
         query = (
             request.query if request.query is not None else default_query
@@ -461,23 +546,23 @@ def execute(
                     "iota": str(report.iota),
                 }
             )
-        if (
-            op in VIEW_OPS
+        # A db_version pin on a view op means "serve from that MVCC
+        # snapshot": while the version is retained the client gets
+        # exactly the answers its view was prepared over; once it is
+        # evicted, prepare raises the same structured StaleViewError a
+        # local stale view raises.
+        at_version = (
+            request.db_version
+            if op in VIEW_OPS
             and request.db_version is not None
-            and connection.db_version != request.db_version
-        ):
-            # The client's view pinned an older database version:
-            # answer with the same structured staleness error a local
-            # stale view raises (before paying any preprocessing),
-            # instead of silently serving post-mutation answers
-            # against a pre-mutation pin.
-            raise StaleViewError(
-                f"view was prepared at db_version "
-                f"{request.db_version}, database is now at "
-                f"{connection.db_version}; re-prepare the query"
-            )
+            and request.db_version != connection.db_version
+            else None
+        )
         view = connection.prepare(
-            query, order=request.order, prefix=request.prefix
+            query,
+            order=request.order,
+            prefix=request.prefix,
+            at_version=at_version,
         )
         served = {"order": list(view.order)}
         if view.db_version is not None:
@@ -557,12 +642,15 @@ def execute(
 
 
 __all__ = [
+    "MUTATION_OPS",
     "OPS",
     "OP_SUMMARIES",
     "PROTOCOL_VERSION",
     "VIEW_OPS",
     "SessionRequest",
     "SessionResponse",
+    "delta_from_request",
     "execute",
+    "mutation_result",
     "parse_command",
 ]

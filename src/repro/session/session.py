@@ -91,6 +91,12 @@ class AccessSession:
             to attach to (per-worker sessions over one store).  With
             ``store`` given, ``database``/``engine``/``capacity`` must
             be left at their defaults — the store owns them.
+        retain_versions: MVCC snapshot window of the session's own
+            store (see :class:`~repro.session.mvcc.SnapshotPlane`);
+            a store setting — only valid when the session builds its
+            own store.
+        strict_views: opt-in strict staleness (any read of a non-head
+            version raises); a store setting like ``retain_versions``.
     """
 
     #: Cache-aware planning inspects at most this many slack-window
@@ -106,6 +112,8 @@ class AccessSession:
         capacity: int | None = 64,
         cache_slack: Fraction | int | float = 0,
         store: ArtifactStore | None = None,
+        retain_versions: int | None = None,
+        strict_views: bool = False,
     ):
         if store is None:
             if database is None:
@@ -113,7 +121,11 @@ class AccessSession:
                     "AccessSession needs a database (or a store)"
                 )
             store = ArtifactStore(
-                database, engine=engine, capacity=capacity
+                database,
+                engine=engine,
+                capacity=capacity,
+                retain_versions=retain_versions,
+                strict_views=strict_views,
             )
             self._owns_store = True
         else:
@@ -126,6 +138,11 @@ class AccessSession:
                 raise ValueError(
                     "a store-attached session serves with the store's "
                     "engine; do not pass another one"
+                )
+            if retain_versions is not None or strict_views:
+                raise ValueError(
+                    "retain_versions/strict_views are store settings; "
+                    "set them on the shared store"
                 )
             self._owns_store = False
         self.store = store
@@ -319,6 +336,7 @@ class AccessSession:
         order=None,
         prefix=None,
         projected: frozenset[str] | set[str] = frozenset(),
+        at_version: int | None = None,
     ) -> tuple[DirectAccess, int]:
         """:meth:`access` plus the database version it was served at.
 
@@ -327,7 +345,11 @@ class AccessSession:
         versions: the returned structure consistently reflects the
         snapshot, and the version lets callers (the facade's
         :class:`~repro.facade.AnswerView`) pin it for staleness
-        detection.
+        detection.  ``at_version`` serves the request against a
+        *retained MVCC snapshot* instead of the head — version-pinned
+        wire reads ride this; it raises
+        :class:`~repro.errors.StaleViewError` when the snapshot was
+        evicted (or in strict mode).
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -350,7 +372,11 @@ class AccessSession:
             )
         with self._lock:
             self.stats.requests += 1
-        version, database = self.store.current()
+        if at_version is None:
+            version, database = self.store.current()
+        else:
+            version = at_version
+            database = self.store.database_at(at_version)
         if order is None:
             report = self.plan(query, prefix, version)
             order = report.order

@@ -10,10 +10,13 @@ The acceptance surface of the live-updates PR, bottom-up:
   invalidates exactly the artifacts whose decomposition touches a
   mutated relation; untouched decompositions are *carried* and served
   warm (generation counters prove zero rebuilds);
-* the facade — ``Connection.apply`` bumps ``db_version`` and
-  version-pinned views raise :class:`~repro.errors.StaleViewError`;
-* the wire — ``insert`` / ``delete`` / ``db_version`` ops, remote
-  staleness replay, batched ranks, and the keep-alive client pool.
+* the facade — ``Connection.apply`` bumps ``db_version`` for
+  effective deltas while version-pinned views keep answering from
+  retained MVCC snapshots; :class:`~repro.errors.StaleViewError` is
+  reserved for evicted snapshots and ``strict_views`` mode;
+* the wire — ``insert`` / ``delete`` / ``apply`` / ``db_version``
+  ops, snapshot-pinned reads with eviction replay, batched ranks,
+  and the keep-alive client pool.
 
 Part of the new-API surface: CI runs this module with
 ``-W error::DeprecationWarning`` and under both engines.
@@ -345,13 +348,38 @@ def iter_rows(access) -> list[tuple]:
 
 
 class TestFacadeStaleness:
-    def test_stale_view_raises_on_every_read_path(self):
+    def test_pinned_view_keeps_serving_on_every_read_path(self):
         conn = connect(fresh_database())
         view = conn.prepare(PATH, order=["x", "y", "z"])
+        rows = list(view)
         sub = view[1:4]
+        sub_rows = sub.to_list()
         assert view.db_version == 0
         version = conn.apply(Delta(inserts={"R": {(9, 9)}}))
         assert version == 1 and conn.db_version == 1
+        # The view pinned version 0 at prepare time: every read path
+        # keeps answering from that retained MVCC snapshot.
+        assert view[0] == rows[0]
+        assert list(view) == rows
+        assert view.rank((1, 2, 7)) == 0
+        assert view.ranks([(1, 2, 7)]) == [0]
+        assert view.median() == rows[len(rows) // 2]
+        assert len(view) == len(rows)
+        assert bool(view)
+        assert sub.to_list() == sub_rows  # windows inherit the pin
+        assert "AnswerView" in repr(view)
+        # A fresh prepare is served at the new head.
+        assert conn.prepare(PATH, order=["x", "y", "z"]).db_version == 1
+
+    def test_evicted_snapshot_raises_on_every_read_path(self):
+        conn = connect(fresh_database(), retain_versions=1)
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        sub = view[1:4]
+        # Drop the pins: the version-0 snapshot now lives or dies with
+        # the one-deep retention window alone.
+        view.close()
+        sub.close()
+        conn.apply(Delta(inserts={"R": {(9, 9)}}))
         for read in (
             lambda: view[0],
             lambda: list(view),
@@ -365,6 +393,28 @@ class TestFacadeStaleness:
             with pytest.raises(StaleViewError):
                 read()
         assert "AnswerView" in repr(view)  # repr stays usable
+
+    def test_pin_outlives_the_retention_window(self):
+        conn = connect(fresh_database(), retain_versions=1)
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        rows = list(view)
+        conn.apply(Delta(inserts={"R": {(9, 9)}}))
+        conn.apply(Delta(deletes={"R": {(9, 9)}}))
+        # Even with a one-deep window, the open view's refcount keeps
+        # its snapshot alive until the last reader closes.
+        assert list(view) == rows
+        view.close()
+        with pytest.raises(StaleViewError):
+            view[0]
+
+    def test_strict_views_fail_fast_on_any_mutation(self):
+        conn = connect(fresh_database(), strict_views=True)
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        conn.apply(Delta(inserts={"R": {(9, 9)}}))
+        with pytest.raises(StaleViewError):
+            view[0]
+        with pytest.raises(StaleViewError):
+            len(view)
 
     def test_fresh_prepare_serves_post_delta_answers(self):
         conn = connect(fresh_database())
@@ -439,19 +489,62 @@ class TestProtocolMutations:
         response = self.run(conn, op="count", order=("x", "y", "z"))
         assert response.ok and response.result["db_version"] == 0
 
-    def test_stale_pin_is_replayed_as_staleviewerror(self, conn):
+    def test_pinned_op_is_served_from_the_snapshot(self, conn):
         fresh = self.run(
             conn, op="count", order=("x", "y", "z"), db_version=0
         )
         assert fresh.ok
+        n = fresh.result["count"]
+        self.run(conn, op="insert", relation="R", rows=((9, 2),))
+        pinned = self.run(
+            conn, op="count", order=("x", "y", "z"), db_version=0
+        )
+        assert pinned.ok
+        assert pinned.result["count"] == n
+        assert pinned.result["db_version"] == 0
+        unpinned = self.run(conn, op="count", order=("x", "y", "z"))
+        assert unpinned.ok and unpinned.result["db_version"] == 1
+        assert unpinned.result["count"] == n + 2  # (9,2,7), (9,2,9)
+
+    def test_evicted_pin_is_replayed_as_staleviewerror(self):
+        conn = connect(fresh_database(), retain_versions=1)
         self.run(conn, op="insert", relation="R", rows=((9, 9),))
         stale = self.run(
             conn, op="count", order=("x", "y", "z"), db_version=0
         )
         assert not stale.ok
         assert stale.error_type == "StaleViewError"
-        unpinned = self.run(conn, op="count", order=("x", "y", "z"))
-        assert unpinned.ok and unpinned.result["db_version"] == 1
+
+    def test_apply_op_one_atomic_version_bump(self, conn):
+        response = self.run(
+            conn,
+            op="apply",
+            inserts={"R": ((9, 2),), "S": ((2, 99),)},
+            deletes={"T": ((1, 1),)},
+        )
+        assert response.ok
+        assert response.result == {
+            "relations": ["R", "S", "T"],
+            "rows": 3,
+            "db_version": 1,
+        }
+
+    def test_effectively_empty_apply_is_a_no_op(self, conn):
+        # Deleting an absent row and inserting an existing one leaves
+        # the database unchanged: no version bump, current version back.
+        response = self.run(
+            conn,
+            op="apply",
+            inserts={"R": ((1, 2),)},
+            deletes={"R": ((77, 77),)},
+        )
+        assert response.ok
+        assert response.result["db_version"] == 0
+        assert conn.db_version == 0
+
+    def test_apply_op_validates_its_fields(self, conn):
+        response = self.run(conn, op="apply")
+        assert not response.ok and "inserts" in response.error
 
     def test_batched_rank_op(self, conn):
         response = self.run(
@@ -488,18 +581,19 @@ class TestOverTheWire:
         with ReproServer(fresh_database(), workers=2) as running:
             yield running
 
-    def test_remote_mutations_and_staleness(self, server):
+    def test_remote_mutations_keep_pinned_views_serving(self, server):
         conn = connect(server.url)
         assert conn.db_version == 0
         view = conn.prepare(PATH, order=["x", "y", "z"])
         assert view.db_version == 0
-        n = len(view)
+        rows = list(view)
+        n = len(rows)
         version = conn.insert("R", [(9, 2)])
         assert version == 1
-        with pytest.raises(StaleViewError):
-            view[0]
-        with pytest.raises(StaleViewError):
-            view.ranks([(1, 2, 7)])
+        # The pinned view keeps answering from the retained snapshot.
+        assert view[0] == rows[0]
+        assert view.ranks([(1, 2, 7)]) == [0]
+        assert len(view) == n
         fresh = conn.prepare(PATH, order=["x", "y", "z"])
         assert fresh.db_version == 1
         assert len(fresh) == n + 2  # (9,2,7) and (9,2,9)
@@ -514,9 +608,11 @@ class TestOverTheWire:
                 deletes={"T": {(1, 1)}},
             )
         )
-        assert version == 3  # one op per touched relation
+        assert version == 1  # one atomic bump for the whole delta
         view = conn.prepare(PATH, order=["x", "y", "z"])
         assert (9, 2, 99) in view
+        # An effectively-empty delta answers with the current version.
+        assert conn.apply(Delta(deletes={"T": {(1, 1)}})) == 1
 
     def test_batched_ranks_is_one_wire_op_per_chunk(self, server):
         conn = connect(server.url)
@@ -540,24 +636,38 @@ class TestOverTheWire:
         conn.close()
         assert conn._pool._closed
 
-    def test_stale_window_over_the_wire(self, server):
+    def test_pinned_window_over_the_wire(self, server):
         conn = connect(server.url)
         window = conn.prepare(PATH, order=["x", "y", "z"])[1:3]
+        before = window.to_list()
         conn.insert("R", [(42, 2)])
-        with pytest.raises(StaleViewError):
-            window.to_list()
+        # Windows inherit the pin: still served from the snapshot.
+        assert window.to_list() == before
 
-    def test_stale_ranks_raise_even_without_a_wire_row(self, server):
+    def test_pinned_ranks_answer_even_without_a_wire_row(self, server):
         """ranks([]) and ranks of non-sequence rows send nothing, so
-        no op carries the pin — the client must probe and still raise
-        on a stale view, like the local AnswerView.ranks."""
+        no op would carry the pin — the client probes the snapshot so
+        the answer reflects the pinned version, like the local
+        AnswerView.ranks."""
         conn = connect(server.url)
         view = conn.prepare(PATH, order=["x", "y", "z"])
         conn.insert("R", [(43, 2)])
-        with pytest.raises(StaleViewError):
-            view.ranks([])
-        with pytest.raises(StaleViewError):
-            view.ranks([42])  # non-sequence: never reaches the wire
+        assert view.ranks([]) == []
+        assert view.ranks([42]) == [None]  # non-sequence: no wire row
         fresh = conn.prepare(PATH, order=["x", "y", "z"])
         assert fresh.ranks([]) == []
         assert fresh.ranks([42]) == [None]
+
+    def test_evicted_snapshot_is_replayed_over_the_wire(self, server):
+        """The server retains a bounded window of snapshots (default
+        4): once a pinned version falls out, reads replay the same
+        structured StaleViewError a local evicted view raises."""
+        conn = connect(server.url)
+        view = conn.prepare(PATH, order=["x", "y", "z"])
+        for step in range(5):
+            conn.insert("R", [(50 + step, 2)])
+        assert conn.db_version == 5
+        with pytest.raises(StaleViewError):
+            view[0]
+        with pytest.raises(StaleViewError):
+            view.ranks([])  # the probe replays the eviction too

@@ -322,6 +322,7 @@ class TestExecutor:
                 answer=(1, 2, 7),
                 relation="R",
                 rows=((1, 2),),
+                inserts={"R": ((1, 2),)},
             )
             response = execute(conn, request, default_query=QUERY)
             assert response.ok, (op, response.error)

@@ -1,0 +1,268 @@
+"""The durable write-ahead delta log (:mod:`repro.data.wal`).
+
+The durability contract, bottom-up: append-before-apply record
+round-trips, checksummed torn-tail repair on open, fsync batching,
+snapshot seeding, replay (:meth:`WriteAheadLog.recover`), and the
+``repro wal`` maintenance verbs (inspect / truncate / compact).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Delta, WriteAheadLog
+from repro.data.wal import WAL_FORMAT_VERSION, WalRecord
+from repro.errors import WalError
+
+BASE = {
+    "R": {(1, 2), (3, 2), (3, 4)},
+    "S": {(2, 7), (2, 9), (4, 1)},
+}
+
+D1 = Delta(inserts={"R": {(9, 2)}})
+D2 = Delta(inserts={"S": {(2, 42)}}, deletes={"R": {(1, 2)}})
+
+
+def base_database() -> Database:
+    return Database({name: set(rows) for name, rows in BASE.items()})
+
+
+class TestAppendAndScan:
+    def test_fresh_log_is_empty_with_a_header(self, tmp_path):
+        path = tmp_path / "serve.wal"
+        wal = WriteAheadLog(path)
+        assert wal.last_seq == 0
+        assert wal.last_db_version == 0
+        assert wal.records() == []
+        header = path.read_text().splitlines()[0]
+        assert header == f"repro-wal {WAL_FORMAT_VERSION}"
+        wal.close()
+
+    def test_delta_records_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "serve.wal")
+        assert wal.append_delta(D1, 1) == 1
+        assert wal.append_delta(D2, 2) == 2
+        assert wal.last_seq == 2 and wal.last_db_version == 2
+        records = wal.records()
+        assert [r.seq for r in records] == [1, 2]
+        assert all(r.kind == "delta" for r in records)
+        assert records[0].delta == D1
+        assert records[1].delta == D2
+        assert records[1].db_version == 2
+        wal.close()
+
+    def test_position_survives_reopen(self, tmp_path):
+        path = tmp_path / "serve.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_delta(D1, 1)
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 1
+            assert wal.last_db_version == 1
+            # ... and appending continues the sequence.
+            assert wal.append_delta(D2, 2) == 2
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "not.wal"
+        path.write_text("something else entirely\n")
+        with pytest.raises(WalError, match="not a repro WAL"):
+            WriteAheadLog(path)
+
+    def test_newer_format_raises(self, tmp_path):
+        path = tmp_path / "future.wal"
+        path.write_text(f"repro-wal {WAL_FORMAT_VERSION + 1}\n")
+        with pytest.raises(WalError, match="WAL format"):
+            WriteAheadLog(path)
+
+
+class TestTornTail:
+    def test_partial_line_is_dropped_on_open(self, tmp_path):
+        path = tmp_path / "serve.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_delta(D1, 1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("2 deadbeef {\"kind\": \"delta\"")  # no newline
+        wal = WriteAheadLog(path)
+        assert wal.stats.torn_tail_dropped == 1
+        assert wal.last_seq == 1
+        # The file was truncated back, so new appends are readable.
+        wal.append_delta(D2, 2)
+        assert [r.seq for r in wal.records()] == [1, 2]
+        wal.close()
+
+    def test_corrupt_checksum_cuts_the_tail(self, tmp_path):
+        path = tmp_path / "serve.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_delta(D1, 1)
+            wal.append_delta(D2, 2)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[-1] = lines[-1].replace("db_version", "db_versiom", 1)
+        path.write_text("".join(lines))
+        wal = WriteAheadLog(path)
+        assert wal.stats.torn_tail_dropped == 1
+        assert wal.last_seq == 1 and len(wal.records()) == 1
+        wal.close()
+
+
+class TestFsyncBatching:
+    def test_default_batch_syncs_every_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "serve.wal")
+        wal.append_delta(D1, 1)
+        wal.append_delta(D2, 2)
+        assert wal.stats.fsyncs == 2
+        wal.close()
+
+    def test_batched_appends_share_one_fsync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "serve.wal", fsync_batch=3)
+        wal.append_delta(D1, 1)
+        wal.append_delta(D2, 2)
+        assert wal.stats.fsyncs == 0  # still pending
+        wal.append_delta(D1, 3)  # third append completes the batch
+        assert wal.stats.fsyncs == 1
+        wal.append_delta(D2, 4)
+        wal.sync()  # an explicit sync drains the partial batch
+        assert wal.stats.fsyncs == 2
+        wal.sync()  # ... and an empty one is free
+        assert wal.stats.fsyncs == 2
+        wal.close()
+
+
+class TestRecovery:
+    def test_replay_applies_deltas_on_the_base(self, tmp_path):
+        with WriteAheadLog(tmp_path / "serve.wal") as wal:
+            wal.append_delta(D1, 1)
+            wal.append_delta(D2, 2)
+            database, version = wal.recover(base_database())
+        assert version == 2
+        assert database == base_database().apply(D1).apply(D2)
+
+    def test_seed_makes_an_empty_log_self_contained(self, tmp_path):
+        path = tmp_path / "serve.wal"
+        with WriteAheadLog(path) as wal:
+            database, version = wal.recover(base_database(), seed=True)
+            assert (database, version) == (base_database(), 0)
+            records = wal.records()
+            assert len(records) == 1 and records[0].kind == "snapshot"
+        # A seeded log recovers standalone — no base needed.
+        with WriteAheadLog(path) as wal:
+            database, version = wal.recover()
+            assert (database, version) == (base_database(), 0)
+            # seed=True on a non-empty log appends nothing.
+            wal.recover(seed=True)
+            assert wal.last_seq == 1
+
+    def test_snapshot_record_resets_replay_state(self, tmp_path):
+        with WriteAheadLog(tmp_path / "serve.wal") as wal:
+            wal.append_delta(D1, 1)
+            wal.append_snapshot(base_database(), 5)
+            wal.append_delta(D2, 6)
+            # The delta prefix applies to the passed base, then the
+            # snapshot replaces the replay state wholesale.
+            database, version = wal.recover(base_database())
+        assert version == 6
+        assert database == base_database().apply(D2)
+
+    def test_delta_log_without_a_base_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path / "serve.wal") as wal:
+            wal.append_delta(D1, 1)
+            with pytest.raises(WalError, match="base database"):
+                wal.recover()
+
+    def test_empty_log_without_a_base_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path / "serve.wal") as wal:
+            with pytest.raises(WalError, match="empty"):
+                wal.recover()
+
+
+class TestMaintenance:
+    def seeded(self, path) -> WriteAheadLog:
+        wal = WriteAheadLog(path)
+        wal.recover(base_database(), seed=True)
+        wal.append_delta(D1, 1)
+        wal.append_delta(D2, 2)
+        return wal
+
+    def test_truncate_drops_the_tail(self, tmp_path):
+        wal = self.seeded(tmp_path / "serve.wal")
+        assert wal.truncate(2) == 1  # drops the D2 record
+        assert wal.last_seq == 2 and wal.last_db_version == 1
+        database, version = wal.recover()
+        assert version == 1
+        assert database == base_database().apply(D1)
+        wal.close()
+
+    def test_compact_folds_history_into_one_snapshot(self, tmp_path):
+        path = tmp_path / "serve.wal"
+        wal = self.seeded(path)
+        expected, _ = wal.recover()
+        assert wal.compact() == 3  # snapshot + two deltas subsumed
+        records = wal.records()
+        assert len(records) == 1 and records[0].kind == "snapshot"
+        database, version = wal.recover()
+        assert version == 2 and database == expected
+        # crash-safe rewrite: no temp file left behind.
+        assert not path.with_name(path.name + ".tmp").exists()
+        # ... and appending after a compaction keeps the sequence.
+        wal.append_delta(D1, 3)
+        assert wal.last_seq == records[0].seq + 1
+        wal.close()
+
+    def test_wal_stats_surface_position_and_counters(self, tmp_path):
+        wal = self.seeded(tmp_path / "serve.wal")
+        stats = wal.wal_stats()
+        assert stats["format"] == WAL_FORMAT_VERSION
+        assert stats["last_seq"] == 3
+        assert stats["last_db_version"] == 2
+        assert stats["fsync_batch"] == 1
+        assert stats["records_appended"] == 3
+        assert stats["bytes_written"] > 0
+        wal.close()
+
+
+class TestWalCLI:
+    def seeded_path(self, tmp_path):
+        path = tmp_path / "serve.wal"
+        with WriteAheadLog(path) as wal:
+            wal.recover(base_database(), seed=True)
+            wal.append_delta(D1, 1)
+            wal.append_delta(D2, 2)
+        return path
+
+    def test_inspect_lists_every_record(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.seeded_path(tmp_path)
+        assert main(["wal", "inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 record(s)" in out and "db_version = 2" in out
+        assert "seq 1: snapshot @ db_version 0" in out
+        assert "seq 3: delta -> db_version 2" in out
+
+    def test_truncate_and_compact_verbs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.seeded_path(tmp_path)
+        assert main(["wal", "truncate", str(path), "--keep-through", "2"]) == 0
+        assert "dropped 1 record(s)" in capsys.readouterr().out
+        assert main(["wal", "compact", str(path)]) == 0
+        assert "compacted 2 record(s)" in capsys.readouterr().out
+        with WriteAheadLog(path) as wal:
+            database, version = wal.recover()
+        assert version == 1
+        assert database == base_database().apply(D1)
+
+    def test_bad_log_exits_cleanly(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "not.wal"
+        path.write_text("nope\n")
+        with pytest.raises(SystemExit):
+            main(["wal", "inspect", str(path)])
+
+    def test_version_reports_wal_format(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert f"wal format {WAL_FORMAT_VERSION}" in out
