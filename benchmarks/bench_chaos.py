@@ -1,0 +1,100 @@
+"""Chaos smoke: one seeded crash/recovery run per engine, recorded.
+
+A thin wrapper over :func:`repro.chaos.runner.run_chaos` — the heavy
+lifting (seeded workload, fault schedules, shadow-model convergence
+checks) lives in the library so the CLI, this bench, and the test
+suite all replay the identical run from a seed.  Each engine's
+verdict, crash/restart counts, and fault counters append to the
+repo-root ``BENCH_serving.json`` trajectory; any ``fail`` verdict
+exits non-zero and prints the one-line reproduction.
+
+Also measures the disarmed-hook overhead: the per-call cost of a
+``fire()`` on an unarmed registry, which the design requires to be a
+global read + ``None`` check (nanoseconds, not microseconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import record_serving
+
+from repro.chaos import faults
+from repro.chaos.runner import run_chaos
+from repro.engine import available_engines
+
+
+def disarmed_overhead_ns(calls: int = 200_000) -> float:
+    """Mean nanoseconds per disarmed ``fire()`` call."""
+    faults.disarm()
+    fire = faults.fire
+    start = time.perf_counter()
+    for _ in range(calls):
+        fire("wal.fsync")
+    return (time.perf_counter() - start) / calls * 1e9
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--ops", type=int, default=300)
+    parser.add_argument("--procs", type=int, default=None)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+
+    overhead = disarmed_overhead_ns()
+    print(f"disarmed fire() overhead: {overhead:.0f} ns/call")
+
+    failed = False
+    for engine in available_engines():
+        started = time.perf_counter()
+        report = run_chaos(
+            seed=args.seed,
+            ops=args.ops,
+            engine=engine,
+            procs=args.procs,
+            quick=args.quick,
+        )
+        elapsed = time.perf_counter() - started
+        fired = sum(
+            counts["fired"] for counts in report.fault_counters.values()
+        )
+        print(
+            f"{engine}: {report.verdict} — {report.executed} ops, "
+            f"{report.crashes} crashes, {report.restarts} restarts, "
+            f"{fired} faults fired in {elapsed:.1f}s"
+        )
+        if report.verdict != "pass":
+            failed = True
+            for violation in report.violations:
+                print(
+                    f"  violation at op {violation.op_index}: "
+                    f"{violation.kind}: {violation.detail}"
+                )
+            print(f"  reproduce: {report.repro}")
+        record_serving(
+            {
+                "bench": "chaos",
+                "engine": engine,
+                "seed": report.seed,
+                "ops": report.ops,
+                "procs": report.procs,
+                "verdict": report.verdict,
+                "crashes": report.crashes,
+                "restarts": report.restarts,
+                "faults_fired": fired,
+                "ops_survived": report.ops_survived,
+                "disarmed_fire_ns": round(overhead, 1),
+                "wall_s": round(elapsed, 2),
+            }
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Deterministic fault injection and the model-checked chaos suite.
+
+Light by design: importing this package (which :mod:`repro.data.wal`
+and the server modules do for their injection hooks) pulls in only the
+:mod:`~repro.chaos.faults` registry.  The workload generator, shadow
+model, and runner live in their own modules and import the serving
+stack lazily::
+
+    from repro.chaos import faults          # fire()/arm()/FAULT_POINTS
+    from repro.chaos.runner import run_chaos
+"""
+
+from __future__ import annotations
+
+from repro.chaos.faults import (
+    FAULT_POINTS,
+    ChaosCrash,
+    ChaosPlan,
+    arm,
+    armed,
+    disarm,
+    fire,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "ChaosCrash",
+    "ChaosPlan",
+    "arm",
+    "armed",
+    "disarm",
+    "fire",
+]

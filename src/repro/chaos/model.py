@@ -1,0 +1,208 @@
+"""The shadow model: a `PythonEngine` oracle for the chaos workload.
+
+The model tracks what the server is *obliged* to contain: every
+acknowledged mutation, nothing else.  Reads are checked against a
+reference view prepared over the model database with the pure-Python
+engine (the repo's cross-engine differential suite already proves the
+engines bit-identical, so the Python engine is a sound oracle for
+whichever engine serves).
+
+The only honest uncertainty is the in-flight window: with
+append-before-apply, a crash *during* a mutation may leave the record
+durable (the ``wal.fsync`` fault — written and flushed, never
+acknowledged) or not (``wal.torn_write`` / ``wal.corrupt_crc`` — the
+tail is dropped on reopen).  :meth:`reconcile_restart` therefore
+accepts exactly two outcomes — the model state, or the model state
+plus the one pending delta — and anything else is a violation:
+
+* recovered version below the model: an **acknowledged write was
+  lost**;
+* recovered version above model + pending: an **unacknowledged write
+  was resurrected** (or versions were minted from nowhere);
+* version right but contents different: **state divergence**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The one query the workload exercises (same shape as the serving
+#: suites: a binary join with a shared variable).
+DEFAULT_QUERY = "Q(x, y, z) :- R(x, y), S(y, z)"
+DEFAULT_ORDER = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough context to read the verdict."""
+
+    op_index: int
+    kind: str
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {
+            "op_index": self.op_index,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+class ShadowModel:
+    """Authoritative expected state; see the module docstring."""
+
+    def __init__(self, database, query=DEFAULT_QUERY, order=DEFAULT_ORDER):
+        self.database = database
+        self.db_version = 0
+        self.query = query
+        self.order = tuple(order)
+        #: The effective delta of the one mutation in flight (set on
+        #: crash, cleared by ack/abort/reconcile).
+        self.pending = None
+        #: Pinned MVCC snapshots: version -> the model database then.
+        self.pins: dict[int, object] = {}
+        self._views: dict[int, object] = {}
+
+    # -- reference views ---------------------------------------------------
+
+    def _view_over(self, database):
+        import repro
+
+        return repro.connect(database, engine="python").prepare(
+            self.query, order=list(self.order)
+        )
+
+    def view(self, version: int | None = None):
+        """The reference view at ``version`` (default: head).  Cached
+        per version; the cache is pruned to head + pins on mutation."""
+        if version is None:
+            version = self.db_version
+        if version not in self._views:
+            database = (
+                self.database
+                if version == self.db_version
+                else self.pins[version]
+            )
+            self._views[version] = self._view_over(database)
+        return self._views[version]
+
+    def count(self, version: int | None = None) -> int:
+        return len(self.view(version))
+
+    def answers_at(self, indices, version: int | None = None):
+        return [
+            list(row) for row in self.view(version).tuples_at(indices)
+        ]
+
+    # -- pins --------------------------------------------------------------
+
+    def pin(self, limit: int = 3) -> int:
+        """Remember the current version as a pinned snapshot."""
+        self.pins[self.db_version] = self.database
+        while len(self.pins) > limit:
+            evicted = min(self.pins)
+            del self.pins[evicted]
+            self._views.pop(evicted, None)
+        return self.db_version
+
+    def drop_pin(self, version: int) -> None:
+        self.pins.pop(version, None)
+        self._views.pop(version, None)
+
+    # -- mutations ---------------------------------------------------------
+
+    def begin_mutation(self, delta):
+        """Called before the request is issued; returns the effective
+        delta (what an ack would commit)."""
+        effective = delta.effective_against(self.database)
+        self.pending = effective
+        return effective
+
+    def _commit_pending(self) -> None:
+        self.database = self.database.apply(self.pending)
+        self.db_version += 1
+        self._views = {
+            version: view
+            for version, view in self._views.items()
+            if version in self.pins
+        }
+        self.pending = None
+
+    def ack_mutation(self, result_version, op_index) -> list[Violation]:
+        """The server acknowledged the in-flight mutation at
+        ``result_version``; commit and check the version arithmetic."""
+        out = []
+        bump = 0 if self.pending is None or self.pending.is_empty else 1
+        expected = self.db_version + bump
+        if bump:
+            self._commit_pending()
+        else:
+            self.pending = None
+        if result_version != expected:
+            out.append(
+                Violation(
+                    op_index,
+                    "version_mismatch",
+                    f"mutation acknowledged at db_version "
+                    f"{result_version}, model expected {expected}",
+                )
+            )
+            # Trust the server's arithmetic no further; adopt nothing.
+        return out
+
+    def abort_mutation(self) -> None:
+        """The server refused the mutation while alive: with
+        append-before-apply, a refusal means no record was written."""
+        self.pending = None
+
+    # -- crash + restart ---------------------------------------------------
+
+    def reconcile_restart(
+        self, recovered_database, recovered_version, op_index
+    ) -> list[Violation]:
+        """Check convergence after a crash + replay-on-boot cycle."""
+        pending = self.pending
+        self.pending = None
+        if (
+            pending is not None
+            and not pending.is_empty
+            and recovered_version == self.db_version + 1
+        ):
+            # The in-flight record proved durable before the crash
+            # (the fsync window); replay legitimately resurrects it.
+            self.pending = pending
+            self._commit_pending()
+        out = []
+        if recovered_version != self.db_version:
+            kind = (
+                "lost_acknowledged_write"
+                if recovered_version < self.db_version
+                else "resurrected_unacknowledged_write"
+            )
+            out.append(
+                Violation(
+                    op_index,
+                    kind,
+                    f"recovered at db_version {recovered_version}, "
+                    f"model holds {self.db_version}",
+                )
+            )
+        elif recovered_database != self.database:
+            out.append(
+                Violation(
+                    op_index,
+                    "state_divergence",
+                    f"recovered db_version {recovered_version} matches "
+                    "but relation contents differ from the model",
+                )
+            )
+        # Server-side MVCC snapshots did not survive the restart;
+        # pinned reads would answer StaleViewError from here on, which
+        # the checker tolerates — but expected answers are gone too,
+        # so drop the pins.
+        self.pins = {}
+        self._views = {}
+        return out
+
+
+__all__ = ["DEFAULT_ORDER", "DEFAULT_QUERY", "ShadowModel", "Violation"]

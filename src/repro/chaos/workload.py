@@ -1,0 +1,148 @@
+"""The seeded mixed-traffic generator for the chaos runner.
+
+Produces an interleaved stream of protocol operations — prepare-backed
+reads (count / access / page / rank / median), snapshot pins and
+pinned reads, version probes, and ``apply`` mutations — with
+Zipf-skewed values so hot keys collide the way production traffic
+does.  Every draw comes from one ``random.Random(seed)``, and
+parameters that depend on run state (an index must be inside the
+current answer count) are derived from the *model's* state, which is
+itself deterministic — so one seed fixes the entire op stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chaos.deltas import random_delta, zipf_draw
+from repro.chaos.model import DEFAULT_ORDER, DEFAULT_QUERY, ShadowModel
+from repro.data.database import Database
+
+#: (kind, weight) — mutations are deliberately heavy so fault points
+#: in the durability path fire often.
+_MIX = (
+    ("apply", 30),
+    ("access", 18),
+    ("count", 12),
+    ("page", 9),
+    ("rank", 8),
+    ("median", 5),
+    ("db_version", 4),
+    ("pin", 6),
+    ("pinned_access", 8),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One generated operation: a kind plus concrete parameters."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+
+def seed_database(
+    seed: int, size: int = 48, max_value: int = 30
+) -> Database:
+    """A Zipf-skewed two-relation database for the workload query."""
+    rng = random.Random(seed)
+
+    def rows(count):
+        out = {
+            (zipf_draw(rng, max_value), zipf_draw(rng, max_value))
+            for _ in range(count)
+        }
+        out.add((1, 2))  # never empty, always one joinable pair
+        return out
+
+    base = rows(size)
+    return Database(
+        {"R": base, "S": rows(max(4, size // 4)) | {(2, 3)}}
+    )
+
+
+class Workload:
+    """Draws the next op given the shadow model's current state."""
+
+    def __init__(
+        self,
+        seed: int,
+        max_value: int = 30,
+        query: str = DEFAULT_QUERY,
+        order=DEFAULT_ORDER,
+    ):
+        self.rng = random.Random(seed)
+        self.max_value = max_value
+        self.query = query
+        self.order = tuple(order)
+        self._kinds = [kind for kind, _ in _MIX]
+        self._weights = [weight for _, weight in _MIX]
+
+    def _indices(self, count: int) -> list[int]:
+        """1–3 valid, Zipf-skewed (head-heavy) answer indices."""
+        return [
+            min(count - 1, zipf_draw(self.rng, count - 1))
+            for _ in range(self.rng.randint(1, 3))
+        ]
+
+    def next_op(self, model: ShadowModel) -> WorkloadOp:
+        kind = self.rng.choices(self._kinds, self._weights)[0]
+        count = model.count()
+        if kind in ("access", "rank", "median") and count == 0:
+            kind = "count"  # nothing to index into; probe the count
+        if kind == "pinned_access" and not model.pins:
+            kind = "pin"
+        if kind == "apply":
+            delta = random_delta(
+                self.rng,
+                model.database,
+                max_value=self.max_value,
+                draw=zipf_draw,
+            )
+            return WorkloadOp("apply", {"delta": delta})
+        if kind == "access":
+            return WorkloadOp(
+                "access", {"indices": self._indices(count)}
+            )
+        if kind == "page":
+            page_size = self.rng.randint(1, 5)
+            pages = max(1, count // page_size + 1)
+            return WorkloadOp(
+                "page",
+                {
+                    "page_number": self.rng.randrange(pages),
+                    "page_size": page_size,
+                },
+            )
+        if kind == "rank":
+            if self.rng.random() < 0.7:
+                # An answer that exists: its rank must come back exact.
+                index = min(count - 1, zipf_draw(self.rng, count - 1))
+                answer = model.answers_at([index])[0]
+            else:
+                # A probably-absent tuple: rank must come back null.
+                answer = [
+                    zipf_draw(self.rng, self.max_value)
+                    for _ in self.order
+                ]
+            return WorkloadOp("rank", {"answer": answer})
+        if kind == "pinned_access":
+            version = self.rng.choice(sorted(model.pins))
+            pinned_count = model.count(version)
+            if pinned_count == 0:
+                return WorkloadOp(
+                    "pinned_count", {"db_version": version}
+                )
+            return WorkloadOp(
+                "pinned_access",
+                {
+                    "db_version": version,
+                    "indices": self._indices(pinned_count),
+                },
+            )
+        # count / median / db_version / pin carry no parameters.
+        return WorkloadOp(kind)
+
+
+__all__ = ["Workload", "WorkloadOp", "seed_database"]

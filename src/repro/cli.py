@@ -282,6 +282,80 @@ def cmd_session(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run the crash/recovery chaos harness (``repro chaos``)."""
+    import json as json_module
+    import os
+    import time
+
+    from repro.chaos.runner import run_chaos
+
+    faults_spec = args.faults
+    if faults_spec is not None and faults_spec.strip().lower() == "none":
+        faults_spec = ""
+    try:
+        report = run_chaos(
+            seed=args.seed,
+            ops=args.ops,
+            faults_spec=faults_spec,
+            engine=args.engine,
+            procs=args.procs,
+            quick=args.quick,
+            workers=args.workers,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if args.record:
+        from pathlib import Path
+
+        target = Path(args.record)
+        try:
+            history = json_module.loads(target.read_text())
+            if not isinstance(history, list):
+                history = []
+        except (OSError, ValueError):
+            history = []
+        entry = dict(report.as_dict())
+        entry["bench"] = "chaos"
+        entry["recorded_at"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+        entry["cpus"] = os.cpu_count()
+        history.append(entry)
+        target.write_text(
+            json_module.dumps(history, indent=2, default=str) + "\n"
+        )
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"chaos seed={report.seed} ops={report.ops} "
+            f"engine={report.engine}"
+            + (f" procs={report.procs}" if report.procs else "")
+            + f": {report.verdict.upper()}"
+        )
+        print(
+            f"  executed={report.executed} crashes={report.crashes} "
+            f"restarts={report.restarts} "
+            f"ops_survived={report.ops_survived}"
+        )
+        for site in sorted(report.fault_counters):
+            counts = report.fault_counters[site]
+            if counts["calls"] or counts["fired"]:
+                print(
+                    f"  {site}: fired {counts['fired']} of "
+                    f"{counts['calls']} passes"
+                )
+        for violation in report.violations:
+            print(
+                f"  VIOLATION at op {violation.op_index}: "
+                f"{violation.kind}: {violation.detail}"
+            )
+        if report.repro:
+            print(f"  reproduce: {report.repro}")
+    return 0 if report.verdict == "pass" else 1
+
+
 def cmd_serve(args) -> int:
     """Serve the JSON session protocol over HTTP (``repro serve``)."""
     import signal
@@ -315,6 +389,7 @@ def cmd_serve(args) -> int:
             retain_versions=args.retain_versions,
             strict_views=args.strict_views,
             request_timeout=args.request_timeout,
+            chaos=args.chaos,
         )
         if args.async_front:
             from repro.server.aio import AsyncReproServer
@@ -686,7 +761,81 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log one line per HTTP request",
     )
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+        "'seed=7,wal.fsync:nth=3,client.timeout:p=0.25' "
+        "(testing only; see docs/architecture.md, Failure model)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the deterministic crash/recovery chaos harness",
+        description="Drive a live serving core with seeded mixed "
+        "traffic while injecting faults (torn WAL writes, worker "
+        "kills, lost fsyncs), crash and restart it, and model-check "
+        "that no acknowledged write is lost, no unacknowledged write "
+        "is resurrected, and pinned snapshots stay bit-identical. "
+        "Fully deterministic: the same seed replays the same run.",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="seed for the op stream and every fault schedule "
+        "(default 1)",
+    )
+    chaos.add_argument(
+        "--ops",
+        type=int,
+        default=300,
+        help="operations to drive (default 300)",
+    )
+    chaos.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault plan (default: every WAL site, plus the pool "
+        "sites under --procs); 'none' disables injection",
+    )
+    chaos.add_argument(
+        "--engine",
+        default=None,
+        help="serve with this engine (default: the resolved one)",
+    )
+    chaos.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="run the process-pool mode with N workers",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker pool size (default 2)",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="small seed database (CI smoke size)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON instead of a summary",
+    )
+    chaos.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="append the verdict to this BENCH_serving.json-style "
+        "trajectory file",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     wal = commands.add_parser(
         "wal",

@@ -28,14 +28,23 @@ closes both gaps with the classic recipe:
 
 The file format is line-oriented text — one record per line::
 
-    repro-wal 1
-    <seq> <crc32-hex> <payload JSON>
+    repro-wal 2
+    <seq> <crc32-hex> <payload-length> <payload JSON>
 
 where the payload is ``{"kind": "delta"|"snapshot", "db_version": N,
 ...}``.  A ``snapshot`` record holds full relation contents and resets
 replay state; a ``delta`` record holds a serialized delta whose apply
-minted ``db_version``.  The text format keeps ``repro wal inspect``
-and plain ``grep`` useful on production logs.
+minted ``db_version``.  The length prefix is a second, independent
+commitment to the payload: a truncated record whose shortened payload
+happens to collide with the stored CRC-32 (a 32-bit check, so
+collisions are rare but real) still disagrees with the declared
+length and is dropped as torn.  The text format keeps ``repro wal
+inspect`` and plain ``grep`` useful on production logs.
+
+Fault points (:mod:`repro.chaos.faults`): ``wal.torn_write``,
+``wal.corrupt_crc``, and ``wal.fsync`` are wired into :meth:`_append`
+and simulate a process death at exactly the byte position each name
+describes; all three are free no-ops unless a chaos plan is armed.
 """
 
 from __future__ import annotations
@@ -47,20 +56,26 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.chaos.faults import ChaosCrash, fire as _fire
 from repro.data.database import Database
 from repro.data.delta import Delta
 from repro.errors import WalError
 
 #: On-disk format version, written in the header line and surfaced by
 #: ``repro --version`` so operators can tell at a glance whether two
-#: hosts' logs interoperate.
-WAL_FORMAT_VERSION = 1
+#: hosts' logs interoperate.  Version 2 added the payload-length field
+#: between the checksum and the payload.
+WAL_FORMAT_VERSION = 2
 
 _HEADER = f"repro-wal {WAL_FORMAT_VERSION}\n"
 
 
 def _checksum(seq: int, payload: str) -> str:
     return format(zlib.crc32(f"{seq}:{payload}".encode()), "08x")
+
+
+def _format_line(seq: int, payload: str) -> str:
+    return f"{seq} {_checksum(seq, payload)} {len(payload)} {payload}\n"
 
 
 @dataclass(frozen=True)
@@ -151,10 +166,11 @@ class WriteAheadLog:
                 raise WalError(
                     f"{self.path}: unreadable WAL header"
                 ) from None
-            if fmt > WAL_FORMAT_VERSION:
+            if fmt != WAL_FORMAT_VERSION:
                 raise WalError(
                     f"{self.path} speaks WAL format {fmt}, this build "
-                    f"speaks {WAL_FORMAT_VERSION}"
+                    f"speaks {WAL_FORMAT_VERSION} (compact the log "
+                    "with a matching build to migrate)"
                 )
             good_end = handle.tell()
             while True:
@@ -180,13 +196,18 @@ class WriteAheadLog:
     def _parse_line(line: str) -> WalRecord | None:
         if not line.endswith("\n"):
             return None  # torn: the trailing newline commits a record
-        parts = line.rstrip("\n").split(" ", 2)
-        if len(parts) != 3:
+        parts = line.rstrip("\n").split(" ", 3)
+        if len(parts) != 4:
             return None
-        seq_text, crc, payload = parts
+        seq_text, crc, length_text, payload = parts
         try:
             seq = int(seq_text)
+            length = int(length_text)
         except ValueError:
+            return None
+        # Length first: a truncated payload that happens to collide
+        # with the 32-bit CRC still disagrees with the declared length.
+        if len(payload) != length:
             return None
         if _checksum(seq, payload) != crc:
             return None
@@ -264,9 +285,32 @@ class WriteAheadLog:
         text = json.dumps(payload, default=str, separators=(",", ":"))
         with self._lock:
             seq = self._last_seq + 1
-            line = f"{seq} {_checksum(seq, text)} {text}\n"
+            line = _format_line(seq, text)
+            if _fire("wal.torn_write"):
+                # Die midway through the write: a partial line, no
+                # newline, reaches the file.  Open-time truncation must
+                # drop it — the write was never acknowledged.
+                self._file.write(line[: max(1, len(line) // 2)])
+                self._file.flush()
+                raise ChaosCrash("wal.torn_write")
+            if _fire("wal.corrupt_crc"):
+                # A full line lands whose checksum disagrees with its
+                # payload (bit rot / a buggy writer); replay must treat
+                # it as torn, not apply it.
+                crc = _checksum(seq, text)
+                bad = ("f" if crc[0] != "f" else "0") + crc[1:]
+                self._file.write(f"{seq} {bad} {len(text)} {text}\n")
+                self._file.flush()
+                raise ChaosCrash("wal.corrupt_crc")
             self._file.write(line)
             self._file.flush()
+            if _fire("wal.fsync"):
+                # The record reached the OS (written + flushed) but the
+                # process dies before fsync returns: durable on disk,
+                # never acknowledged to the caller.  Replay may
+                # legitimately resurrect it — the checker's pending-
+                # delta tolerance models exactly this window.
+                raise ChaosCrash("wal.fsync")
             self._pending += 1
             if self._pending >= self._fsync_batch:
                 os.fsync(self._file.fileno())
@@ -385,11 +429,7 @@ class WriteAheadLog:
             if record.seq > keep_through_seq:
                 dropped += 1
                 continue
-            payload = self._payload_of(record)
-            kept.append(
-                f"{record.seq} {_checksum(record.seq, payload)} "
-                f"{payload}\n"
-            )
+            kept.append(_format_line(record.seq, self._payload_of(record)))
             last_seq = record.seq
             last_version = record.db_version
         self._rewrite(kept)
@@ -424,7 +464,7 @@ class WriteAheadLog:
             separators=(",", ":"),
         )
         seq = max(self._last_seq, 1)
-        self._rewrite([f"{seq} {_checksum(seq, payload)} {payload}\n"])
+        self._rewrite([_format_line(seq, payload)])
         with self._lock:
             self._last_seq = seq
             self._last_db_version = version

@@ -128,6 +128,7 @@ class AsyncReproServer:
         wal: str | None = None,
         retain_versions: int | None = None,
         strict_views: bool = False,
+        chaos: str | None = None,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         max_connections: int = DEFAULT_MAX_CONNECTIONS,
         drain_timeout: float = 10.0,
@@ -156,6 +157,7 @@ class AsyncReproServer:
             wal=wal,
             retain_versions=retain_versions,
             strict_views=strict_views,
+            chaos=chaos,
         )
         self.verbose = verbose
         self.counters = _ServerCounters()

@@ -43,6 +43,7 @@ import json
 import threading
 import urllib.parse
 
+from repro.chaos.faults import fire as _chaos_fire
 from repro.data.delta import Delta
 from repro.errors import ProtocolError, ReproError
 from repro.facade import WindowedAnswers
@@ -135,6 +136,21 @@ class _KeepAlivePool:
         must never re-send them — a fresh socket's failure is a real
         transport error and propagates instead.
         """
+        # Fault points (free no-ops unless a chaos plan is armed).
+        # They fire *before* a socket is checked out, modelling the
+        # transport dying under the caller: no idle connection is
+        # consumed or poisoned, so the pool stays reusable once the
+        # fault clears.
+        if _chaos_fire("client.timeout"):
+            raise TimeoutError(
+                f"chaos: injected client timeout on {method} {path}"
+            )
+        if _chaos_fire("client.disconnect"):
+            raise ConnectionResetError(
+                f"chaos: injected disconnect mid-body on {method} {path}"
+            )
+        if _chaos_fire("client.http_500"):
+            return 500, b"chaos: injected upstream 5xx"
         headers = headers or {}
         connection = None
         with self._lock:

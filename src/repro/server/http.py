@@ -251,6 +251,7 @@ class ServingCore:
         wal: str | None = None,
         retain_versions: int | None = None,
         strict_views: bool = False,
+        chaos: str | None = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -282,6 +283,15 @@ class ServingCore:
                 "serving is read-only, there are no deltas to log"
             )
         self.stats_per_worker = stats_per_worker
+        # Arm fault injection for this process and remember the spec so
+        # worker *processes* inherit it through their WorkerSpec (the
+        # REPRO_CHAOS environment variable covers them too, but a
+        # config field survives env-scrubbing process managers).
+        self.chaos = chaos
+        if chaos is not None:
+            from repro.chaos import faults
+
+            faults.arm(chaos)
         if not isinstance(database, Database):
             database = Database(database)
         self.wal = None
@@ -361,6 +371,7 @@ class ServingCore:
                 shard_variable=shard_variable,
                 start_method=start_method,
                 queue_depth=self.queue_depth,
+                chaos=chaos,
             )
             self.workers = self._backend.plan.shards
         elif procs is not None:
@@ -376,6 +387,7 @@ class ServingCore:
                 start_method=start_method,
                 queue_depth=self.queue_depth,
                 read_only=self.read_only,
+                chaos=chaos,
             )
             self.workers = procs
         else:
@@ -462,6 +474,10 @@ class ServingCore:
             clean = self._backend.close(timeout=timeout)
         if self.wal is not None:
             self.wal.close()
+        if self.chaos is not None:
+            from repro.chaos import faults
+
+            faults.disarm()
         return clean
 
     # -- observability -----------------------------------------------------
@@ -773,6 +789,7 @@ class ReproServer:
         wal: str | None = None,
         retain_versions: int | None = None,
         strict_views: bool = False,
+        chaos: str | None = None,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ):
         self.core = ServingCore(
@@ -794,6 +811,7 @@ class ReproServer:
             wal=wal,
             retain_versions=retain_versions,
             strict_views=strict_views,
+            chaos=chaos,
         )
         self.verbose = verbose
         self.counters = _ServerCounters()
@@ -944,6 +962,7 @@ def serve(
     wal: str | None = None,
     retain_versions: int | None = None,
     strict_views: bool = False,
+    chaos: str | None = None,
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> ReproServer:
     """Build a :class:`ReproServer` and serve in the foreground.
@@ -972,6 +991,7 @@ def serve(
         wal=wal,
         retain_versions=retain_versions,
         strict_views=strict_views,
+        chaos=chaos,
         request_timeout=request_timeout,
     )
     try:

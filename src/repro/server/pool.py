@@ -41,6 +41,7 @@ import multiprocessing
 import threading
 import time
 
+from repro.chaos.faults import fire as _chaos_fire
 from repro.errors import OverloadedError, WorkerCrashError
 from repro.server.shm import SharedArtifactPlane
 
@@ -341,13 +342,28 @@ class WorkerPool:
     def _interact(self, worker: _PoolWorker, message):
         """One send → final ``ok``/``err``, serving plane traffic
         in between.  Raises :class:`WorkerCrashError` (and marks the
-        worker) when the process dies mid-conversation."""
+        worker) when the process dies mid-conversation.
+
+        Fault points: ``pool.crash_before_publish`` kills the worker
+        after the request is on the pipe but before any reply arrives
+        (the request was never acknowledged), ``pool.crash_after_publish``
+        kills it right after the ``ok`` reply (acknowledged, then
+        dead) — both land on the normal crash-mark + respawn path.
+        """
         try:
+            if _chaos_fire("pool.crash_before_publish"):
+                worker.process.kill()
+                worker.process.join()
             worker.pipe.send(message)
             while True:
                 reply = worker.pipe.recv()
                 tag = reply[0]
                 if tag == "ok":
+                    if _chaos_fire("pool.crash_after_publish"):
+                        worker.process.kill()
+                        worker.process.join()
+                        worker.crashed = True
+                        self.crashes += 1
                     return reply[1]
                 if tag == "err":
                     raise WorkerCrashError(

@@ -99,6 +99,7 @@ class ProcessBackend:
         start_method: str = "spawn",
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         read_only: bool = False,
+        chaos: str | None = None,
     ):
         self.store = store
         self._capacity = capacity
@@ -106,16 +107,23 @@ class ProcessBackend:
         self._default_query_text = default_query_text
         self._engine_name = engine_name
         self._read_only = bool(read_only)
+        self._chaos = chaos
         self.plane = SharedArtifactPlane()
         self._mutation_lock = threading.Lock()
         self._current = self._publish(store.database, store.db_version)
-        self.pool = WorkerPool(
-            procs,
-            self._spec_factory,
-            plane=self.plane,
-            start_method=start_method,
-            max_queue_depth=queue_depth,
-        )
+        try:
+            self.pool = WorkerPool(
+                procs,
+                self._spec_factory,
+                plane=self.plane,
+                start_method=start_method,
+                max_queue_depth=queue_depth,
+            )
+        except BaseException:
+            # A fleet that never booted (e.g. every worker failed to
+            # attach the plane) must not leak its /dev/shm segments.
+            self.plane.close()
+            raise
 
     def _publish(self, database, version: int):
         """``(publication, fallback, version)`` for the current
@@ -148,6 +156,7 @@ class ProcessBackend:
             # stays supervisor-only (one log, one appender).
             retain_versions=self.store.snapshots.retain,
             strict_views=self.store.strict_views,
+            chaos=self._chaos,
         )
 
     # -- serving -----------------------------------------------------------
@@ -238,6 +247,7 @@ class ShardBackend:
         shard_variable: str | None = None,
         start_method: str = "spawn",
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        chaos: str | None = None,
     ):
         if default_query is None:
             raise ProtocolError(
@@ -283,15 +293,20 @@ class ShardBackend:
                     cache_slack=cache_slack,
                     default_query=query_text,
                     shard_index=index,
+                    chaos=chaos,
                 )
             )
-        self.pool = WorkerPool(
-            self.plan.shards,
-            self._spec_factory,
-            plane=self.plane,
-            start_method=start_method,
-            max_queue_depth=queue_depth,
-        )
+        try:
+            self.pool = WorkerPool(
+                self.plan.shards,
+                self._spec_factory,
+                plane=self.plane,
+                start_method=start_method,
+                max_queue_depth=queue_depth,
+            )
+        except BaseException:
+            self.plane.close()
+            raise
         self._executor = ShardedExecutor(
             self.plan, self._execute_shard, default_query=query_text
         )

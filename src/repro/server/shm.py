@@ -53,6 +53,8 @@ import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
+from repro.chaos.faults import fire as _chaos_fire
+
 #: Segment names stay well under the POSIX 255-byte limit; the prefix
 #: carries the primary's pid so leaked segments are attributable.
 _NAME_BYTES = 4
@@ -373,6 +375,14 @@ class AttachedSegments:
         self._shms: list[shared_memory.SharedMemory] = []
         self.views: dict[str, memoryview] = {}
         try:
+            # Fault point ``shm.attach``: the named segment vanished
+            # (teardown race, /dev/shm pressure) — the attach must fail
+            # cleanly, never half-map.
+            if _chaos_fire("shm.attach"):
+                raise OSError(
+                    "chaos: injected shared-memory attach failure for "
+                    f"{publication.token!r}"
+                )
             for buffer_name, segment_name in publication.segments:
                 segment = shared_memory.SharedMemory(name=segment_name)
                 self._shms.append(segment)

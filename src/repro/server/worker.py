@@ -35,8 +35,11 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 import traceback
 from dataclasses import dataclass, field
+
+from repro.chaos.faults import fire as _chaos_fire
 
 from repro.data.flatbuf import (
     database_from_buffers,
@@ -76,6 +79,10 @@ class WorkerSpec:
     #: never carry a WAL — the supervisor's store is the one appender.
     retain_versions: int | None = None
     strict_views: bool = False
+    #: A chaos spec (:mod:`repro.chaos.faults` grammar) armed at boot,
+    #: so injected worker processes inherit the supervisor's plan even
+    #: when ``REPRO_CHAOS`` is not in the environment.
+    chaos: str | None = None
 
 
 @dataclass
@@ -121,10 +128,16 @@ class PlaneClient:
                 self.fetch_misses += 1
                 return None
             attached = AttachedSegments(publication)
+            # Rebuild against the database *at the requested version*,
+            # not the head: a pinned read fetching a retained-version
+            # forest from the plane must bind it to the matching MVCC
+            # snapshot (database_at raises StaleViewError when the
+            # snapshot is gone, which the broad except below turns
+            # into an honest miss).
             forest = forest_from_buffers(
                 publication.manifest,
                 attached.views,
-                self.store.database,
+                self.store.database_at(version),
             )
             # The SharedMemory handles must outlive the forest's numpy
             # views; the store may evict the forest but the attachment
@@ -142,7 +155,7 @@ class PlaneClient:
         if kind != "forest" or self.store is None:
             return
         try:
-            database = self.store.database
+            database = self.store.database_at(version)
             shared = getattr(database, "shared_dictionary", None)
             flat = forest_to_buffers(value, shared)
             if flat is None:
@@ -220,6 +233,10 @@ def worker_main(spec: WorkerSpec, pipe) -> None:
             signal.signal(signum, signal.SIG_IGN)
         except (ValueError, OSError):  # pragma: no cover - exotic hosts
             pass
+    if spec.chaos:
+        from repro.chaos import faults
+
+        faults.arm(spec.chaos)
     try:
         store, plane, connection = _boot(spec, pipe)
     except BaseException as error:  # noqa: BLE001 - report, then die
@@ -267,6 +284,8 @@ def worker_main(spec: WorkerSpec, pipe) -> None:
                         )
                     )
                 elif tag == "ping":
+                    if _chaos_fire("pool.slow_ping"):
+                        time.sleep(0.05)
                     pipe.send(("ok", "pong"))
                 elif tag == "drain":
                     pipe.send(("ok", None))

@@ -145,3 +145,59 @@ class TestArchitectureDocSync:
             assert concept in architecture_doc.lower(), (
                 f"architecture.md no longer explains {concept!r}"
             )
+
+
+class TestFailureModelSync:
+    """The "Failure model" section is diffed against the fault-point
+    registry: a site added to :data:`repro.chaos.faults.FAULT_POINTS`
+    without a documented invariant (or documented but deleted from the
+    code) fails the build."""
+
+    @pytest.fixture(scope="class")
+    def failure_model(self, architecture_doc) -> str:
+        start = architecture_doc.find("## Failure model")
+        assert start != -1, (
+            "docs/architecture.md lost its '## Failure model' section"
+        )
+        end = architecture_doc.find("\n## ", start + 1)
+        return architecture_doc[start : end if end != -1 else None]
+
+    def test_every_fault_point_is_documented(self, failure_model):
+        from repro.chaos.faults import FAULT_POINTS
+
+        cited = set(
+            re.findall(r"`(\w+\.\w+)`", failure_model)
+        ) & set(FAULT_POINTS)
+        missing = set(FAULT_POINTS) - cited
+        assert not missing, (
+            f"fault points registered in repro/chaos/faults.py but "
+            f"missing from the Failure model table: {sorted(missing)}"
+        )
+
+    def test_documented_table_rows_exist_in_the_registry(
+        self, failure_model
+    ):
+        from repro.chaos.faults import FAULT_POINTS
+
+        rows = re.findall(
+            r"^\| `(\w+\.\w+)` \|", failure_model, re.MULTILINE
+        )
+        assert rows, "the Failure model table went missing"
+        unknown = set(rows) - set(FAULT_POINTS)
+        assert not unknown, (
+            f"the Failure model table documents fault points that no "
+            f"longer exist: {sorted(unknown)}"
+        )
+
+    def test_reproduction_workflow_is_documented(self, failure_model):
+        """A seed must be enough to replay a failure: the section has
+        to spell out the arming surfaces and the reproduction line."""
+        for needle in (
+            "REPRO_CHAOS",
+            "--chaos",
+            "repro chaos --seed",
+            "seed=",
+        ):
+            assert needle in failure_model, (
+                f"Failure model section no longer mentions {needle!r}"
+            )

@@ -38,6 +38,7 @@ from repro import (
     connect,
     parse_query,
 )
+from repro.chaos.deltas import delta_sequence, random_delta, shrink_deltas
 from repro.data.columnar import numpy_available
 from repro.errors import DatabaseError
 from repro.session import AccessSession, ArtifactStore
@@ -158,49 +159,48 @@ class TestEncodedDatabaseApply:
         assert sorted(out["R"].tuples) == [(1, 2)]
 
     def test_incremental_answers_equal_fresh_encode(self):
+        """Property test over the shared generator
+        (:mod:`repro.chaos.deltas`): after every prefix of a seeded
+        delta sequence, incremental encoding must answer exactly like
+        a from-scratch encode.  A failure is shrunk to the minimal
+        delta sequence before being reported."""
         query = parse_query(PATH)
+        base = {"R": {(1, 2), (3, 2)}, "S": {(2, 7), (2, 9)}}
         rng = random.Random(20260729)
-        database = EncodedDatabase(
-            {"R": {(1, 2), (3, 2)}, "S": {(2, 7), (2, 9)}}
-        )
+        deltas = []
+        database = EncodedDatabase(base)
         for step in range(12):
             delta = random_delta(rng, database, max_value=40 + step)
+            deltas.append(delta)
             database = database.apply(delta)
-            fresh = EncodedDatabase(
-                {
-                    name: set(rel.tuples)
-                    for name, rel in database.relations.items()
-                }
-            )
-            with repro.use_engine("numpy"):
-                incremental = connect(database).prepare(
-                    query, order=["x", "y", "z"]
-                )
-                rebuilt = connect(fresh).prepare(
-                    query, order=["x", "y", "z"]
-                )
-            assert list(incremental) == list(rebuilt)
 
+        def diverges(sequence):
+            current = EncodedDatabase(base)
+            for delta in sequence:
+                current = current.apply(delta)
+                fresh = EncodedDatabase(
+                    {
+                        name: set(rel.tuples)
+                        for name, rel in current.relations.items()
+                    }
+                )
+                with repro.use_engine("numpy"):
+                    incremental = connect(current).prepare(
+                        query, order=["x", "y", "z"]
+                    )
+                    rebuilt = connect(fresh).prepare(
+                        query, order=["x", "y", "z"]
+                    )
+                if list(incremental) != list(rebuilt):
+                    return True
+            return False
 
-def random_delta(rng, database, max_value=40) -> Delta:
-    inserts: dict = {}
-    deletes: dict = {}
-    for name, relation in database.relations.items():
-        if rng.random() < 0.5:
-            continue
-        inserts[name] = {
-            tuple(
-                rng.randint(0, max_value)
-                for _ in range(relation.arity)
+        if diverges(deltas):
+            minimal = shrink_deltas(deltas, diverges)
+            pytest.fail(
+                "incremental encode diverges from fresh encode; "
+                f"minimal failing sequence: {minimal!r}"
             )
-            for _ in range(rng.randint(0, 3))
-        }
-        existing = sorted(relation.tuples)
-        if existing and rng.random() < 0.6:
-            deletes[name] = set(
-                rng.sample(existing, rng.randint(1, len(existing)))
-            )
-    return Delta(inserts=inserts, deletes=deletes)
 
 
 class TestVersionedStore:
@@ -430,23 +430,39 @@ class TestFacadeStaleness:
         assert len(final) == n
 
     def test_incremental_equals_rebuild_per_engine(self):
-        """The differential law at the facade: after a random
-        insert/delete workload, an incrementally maintained connection
-        answers identically to a from-scratch one, on every engine."""
-        rng = random.Random(5)
+        """The differential law at the facade: after a seeded
+        insert/delete workload from the shared generator
+        (:mod:`repro.chaos.deltas` — the same distribution the chaos
+        harness drives), an incrementally maintained connection
+        answers identically to a from-scratch one, on every engine.
+        A failure is shrunk to the minimal delta sequence before
+        being reported."""
         for engine in repro.available_engines():
-            conn = connect(fresh_database(), engine=engine)
-            database = fresh_database()
-            for _step in range(8):
-                delta = random_delta(rng, database)
-                database = database.apply(delta)
-                conn.apply(delta)
-                live = conn.prepare(PATH, order=["x", "y", "z"])
-                rebuilt = connect(database, engine=engine).prepare(
-                    PATH, order=["x", "y", "z"]
+            deltas = delta_sequence(5, fresh_database(), 8)
+
+            def diverges(sequence, engine=engine):
+                conn = connect(fresh_database(), engine=engine)
+                database = fresh_database()
+                for delta in sequence:
+                    database = database.apply(delta)
+                    conn.apply(delta)
+                    live = conn.prepare(PATH, order=["x", "y", "z"])
+                    rebuilt = connect(database, engine=engine).prepare(
+                        PATH, order=["x", "y", "z"]
+                    )
+                    if (
+                        list(live) != list(rebuilt)
+                        or live.db_version != conn.db_version
+                    ):
+                        return True
+                return False
+
+            if diverges(deltas):
+                minimal = shrink_deltas(deltas, diverges)
+                pytest.fail(
+                    f"incremental != rebuild under {engine}; "
+                    f"minimal failing sequence: {minimal!r}"
                 )
-                assert list(live) == list(rebuilt), engine
-                assert live.db_version == conn.db_version
 
 
 class TestProtocolMutations:

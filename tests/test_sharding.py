@@ -282,6 +282,78 @@ class TestHTTPShardExecutor:
             front.shutdown()
 
 
+@pytest.fixture()
+def cold_remote(http_sharding):
+    """A fresh transport + executor over the already-running replicas:
+    function-scoped so every degradation test starts with a cold
+    merged-view cache and its requests really cross the wire."""
+    plan = plan_shards(
+        Database(RELATIONS), QUERY, shards=3, variable="x"
+    )
+    transport = HTTPShardExecutor(http_sharding["urls"])
+    yield ShardedExecutor(plan, transport)
+    transport.close()
+
+
+class TestChaosDegradation:
+    """Injected transport faults (:mod:`repro.chaos`) against the live
+    replicas: every failure mode must surface as a *structured* repro
+    error — bounded, typed, carrying the shard index — never a hang,
+    and never a poisoned keep-alive pool."""
+
+    def test_injected_timeout_is_a_structured_error(self, http_sharding, cold_remote):
+        from repro.chaos import faults
+
+        with faults.armed("client.timeout:once"):
+            reply = cold_remote.execute(request("count"))
+        assert reply["ok"] is False
+        assert reply["error_type"] == "ReproError"
+        assert "shard replica" in reply["error"]
+        assert "unreachable" in reply["error"]
+
+    def test_injected_disconnect_is_a_structured_error(self, http_sharding, cold_remote):
+        from repro.chaos import faults
+
+        with faults.armed("client.disconnect:once"):
+            reply = cold_remote.execute(request("count"))
+        assert reply["ok"] is False
+        assert reply["error_type"] == "ReproError"
+        assert "unreachable" in reply["error"]
+
+    def test_unparseable_5xx_is_a_protocol_error(self, http_sharding, cold_remote):
+        from repro.chaos import faults
+
+        with faults.armed("client.http_500:once"):
+            reply = cold_remote.execute(request("count"))
+        assert reply["ok"] is False
+        assert reply["error_type"] == "ProtocolError"
+        assert "did not answer with JSON" in reply["error"]
+
+    def test_every_request_failing_still_terminates(self, http_sharding, cold_remote):
+        """p=1 fails the fan-out on every shard, every time: the
+        executor must keep answering structured errors, not wedge."""
+        from repro.chaos import faults
+
+        with faults.armed("seed=1,client.timeout:p=1"):
+            for _ in range(3):
+                reply = cold_remote.execute(request("count"))
+                assert reply["ok"] is False
+                assert reply["error_type"] == "ReproError"
+
+    def test_pool_is_reusable_once_faults_clear(self, http_sharding, cold_remote):
+        """Faults fire before a socket is checked out, so the
+        keep-alive pool must come back bit-identical after disarm."""
+        from repro.chaos import faults
+
+        case = request("count")
+        with faults.armed("client.timeout:once"):
+            degraded = cold_remote.execute(case)
+            assert degraded["ok"] is False
+        # Same executor, same keep-alive pools, faults cleared: the
+        # next attempt must answer the reference bits.
+        assert cold_remote.execute(case) == http_sharding["reference"](case)
+
+
 class TestDivergencesByDesign:
     def test_mutations_are_refused(self, executor):
         reply = executor.execute(

@@ -89,6 +89,39 @@ class TestTornTail:
         assert [r.seq for r in wal.records()] == [1, 2]
         wal.close()
 
+    def test_length_prefix_defeats_crc_colliding_truncation(self, tmp_path):
+        """A torn tail whose surviving prefix *happens* to carry a
+        valid checksum must still be dropped.
+
+        The crafted line models the worst-case torn write: the payload
+        on disk parses as JSON and matches its CRC field (a 1-in-2^32
+        collision, handed to the parser deliberately), so every check
+        except the length prefix is fooled.  Only the declared payload
+        length betrays that the record was cut short.
+        """
+        from repro.data.wal import _checksum
+
+        path = tmp_path / "serve.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_delta(D1, 1)
+            wal.append_delta(D2, 2)
+        lines = path.read_text().splitlines(keepends=True)
+        seq, _crc, _length, payload = lines[-1].rstrip("\n").split(" ", 3)
+        # Same payload, same (valid) checksum — but the length prefix
+        # says the original record was longer than what survived.
+        lines[-1] = (
+            f"{seq} {_checksum(int(seq), payload)} "
+            f"{len(payload) + 7} {payload}\n"
+        )
+        path.write_text("".join(lines))
+        wal = WriteAheadLog(path)
+        assert wal.stats.torn_tail_dropped == 1
+        assert wal.last_seq == 1 and len(wal.records()) == 1
+        # The truncation repaired the file; appends continue cleanly.
+        wal.append_delta(D2, 2)
+        assert [r.seq for r in wal.records()] == [1, 2]
+        wal.close()
+
     def test_corrupt_checksum_cuts_the_tail(self, tmp_path):
         path = tmp_path / "serve.wal"
         with WriteAheadLog(path) as wal:
