@@ -1,0 +1,89 @@
+"""Static-analysis smoke: the pass itself stays cheap and clean.
+
+Runs ``repro analyze --strict`` (as a library call) over the whole
+repository, checks the zero-violation baseline, verifies the JSON
+report is byte-identical across two runs, and appends the rule count
+and wall-clock runtime to the repo-root ``BENCH_serving.json``
+trajectory: a linter that drifts from milliseconds to minutes (or a
+baseline that silently grows findings) is a regression like any
+other.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import record_serving, timed
+
+from repro.analysis import RULES, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TARGETS = ["src", "tests", "benchmarks"]
+
+
+def run_pass():
+    return analyze_paths(
+        [REPO_ROOT / target for target in TARGETS],
+        root=REPO_ROOT,
+        strict=True,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single timing run (CI smoke); default runs twice "
+        "and takes the faster",
+    )
+    args = parser.parse_args(argv)
+
+    report, seconds = timed(run_pass)
+    if not args.quick:
+        _, again = timed(run_pass)
+        seconds = min(seconds, again)
+
+    first = run_pass().to_json()
+    second = run_pass().to_json()
+    deterministic = first == second
+
+    print(
+        f"analyzed {report.files} files against {len(RULES)} rules "
+        f"in {seconds * 1e3:.0f} ms"
+    )
+    print(
+        f"findings: {len(report.findings)} "
+        f"(suppressed: {len(report.suppressed)}), "
+        f"json deterministic: {deterministic}"
+    )
+
+    record_serving(
+        {
+            "benchmark": "analysis_smoke",
+            "rules": len(RULES),
+            "files": report.files,
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "analyze_seconds": round(seconds, 4),
+            "json_deterministic": deterministic,
+        }
+    )
+
+    if report.findings:
+        for line in report.render_text():
+            print(line)
+        print("FAIL: the repository baseline is no longer clean")
+        return 1
+    if not deterministic:
+        print("FAIL: JSON report differs between two runs")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,7 +75,7 @@ from repro.query import (
     parse_query,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 #: Pre-facade entry points, kept importable behind a deprecation
 #: warning: name -> (module, attribute, replacement hint).

@@ -1,0 +1,72 @@
+"""Recognizing blocking calls in an AST.
+
+Shared by the lock-order analyzer (blocking while a lock is held) and
+the async-safety rule (blocking on the event loop).  The matcher is
+deliberately a *targeted allowlist* of call shapes that block on I/O
+or time — broad heuristics ("any ``.read()``") would bury the real
+findings in noise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Bare or attribute call names that always mean a blocking syscall.
+_ALWAYS_BLOCKING_NAMES = frozenset({"fsync", "sleep"})
+
+#: ``<module>.<name>`` dotted calls that block.
+_BLOCKING_DOTTED = frozenset(
+    {
+        ("os", "fsync"),
+        ("time", "sleep"),
+        ("subprocess", "run"),
+        ("subprocess", "Popen"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("socket", "create_connection"),
+        ("urllib", "urlopen"),
+    }
+)
+
+#: Method names that block on a socket, pipe, or HTTP exchange
+#: whatever the receiver is (``pipe.recv()``, ``conn.getresponse()``).
+_BLOCKING_METHODS = frozenset(
+    {"recv", "recv_into", "accept", "getresponse", "urlopen"}
+)
+
+#: Receivers whose ``sleep`` is *not* blocking for the event loop.
+_ASYNC_SAFE_RECEIVERS = frozenset({"asyncio"})
+
+
+def blocking_call(node: ast.Call) -> str | None:
+    """The dotted description of a blocking call, or ``None``.
+
+    >>> import ast
+    >>> call = ast.parse("time.sleep(1)").body[0].value
+    >>> blocking_call(call)
+    'time.sleep'
+    >>> call = ast.parse("asyncio.sleep(1)").body[0].value
+    >>> blocking_call(call) is None
+    True
+    """
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in _ALWAYS_BLOCKING_NAMES:
+            return func.id
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    name = func.attr
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        if receiver.id in _ASYNC_SAFE_RECEIVERS:
+            return None
+        if (receiver.id, name) in _BLOCKING_DOTTED:
+            return f"{receiver.id}.{name}"
+    if name in _ALWAYS_BLOCKING_NAMES or name in _BLOCKING_METHODS:
+        return ast.unparse(func)
+    return None
+
+
+__all__ = ["blocking_call"]

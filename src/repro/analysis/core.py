@@ -1,0 +1,301 @@
+"""Shared infrastructure for the static-analysis pass.
+
+One :class:`SourceFile` per analyzed module (source text, parsed AST,
+per-line suppressions), one :class:`Finding` per rule hit, and the
+:func:`analyze_paths` driver that runs every registered analyzer and
+applies ``repro: noqa[RULE-ID]`` comment suppressions.
+
+The pass is deliberately stdlib-only (``ast`` + ``tokenize``-free line
+scanning): it must run in the barest environment the test suite runs
+in, with zero install cost, and its JSON report must be byte-identical
+across runs — no timestamps, no absolute paths, no dict-order
+dependence.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.analysis.registry import RULES
+
+#: The suppression grammar: ``repro: noqa[RULE-ID]`` (in a comment) with an
+#: optional (strict-mandatory) ``-- justification`` tail.  Several ids
+#: may be listed comma-separated inside one bracket pair.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<ids>[A-Z0-9,\- ]+)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a file:line."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes (stable across hosts)
+    line: int
+    message: str
+
+    @property
+    def severity(self) -> str:
+        return RULES[self.rule].severity
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: noqa[...]`` annotation found in a source line."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    justification: str | None
+
+
+@dataclass
+class SourceFile:
+    """One module under analysis: text, AST, and suppressions."""
+
+    path: Path  # absolute, for reading
+    rel: str  # repo-relative display path, forward slashes
+    text: str
+    tree: ast.Module
+    #: line number -> rule ids suppressed on that line ("*" = all)
+    noqa: dict[int, set[str]] = field(default_factory=dict)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        source = cls(path=path, rel=rel, text=text, tree=tree)
+        for number, line in enumerate(text.splitlines(), start=1):
+            match = _NOQA.search(line)
+            if match is None:
+                continue
+            ids = tuple(
+                token.strip()
+                for token in match.group("ids").split(",")
+                if token.strip()
+            )
+            source.noqa.setdefault(number, set()).update(ids)
+            source.suppressions.append(
+                Suppression(
+                    path=rel,
+                    line=number,
+                    rules=ids,
+                    justification=match.group("why"),
+                )
+            )
+        return source
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        ids = self.noqa.get(line)
+        return ids is not None and (rule in ids or "*" in ids)
+
+
+#: An analyzer: takes the loaded files, yields findings.  Registered
+#: via :func:`analyzer`; the driver runs them in registration order
+#: and sorts the merged findings, so analyzer order never shows in
+#: the report.
+Analyzer = Callable[[list[SourceFile]], Iterable[Finding]]
+
+_ANALYZERS: list[Analyzer] = []
+
+
+def analyzer(fn: Analyzer) -> Analyzer:
+    _ANALYZERS.append(fn)
+    return fn
+
+
+def _load_analyzers() -> None:
+    """Import the rule modules (each registers via @analyzer)."""
+    if getattr(_load_analyzers, "_done", False):
+        return
+    from repro.analysis import (  # noqa: F401 -- imported for side effect
+        rules_async,
+        rules_exceptions,
+        rules_imports,
+        rules_locks,
+        rules_registry_sync,
+    )
+
+    _load_analyzers._done = True  # type: ignore[attr-defined]
+
+
+def collect_files(paths: list[Path], root: Path) -> list[SourceFile]:
+    """Every ``.py`` file under ``paths``, loaded and parsed, in
+    stable (repo-relative path) order."""
+    seen: dict[str, SourceFile] = {}
+    for target in paths:
+        if target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        else:
+            candidates = [target]
+        for candidate in candidates:
+            source = SourceFile.load(candidate, root)
+            seen[source.rel] = source
+    return [seen[rel] for rel in sorted(seen)]
+
+
+@dataclass
+class Report:
+    """The outcome of one pass: findings, suppressions, and totals."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    suppressions: list[Suppression]
+    files: int
+    rules: tuple[str, ...]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if strict:
+            return 1 if self.findings else 0
+        return (
+            1
+            if any(f.severity == "error" for f in self.findings)
+            else 0
+        )
+
+    def as_dict(self) -> dict:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return {
+            "version": 1,
+            "files": self.files,
+            "rules": list(self.rules),
+            "counts": {k: counts[k] for k in sorted(counts)},
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> list[str]:
+        lines = [
+            f"{f.path}:{f.line}: {f.rule} [{f.severity}] {f.message}"
+            for f in self.findings
+        ]
+        lines.append(
+            f"{len(self.findings)} finding(s) "
+            f"({len(self.suppressed)} suppressed) across "
+            f"{self.files} file(s), {len(self.rules)} rule(s)"
+        )
+        return lines
+
+
+def analyze_paths(
+    paths: list[Path],
+    root: Path | None = None,
+    rules: Iterable[str] | None = None,
+    strict: bool = False,
+) -> Report:
+    """Run the pass over ``paths`` and return the :class:`Report`.
+
+    ``rules`` restricts the report to a subset of rule ids (analyzers
+    still run; their findings are filtered — selection must not change
+    what any one rule sees).  Under ``strict``, a suppression without
+    a justification becomes a NOQA-BARE finding.
+    """
+    _load_analyzers()
+    selected = _validate_rules(rules)
+    files = collect_files(paths, root or Path.cwd())
+    raw: list[Finding] = []
+    for run in _ANALYZERS:
+        raw.extend(run(files))
+    by_rel = {source.rel: source for source in files}
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        if finding.rule not in RULES:
+            raise ValueError(
+                f"analyzer reported unregistered rule {finding.rule!r}"
+            )
+        source = by_rel.get(finding.path)
+        if source is not None and source.suppressed(
+            finding.rule, finding.line
+        ):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    suppressions = [
+        suppression
+        for source in files
+        for suppression in source.suppressions
+    ]
+    if strict:
+        for suppression in suppressions:
+            if suppression.justification is None:
+                findings.append(
+                    Finding(
+                        rule="NOQA-BARE",
+                        path=suppression.path,
+                        line=suppression.line,
+                        message=(
+                            "suppression of "
+                            f"{', '.join(suppression.rules)} has no "
+                            "'-- justification' tail"
+                        ),
+                    )
+                )
+    if selected is not None:
+        findings = [f for f in findings if f.rule in selected]
+        suppressed = [f for f in suppressed if f.rule in selected]
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return Report(
+        findings=findings,
+        suppressed=suppressed,
+        suppressions=suppressions,
+        files=len(files),
+        rules=tuple(sorted(selected or RULES)),
+    )
+
+
+def _validate_rules(
+    rules: Iterable[str] | None,
+) -> set[str] | None:
+    if rules is None:
+        return None
+    selected = set(rules)
+    unknown = selected - set(RULES)
+    if unknown:
+        known = ", ".join(sorted(RULES))
+        raise ValueError(
+            f"unknown rule id(s) {sorted(unknown)} (known: {known})"
+        )
+    return selected
+
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "Report",
+    "SourceFile",
+    "Suppression",
+    "analyze_paths",
+    "analyzer",
+    "collect_files",
+]

@@ -1,0 +1,207 @@
+"""The rule registry: every analyzer is pinned to an invariant.
+
+Mirrors the :data:`~repro.chaos.faults.FAULT_POINTS` style — each rule
+is a named entry carrying the project invariant it protects, and the
+docs-sync suite diffs this registry both ways against the rule table in
+``docs/analysis.md``, so a rule cannot be added (or retired) without
+the documentation following along.
+
+Severities:
+
+* ``error`` — a violated invariant; fails ``repro analyze`` outright.
+* ``warning`` — a smell the project tolerates case by case; fails only
+  under ``--strict`` (the CI gate runs strict, so every warning in the
+  repository is either fixed or carries a justified suppression).
+
+Per-line suppression is ``# repro: noqa[RULE-ID] -- justification``;
+the justification is mandatory under ``--strict`` (an unexplained
+suppression is itself a violation, :data:`NOQA_BARE`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static-analysis rule: an id, a severity, an invariant."""
+
+    id: str
+    severity: str  # "error" | "warning"
+    invariant: str  # the project invariant the rule protects
+    summary: str  # one line: what a finding means
+
+    def __post_init__(self) -> None:
+        if self.severity not in ("error", "warning"):
+            raise ValueError(
+                f"rule {self.id}: severity must be 'error' or "
+                f"'warning', got {self.severity!r}"
+            )
+
+
+#: Every rule the pass ships, by id.  The analyzers in this package
+#: report findings only against ids registered here; ``--rule`` on the
+#: CLI selects a subset.
+RULES: dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            id="LOCK-ORDER",
+            severity="error",
+            invariant=(
+                "the lock acquisition-order graph is acyclic: two "
+                "locks are always taken in one global order, so no "
+                "two threads can deadlock holding each other's lock"
+            ),
+            summary=(
+                "a cycle in the acquisition-order graph built from "
+                "nested `with lock:` / `.acquire()` regions "
+                "(interprocedural within a module)"
+            ),
+        ),
+        Rule(
+            id="LOCK-BLOCKING",
+            severity="warning",
+            invariant=(
+                "locks guard memory, not I/O: a blocking call "
+                "(fsync, socket/pipe reads, sleep, subprocess, HTTP) "
+                "made while a lock is held stalls every waiter"
+            ),
+            summary=(
+                "a blocking call inside a lock-held region "
+                "(deliberate cases — the WAL's group commit — carry "
+                "a justified suppression)"
+            ),
+        ),
+        Rule(
+            id="ASYNC-BLOCKING",
+            severity="error",
+            invariant=(
+                "the event loop never blocks: `async def` bodies in "
+                "the serving front must route blocking work through "
+                "`run_in_executor` and sleep with `asyncio.sleep`"
+            ),
+            summary=(
+                "a blocking call (time.sleep, fsync, socket reads, "
+                "subprocess, synchronous HTTP) directly inside an "
+                "`async def` body"
+            ),
+        ),
+        Rule(
+            id="EXC-TAXONOMY",
+            severity="error",
+            invariant=(
+                "everything raised in session/, server/, and data/ "
+                "subclasses ReproError, so callers can catch library "
+                "failures with one except clause (deliberate builtin "
+                "pass-throughs carry a justified suppression)"
+            ),
+            summary=(
+                "a `raise` of an exception class outside the "
+                "ReproError taxonomy in a taxonomy-governed package"
+            ),
+        ),
+        Rule(
+            id="EXC-CHAOS",
+            severity="error",
+            invariant=(
+                "no layer acknowledges past a crash: every broad "
+                "`except Exception` in server paths re-raises "
+                "ChaosCrash (an `except ChaosCrash: raise` clause "
+                "before it) so injected process deaths unwind like "
+                "real ones"
+            ),
+            summary=(
+                "an `except Exception` handler in server/ without a "
+                "preceding ChaosCrash re-raise clause"
+            ),
+        ),
+        Rule(
+            id="EXC-BARE",
+            severity="error",
+            invariant=(
+                "no bare `except:` anywhere — it swallows "
+                "KeyboardInterrupt and SystemExit, so a hung worker "
+                "cannot even be Ctrl-C'd"
+            ),
+            summary="a bare `except:` clause",
+        ),
+        Rule(
+            id="PURITY-ENGINE",
+            severity="error",
+            invariant=(
+                "the reference engine stays pure: "
+                "engine/python_engine.py and chaos/model.py (the "
+                "chaos oracle) must not import numpy, so the oracle "
+                "can never inherit a bug from the code it checks"
+            ),
+            summary="a numpy import in a purity-pinned module",
+        ),
+        Rule(
+            id="LAYER-DAG",
+            severity="error",
+            invariant=(
+                "the layering DAG points one way: data/ and query/ "
+                "are foundations and must not import repro.server "
+                "(or the serving session layer above them)"
+            ),
+            summary="an upward import that inverts the layer DAG",
+        ),
+        Rule(
+            id="REG-FAULT",
+            severity="error",
+            invariant=(
+                "every fault-injection site is registered: a "
+                "`fire(\"x\")` / `crash(\"x\")` call site must name "
+                "a key in chaos.faults.FAULT_POINTS, so the failure "
+                "model in docs/architecture.md stays exhaustive"
+            ),
+            summary=(
+                "a fire()/crash() call whose site literal is not a "
+                "FAULT_POINTS key"
+            ),
+        ),
+        Rule(
+            id="REG-OPS",
+            severity="error",
+            invariant=(
+                "every protocol op handled in session/protocol.py "
+                "is registered in OPS (and therefore, by the "
+                "docs-sync suite, documented in docs/protocol.md)"
+            ),
+            summary=(
+                "an op string compared against a request op in "
+                "protocol.py that OPS does not register"
+            ),
+        ),
+        Rule(
+            id="UNUSED-IMPORT",
+            severity="warning",
+            invariant=(
+                "imports earn their keep: a name imported and never "
+                "used is dead weight and hides real dependencies "
+                "(re-exports live in __init__.py or carry a noqa)"
+            ),
+            summary="an imported name never used in the module",
+        ),
+        Rule(
+            id="NOQA-BARE",
+            severity="error",
+            invariant=(
+                "suppressions are justified: every "
+                "`repro: noqa[ID]` comment carries a `-- reason` tail "
+                "explaining why the invariant deliberately bends "
+                "at that line"
+            ),
+            summary="a repro: noqa suppression without a justification",
+        ),
+    )
+}
+
+
+def severity_of(rule_id: str) -> str:
+    return RULES[rule_id].severity
+
+
+__all__ = ["RULES", "Rule", "severity_of"]

@@ -1,0 +1,62 @@
+"""ASYNC-BLOCKING: the event loop never blocks.
+
+Every ``async def`` body is scanned for blocking calls (the
+:mod:`repro.analysis.blocking` allowlist: ``time.sleep``, fsync,
+socket/pipe reads, subprocess, synchronous HTTP).  Blocking work in
+the async front must be bridged with ``run_in_executor`` — which
+passes the *callable*, so a correctly bridged call site never appears
+as a direct call expression and needs no special-casing here.
+
+Nested synchronous ``def``s inside an async function are skipped:
+they run wherever they are later called (typically on the executor),
+not on the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.blocking import blocking_call
+from repro.analysis.core import Finding, SourceFile, analyzer
+
+
+def _async_body_calls(node: ast.AsyncFunctionDef):
+    """Every Call in the async body, excluding nested sync defs."""
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested defs execute elsewhere
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+@analyzer
+def async_rules(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(node):
+                described = blocking_call(call)
+                if described is None:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="ASYNC-BLOCKING",
+                        path=source.rel,
+                        line=call.lineno,
+                        message=(
+                            f"blocking call {described}() inside "
+                            f"async def {node.name}; route it "
+                            "through run_in_executor (or use "
+                            "asyncio.sleep)"
+                        ),
+                    )
+                )
+    return findings
+
+
+__all__ = ["async_rules"]

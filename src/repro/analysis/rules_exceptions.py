@@ -1,0 +1,220 @@
+"""The exception-taxonomy rules: EXC-TAXONOMY, EXC-CHAOS, EXC-BARE.
+
+* EXC-TAXONOMY — in the taxonomy-governed packages (``session/``,
+  ``server/``, ``data/``) every ``raise`` must be a library exception:
+  a :class:`~repro.errors.ReproError` subclass, ``ChaosCrash`` (the
+  deliberate crash boundary that must *not* be a ReproError), or a
+  re-raise.  Raising a Python builtin (ValueError, RuntimeError, …)
+  leaks an unclassified failure to callers who were promised one
+  ``except ReproError`` clause; the deliberate pass-throughs carry
+  justified suppressions.
+* EXC-CHAOS — PR 9's contract: no layer acknowledges past a crash.  A
+  broad ``except Exception`` in ``server/`` swallows
+  :class:`~repro.chaos.faults.ChaosCrash` and turns an injected
+  process death into a served error response.  Every such handler
+  must be preceded by an ``except ChaosCrash: raise`` clause (or
+  itself re-raise).
+* EXC-BARE — no bare ``except:`` anywhere: it swallows
+  KeyboardInterrupt and SystemExit.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from repro.analysis.core import Finding, SourceFile, analyzer
+
+#: Packages whose raises are taxonomy-governed.
+_TAXONOMY_SCOPES = ("repro/session/", "repro/server/", "repro/data/")
+
+#: Exceptions that are legitimate everywhere: the library taxonomy
+#: root (membership is checked dynamically against repro.errors), the
+#: deliberate crash boundary, and exceptions that are contracts of
+#: the language itself (iteration, abstract-interface stubs).
+_ALWAYS_ALLOWED = frozenset(
+    {
+        "ChaosCrash",
+        "StopIteration",
+        "StopAsyncIteration",
+        "NotImplementedError",
+    }
+)
+
+#: Builtin exception class names (the set EXC-TAXONOMY flags).
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+def _repro_error_names() -> frozenset[str]:
+    """Every class exported by repro.errors that subclasses ReproError."""
+    from repro import errors
+
+    return frozenset(
+        name
+        for name in dir(errors)
+        if isinstance(getattr(errors, name), type)
+        and issubclass(getattr(errors, name), errors.ReproError)
+    )
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def _local_taxonomy_classes(
+    tree: ast.Module, known: frozenset[str]
+) -> set[str]:
+    """Classes defined in the module whose bases are (transitively)
+    known taxonomy members."""
+    local: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name in local:
+                continue
+            for base in node.bases:
+                name = (
+                    base.id
+                    if isinstance(base, ast.Name)
+                    else base.attr
+                    if isinstance(base, ast.Attribute)
+                    else None
+                )
+                if name in known or name in local:
+                    local.add(node.name)
+                    changed = True
+                    break
+    return local
+
+
+def _in_scope(rel: str) -> bool:
+    return any(scope in rel for scope in _TAXONOMY_SCOPES)
+
+
+def _handles_exception(handler: ast.ExceptHandler) -> bool:
+    """Does the handler's type mention the broad ``Exception``?"""
+    node = handler.type
+    if node is None:
+        return False
+    names = [node] if not isinstance(node, ast.Tuple) else node.elts
+    return any(
+        isinstance(name, ast.Name) and name.id == "Exception"
+        for name in names
+    )
+
+
+def _mentions_chaoscrash(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == "ChaosCrash":
+            return True
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr == "ChaosCrash"
+        ):
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain a bare re-raise (directly or in
+    an ``isinstance(..., ChaosCrash)`` guard)?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@analyzer
+def exception_rules(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    taxonomy = _repro_error_names()
+    for source in files:
+        local = _local_taxonomy_classes(source.tree, taxonomy)
+        governed = _in_scope(source.rel)
+        server_path = "repro/server/" in source.rel
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    findings.append(
+                        Finding(
+                            rule="EXC-BARE",
+                            path=source.rel,
+                            line=node.lineno,
+                            message=(
+                                "bare except: swallows "
+                                "KeyboardInterrupt and SystemExit; "
+                                "name the exceptions"
+                            ),
+                        )
+                    )
+                continue
+            if governed and isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name is None:
+                    continue
+                if (
+                    name in taxonomy
+                    or name in local
+                    or name in _ALWAYS_ALLOWED
+                ):
+                    continue
+                if name in _BUILTIN_EXCEPTIONS:
+                    findings.append(
+                        Finding(
+                            rule="EXC-TAXONOMY",
+                            path=source.rel,
+                            line=node.lineno,
+                            message=(
+                                f"raises builtin {name} in a "
+                                "taxonomy-governed package; raise a "
+                                "ReproError subclass (or suppress a "
+                                "deliberate pass-through)"
+                            ),
+                        )
+                    )
+                continue
+            if server_path and isinstance(node, ast.Try):
+                guarded = False
+                for handler in node.handlers:
+                    if _mentions_chaoscrash(handler.type):
+                        guarded = True
+                    if not _handles_exception(handler):
+                        continue
+                    if guarded or _reraises(handler):
+                        continue
+                    findings.append(
+                        Finding(
+                            rule="EXC-CHAOS",
+                            path=source.rel,
+                            line=handler.lineno,
+                            message=(
+                                "except Exception in a server path "
+                                "can acknowledge past an injected "
+                                "crash; add `except ChaosCrash: "
+                                "raise` before it"
+                            ),
+                        )
+                    )
+    return findings
+
+
+__all__ = ["exception_rules"]

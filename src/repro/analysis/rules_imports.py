@@ -1,0 +1,166 @@
+"""Import-shape rules: PURITY-ENGINE, LAYER-DAG, UNUSED-IMPORT.
+
+* PURITY-ENGINE — ``engine/python_engine.py`` (the reference
+  semantics every other engine is differentially tested against) and
+  ``chaos/model.py`` (the chaos oracle) must not import numpy: the
+  oracle that checks the optimized path must not be able to inherit
+  its bugs.
+* LAYER-DAG — ``data/`` and ``query/`` are foundations; importing
+  ``repro.server`` (or ``repro.session``) from them inverts the layer
+  DAG and eventually creates import cycles.
+* UNUSED-IMPORT — a name imported and never referenced.  Lines
+  carrying any ``noqa`` marker are exempt (re-export idiom), as are
+  ``__init__.py`` files (their imports *are* the public surface).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, SourceFile, analyzer
+
+#: Modules pinned pure: no numpy import, ever.
+_PURITY_PINNED = (
+    "repro/engine/python_engine.py",
+    "repro/chaos/model.py",
+)
+
+#: package prefix -> package import roots it must not reach.
+_LAYERING = {
+    "repro/data/": ("repro.server", "repro.session"),
+    "repro/query/": ("repro.server", "repro.session"),
+}
+
+
+def _imported_modules(node: ast.stmt) -> list[str]:
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom) and node.module:
+        return [node.module]
+    return []
+
+
+def _import_bindings(node: ast.stmt) -> list[str]:
+    """The local names an import statement binds."""
+    if isinstance(node, ast.Import):
+        return [
+            alias.asname or alias.name.partition(".")[0]
+            for alias in node.names
+        ]
+    if isinstance(node, ast.ImportFrom):
+        if node.module == "__future__":
+            return []
+        return [
+            alias.asname or alias.name
+            for alias in node.names
+            if alias.name != "*"
+        ]
+    return []
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # "module.attr" strings in __all__-style re-export checks
+            # are handled by the Name at the attribute's root.
+            continue
+    # Names listed in __all__ count as used (re-export surface).
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            )
+            and isinstance(node.value, (ast.List, ast.Tuple, ast.Set))
+        ):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    used.add(element.value)
+    return used
+
+
+@analyzer
+def import_rules(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in files:
+        lines = source.text.splitlines()
+        purity_pinned = any(
+            source.rel.endswith(pin) for pin in _PURITY_PINNED
+        )
+        forbidden_roots: tuple[str, ...] = ()
+        for prefix, roots in _LAYERING.items():
+            if prefix in source.rel:
+                forbidden_roots = roots
+                break
+        used = _used_names(source.tree)
+        is_package_surface = source.rel.endswith("__init__.py")
+        for node in ast.walk(source.tree):
+            modules = _imported_modules(node)
+            if not modules:
+                continue
+            if purity_pinned:
+                for module in modules:
+                    if module == "numpy" or module.startswith(
+                        "numpy."
+                    ):
+                        findings.append(
+                            Finding(
+                                rule="PURITY-ENGINE",
+                                path=source.rel,
+                                line=node.lineno,
+                                message=(
+                                    "purity-pinned module imports "
+                                    f"{module}; the reference/oracle "
+                                    "path must stay numpy-free"
+                                ),
+                            )
+                        )
+            for root in forbidden_roots:
+                for module in modules:
+                    if module == root or module.startswith(
+                        root + "."
+                    ):
+                        findings.append(
+                            Finding(
+                                rule="LAYER-DAG",
+                                path=source.rel,
+                                line=node.lineno,
+                                message=(
+                                    f"{module} imported from a "
+                                    "foundation layer; the DAG "
+                                    "points the other way"
+                                ),
+                            )
+                        )
+            if is_package_surface:
+                continue
+            line_text = (
+                lines[node.lineno - 1]
+                if node.lineno - 1 < len(lines)
+                else ""
+            )
+            if "noqa" in line_text:
+                continue
+            for binding in _import_bindings(node):
+                if binding not in used:
+                    findings.append(
+                        Finding(
+                            rule="UNUSED-IMPORT",
+                            path=source.rel,
+                            line=node.lineno,
+                            message=(
+                                f"{binding!r} is imported but never "
+                                "used"
+                            ),
+                        )
+                    )
+    return findings
+
+
+__all__ = ["import_rules"]

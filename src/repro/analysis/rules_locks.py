@@ -1,0 +1,422 @@
+"""The lock-order analyzer: LOCK-ORDER and LOCK-BLOCKING.
+
+Builds, per module, a *lock acquisition-order graph*: nodes are lock
+identities (``Class.attr`` for ``self._lock``-style members,
+``module.name`` for module-level locks, ``Class.method()`` for
+factory-made locks like ``ArtifactStore._build_lock``), and there is
+an edge ``A -> B`` whenever ``B`` is acquired while ``A`` is held —
+directly (``with self.a: with self.b:``) or through a call to another
+function *in the same module* (interprocedural via a call-graph
+approximation: ``self.f(...)`` resolves to the enclosing class's
+method, ``f(...)`` to a module-level function, and function summaries
+are closed under a fixpoint so chains and recursion converge).
+
+A cycle in the graph is the classic deadlock shape — two threads each
+holding one lock of the cycle and waiting for the next — and is
+reported as LOCK-ORDER with the full cycle path.  Re-acquiring a
+non-reentrant ``threading.Lock`` on the same path (a self-loop) is
+reported the same way: a plain ``Lock`` is not reentrant, so the
+thread deadlocks against itself.
+
+Separately, any blocking call (see :mod:`repro.analysis.blocking`)
+made while at least one lock is held is reported as LOCK-BLOCKING:
+locks guard memory, not I/O, and an fsync or a pipe read under a lock
+stalls every waiter for the device's latency.  The repository's
+deliberate cases (the WAL's group commit orders appends *by* holding
+its lock across the fsync) carry justified suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.blocking import blocking_call
+from repro.analysis.core import Finding, SourceFile, analyzer
+
+#: Lock factory callables: ``threading.Lock()`` / ``RLock()`` (bare or
+#: dotted).  ``RLock`` identities are marked reentrant so self-loops on
+#: them are not findings.
+_LOCK_FACTORIES = {"Lock": False, "RLock": True, "Condition": True}
+
+
+def _factory_kind(call: ast.expr) -> bool | None:
+    """``False`` for a non-reentrant lock ctor, ``True`` for
+    reentrant, ``None`` if not a lock constructor call."""
+    if not isinstance(call, ast.Call):
+        return None
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        return _LOCK_FACTORIES[func.id]
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("threading", "multiprocessing")
+        and func.attr in _LOCK_FACTORIES
+    ):
+        return _LOCK_FACTORIES[func.attr]
+    return None
+
+
+@dataclass
+class _FunctionInfo:
+    """One function/method and its analysis summary."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None
+    #: locks acquired anywhere inside, transitively through local calls
+    acquires: set[str] = field(default_factory=set)
+    #: blocking-call descriptions reachable from the body, transitively
+    blocking: set[str] = field(default_factory=set)
+    #: local functions called (keys into the module's function table)
+    calls: set[tuple[str | None, str]] = field(default_factory=set)
+
+
+class _ModuleLocks:
+    """Per-module lock inventory, function table, and call graph."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        #: lock identity -> reentrant?
+        self.locks: dict[str, bool] = {}
+        self.functions: dict[tuple[str | None, str], _FunctionInfo] = {}
+        self._collect()
+
+    # -- inventory ---------------------------------------------------------
+
+    def _collect(self) -> None:
+        module = self.source.tree
+        for statement in module.body:
+            self._collect_assign(statement, cls=None)
+        for node in ast.walk(module):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self.functions[(node.name, item.name)] = (
+                            _FunctionInfo(item, node.name)
+                        )
+                        for inner in ast.walk(item):
+                            self._collect_assign(inner, cls=node.name)
+        for statement in module.body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self.functions[(None, statement.name)] = _FunctionInfo(
+                    statement, None
+                )
+
+    def _collect_assign(self, node: ast.stmt, cls: str | None) -> None:
+        if not isinstance(node, ast.Assign):
+            return
+        kind = _factory_kind(node.value)
+        if kind is None:
+            return
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and cls is not None
+            ):
+                self.locks[f"{cls}.{target.attr}"] = kind
+            elif isinstance(target, ast.Name) and cls is None:
+                module = self.source.rel.rsplit("/", 1)[-1]
+                self.locks[f"{module}:{target.id}"] = kind
+
+    # -- lock-expression recognition ---------------------------------------
+
+    def lock_identity(
+        self, expr: ast.expr, cls: str | None
+    ) -> str | None:
+        """The lock identity an expression acquires, or ``None``."""
+        if isinstance(expr, ast.Attribute):
+            # self.X / self.a.b.X: identify by the *attribute path* so
+            # self._lock in two classes of one module stays distinct.
+            path = ast.unparse(expr)
+            if path.startswith("self.") and cls is not None:
+                identity = f"{cls}.{path[len('self.'):]}"
+                if identity in self.locks:
+                    return identity
+                # A lock-suffixed member we never saw constructed (it
+                # may be injected): still track it, non-reentrant.
+                if expr.attr.endswith("lock"):
+                    return identity
+                return None
+            module = self.source.rel.rsplit("/", 1)[-1]
+            if expr.attr.endswith("lock"):
+                return f"{module}:{path}"
+            return None
+        if isinstance(expr, ast.Name):
+            module = self.source.rel.rsplit("/", 1)[-1]
+            identity = f"{module}:{expr.id}"
+            if identity in self.locks:
+                return identity
+            if expr.id.endswith("lock"):
+                return identity
+            return None
+        if isinstance(expr, ast.Call):
+            # A lock factory used inline: `with self._build_lock(k):`
+            func = expr.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and "lock" in func.attr
+                and cls is not None
+            ):
+                return f"{cls}.{func.attr}()"
+            if isinstance(func, ast.Name) and "lock" in func.id:
+                module = self.source.rel.rsplit("/", 1)[-1]
+                return f"{module}:{func.id}()"
+        return None
+
+    def reentrant(self, identity: str) -> bool:
+        return self.locks.get(identity, False)
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, cls: str | None
+    ) -> tuple[str | None, str] | None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and cls is not None
+        ):
+            key = (cls, func.attr)
+            return key if key in self.functions else None
+        if isinstance(func, ast.Name):
+            key = (None, func.id)
+            return key if key in self.functions else None
+        return None
+
+
+def _summarize(module: _ModuleLocks) -> None:
+    """Fill per-function summaries, closed over the local call graph."""
+    for key, info in module.functions.items():
+        cls = info.cls
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.With) or isinstance(
+                node, ast.AsyncWith
+            ):
+                for item in node.items:
+                    identity = module.lock_identity(
+                        item.context_expr, cls
+                    )
+                    if identity is not None:
+                        info.acquires.add(identity)
+            elif isinstance(node, ast.Call):
+                described = blocking_call(node)
+                if described is not None:
+                    info.blocking.add(described)
+                resolved = module.resolve_call(node, cls)
+                if resolved is not None and resolved != key:
+                    info.calls.add(resolved)
+    # Fixpoint: propagate acquires/blocking through local calls until
+    # stable (the call graph may have cycles).
+    changed = True
+    while changed:
+        changed = False
+        for info in module.functions.values():
+            for callee_key in info.calls:
+                callee = module.functions[callee_key]
+                if not callee.acquires <= info.acquires:
+                    info.acquires |= callee.acquires
+                    changed = True
+                if not callee.blocking <= info.blocking:
+                    info.blocking |= callee.blocking
+                    changed = True
+
+
+class _RegionWalker:
+    """Walks one function with the ordered stack of held locks,
+    recording acquisition edges and blocking-under-lock findings."""
+
+    def __init__(
+        self,
+        module: _ModuleLocks,
+        info: _FunctionInfo,
+        edges: dict[tuple[str, str], tuple[str, int]],
+        findings: list[Finding],
+    ):
+        self.module = module
+        self.info = info
+        self.edges = edges
+        self.findings = findings
+        self.held: list[str] = []
+
+    def edge(self, held: str, acquired: str, line: int) -> None:
+        key = (held, acquired)
+        if key not in self.edges:
+            self.edges[key] = (self.module.source.rel, line)
+
+    def walk(self, statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            self._statement(statement)
+
+    def _statement(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: list[str] = []
+            for item in node.items:
+                identity = self.module.lock_identity(
+                    item.context_expr, self.info.cls
+                )
+                if identity is None:
+                    self._expression(item.context_expr)
+                    continue
+                self._acquire(identity, node.lineno)
+                acquired.append(identity)
+                self.held.append(identity)
+            self.walk(node.body)
+            for _ in acquired:
+                self.held.pop()
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # a nested def runs later, not under these locks
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._statement(child)
+            elif isinstance(child, ast.expr):
+                self._expression(child)
+            elif isinstance(child, ast.excepthandler):
+                self.walk(child.body)
+
+    def _expression(self, node: ast.expr) -> None:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            self._call(call)
+
+    def _acquire(self, identity: str, line: int) -> None:
+        for held in self.held:
+            if held == identity and not self.module.reentrant(
+                identity
+            ):
+                self.findings.append(
+                    Finding(
+                        rule="LOCK-ORDER",
+                        path=self.module.source.rel,
+                        line=line,
+                        message=(
+                            f"non-reentrant lock {identity} "
+                            "re-acquired while already held "
+                            "(self-deadlock)"
+                        ),
+                    )
+                )
+            elif held != identity:
+                self.edge(held, identity, line)
+
+    def _call(self, call: ast.Call) -> None:
+        if not self.held:
+            # Still record acquire()-style edges? Nothing held: no.
+            return
+        described = blocking_call(call)
+        if described is not None:
+            self.findings.append(
+                Finding(
+                    rule="LOCK-BLOCKING",
+                    path=self.module.source.rel,
+                    line=call.lineno,
+                    message=(
+                        f"blocking call {described}() while holding "
+                        f"{self.held[-1]}"
+                    ),
+                )
+            )
+        resolved = self.module.resolve_call(call, self.info.cls)
+        if resolved is None:
+            return
+        callee = self.module.functions[resolved]
+        for acquired in sorted(callee.acquires):
+            self._acquire(acquired, call.lineno)
+        if callee.blocking:
+            names = ", ".join(sorted(callee.blocking))
+            self.findings.append(
+                Finding(
+                    rule="LOCK-BLOCKING",
+                    path=self.module.source.rel,
+                    line=call.lineno,
+                    message=(
+                        f"call to {resolved[1]}() which blocks "
+                        f"({names}) while holding {self.held[-1]}"
+                    ),
+                )
+            )
+
+
+def _cycles(
+    edges: dict[tuple[str, str], tuple[str, int]]
+) -> list[list[str]]:
+    """Every elementary cycle reachable in the edge set, each reported
+    once, deterministically (smallest node first, sorted)."""
+    graph: dict[str, list[str]] = {}
+    for origin, target in sorted(edges):
+        graph.setdefault(origin, []).append(target)
+    cycles: list[list[str]] = []
+    seen: set[tuple[str, ...]] = set()
+
+    def visit(node: str, path: list[str], on_path: set[str]) -> None:
+        for successor in graph.get(node, ()):
+            if successor in on_path:
+                cycle = path[path.index(successor) :]
+                anchor = min(cycle)
+                pivot = cycle.index(anchor)
+                canonical = tuple(cycle[pivot:] + cycle[:pivot])
+                if canonical not in seen:
+                    seen.add(canonical)
+                    cycles.append(list(canonical))
+            else:
+                visit(
+                    successor, path + [successor], on_path | {successor}
+                )
+
+    for origin in sorted(graph):
+        visit(origin, [origin], {origin})
+    return cycles
+
+
+@analyzer
+def lock_rules(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in files:
+        module = _ModuleLocks(source)
+        if not module.functions:
+            continue
+        _summarize(module)
+        edges: dict[tuple[str, str], tuple[str, int]] = {}
+        for info in module.functions.values():
+            walker = _RegionWalker(module, info, edges, findings)
+            walker.walk(info.node.body)
+        for cycle in _cycles(edges):
+            path = " -> ".join(cycle + [cycle[0]])
+            first_edge = (
+                (cycle[0], cycle[1])
+                if len(cycle) > 1
+                else (cycle[0], cycle[0])
+            )
+            rel, line = edges.get(first_edge, (source.rel, 1))
+            sites = "; ".join(
+                f"{a}->{b} at line {edges[(a, b)][1]}"
+                for a, b in zip(cycle, cycle[1:] + cycle[:1])
+                if (a, b) in edges
+            )
+            findings.append(
+                Finding(
+                    rule="LOCK-ORDER",
+                    path=rel,
+                    line=line,
+                    message=(
+                        f"lock acquisition-order cycle: {path} "
+                        f"({sites})"
+                    ),
+                )
+            )
+    return findings
+
+
+__all__ = ["lock_rules"]

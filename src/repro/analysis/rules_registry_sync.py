@@ -1,0 +1,171 @@
+"""Registry-sync rules: REG-FAULT and REG-OPS.
+
+* REG-FAULT — every ``fire("site")`` / ``crash("site")`` call whose
+  callee resolves to :mod:`repro.chaos.faults` (by import alias) must
+  name a key of :data:`~repro.chaos.faults.FAULT_POINTS`.  A typo'd
+  site is a fault hook that silently never fires — the chaos matrix
+  would report full coverage while a whole failure mode goes
+  unexercised.
+* REG-OPS — every op string literal that ``session/protocol.py``
+  compares a request op against must be registered in its ``OPS``
+  frozenset (which the docs-sync suite in turn pins to
+  ``docs/protocol.md``).  The registry is read *from the analyzed
+  file's own AST*, so the rule works on fixtures too.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, SourceFile, analyzer
+
+_FAULT_FUNCTIONS = ("fire", "crash")
+
+
+def _fault_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(names bound to faults.fire/.crash, names bound to the faults
+    module itself)."""
+    functions: set[str] = set()
+    modules: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro.chaos.faults":
+                for alias in node.names:
+                    if alias.name in _FAULT_FUNCTIONS:
+                        functions.add(alias.asname or alias.name)
+            elif node.module == "repro.chaos":
+                for alias in node.names:
+                    if alias.name == "faults":
+                        modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.chaos.faults":
+                    modules.add(alias.asname or "repro")
+    return functions, modules
+
+
+def _site_literal(call: ast.Call) -> str | None:
+    if not call.args:
+        return None
+    first = call.args[0]
+    if isinstance(first, ast.Constant) and isinstance(
+        first.value, str
+    ):
+        return first.value
+    return None
+
+
+def _ops_from_ast(tree: ast.Module) -> set[str] | None:
+    """The ``OPS`` registry literal defined in the module, if any."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "OPS"
+            for target in node.targets
+        ):
+            continue
+        literals: set[str] = set()
+        for child in ast.walk(node.value):
+            if isinstance(child, ast.Constant) and isinstance(
+                child.value, str
+            ):
+                literals.add(child.value)
+        return literals
+    return None
+
+
+def _compared_op_literals(tree: ast.Module):
+    """(literal, line) pairs compared against a request-op name."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        left = node.left
+        name = (
+            left.id
+            if isinstance(left, ast.Name)
+            else left.attr
+            if isinstance(left, ast.Attribute)
+            else None
+        )
+        if name not in ("op", "command"):
+            continue
+        for comparator in node.comparators:
+            if isinstance(comparator, ast.Constant) and isinstance(
+                comparator.value, str
+            ):
+                yield comparator.value, comparator.lineno
+            elif isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+                for element in comparator.elts:
+                    if isinstance(
+                        element, ast.Constant
+                    ) and isinstance(element.value, str):
+                        yield element.value, element.lineno
+
+
+@analyzer
+def registry_sync_rules(files: list[SourceFile]) -> list[Finding]:
+    from repro.chaos.faults import FAULT_POINTS
+
+    findings: list[Finding] = []
+    for source in files:
+        functions, modules = _fault_aliases(source.tree)
+        if functions or modules:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                resolved = False
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in functions
+                ):
+                    resolved = True
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _FAULT_FUNCTIONS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in modules
+                ):
+                    resolved = True
+                if not resolved:
+                    continue
+                site = _site_literal(node)
+                if site is None or site in FAULT_POINTS:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="REG-FAULT",
+                        path=source.rel,
+                        line=node.lineno,
+                        message=(
+                            f"fault site {site!r} is not a "
+                            "FAULT_POINTS key; register it (with its "
+                            "invariant) in repro/chaos/faults.py"
+                        ),
+                    )
+                )
+        if source.rel.endswith("repro/session/protocol.py"):
+            ops = _ops_from_ast(source.tree)
+            if ops is not None:
+                for literal, line in _compared_op_literals(
+                    source.tree
+                ):
+                    if literal in ops:
+                        continue
+                    findings.append(
+                        Finding(
+                            rule="REG-OPS",
+                            path=source.rel,
+                            line=line,
+                            message=(
+                                f"op {literal!r} is handled but not "
+                                "registered in OPS (and therefore "
+                                "undocumented in docs/protocol.md)"
+                            ),
+                        )
+                    )
+    return findings
+
+
+__all__ = ["registry_sync_rules"]

@@ -18,7 +18,6 @@ what the mutation-of-the-checker test leans on.
 from __future__ import annotations
 
 import os
-import random
 import shutil
 import tempfile
 from dataclasses import dataclass, field

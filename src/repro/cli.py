@@ -86,7 +86,61 @@ def _load_relation(spec: str) -> tuple[str, Relation]:
 
 
 def cmd_analyze(args) -> int:
-    query = parse_query(args.query)
+    """Dual-mode ``repro analyze``.
+
+    With ``--order`` (or a query-shaped positional containing ``:-``)
+    this is the original query/order classifier.  Otherwise it is the
+    project linter: the static-analysis pass of
+    :mod:`repro.analysis` over the given paths (default ``src``),
+    ``--strict`` failing on warnings and unjustified suppressions,
+    ``--json`` emitting the deterministic report.
+    """
+    targets = args.targets
+    query_shaped = bool(targets) and ":-" in targets[0]
+    if args.order is not None or query_shaped:
+        if args.order is None:
+            raise SystemExit(
+                "query classification needs --order (or pass paths "
+                "to run the static-analysis linter)"
+            )
+        if len(targets) != 1:
+            raise SystemExit(
+                "query classification takes exactly one query"
+            )
+        return _analyze_query(targets[0], args)
+    return _analyze_paths(targets, args)
+
+
+def _analyze_paths(targets: list[str], args) -> int:
+    """The linter half of ``repro analyze``."""
+    import json as json_module
+    from pathlib import Path
+
+    from repro.analysis import analyze_paths
+
+    paths = [Path(target) for target in (targets or ["src"])]
+    for path in paths:
+        if not path.exists():
+            raise SystemExit(f"no such path: {path}")
+    try:
+        report = analyze_paths(
+            paths,
+            root=Path.cwd(),
+            rules=args.rule or None,
+            strict=args.strict,
+        )
+    except (ValueError, SyntaxError) as error:
+        raise SystemExit(str(error)) from None
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for line in report.render_text():
+            print(line)
+    return report.exit_code(strict=args.strict)
+
+
+def _analyze_query(query_text: str, args) -> int:
+    query = parse_query(query_text)
     hypergraph = Hypergraph.of_query(query)
     print(f"query:        {query}")
     print(f"acyclic:      {is_acyclic(hypergraph)}")
@@ -562,11 +616,44 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser(
-        "analyze", help="classify a query/order pair"
+        "analyze",
+        help="classify a query/order pair, or lint the project's "
+        "invariants statically",
+        description="Two modes.  With --order: classify a query/order "
+        "pair (acyclicity, disruptive trios, the incompatibility "
+        "number).  Without: run the static-analysis pass "
+        "(docs/analysis.md) over the given paths — lock-order "
+        "deadlock detection, async/exception safety, layering and "
+        "registry sync — with per-line '# repro: noqa[RULE-ID] -- "
+        "reason' suppressions.",
     )
-    analyze.add_argument("query")
     analyze.add_argument(
-        "--order", required=True, help="comma-separated variables"
+        "targets",
+        nargs="*",
+        help="a query (with --order) or paths to lint (default: src)",
+    )
+    analyze.add_argument(
+        "--order",
+        default=None,
+        help="comma-separated variables (selects classifier mode)",
+    )
+    analyze.add_argument(
+        "--strict",
+        action="store_true",
+        help="linter mode: fail on warnings and on suppressions "
+        "without a justification (the CI gate)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="linter mode: emit the deterministic JSON report",
+    )
+    analyze.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="RULE-ID",
+        help="linter mode: only report these rule ids (repeatable)",
     )
     analyze.set_defaults(func=cmd_analyze)
 

@@ -41,7 +41,7 @@ def numpy_available() -> bool:
 
 def _require_numpy():
     if _np is None:  # pragma: no cover
-        raise RuntimeError("numpy is not available in this environment")
+        raise RuntimeError("numpy is not available in this environment")  # repro: noqa[EXC-TAXONOMY] -- environment precondition, not a query failure
     return _np
 
 
@@ -326,7 +326,7 @@ def pack_keys(columns: Sequence, card: int):
     """
     np = _require_numpy()
     if not columns:
-        raise ValueError("pack_keys needs at least one column")
+        raise ValueError("pack_keys needs at least one column")  # repro: noqa[EXC-TAXONOMY] -- programmer contract of the packing helper
     key = np.ascontiguousarray(columns[0], dtype=np.int64)
     span = max(card, 1)
     for column in columns[1:]:
@@ -335,7 +335,7 @@ def pack_keys(columns: Sequence, card: int):
             key = key.astype(np.int64, copy=False)
             span = max(len(uniques), 1)
             if span > _MAX_SAFE // max(card, 1):  # pragma: no cover
-                raise OverflowError("key space exceeds int64")
+                raise OverflowError("key space exceeds int64")  # repro: noqa[EXC-TAXONOMY] -- int64 capacity guard; the builtin is the signal
         key = key * card + np.asarray(column, dtype=np.int64)
         span = span * max(card, 1)
     return key
@@ -353,7 +353,7 @@ def pack_pair(a, b, card: int):
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
-        raise ValueError("pack_pair needs two matrices of equal width")
+        raise ValueError("pack_pair needs two matrices of equal width")  # repro: noqa[EXC-TAXONOMY] -- programmer contract of the packing helper
     width = a.shape[1]
     if width == 0:
         return (

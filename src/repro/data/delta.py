@@ -65,7 +65,7 @@ class Delta:
         object.__setattr__(self, "deletes", _normalize(deletes))
 
     def __setattr__(self, name, value):
-        raise AttributeError("Delta is immutable")
+        raise AttributeError("Delta is immutable")  # repro: noqa[EXC-TAXONOMY] -- Python data-model contract for immutability
 
     def __reduce__(self):
         # __slots__ plus the raising __setattr__ above breaks default

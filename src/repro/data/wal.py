@@ -313,7 +313,7 @@ class WriteAheadLog:
                 raise ChaosCrash("wal.fsync")
             self._pending += 1
             if self._pending >= self._fsync_batch:
-                os.fsync(self._file.fileno())
+                os.fsync(self._file.fileno())  # repro: noqa[LOCK-BLOCKING] -- group commit: append order must equal durability order
                 self._pending = 0
                 self.stats.fsyncs += 1
             self._last_seq = seq
@@ -327,7 +327,7 @@ class WriteAheadLog:
         with self._lock:
             if self._pending:
                 self._file.flush()
-                os.fsync(self._file.fileno())
+                os.fsync(self._file.fileno())  # repro: noqa[LOCK-BLOCKING] -- group commit: append order must equal durability order
                 self._pending = 0
                 self.stats.fsyncs += 1
 

@@ -134,7 +134,7 @@ class AsyncReproServer:
         drain_timeout: float = 10.0,
     ):
         if max_connections < 1:
-            raise ValueError(
+            raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
                 f"need room for at least one connection, "
                 f"got {max_connections}"
             )
@@ -470,7 +470,7 @@ class AsyncReproServer:
         try:
             length = int(headers.get("content-length", ""))
             if length < 0:
-                raise ValueError(length)
+                raise ValueError(length)  # repro: noqa[EXC-TAXONOMY] -- local control flow, caught two lines down
         except ValueError:
             # Unknown framing (e.g. chunked): the connection cannot be
             # reused, the next "request" would be body bytes.

@@ -142,11 +142,11 @@ class _KeepAlivePool:
         # consumed or poisoned, so the pool stays reusable once the
         # fault clears.
         if _chaos_fire("client.timeout"):
-            raise TimeoutError(
+            raise TimeoutError(  # repro: noqa[EXC-TAXONOMY] -- chaos injection mimics the transport's own exception
                 f"chaos: injected client timeout on {method} {path}"
             )
         if _chaos_fire("client.disconnect"):
-            raise ConnectionResetError(
+            raise ConnectionResetError(  # repro: noqa[EXC-TAXONOMY] -- chaos injection mimics the transport's own exception
                 f"chaos: injected disconnect mid-body on {method} {path}"
             )
         if _chaos_fire("client.http_500"):

@@ -254,16 +254,16 @@ class ServingCore:
         chaos: str | None = None,
     ):
         if workers < 1:
-            raise ValueError(f"need at least one worker, got {workers}")
+            raise ValueError(f"need at least one worker, got {workers}")  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
         if procs is not None and shards is not None:
-            raise ValueError(
+            raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
                 "procs and shards are exclusive: sharded serving "
                 "already runs one process per shard"
             )
         if shard_backends is not None and (
             procs is not None or shards is not None
         ):
-            raise ValueError(
+            raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
                 "shard_backends is exclusive with procs/shards: the "
                 "shards already live on the remote replicas"
             )
@@ -271,14 +271,14 @@ class ServingCore:
             DEFAULT_QUEUE_DEPTH if queue_depth is None else queue_depth
         )
         if self.queue_depth < 1:
-            raise ValueError(
+            raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
                 f"need a queue depth of at least one, got "
                 f"{self.queue_depth}"
             )
         if wal is not None and (
             shards is not None or shard_backends is not None
         ):
-            raise ValueError(
+            raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
                 "wal is exclusive with shards/shard_backends: sharded "
                 "serving is read-only, there are no deltas to log"
             )
@@ -640,7 +640,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length", ""))
             if length < 0:
-                raise ValueError(length)
+                raise ValueError(length)  # repro: noqa[EXC-TAXONOMY] -- local control flow, caught two lines down
         except ValueError:
             # Without a sane length the body framing is unknown (e.g.
             # chunked encoding), so the connection cannot be reused —

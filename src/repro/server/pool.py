@@ -148,9 +148,9 @@ class WorkerPool:
         max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
     ):
         if count < 1:
-            raise ValueError(f"need at least one worker, got {count}")
+            raise ValueError(f"need at least one worker, got {count}")  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
         if max_queue_depth < 1:
-            raise ValueError(
+            raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
                 f"need a queue depth of at least one, got "
                 f"{max_queue_depth}"
             )
@@ -314,7 +314,7 @@ class WorkerPool:
             worker.busy = False
             if worker.crashed:
                 index = self._workers.index(worker)
-                self._respawn_locked(index)
+                self._respawn_locked(index)  # repro: noqa[LOCK-BLOCKING] -- dead worker's pipe is drained, never awaited; respawn must finish under _cond
             self._cond.notify_all()
 
     def _serve_plane(self, worker: _PoolWorker, message) -> None:
@@ -433,7 +433,7 @@ class WorkerPool:
                     if worker.crashed or not worker.process.is_alive():
                         if not worker.crashed:
                             self.crashes += 1
-                        self._respawn_locked(index)
+                        self._respawn_locked(index)  # repro: noqa[LOCK-BLOCKING] -- dead worker's pipe is drained, never awaited; respawn must finish under _cond
                         worker = self._workers[index]
                     worker.busy = True
                     return worker
@@ -477,7 +477,7 @@ class WorkerPool:
                 worker.busy = False
             for worker in list(workers):
                 if worker.crashed and worker in self._workers:
-                    self._respawn_locked(self._workers.index(worker))
+                    self._respawn_locked(self._workers.index(worker))  # repro: noqa[LOCK-BLOCKING] -- dead worker's pipe is drained, never awaited; respawn must finish under _cond
             self._cond.notify_all()
 
     def broadcast_delta(self, delta) -> list[int]:
@@ -492,7 +492,7 @@ class WorkerPool:
                 for worker in workers:
                     try:
                         versions.append(
-                            self._interact(worker, ("delta", delta))
+                            self._interact(worker, ("delta", delta))  # repro: noqa[LOCK-BLOCKING] -- mutation fan-out IS the serialization point; _mutation_lock exists for this
                         )
                     except WorkerCrashError:
                         # The respawn (at checkin) boots from the
@@ -501,7 +501,7 @@ class WorkerPool:
                         continue
                 return versions
             finally:
-                self._checkin_all(workers)
+                self._checkin_all(workers)  # repro: noqa[LOCK-BLOCKING] -- mutation fan-out IS the serialization point; _mutation_lock exists for this
 
     def stats(self) -> list[dict]:
         """Per-worker counter dicts (briefly claims each worker)."""
@@ -552,7 +552,7 @@ class WorkerPool:
                     ):
                         self.crashes += 1
                         try:
-                            self._respawn_locked(index)
+                            self._respawn_locked(index)  # repro: noqa[LOCK-BLOCKING] -- dead worker's pipe is drained, never awaited; respawn must finish under _cond
                         except WorkerCrashError:  # pragma: no cover
                             return
 
@@ -654,9 +654,9 @@ class LocalDispatcher:
     ):
         self._slots = list(slots)
         if not self._slots:
-            raise ValueError("need at least one worker slot")
+            raise ValueError("need at least one worker slot")  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
         if max_queue_depth < 1:
-            raise ValueError(
+            raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- startup config validation; cmd_serve reports and exits
                 f"need a queue depth of at least one, got "
                 f"{max_queue_depth}"
             )

@@ -101,7 +101,7 @@ def _raw(array) -> memoryview:
 def _track(name: str) -> None:
     try:
         resource_tracker.register(f"/{name}", "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
+    except Exception:  # pragma: no cover - tracker internals vary  # repro: noqa[EXC-CHAOS] -- resource_tracker internals vary; no fault point fires here
         pass
 
 
@@ -191,7 +191,7 @@ class SharedArtifactPlane:
         """
         with self._lock:
             if self._closed:
-                raise RuntimeError("artifact plane is closed")
+                raise RuntimeError("artifact plane is closed")  # repro: noqa[EXC-TAXONOMY] -- use-after-close is a caller bug; RuntimeError is the test contract
             existing = self._entries.get(token)
             if existing is not None:
                 return existing.publication
@@ -379,7 +379,7 @@ class AttachedSegments:
             # (teardown race, /dev/shm pressure) — the attach must fail
             # cleanly, never half-map.
             if _chaos_fire("shm.attach"):
-                raise OSError(
+                raise OSError(  # repro: noqa[EXC-TAXONOMY] -- chaos injection mimics the OS error the attach path handles
                     "chaos: injected shared-memory attach failure for "
                     f"{publication.token!r}"
                 )

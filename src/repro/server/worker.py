@@ -39,6 +39,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.chaos.faults import ChaosCrash
 from repro.chaos.faults import fire as _chaos_fire
 
 from repro.data.flatbuf import (
@@ -115,7 +116,7 @@ class PlaneClient:
         self.pipe.send(message)
         reply = self.pipe.recv()
         if not (isinstance(reply, tuple) and reply[0] == "plane"):
-            raise RuntimeError(f"unexpected plane reply: {reply!r}")
+            raise RuntimeError(f"unexpected plane reply: {reply!r}")  # repro: noqa[EXC-TAXONOMY] -- IPC framing corruption; fetch/offer fall back to a local build
         return reply[1]
 
     def fetch(self, kind: str, key, version: int):
@@ -146,6 +147,8 @@ class PlaneClient:
             self.attachments.append(attached)
             self.fetches += 1
             return forest
+        except ChaosCrash:
+            raise
         except Exception:
             if os.environ.get("REPRO_PLANE_DEBUG"):
                 traceback.print_exc()
@@ -169,6 +172,8 @@ class PlaneClient:
                 self.publishes += 1
             else:
                 unlink_publication(publication)
+        except ChaosCrash:
+            raise
         except Exception:
             if os.environ.get("REPRO_PLANE_DEBUG"):
                 traceback.print_exc()
@@ -292,6 +297,12 @@ def worker_main(spec: WorkerSpec, pipe) -> None:
                     break
                 else:
                     pipe.send(("err", f"unknown message tag {tag!r}"))
+            except ChaosCrash:
+                # An injected crash must look like a real process
+                # death: unwind, die, and let the supervisor's crash
+                # detection respawn us.  Sending ("err", ...) here
+                # would acknowledge past the crash.
+                raise
             except Exception as error:  # noqa: BLE001 - keep serving
                 # Library errors were already converted by execute();
                 # anything reaching here is unexpected, but one bad

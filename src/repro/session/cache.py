@@ -32,7 +32,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from fractions import Fraction
 
 
 @dataclass
@@ -101,7 +100,7 @@ class LRUCache:
 
     def __init__(self, capacity: int | None, stats: CacheStats):
         if capacity is not None and capacity < 0:
-            raise ValueError(f"negative cache capacity {capacity}")
+            raise ValueError(f"negative cache capacity {capacity}")  # repro: noqa[EXC-TAXONOMY] -- constructor contract; callers validate config at startup
         self.capacity = capacity
         self.stats = stats
         self._entries: OrderedDict = OrderedDict()
@@ -153,6 +152,7 @@ class CostAwareCache:
     eventually instead of squatting forever, and with uniform costs the
     policy degenerates to exact LRU.
 
+        >>> from fractions import Fraction
         >>> stats = CacheStats()
         >>> cache = CostAwareCache(2, stats)
         >>> cache.put("path", "forest-1", cost=1)
@@ -175,7 +175,7 @@ class CostAwareCache:
 
     def __init__(self, capacity: int | None, stats: CacheStats):
         if capacity is not None and capacity < 0:
-            raise ValueError(f"negative cache capacity {capacity}")
+            raise ValueError(f"negative cache capacity {capacity}")  # repro: noqa[EXC-TAXONOMY] -- constructor contract; callers validate config at startup
         self.capacity = capacity
         self.stats = stats
         self._entries: OrderedDict = OrderedDict()

@@ -387,7 +387,7 @@ def parse_command(line: str) -> SessionRequest:
         )
 
     try:
-        if command in ("quit", "exit"):
+        if command in ("quit", "exit"):  # repro: noqa[REG-OPS] -- text-grammar alias of quit; OPS registers canonical ops only
             return SessionRequest(op="quit")
         if command == "stats":
             return SessionRequest(op="stats")

@@ -117,7 +117,7 @@ class AccessSession:
     ):
         if store is None:
             if database is None:
-                raise ValueError(
+                raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- constructor contract; API misuse, not a serving failure
                     "AccessSession needs a database (or a store)"
                 )
             store = ArtifactStore(
@@ -130,17 +130,17 @@ class AccessSession:
             self._owns_store = True
         else:
             if database is not None and database is not store.database:
-                raise ValueError(
+                raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- constructor contract; API misuse, not a serving failure
                     "a store-attached session serves the store's "
                     "database; do not pass another one"
                 )
             if engine is not None and engine is not store.engine:
-                raise ValueError(
+                raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- constructor contract; API misuse, not a serving failure
                     "a store-attached session serves with the store's "
                     "engine; do not pass another one"
                 )
             if retain_versions is not None or strict_views:
-                raise ValueError(
+                raise ValueError(  # repro: noqa[EXC-TAXONOMY] -- constructor contract; API misuse, not a serving failure
                     "retain_versions/strict_views are store settings; "
                     "set them on the shared store"
                 )

@@ -1,13 +1,11 @@
 """Oracle tests for the direct-access engine (Theorems 1, 10)."""
 
-import random
 
 import pytest
 
 from repro.core.access import DirectAccess
 from repro.core.preprocessing import Preprocessing
 from repro.data.database import Database
-from repro.data.generators import random_database
 from repro.errors import OrderError, OutOfBoundsError
 from repro.query.catalog import (
     example5_order,

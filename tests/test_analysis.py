@@ -1,0 +1,607 @@
+"""Tests for the static-analysis pass (``repro analyze``).
+
+Each rule gets a bad fixture that must fire and a good fixture that
+must stay silent; suppression, rule selection, strictness, and the
+deterministic JSON report are exercised through both the library API
+(:func:`repro.analysis.analyze_paths`) and the CLI (``main``).
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, analyze_paths
+from repro.analysis.registry import severity_of
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run(tmp_path: Path, name: str, source: str, **kwargs):
+    """Write one fixture module under ``tmp_path`` and analyze it."""
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return analyze_paths([tmp_path], root=tmp_path, **kwargs)
+
+
+def rules_fired(report) -> set:
+    return {finding.rule for finding in report.findings}
+
+
+class TestRegistry:
+    def test_every_rule_is_fully_specified(self):
+        assert RULES, "registry must not be empty"
+        for rule_id, rule in RULES.items():
+            assert rule.id == rule_id
+            assert rule.severity in ("error", "warning")
+            assert rule.invariant.strip()
+            assert rule.summary.strip()
+            assert severity_of(rule_id) == rule.severity
+
+    def test_unknown_rule_selection_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown rule"):
+            run(tmp_path, "m.py", "x = 1\n", rules=["NO-SUCH-RULE"])
+
+
+class TestLockOrder:
+    CYCLE = """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self.a_lock = threading.Lock()
+            self.b_lock = threading.Lock()
+
+        def forward(self):
+            with self.a_lock:
+                with self.b_lock:
+                    return 1
+
+        def backward(self):
+            with self.b_lock:
+                with self.a_lock:
+                    return 2
+    """
+
+    def test_injected_cycle_is_detected_with_its_path(self, tmp_path):
+        report = run(tmp_path, "cycle.py", self.CYCLE)
+        cycles = [
+            f for f in report.findings if f.rule == "LOCK-ORDER"
+        ]
+        assert len(cycles) == 1
+        message = cycles[0].message
+        assert "cycle" in message
+        # The full cycle path is spelled out, with the edge sites.
+        assert "Pair.a_lock -> Pair.b_lock -> Pair.a_lock" in message
+        assert "at line" in message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        report = run(
+            tmp_path,
+            "ordered.py",
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.a_lock = threading.Lock()
+                    self.b_lock = threading.Lock()
+
+                def one(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            return 1
+
+                def two(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            return 2
+            """,
+        )
+        assert "LOCK-ORDER" not in rules_fired(report)
+
+    def test_interprocedural_cycle_through_local_calls(self, tmp_path):
+        report = run(
+            tmp_path,
+            "indirect.py",
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self.a_lock = threading.Lock()
+                    self.b_lock = threading.Lock()
+
+                def _grab_a(self):
+                    with self.a_lock:
+                        return 1
+
+                def _grab_b(self):
+                    with self.b_lock:
+                        return 2
+
+                def forward(self):
+                    with self.a_lock:
+                        return self._grab_b()
+
+                def backward(self):
+                    with self.b_lock:
+                        return self._grab_a()
+            """,
+        )
+        assert "LOCK-ORDER" in rules_fired(report)
+
+    def test_self_deadlock_on_plain_lock(self, tmp_path):
+        report = run(
+            tmp_path,
+            "selfdead.py",
+            """
+            import threading
+
+            class Once:
+                def __init__(self):
+                    self.my_lock = threading.Lock()
+
+                def outer(self):
+                    with self.my_lock:
+                        return self.inner()
+
+                def inner(self):
+                    with self.my_lock:
+                        return 1
+            """,
+        )
+        messages = [
+            f.message
+            for f in report.findings
+            if f.rule == "LOCK-ORDER"
+        ]
+        assert any("re-acquired" in m for m in messages)
+
+    def test_rlock_reentry_is_fine(self, tmp_path):
+        report = run(
+            tmp_path,
+            "reentrant.py",
+            """
+            import threading
+
+            class Once:
+                def __init__(self):
+                    self.my_lock = threading.RLock()
+
+                def outer(self):
+                    with self.my_lock:
+                        return self.inner()
+
+                def inner(self):
+                    with self.my_lock:
+                        return 1
+            """,
+        )
+        assert "LOCK-ORDER" not in rules_fired(report)
+
+
+class TestLockBlocking:
+    def test_fsync_under_lock_is_flagged(self, tmp_path):
+        report = run(
+            tmp_path,
+            "fsync.py",
+            """
+            import os
+            import threading
+
+            class Log:
+                def __init__(self):
+                    self.my_lock = threading.Lock()
+
+                def append(self, fd):
+                    with self.my_lock:
+                        os.fsync(fd)
+            """,
+        )
+        blocking = [
+            f for f in report.findings if f.rule == "LOCK-BLOCKING"
+        ]
+        assert len(blocking) == 1
+        assert "os.fsync" in blocking[0].message
+        assert "Log.my_lock" in blocking[0].message
+
+    def test_fsync_outside_lock_is_fine(self, tmp_path):
+        report = run(
+            tmp_path,
+            "nolock.py",
+            """
+            import os
+
+            def flush(fd):
+                os.fsync(fd)
+            """,
+        )
+        assert "LOCK-BLOCKING" not in rules_fired(report)
+
+
+class TestAsyncBlocking:
+    def test_time_sleep_in_async_def(self, tmp_path):
+        report = run(
+            tmp_path,
+            "aio_bad.py",
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+            """,
+        )
+        hits = [
+            f for f in report.findings if f.rule == "ASYNC-BLOCKING"
+        ]
+        assert len(hits) == 1
+        assert "time.sleep" in hits[0].message
+        assert "handler" in hits[0].message
+
+    def test_asyncio_sleep_is_fine(self, tmp_path):
+        report = run(
+            tmp_path,
+            "aio_good.py",
+            """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(0.1)
+            """,
+        )
+        assert "ASYNC-BLOCKING" not in rules_fired(report)
+
+    def test_nested_sync_def_runs_elsewhere(self, tmp_path):
+        report = run(
+            tmp_path,
+            "aio_nested.py",
+            """
+            import time
+
+            async def handler(loop):
+                def work():
+                    time.sleep(0.1)
+
+                return await loop.run_in_executor(None, work)
+            """,
+        )
+        assert "ASYNC-BLOCKING" not in rules_fired(report)
+
+
+class TestExceptionRules:
+    def test_builtin_raise_in_governed_package(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/server/bad.py",
+            """
+            def check(flag):
+                if not flag:
+                    raise ValueError("nope")
+            """,
+        )
+        assert "EXC-TAXONOMY" in rules_fired(report)
+
+    def test_taxonomy_raises_are_fine(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/server/good.py",
+            """
+            from repro.errors import ReproError, QueryError
+
+            class LocalError(ReproError):
+                pass
+
+            def check(flag):
+                if flag == 1:
+                    raise QueryError("library error")
+                if flag == 2:
+                    raise LocalError("local subclass")
+                if flag == 3:
+                    raise NotImplementedError
+            """,
+        )
+        assert "EXC-TAXONOMY" not in rules_fired(report)
+
+    def test_outside_governed_packages_builtins_are_fine(
+        self, tmp_path
+    ):
+        report = run(
+            tmp_path,
+            "tools/script.py",
+            """
+            def check(flag):
+                if not flag:
+                    raise ValueError("scripts may use builtins")
+            """,
+        )
+        assert "EXC-TAXONOMY" not in rules_fired(report)
+
+    def test_bare_except_is_flagged_anywhere(self, tmp_path):
+        report = run(
+            tmp_path,
+            "tools/script.py",
+            """
+            def swallow(fn):
+                try:
+                    return fn()
+                except:
+                    return None
+            """,
+        )
+        assert "EXC-BARE" in rules_fired(report)
+
+    def test_unguarded_except_exception_in_server(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/server/handler.py",
+            """
+            def serve(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return "error response"
+            """,
+        )
+        assert "EXC-CHAOS" in rules_fired(report)
+
+    def test_chaoscrash_guard_satisfies_the_contract(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/server/handler.py",
+            """
+            from repro.chaos.faults import ChaosCrash
+
+            def serve(fn):
+                try:
+                    return fn()
+                except ChaosCrash:
+                    raise
+                except Exception:
+                    return "error response"
+            """,
+        )
+        assert "EXC-CHAOS" not in rules_fired(report)
+
+    def test_reraising_handler_is_fine(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/server/handler.py",
+            """
+            def serve(fn, log):
+                try:
+                    return fn()
+                except Exception:
+                    log("failed")
+                    raise
+            """,
+        )
+        assert "EXC-CHAOS" not in rules_fired(report)
+
+
+class TestImportRules:
+    def test_unused_import_is_flagged(self, tmp_path):
+        report = run(tmp_path, "m.py", "import os\n\nx = 1\n")
+        hits = [
+            f for f in report.findings if f.rule == "UNUSED-IMPORT"
+        ]
+        assert len(hits) == 1
+        assert "'os'" in hits[0].message
+
+    def test_used_import_is_fine(self, tmp_path):
+        report = run(
+            tmp_path, "m.py", "import os\n\nx = os.getpid()\n"
+        )
+        assert "UNUSED-IMPORT" not in rules_fired(report)
+
+    def test_package_surface_is_exempt(self, tmp_path):
+        report = run(
+            tmp_path, "pkg/__init__.py", "from os import getpid\n"
+        )
+        assert "UNUSED-IMPORT" not in rules_fired(report)
+
+    def test_numpy_in_purity_pinned_module(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/engine/python_engine.py",
+            "import numpy\n\nx = numpy.int64\n",
+        )
+        assert "PURITY-ENGINE" in rules_fired(report)
+
+    def test_layer_inversion_is_flagged(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/data/bad.py",
+            """
+            from repro.server import http
+
+            x = http
+            """,
+        )
+        assert "LAYER-DAG" in rules_fired(report)
+
+
+class TestRegistrySync:
+    def test_unknown_fault_site_is_flagged(self, tmp_path):
+        report = run(
+            tmp_path,
+            "m.py",
+            """
+            from repro.chaos.faults import fire
+
+            def step():
+                if fire("no.such.site"):
+                    raise SystemExit(1)
+            """,
+        )
+        hits = [f for f in report.findings if f.rule == "REG-FAULT"]
+        assert len(hits) == 1
+        assert "no.such.site" in hits[0].message
+
+    def test_registered_fault_site_is_fine(self, tmp_path):
+        report = run(
+            tmp_path,
+            "m.py",
+            """
+            from repro.chaos.faults import fire
+
+            def step():
+                return fire("wal.fsync")
+            """,
+        )
+        assert "REG-FAULT" not in rules_fired(report)
+
+    def test_unregistered_op_literal_in_protocol(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/session/protocol.py",
+            """
+            OPS = frozenset({"quit", "stats"})
+
+            def dispatch(command):
+                if command == "quit":
+                    return "bye"
+                if command == "reboot":
+                    return "not registered"
+                return None
+            """,
+        )
+        hits = [f for f in report.findings if f.rule == "REG-OPS"]
+        assert len(hits) == 1
+        assert "'reboot'" in hits[0].message
+
+
+class TestSuppression:
+    BAD = """
+    def check(flag):
+        if not flag:
+            raise ValueError("nope")  # repro: noqa[EXC-TAXONOMY] -- fixture pass-through
+    """
+
+    def test_justified_noqa_moves_finding_to_suppressed(
+        self, tmp_path
+    ):
+        report = run(tmp_path, "repro/server/bad.py", self.BAD)
+        assert "EXC-TAXONOMY" not in rules_fired(report)
+        assert [f.rule for f in report.suppressed] == ["EXC-TAXONOMY"]
+
+    def test_unjustified_noqa_fails_strict(self, tmp_path):
+        # The marker is assembled at runtime so this test file's own
+        # source never contains an unjustified suppression line.
+        marker = "# repro: " + "noqa[EXC-TAXONOMY]"
+        source = f"""
+        def check(flag):
+            if not flag:
+                raise ValueError("nope")  {marker}
+        """
+        lax = run(tmp_path, "repro/server/bad.py", source)
+        assert "NOQA-BARE" not in rules_fired(lax)
+        strict = run(
+            tmp_path, "repro/server/bad.py", source, strict=True
+        )
+        assert "NOQA-BARE" in rules_fired(strict)
+
+    def test_rule_selection_filters_the_report(self, tmp_path):
+        report = run(
+            tmp_path,
+            "repro/server/bad.py",
+            """
+            import os
+
+            def check(flag):
+                if not flag:
+                    raise ValueError("nope")
+            """,
+            rules=["UNUSED-IMPORT"],
+        )
+        assert rules_fired(report) == {"UNUSED-IMPORT"}
+
+
+class TestAnalyzeCLI:
+    def write_bad(self, tmp_path: Path) -> Path:
+        target = tmp_path / "bad.py"
+        target.write_text("import os\n\nraise ValueError(1)\n")
+        return target
+
+    def test_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["analyze", str(clean)]) == 0
+        bad = tmp_path / "pkg" / "repro" / "server" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f():\n    raise ValueError(1)\n")
+        assert main(["analyze", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        target = tmp_path / "warn.py"
+        target.write_text("import os\n\nx = 1\n")
+        assert main(["analyze", str(target)]) == 0
+        assert main(["analyze", "--strict", str(target)]) == 1
+        capsys.readouterr()
+
+    def test_json_report_is_byte_identical_across_runs(
+        self, tmp_path, capsys
+    ):
+        self.write_bad(tmp_path)
+        runs = []
+        for _ in range(2):
+            main(["analyze", "--json", str(tmp_path)])
+            runs.append(capsys.readouterr().out)
+        assert runs[0] == runs[1]
+        report = json.loads(runs[0])
+        assert report["version"] == 1
+        assert report["files"] == 1
+        assert {f["rule"] for f in report["findings"]} >= {
+            "UNUSED-IMPORT"
+        }
+
+    def test_query_classification_mode_still_works(self, capsys):
+        assert (
+            main(["analyze", "Q(x,y) :- R(x,y)", "--order", "x,y"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "acyclic" in out
+
+    def test_repository_baseline_is_clean_under_strict(self, capsys):
+        """The CI gate: zero findings, strict, over the whole repo."""
+        code = main(
+            [
+                "analyze",
+                "--strict",
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert out.strip().endswith("rule(s)")
+
+
+class TestMypyGate:
+    """The strict-typed core (config in pyproject.toml) typechecks.
+
+    mypy is a CI-only dependency — the package itself stays
+    stdlib-only — so this gate skips wherever mypy is not installed
+    and runs for real in the analysis-smoke CI job.
+    """
+
+    def test_typed_core_passes_mypy(self):
+        pytest.importorskip("mypy", reason="mypy is a CI-only dependency")
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "mypy"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, (
+            completed.stdout + completed.stderr
+        )

@@ -1,8 +1,6 @@
 """Tests for disruption-free decompositions (§3.1) and widths (§3.3)."""
 
-import random
 from fractions import Fraction
-from itertools import permutations
 
 from repro.core.decomposition import (
     DisruptionFreeDecomposition,

@@ -201,3 +201,79 @@ class TestFailureModelSync:
             assert needle in failure_model, (
                 f"Failure model section no longer mentions {needle!r}"
             )
+
+
+@pytest.fixture(scope="module")
+def analysis_doc() -> str:
+    return (DOCS / "analysis.md").read_text(encoding="utf-8")
+
+
+class TestAnalysisDocsSync:
+    """``docs/analysis.md`` is diffed both ways against the rule
+    registry: a rule cannot be added, retired, reclassified, or
+    re-described without the documentation following along."""
+
+    def test_rule_table_matches_registry_both_ways(self, analysis_doc):
+        from repro.analysis import RULES
+
+        rows = set(
+            re.findall(
+                r"^\| `([A-Z0-9-]+)` \|", analysis_doc, re.MULTILINE
+            )
+        )
+        assert rows, "the rule table went missing"
+        missing = set(RULES) - rows
+        unknown = rows - set(RULES)
+        assert not missing, (
+            f"rules registered in repro.analysis but missing from the "
+            f"docs/analysis.md table: {sorted(missing)}"
+        )
+        assert not unknown, (
+            f"docs/analysis.md documents rules that no longer exist: "
+            f"{sorted(unknown)}"
+        )
+
+    def test_rule_sections_match_registry_both_ways(self, analysis_doc):
+        from repro.analysis import RULES
+
+        sections = set(
+            re.findall(
+                r"^### `([A-Z0-9-]+)`", analysis_doc, re.MULTILINE
+            )
+        )
+        assert sections == set(RULES), (
+            f"per-rule sections out of sync: "
+            f"missing {sorted(set(RULES) - sections)}, "
+            f"stale {sorted(sections - set(RULES))}"
+        )
+
+    def test_documented_severities_match_registry(self, analysis_doc):
+        from repro.analysis import RULES
+
+        rows = dict(
+            re.findall(
+                r"^\| `([A-Z0-9-]+)` \| (error|warning) \|",
+                analysis_doc,
+                re.MULTILINE,
+            )
+        )
+        for rule_id, rule in RULES.items():
+            assert rows.get(rule_id) == rule.severity, (
+                f"docs/analysis.md lists {rule_id} as "
+                f"{rows.get(rule_id)!r}; the registry says "
+                f"{rule.severity!r}"
+            )
+
+    def test_invariants_are_quoted_verbatim(self, analysis_doc):
+        # Re-describing an invariant in one place only is also rot:
+        # each rule's registry invariant appears (modulo wrapping) in
+        # its doc section.
+        from repro.analysis import RULES
+
+        normalized_doc = " ".join(analysis_doc.split())
+        for rule in RULES.values():
+            needle = " ".join(rule.invariant.split())
+            assert needle in normalized_doc, (
+                f"docs/analysis.md no longer quotes the registry "
+                f"invariant for {rule.id}"
+            )

@@ -33,7 +33,6 @@ from repro import (
     Database,
     Delta,
     EncodedDatabase,
-    Relation,
     StaleViewError,
     connect,
     parse_query,
@@ -41,7 +40,7 @@ from repro import (
 from repro.chaos.deltas import delta_sequence, random_delta, shrink_deltas
 from repro.data.columnar import numpy_available
 from repro.errors import DatabaseError
-from repro.session import AccessSession, ArtifactStore
+from repro.session import ArtifactStore
 from repro.session.protocol import SessionRequest, execute
 
 needs_numpy = pytest.mark.skipif(

@@ -7,7 +7,6 @@ can be executed.
 
 from fractions import Fraction
 
-from repro.core.access import DirectAccess
 from repro.core.decomposition import (
     DisruptionFreeDecomposition,
     incompatibility_number,
@@ -26,7 +25,6 @@ from repro.query.catalog import (
     example18_query,
     four_cycle_query,
     loomis_whitney_query,
-    star_bad_order,
     star_query,
 )
 from repro.query.variable_order import VariableOrder, all_orders

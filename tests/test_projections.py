@@ -1,6 +1,5 @@
 """Tests for projections and partial lexicographic orders (Theorem 50)."""
 
-from fractions import Fraction
 
 from repro.core.projections import (
     completions,

@@ -22,7 +22,6 @@ import pytest
 from repro.data.database import Database
 from repro.errors import QueryError
 from repro.facade import connect
-from repro.query.parser import parse_query
 from repro.server.client import HTTPShardExecutor
 from repro.server.http import ReproServer
 from repro.session.protocol import SessionRequest, execute

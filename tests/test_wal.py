@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Database, Delta, WriteAheadLog
-from repro.data.wal import WAL_FORMAT_VERSION, WalRecord
+from repro.data.wal import WAL_FORMAT_VERSION
 from repro.errors import WalError
 
 BASE = {

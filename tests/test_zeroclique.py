@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lowerbounds.setdisjointness import MergeDisjointness, SetSystem
+from repro.lowerbounds.setdisjointness import SetSystem
 from repro.lowerbounds.zeroclique import (
     MultipartiteInstance,
     ZeroCliqueViaSetIntersection,
